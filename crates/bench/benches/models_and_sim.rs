@@ -1,0 +1,84 @@
+//! Microbenchmarks of the substrates behind the experiments: surrogate
+//! training-curve evaluation, Gaussian-process fit/predict (the Vizier and
+//! Fabolas baselines), TPE proposals (BOHB), and end-to-end simulator
+//! throughput.
+
+use asha_baselines::{TpeConfig, TpeSampler};
+use asha_core::{Asha, AshaConfig, ConfigSampler};
+use asha_math::{Gp, GpConfig};
+use asha_sim::{ClusterSim, SimConfig};
+use asha_surrogate::{presets, BenchmarkModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_surrogate_advance(c: &mut Criterion) {
+    let bench = presets::cifar10_small_cnn(presets::DEFAULT_SURFACE_SEED);
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = bench.space().sample(&mut rng);
+    c.bench_function("surrogate_init_advance_eval", |b| {
+        b.iter(|| {
+            let mut state = bench.init_state(&config, &mut rng);
+            bench.advance(&config, &mut state, 256.0, &mut rng);
+            std::hint::black_box(bench.validation_loss(&config, &state, &mut rng))
+        });
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..150)
+        .map(|_| (0..9).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>()).collect();
+    c.bench_function("gp_fit_150x9", |b| {
+        b.iter(|| Gp::fit(&xs, &ys, GpConfig::default()).expect("spd kernel"));
+    });
+    let gp = Gp::fit(&xs, &ys, GpConfig::default()).expect("spd kernel");
+    let query: Vec<f64> = (0..9).map(|_| 0.5).collect();
+    c.bench_function("gp_predict_150x9", |b| {
+        b.iter(|| std::hint::black_box(gp.predict(&query)));
+    });
+}
+
+fn bench_tpe_propose(c: &mut Criterion) {
+    let space = presets::cifar10_small_cnn(presets::DEFAULT_SURFACE_SEED)
+        .space()
+        .clone();
+    let mut tpe = TpeSampler::new(
+        space.clone(),
+        TpeConfig {
+            random_fraction: 0.0,
+            ..TpeConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..200 {
+        let config = space.sample(&mut rng);
+        tpe.record(&config, 0, 1.0, (i % 97) as f64);
+    }
+    c.bench_function("tpe_propose_200obs", |b| {
+        b.iter(|| std::hint::black_box(tpe.propose(&space, &mut rng)));
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+    c.bench_function("sim_25workers_150min_asha", |b| {
+        b.iter(|| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            let mut rng = StdRng::seed_from_u64(3);
+            let result = ClusterSim::new(SimConfig::new(25, 150.0)).run(asha, &bench, &mut rng);
+            std::hint::black_box(result.jobs_completed)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_surrogate_advance,
+    bench_gp,
+    bench_tpe_propose,
+    bench_sim_throughput
+);
+criterion_main!(benches);

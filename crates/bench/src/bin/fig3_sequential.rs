@@ -1,0 +1,93 @@
+//! Figure 3: sequential experiments (1 worker) on the two CIFAR-10
+//! benchmarks — SHA, Hyperband, Random, PBT, ASHA, asynchronous Hyperband,
+//! and BOHB, averaged over 10 trials.
+//!
+//! Paper settings (Appendix A.3): n = 256, η = 4, s = 0, r = R/256 with
+//! R = 30k SGD iterations (our surrogates use R = 256 resource units); PBT
+//! population 25 with explore/exploit every 1000 iterations (≈ R/30).
+
+use asha_baselines::{bohb, Pbt, PbtConfig};
+use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
+use asha_core::{Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha};
+use asha_space::SearchSpace;
+use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
+
+const R: f64 = 256.0;
+const ETA: f64 = 4.0;
+
+fn methods(space: &SearchSpace) -> Vec<MethodSpec> {
+    let pbt_frozen: &[&str] = &["batch_size", "n_layers", "n_filters"];
+    let has_arch = space.index_of("n_layers").is_ok();
+    let frozen: Vec<String> = if has_arch {
+        pbt_frozen.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        Vec::new()
+    };
+    let s1 = space.clone();
+    let s2 = space.clone();
+    let s3 = space.clone();
+    let s4 = space.clone();
+    let s5 = space.clone();
+    let s6 = space.clone();
+    let s7 = space.clone();
+    vec![
+        MethodSpec::new("SHA", move || {
+            SyncSha::new(s1.clone(), ShaConfig::new(256, 1.0, R, ETA).growing())
+        }),
+        MethodSpec::new("Hyperband", move || {
+            Hyperband::new(s2.clone(), HyperbandConfig::new(1.0, R, ETA))
+        }),
+        MethodSpec::new("Random", move || RandomSearch::new(s3.clone(), R)),
+        MethodSpec::new("PBT", {
+            let frozen = frozen.clone();
+            move || {
+                let frozen_refs: Vec<&str> = frozen.iter().map(String::as_str).collect();
+                Pbt::new(
+                    s4.clone(),
+                    PbtConfig::new(25, R, R / 30.0)
+                        .with_frozen(&frozen_refs)
+                        .spawning(),
+                )
+            }
+        }),
+        MethodSpec::new("ASHA", move || {
+            Asha::new(s5.clone(), AshaConfig::new(1.0, R, ETA))
+        }),
+        MethodSpec::new("Hyperband (async)", move || {
+            AsyncHyperband::new(s6.clone(), HyperbandConfig::new(1.0, R, ETA))
+        }),
+        MethodSpec::new("BOHB", move || {
+            bohb(s7.clone(), ShaConfig::new(256, 1.0, R, ETA).growing())
+        }),
+    ]
+}
+
+fn run(bench: &CurveBenchmark, default_loss: f64, threshold: f64, stem: &str) {
+    let cfg = ExperimentConfig::new(1, 2500.0, 10, default_loss);
+    let results = run_experiment(bench, &methods(bench.space()), &cfg);
+    print_comparison(
+        &format!("Figure 3 — {} (1 worker, mean of 10 trials, test error)", bench.name()),
+        &results,
+        &[250.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0],
+    );
+    print_time_to_reach(&results, threshold);
+    write_results(stem, &results);
+}
+
+fn main() {
+    println!("Figure 3: sequential experiments (this may take a minute)...");
+    run(
+        &presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED),
+        0.65,
+        0.21,
+        "fig3_bench1",
+    );
+    run(
+        &presets::cifar10_small_cnn(presets::DEFAULT_SURFACE_SEED),
+        0.90,
+        0.23,
+        "fig3_bench2",
+    );
+    println!("\nExpected shape (paper): SHA-family and BOHB beat PBT by ~3x on benchmark 1;");
+    println!("all methods beat Random on benchmark 2 with SHA/ASHA/BOHB/PBT roughly tied.");
+}

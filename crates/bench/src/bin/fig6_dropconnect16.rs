@@ -1,0 +1,39 @@
+//! Figure 6: the modern DropConnect LSTM benchmark — 16 workers, ASHA vs
+//! PBT, 5 trials, validation perplexity over ~1400 minutes.
+//!
+//! Paper settings: ASHA with η = 4, r = 1 epoch, R = 256 epochs, s = 0;
+//! PBT with population 20 and explore/exploit every 8 epochs.
+
+use asha_baselines::{Pbt, PbtConfig};
+use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
+use asha_core::{Asha, AshaConfig};
+use asha_surrogate::{presets, BenchmarkModel};
+
+const R: f64 = 256.0;
+const ETA: f64 = 4.0;
+
+fn main() {
+    println!("Figure 6: 16-worker DropConnect LSTM benchmark...");
+    let bench = presets::ptb_dropconnect_lstm(presets::DEFAULT_SURFACE_SEED);
+    let s1 = bench.space().clone();
+    let s2 = bench.space().clone();
+    let methods = vec![
+        MethodSpec::new("PBT", move || {
+            Pbt::new(s1.clone(), PbtConfig::new(20, R, 8.0).spawning())
+        }),
+        MethodSpec::new("ASHA", move || {
+            Asha::new(s2.clone(), AshaConfig::new(1.0, R, ETA))
+        }),
+    ];
+    let cfg = ExperimentConfig::new(16, 1400.0, 5, 110.0);
+    let results = run_experiment(&bench, &methods, &cfg);
+    print_comparison(
+        "Figure 6 — LSTM with DropConnect on PTB (16 workers, minutes, validation perplexity)",
+        &results,
+        &[100.0, 200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0],
+    );
+    print_time_to_reach(&results, 61.0);
+    write_results("fig6_dropconnect", &results);
+    println!("\nExpected shape (paper): PBT leads early; ASHA catches up and finds a better");
+    println!("final configuration (non-overlapping min/max ranges at the end).");
+}

@@ -1,0 +1,256 @@
+//! Shared harness for the paper-reproduction experiment binaries.
+//!
+//! Every figure binary (`fig1_promotion_table` … `fig9_fabolas`,
+//! `tables_search_spaces`) follows the same recipe: pick a surrogate
+//! benchmark, define the competing schedulers, run repeated simulated trials,
+//! aggregate incumbent curves, print a compact table, and drop CSVs under
+//! `results/`. This crate hosts that recipe so the binaries stay small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asha_core::Scheduler;
+use asha_metrics::{aggregate, uniform_grid, AggregateCurve, StepCurve};
+use asha_sim::{ClusterSim, SimConfig};
+use asha_surrogate::BenchmarkModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named scheduler factory: builds a fresh scheduler per trial.
+pub struct MethodSpec {
+    /// Display name used in tables and CSV files.
+    pub name: String,
+    /// Factory invoked once per trial.
+    pub factory: Box<dyn Fn() -> Box<dyn Scheduler>>,
+}
+
+impl MethodSpec {
+    /// Convenience constructor.
+    pub fn new<F, S>(name: &str, factory: F) -> Self
+    where
+        F: Fn() -> S + 'static,
+        S: Scheduler + 'static,
+    {
+        MethodSpec {
+            name: name.to_owned(),
+            factory: Box::new(move || Box::new(factory())),
+        }
+    }
+}
+
+/// One experiment's execution parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Worker count of the simulated cluster.
+    pub workers: usize,
+    /// Simulated-time horizon.
+    pub horizon: f64,
+    /// Number of repeated trials per method.
+    pub trials: usize,
+    /// Points on the shared aggregation grid.
+    pub grid_points: usize,
+    /// Loss plotted before any result exists (the top of the paper's axes).
+    pub default_loss: f64,
+    /// Base RNG seed; trial `t` of any method uses `base_seed + t`.
+    pub base_seed: u64,
+    /// Extra simulator knobs applied to every run.
+    pub sim_tweak: fn(SimConfig) -> SimConfig,
+}
+
+impl ExperimentConfig {
+    /// A clean cluster (no stragglers or drops) with 200 grid points.
+    pub fn new(workers: usize, horizon: f64, trials: usize, default_loss: f64) -> Self {
+        ExperimentConfig {
+            workers,
+            horizon,
+            trials,
+            grid_points: 200,
+            default_loss,
+            base_seed: 42,
+            sim_tweak: |c| c,
+        }
+    }
+}
+
+/// Result of running one method across trials.
+pub struct MethodResult {
+    /// Method display name.
+    pub name: String,
+    /// Per-trial incumbent (test-loss) curves.
+    pub curves: Vec<StepCurve>,
+    /// Aggregated envelope on the shared grid.
+    pub aggregate: AggregateCurve,
+    /// Mean jobs completed per trial.
+    pub mean_jobs: f64,
+    /// Mean distinct configurations evaluated per trial.
+    pub mean_configs: f64,
+}
+
+/// Run every method for `cfg.trials` trials on `bench` and aggregate.
+pub fn run_experiment(
+    bench: &dyn BenchmarkModel,
+    methods: &[MethodSpec],
+    cfg: &ExperimentConfig,
+) -> Vec<MethodResult> {
+    let grid = uniform_grid(cfg.horizon, cfg.grid_points);
+    methods
+        .iter()
+        .map(|m| {
+            let mut curves = Vec::with_capacity(cfg.trials);
+            let mut jobs = 0usize;
+            let mut configs = 0usize;
+            for t in 0..cfg.trials {
+                let mut rng = StdRng::seed_from_u64(cfg.base_seed + t as u64);
+                let scheduler = (m.factory)();
+                let sim = ClusterSim::new((cfg.sim_tweak)(SimConfig::new(
+                    cfg.workers,
+                    cfg.horizon,
+                )));
+                let result = sim.run(scheduler, bench, &mut rng);
+                jobs += result.jobs_completed;
+                configs += result.trace.distinct_trials();
+                curves.push(result.trace.incumbent_curve());
+            }
+            let agg = aggregate(&curves, &grid, cfg.default_loss);
+            MethodResult {
+                name: m.name.clone(),
+                curves,
+                aggregate: agg,
+                mean_jobs: jobs as f64 / cfg.trials as f64,
+                mean_configs: configs as f64 / cfg.trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Print a fixed-width comparison table: one row per sampled time, one
+/// column per method (mean incumbent loss).
+pub fn print_comparison(title: &str, results: &[MethodResult], sample_times: &[f64]) {
+    println!("\n== {title} ==");
+    print!("{:>12}", "time");
+    for r in results {
+        print!("{:>18}", r.name);
+    }
+    println!();
+    for &t in sample_times {
+        print!("{t:>12.1}");
+        for r in results {
+            let idx = nearest_grid_index(&r.aggregate.grid, t);
+            print!("{:>18.4}", r.aggregate.mean[idx]);
+        }
+        println!();
+    }
+    print!("{:>12}", "final");
+    for r in results {
+        print!("{:>18.4}", r.aggregate.final_mean());
+    }
+    println!();
+    print!("{:>12}", "jobs/trial");
+    for r in results {
+        print!("{:>18.0}", r.mean_jobs);
+    }
+    println!();
+    print!("{:>12}", "configs");
+    for r in results {
+        print!("{:>18.0}", r.mean_configs);
+    }
+    println!();
+}
+
+/// Print "time to reach threshold" per method — the paper's headline
+/// comparisons ("ASHA finds a configuration below X in Y minutes").
+pub fn print_time_to_reach(results: &[MethodResult], threshold: f64) {
+    println!("\n-- time to reach mean loss <= {threshold} --");
+    for r in results {
+        match r.aggregate.time_to_reach(threshold) {
+            Some(t) => println!("{:>20}: {t:.1}", r.name),
+            None => println!("{:>20}: not reached", r.name),
+        }
+    }
+}
+
+/// Write every method's aggregate to `results/<file_stem>_<method>.csv`.
+pub fn write_results(file_stem: &str, results: &[MethodResult]) {
+    for r in results {
+        let rows: Vec<Vec<f64>> = r
+            .aggregate
+            .grid
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                vec![
+                    t,
+                    r.aggregate.mean[i],
+                    r.aggregate.q25[i],
+                    r.aggregate.q75[i],
+                    r.aggregate.min[i],
+                    r.aggregate.max[i],
+                ]
+            })
+            .collect();
+        let slug: String = r
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = format!("results/{file_stem}_{slug}.csv");
+        if let Err(e) = asha_metrics::write_csv(
+            &path,
+            &["time", "mean", "q25", "q75", "min", "max"],
+            &rows,
+        ) {
+            eprintln!("warning: {e}");
+        }
+    }
+}
+
+fn nearest_grid_index(grid: &[f64], t: f64) -> usize {
+    grid.iter()
+        .enumerate()
+        .min_by(|a, b| {
+            (a.1 - t)
+                .abs()
+                .partial_cmp(&(b.1 - t).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asha_core::{Asha, AshaConfig, RandomSearch};
+    use asha_surrogate::presets;
+    use asha_surrogate::BenchmarkModel;
+
+    #[test]
+    fn harness_runs_and_orders_methods_sensibly() {
+        let bench = presets::cifar10_cuda_convnet(2020);
+        let space = bench.space().clone();
+        let space2 = space.clone();
+        let methods = vec![
+            MethodSpec::new("ASHA", move || {
+                Asha::new(space.clone(), AshaConfig::new(1.0, 256.0, 4.0))
+            }),
+            MethodSpec::new("Random", move || {
+                RandomSearch::new(space2.clone(), 256.0)
+            }),
+        ];
+        let cfg = ExperimentConfig::new(9, 120.0, 2, 0.9);
+        let results = run_experiment(&bench, &methods, &cfg);
+        assert_eq!(results.len(), 2);
+        // ASHA must evaluate far more configurations than random search in
+        // the same budget, and end at least as good on average.
+        assert!(results[0].mean_configs > results[1].mean_configs * 2.0);
+        assert!(results[0].aggregate.final_mean() <= results[1].aggregate.final_mean() + 0.02);
+    }
+
+    #[test]
+    fn nearest_grid_index_picks_closest() {
+        let grid = [0.0, 1.0, 2.0];
+        assert_eq!(nearest_grid_index(&grid, 0.4), 0);
+        assert_eq!(nearest_grid_index(&grid, 0.6), 1);
+        assert_eq!(nearest_grid_index(&grid, 99.0), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! The Asynchronous Successive Halving Algorithm (Algorithm 2 of the paper).
+
+use std::collections::{HashMap, HashSet};
+
+use asha_space::{Config, SearchSpace};
+
+use crate::rung::{RungLadder, ScanOrder};
+use crate::sampler::{ConfigSampler, RandomSampler};
+use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
+
+/// Configuration of an [`Asha`] scheduler.
+///
+/// Mirrors the inputs of Algorithm 2: minimum resource `r`, maximum resource
+/// `R`, reduction factor `eta`, and minimum early-stopping rate `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AshaConfig {
+    /// Minimum resource `r` allocated at the base rung (before the `eta^s`
+    /// shift from the early-stopping rate).
+    pub min_resource: f64,
+    /// Maximum resource `R` a single trial may consume. Ignored in the
+    /// infinite horizon.
+    pub max_resource: f64,
+    /// Reduction factor `eta >= 2`; each rung keeps the top `1/eta`.
+    pub reduction_factor: f64,
+    /// Early-stopping rate `s`: the base rung trains for `r * eta^s`.
+    pub stop_rate: usize,
+    /// Run without a top rung (Section 3.3's infinite-horizon variant).
+    pub infinite_horizon: bool,
+    /// Optional cap on the number of trials added to the bottom rung. When
+    /// the cap is reached and nothing is promotable, `suggest` returns
+    /// [`Decision::Wait`] (and [`Decision::Finished`] once every trial has
+    /// reached the top rung).
+    pub max_trials: Option<usize>,
+    /// Rung visiting order of the promotion scan. Algorithm 2 prescribes
+    /// top-down; bottom-up exists for the ablation study.
+    pub scan_order: ScanOrder,
+}
+
+impl AshaConfig {
+    /// Standard finite-horizon configuration with `s = 0` (the paper's
+    /// recommended aggressive early-stopping rate).
+    pub fn new(min_resource: f64, max_resource: f64, reduction_factor: f64) -> Self {
+        AshaConfig {
+            min_resource,
+            max_resource,
+            reduction_factor,
+            stop_rate: 0,
+            infinite_horizon: false,
+            max_trials: None,
+            scan_order: ScanOrder::TopDown,
+        }
+    }
+
+    /// Set the early-stopping rate `s`.
+    pub fn with_stop_rate(mut self, stop_rate: usize) -> Self {
+        self.stop_rate = stop_rate;
+        self
+    }
+
+    /// Cap the number of distinct trials.
+    pub fn with_max_trials(mut self, max_trials: usize) -> Self {
+        self.max_trials = Some(max_trials);
+        self
+    }
+
+    /// Switch to the infinite horizon (no top rung).
+    pub fn infinite(mut self) -> Self {
+        self.infinite_horizon = true;
+        self
+    }
+
+    /// Use a non-default promotion scan order (ablation knob).
+    pub fn with_scan_order(mut self, scan_order: ScanOrder) -> Self {
+        self.scan_order = scan_order;
+        self
+    }
+}
+
+/// Asynchronous Successive Halving (ASHA), Algorithm 2 of the paper.
+///
+/// Every call to [`Scheduler::suggest`] runs the `get_job` procedure: scan
+/// the rungs from top to bottom for a configuration in the top `1/eta` of
+/// its rung that has not yet been promoted; promote the best such
+/// configuration one rung up, or grow the bottom rung with a freshly sampled
+/// configuration if no promotion is possible. There is no synchronization
+/// barrier anywhere, which is what makes the algorithm robust to stragglers
+/// and dropped jobs.
+pub struct Asha {
+    space: SearchSpace,
+    config: AshaConfig,
+    ladder: RungLadder,
+    sampler: Box<dyn ConfigSampler>,
+    trial_configs: HashMap<TrialId, Config>,
+    outstanding: HashSet<(TrialId, usize)>,
+    next_trial: u64,
+    trials_started: usize,
+    name: String,
+}
+
+impl std::fmt::Debug for Asha {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Asha")
+            .field("config", &self.config)
+            .field("trials_started", &self.trials_started)
+            .field("outstanding", &self.outstanding.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Asha {
+    /// Create an ASHA scheduler with uniform random sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (`eta < 2`, non-positive resources,
+    /// or `s > log_eta(R/r)`); see [`RungLadder::finite`].
+    pub fn new(space: SearchSpace, config: AshaConfig) -> Self {
+        Asha::with_sampler(space, config, Box::new(RandomSampler::new()))
+    }
+
+    /// Create an ASHA scheduler with a custom configuration sampler (e.g.
+    /// BOHB's TPE).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::new`].
+    pub fn with_sampler(
+        space: SearchSpace,
+        config: AshaConfig,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let ladder = if config.infinite_horizon {
+            RungLadder::infinite(config.min_resource, config.reduction_factor, config.stop_rate)
+        } else {
+            RungLadder::finite(
+                config.min_resource,
+                config.max_resource,
+                config.reduction_factor,
+                config.stop_rate,
+            )
+        };
+        let name = if sampler.name() == "random" {
+            "ASHA".to_owned()
+        } else {
+            format!("ASHA+{}", sampler.name())
+        };
+        Asha {
+            space,
+            config,
+            ladder,
+            sampler,
+            trial_configs: HashMap::new(),
+            outstanding: HashSet::new(),
+            next_trial: 0,
+            trials_started: 0,
+            name,
+        }
+    }
+
+    /// Rename the scheduler (used when ASHA is embedded in a larger method).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The rung ladder (read-only), for analysis and tests.
+    pub fn ladder(&self) -> &RungLadder {
+        &self.ladder
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &AshaConfig {
+        &self.config
+    }
+
+    /// Number of distinct trials started so far.
+    pub fn trials_started(&self) -> usize {
+        self.trials_started
+    }
+
+    /// Number of issued-but-unreported jobs.
+    pub fn outstanding_jobs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The configuration of a trial, if known.
+    pub fn trial_config(&self, trial: TrialId) -> Option<&Config> {
+        self.trial_configs.get(&trial)
+    }
+
+    /// Best `(trial, loss)` seen so far, using intermediate losses from every
+    /// rung (Section 3.3).
+    pub fn best(&self) -> Option<(TrialId, f64)> {
+        self.ladder.best_loss()
+    }
+
+    fn promote(&mut self, trial: TrialId, from_rung: usize) -> Job {
+        self.ladder.mark_promoted(from_rung, trial);
+        let rung = from_rung + 1;
+        let job = Job {
+            trial,
+            config: self.trial_configs[&trial].clone(),
+            rung,
+            resource: self.ladder.resource(rung),
+            bracket: self.config.stop_rate,
+            inherit_from: None,
+        };
+        self.outstanding.insert((trial, rung));
+        job
+    }
+
+    fn grow_bottom(&mut self, rng: &mut dyn rand::RngCore) -> Job {
+        let trial = TrialId(self.next_trial);
+        self.next_trial += 1;
+        self.trials_started += 1;
+        let config = self.sampler.propose(&self.space, rng);
+        self.trial_configs.insert(trial, config.clone());
+        self.outstanding.insert((trial, 0));
+        Job {
+            trial,
+            config,
+            rung: 0,
+            resource: self.ladder.resource(0),
+            bracket: self.config.stop_rate,
+            inherit_from: None,
+        }
+    }
+}
+
+impl Scheduler for Asha {
+    fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
+        // Lines 12–19 of Algorithm 2: look for a promotable configuration,
+        // scanning rungs from the top down.
+        if let Some((trial, _loss, rung)) =
+            self.ladder.find_promotable_ordered(self.config.scan_order)
+        {
+            return Decision::Run(self.promote(trial, rung));
+        }
+        // Line 20: otherwise grow the bottom rung — unless a trial cap says
+        // we are done adding configurations.
+        if let Some(cap) = self.config.max_trials {
+            if self.trials_started >= cap {
+                return if self.outstanding.is_empty() {
+                    Decision::Finished
+                } else {
+                    Decision::Wait
+                };
+            }
+        }
+        Decision::Run(self.grow_bottom(rng))
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        // Ignore results for jobs we did not issue (or duplicate reports):
+        // executors may retry dropped jobs.
+        if !self.outstanding.remove(&(obs.trial, obs.rung)) {
+            return;
+        }
+        self.ladder.record(obs.rung, obs.trial, obs.loss);
+        if let Some(config) = self.trial_configs.get(&obs.trial) {
+            self.sampler.record(config, obs.rung, obs.resource, obs.loss);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asha_space::Scale;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .continuous("x", 0.0, 1.0, Scale::Linear)
+            .build()
+            .unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// Helper: run a job synchronously with loss = f(trial id).
+    fn complete(asha: &mut Asha, job: &Job, loss: f64) {
+        asha.observe(Observation::for_job(job, loss));
+    }
+
+    #[test]
+    fn first_jobs_grow_the_bottom_rung() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = rng();
+        for i in 0..5 {
+            let job = asha.suggest(&mut r).job().expect("asha never waits");
+            assert_eq!(job.rung, 0);
+            assert_eq!(job.resource, 1.0);
+            assert_eq!(job.trial, TrialId(i));
+        }
+        assert_eq!(asha.trials_started(), 5);
+        assert_eq!(asha.outstanding_jobs(), 5);
+    }
+
+    #[test]
+    fn promotes_after_eta_completions() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = rng();
+        // Complete 3 bottom-rung trials with known losses.
+        for loss in [0.3, 0.1, 0.2] {
+            let job = asha.suggest(&mut r).job().unwrap();
+            complete(&mut asha, &job, loss);
+        }
+        // Next suggest must promote the best (loss 0.1 = trial 1) to rung 1.
+        let job = asha.suggest(&mut r).job().unwrap();
+        assert_eq!(job.trial, TrialId(1));
+        assert_eq!(job.rung, 1);
+        assert_eq!(job.resource, 3.0);
+    }
+
+    #[test]
+    fn never_waits_without_trial_cap() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 81.0, 3.0));
+        let mut r = rng();
+        for _ in 0..500 {
+            match asha.suggest(&mut r) {
+                Decision::Run(_) => {}
+                other => panic!("ASHA should always have work, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn asha_reproduces_figure2_promotion_order() {
+        // Figure 2 (right): with 1 worker, losses equal to the config number
+        // (configs 1..9 in arrival order, lower is better), ASHA's job
+        // sequence is: 1,2,3 at rung 0, then promote config 1 to rung 1,
+        // then 4,5,6 at rung 0, promote 6?? — the figure promotes configs
+        // 1, 6, 8 based on *its* loss ordering. Here we use losses where
+        // trial 0 is best of {0,1,2}: after 3 completions the best is
+        // promoted immediately, matching the "promote whenever possible"
+        // rule.
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = rng();
+        let mut sequence = Vec::new();
+        // Simulate a single worker: run each suggested job to completion.
+        // Losses: lower trial id = better config.
+        for _ in 0..13 {
+            let job = asha.suggest(&mut r).job().unwrap();
+            sequence.push((job.trial.0, job.rung));
+            complete(&mut asha, &job, job.trial.0 as f64);
+        }
+        // Rung-0 jobs 0,1,2 then promotion of 0; then 3,4,5... after 6 more
+        // rung-0 results another promotion becomes available, etc.
+        assert_eq!(sequence[0..3], [(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(sequence[3], (0, 1), "best config promoted immediately");
+        // Eventually a rung-2 job appears once rung 1 has 3 trials.
+        assert!(
+            sequence.iter().any(|&(_, rung)| rung == 2),
+            "no rung-2 promotion in {sequence:?}"
+        );
+    }
+
+    #[test]
+    fn trial_cap_finishes_cleanly() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0).with_max_trials(3));
+        let mut r = rng();
+        let mut jobs = Vec::new();
+        for _ in 0..3 {
+            jobs.push(asha.suggest(&mut r).job().unwrap());
+        }
+        // Cap reached, jobs outstanding -> Wait.
+        assert!(asha.suggest(&mut r).is_wait());
+        for (job, loss) in jobs.iter().zip([0.2, 0.1, 0.3]) {
+            complete(&mut asha, job, loss);
+        }
+        // One promotion available (trial 1).
+        let promo = asha.suggest(&mut r).job().unwrap();
+        assert_eq!(promo.rung, 1);
+        assert!(asha.suggest(&mut r).is_wait());
+        complete(&mut asha, &promo, 0.05);
+        // Rung 1 has 1 trial; 1/3 floor = 0 promotable; nothing outstanding.
+        assert!(asha.suggest(&mut r).is_finished());
+    }
+
+    #[test]
+    fn infinite_horizon_keeps_promoting() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0).infinite());
+        let mut r = rng();
+        let mut max_rung = 0;
+        for _ in 0..200 {
+            let job = asha.suggest(&mut r).job().unwrap();
+            max_rung = max_rung.max(job.rung);
+            complete(&mut asha, &job, job.trial.0 as f64);
+        }
+        // In the finite horizon with R=9 the top rung would be 2; infinite
+        // horizon must exceed it.
+        assert!(max_rung > 2, "max rung {max_rung}");
+    }
+
+    #[test]
+    fn unsolicited_observations_are_ignored() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        asha.observe(Observation::new(TrialId(99), 0, 1.0, 0.1));
+        assert_eq!(asha.best(), None);
+    }
+
+    #[test]
+    fn duplicate_observations_are_ignored() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = rng();
+        let job = asha.suggest(&mut r).job().unwrap();
+        complete(&mut asha, &job, 0.5);
+        complete(&mut asha, &job, 0.1); // retry of the same job
+        assert_eq!(asha.best(), Some((job.trial, 0.5)));
+    }
+
+    #[test]
+    fn stop_rate_shifts_base_resource() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0).with_stop_rate(1));
+        let mut r = rng();
+        let job = asha.suggest(&mut r).job().unwrap();
+        assert_eq!(job.resource, 3.0, "s=1 starts at r*eta");
+        assert_eq!(job.bracket, 1);
+    }
+
+    #[test]
+    fn best_uses_intermediate_losses() {
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = rng();
+        for loss in [0.5, 0.4, 0.6] {
+            let job = asha.suggest(&mut r).job().unwrap();
+            complete(&mut asha, &job, loss);
+        }
+        let promo = asha.suggest(&mut r).job().unwrap();
+        complete(&mut asha, &promo, 0.2);
+        assert_eq!(asha.best().unwrap().1, 0.2);
+    }
+
+    #[test]
+    fn name_reflects_sampler() {
+        let asha = Asha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        assert_eq!(asha.name(), "ASHA");
+        assert!(format!("{asha:?}").contains("Asha"));
+    }
+}

@@ -1,0 +1,604 @@
+//! Rung bookkeeping shared by ASHA and the analysis tooling.
+//!
+//! A *rung* is the set of configurations that have been trained for a given
+//! resource level within a bracket; a [`RungLadder`] is the full stack of
+//! rungs for one bracket (Figure 1 of the paper).
+//!
+//! The promotion query (`top_k(rung, |rung|/eta)` minus already-promoted,
+//! line 14–15 of Algorithm 2) is the hot path of ASHA — it runs once per
+//! `suggest`, and large-scale runs issue hundreds of thousands of jobs. The
+//! implementation keeps the unpromoted and promoted populations in ordered
+//! sets so the common case is `O(log n)`:
+//!
+//! * if `promoted < k`, the best unpromoted trial is *always* within the top
+//!   `k` (every trial better than it is promoted, so its rank is at most
+//!   `promoted`), and can be returned immediately;
+//! * otherwise an early-exit rank count runs, memoized on
+//!   `(len, promoted)` — that state pair fully determines the answer, so a
+//!   failed check never recomputes until the rung actually changes.
+
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::scheduler::TrialId;
+
+/// Which direction [`RungLadder::find_promotable_ordered`] visits rungs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanOrder {
+    /// Highest promotable rung first — Algorithm 2's prescription, which
+    /// pushes promising configurations toward `R` as fast as possible.
+    #[default]
+    TopDown,
+    /// Lowest rung first — keeps lower rungs flowing at the cost of
+    /// latency to the top (the ablation alternative).
+    BottomUp,
+}
+
+/// Monotone map from (non-NaN) `f64` to `u64` preserving order.
+fn loss_key(loss: f64) -> u64 {
+    let bits = loss.to_bits();
+    if loss >= 0.0 {
+        bits ^ 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`loss_key`].
+fn key_loss(key: u64) -> f64 {
+    if key >= 0x8000_0000_0000_0000 {
+        f64::from_bits(key ^ 0x8000_0000_0000_0000)
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// One rung: the trials evaluated at this resource level, their losses, and
+/// which of them have already been promoted.
+#[derive(Debug, Clone, Default)]
+pub struct Rung {
+    /// `(trial, loss)` in arrival order, for traces and analysis.
+    records: Vec<(TrialId, f64)>,
+    members: HashSet<TrialId>,
+    loss_of: HashMap<TrialId, u64>,
+    unpromoted: BTreeSet<(u64, TrialId)>,
+    promoted_sorted: BTreeSet<(u64, TrialId)>,
+    /// `(len, promoted)` of the last failed promotability check.
+    fail_cache: Cell<(usize, usize)>,
+}
+
+impl Rung {
+    /// Create an empty rung.
+    pub fn new() -> Self {
+        let rung = Rung::default();
+        rung.fail_cache.set((usize::MAX, usize::MAX));
+        rung
+    }
+
+    /// Record a trial's loss at this rung. Re-reports of the same trial are
+    /// ignored (first result wins), which makes executors free to retry jobs.
+    pub fn record(&mut self, trial: TrialId, loss: f64) {
+        if self.members.insert(trial) {
+            // Treat NaN losses as worst-possible rather than corrupting sorts.
+            let loss = if loss.is_nan() { f64::INFINITY } else { loss };
+            self.records.push((trial, loss));
+            let key = loss_key(loss);
+            self.loss_of.insert(trial, key);
+            self.unpromoted.insert((key, trial));
+            self.fail_cache.set((usize::MAX, usize::MAX));
+        }
+    }
+
+    /// Number of trials recorded at this rung.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no trial has reached this rung yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the given trial has a recorded result here.
+    pub fn contains(&self, trial: TrialId) -> bool {
+        self.members.contains(&trial)
+    }
+
+    /// Whether the given trial has already been promoted out of this rung.
+    pub fn is_promoted(&self, trial: TrialId) -> bool {
+        self.loss_of
+            .get(&trial)
+            .is_some_and(|&key| self.promoted_sorted.contains(&(key, trial)))
+    }
+
+    /// Number of trials promoted out of this rung so far.
+    pub fn promoted_count(&self) -> usize {
+        self.promoted_sorted.len()
+    }
+
+    /// All `(trial, loss)` records in arrival order.
+    pub fn records(&self) -> &[(TrialId, f64)] {
+        &self.records
+    }
+
+    /// The `top_k` operator of Algorithms 1–2: the `k` best (lowest-loss)
+    /// trials at this rung, best first. Ties break by trial id, which keeps
+    /// promotion deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<(TrialId, f64)> {
+        // Merge the two ordered populations, taking the first k.
+        let mut a = self.unpromoted.iter().peekable();
+        let mut b = self.promoted_sorted.iter().peekable();
+        let mut out = Vec::with_capacity(k.min(self.records.len()));
+        while out.len() < k {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x <= y,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let &(key, trial) = if take_a {
+                a.next().expect("peeked")
+            } else {
+                b.next().expect("peeked")
+            };
+            out.push((trial, key_loss(key)));
+        }
+        out
+    }
+
+    /// The best not-yet-promoted trial among the top `1/eta` fraction of this
+    /// rung (line 14–17 of Algorithm 2), if any.
+    pub fn promotable(&self, eta: f64) -> Option<(TrialId, f64)> {
+        let k = (self.records.len() as f64 / eta).floor() as usize;
+        if k == 0 {
+            return None;
+        }
+        let &(best_key, best_trial) = self.unpromoted.first()?;
+        let p = self.promoted_sorted.len();
+        // Fast path: every trial better than the best unpromoted one is
+        // promoted, so its rank is at most p.
+        if p < k {
+            return Some((best_trial, key_loss(best_key)));
+        }
+        if self.fail_cache.get() == (self.records.len(), p) {
+            return None;
+        }
+        // Exact rank check: the best unpromoted trial is in the top k iff
+        // fewer than k promoted trials are strictly better, i.e. iff more
+        // than `p - k` promoted trials are at or beyond it. Counting from
+        // that side is O(p - k + 1), and promotions keep `p <= k + 1`, so
+        // this is effectively constant time.
+        let threshold = p - k;
+        let mut count = 0usize;
+        let mut promotable = false;
+        for _ in self.promoted_sorted.range((best_key, best_trial)..) {
+            count += 1;
+            if count > threshold {
+                promotable = true;
+                break;
+            }
+        }
+        if promotable {
+            Some((best_trial, key_loss(best_key)))
+        } else {
+            self.fail_cache.set((self.records.len(), p));
+            None
+        }
+    }
+
+    /// Mark a trial as promoted out of this rung. Unknown trials are
+    /// ignored.
+    pub fn mark_promoted(&mut self, trial: TrialId) {
+        if let Some(&key) = self.loss_of.get(&trial) {
+            if self.unpromoted.remove(&(key, trial)) {
+                self.promoted_sorted.insert((key, trial));
+                self.fail_cache.set((usize::MAX, usize::MAX));
+            }
+        }
+    }
+
+    /// Best (lowest) loss at this rung, if any trial has completed.
+    pub fn best(&self) -> Option<(TrialId, f64)> {
+        let a = self.unpromoted.first();
+        let b = self.promoted_sorted.first();
+        let &(key, trial) = match (a, b) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => return None,
+        };
+        Some((trial, key_loss(key)))
+    }
+}
+
+/// The stack of rungs of one bracket, together with the resource level of
+/// each rung: `r_k = min(r * eta^(s + k), R)`.
+#[derive(Debug, Clone)]
+pub struct RungLadder {
+    rungs: Vec<Rung>,
+    min_resource: f64,
+    max_resource: f64,
+    eta: f64,
+    stop_rate: usize,
+    max_rung: Option<usize>,
+}
+
+impl RungLadder {
+    /// Build a ladder for a finite-horizon bracket: rungs `0..=K` with
+    /// `K = floor(log_eta(R / r)) - s` (Algorithm 2 line 13 scans `K-1..=0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 2`, resources are non-positive, `r > R`, or the
+    /// early-stopping rate `s` exceeds `floor(log_eta(R / r))`.
+    pub fn finite(min_resource: f64, max_resource: f64, eta: f64, stop_rate: usize) -> Self {
+        assert!(eta >= 2.0, "reduction factor eta must be >= 2");
+        assert!(
+            min_resource > 0.0 && max_resource >= min_resource,
+            "resources must satisfy 0 < r <= R"
+        );
+        let s_max = (max_resource / min_resource).log(eta).floor() as usize;
+        assert!(
+            stop_rate <= s_max,
+            "early-stopping rate s={stop_rate} exceeds log_eta(R/r)={s_max}"
+        );
+        let max_rung = s_max - stop_rate;
+        RungLadder {
+            rungs: vec![Rung::new(); max_rung + 1],
+            min_resource,
+            max_resource,
+            eta,
+            stop_rate,
+            max_rung: Some(max_rung),
+        }
+    }
+
+    /// Build an infinite-horizon ladder (Section 3.3): no top rung; the
+    /// maximum resource grows as configurations keep being promoted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 2` or `min_resource <= 0`.
+    pub fn infinite(min_resource: f64, eta: f64, stop_rate: usize) -> Self {
+        assert!(eta >= 2.0, "reduction factor eta must be >= 2");
+        assert!(min_resource > 0.0, "minimum resource must be positive");
+        RungLadder {
+            rungs: vec![Rung::new()],
+            min_resource,
+            max_resource: f64::INFINITY,
+            eta,
+            stop_rate,
+            max_rung: None,
+        }
+    }
+
+    /// The reduction factor `eta`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The early-stopping rate `s`.
+    pub fn stop_rate(&self) -> usize {
+        self.stop_rate
+    }
+
+    /// Index of the highest rung, if the horizon is finite.
+    pub fn max_rung(&self) -> Option<usize> {
+        self.max_rung
+    }
+
+    /// Cumulative resource allocated to a trial at rung `k`:
+    /// `min(r * eta^(s + k), R)`.
+    pub fn resource(&self, rung: usize) -> f64 {
+        (self.min_resource * self.eta.powi((self.stop_rate + rung) as i32))
+            .min(self.max_resource)
+    }
+
+    /// The rungs, bottom first. Infinite-horizon ladders grow on demand.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    /// Mutable access to rung `k`, growing the ladder in the infinite
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the top rung of a finite-horizon ladder.
+    pub fn rung_mut(&mut self, k: usize) -> &mut Rung {
+        if let Some(max) = self.max_rung {
+            assert!(k <= max, "rung {k} exceeds finite-horizon top rung {max}");
+        } else if k >= self.rungs.len() {
+            self.rungs.resize_with(k + 1, Rung::new);
+        }
+        &mut self.rungs[k]
+    }
+
+    /// Record an observation at rung `k`.
+    pub fn record(&mut self, rung: usize, trial: TrialId, loss: f64) {
+        self.rung_mut(rung).record(trial, loss);
+    }
+
+    /// ASHA's promotion scan (Algorithm 2, `get_job`): walk rungs from the
+    /// top promotable rung down to 0, returning the first `(trial, loss,
+    /// rung)` whose trial sits in the top `1/eta` of its rung and has not
+    /// been promoted. The returned rung is the rung the trial is *in*; the
+    /// caller promotes it to `rung + 1`.
+    pub fn find_promotable(&self) -> Option<(TrialId, f64, usize)> {
+        self.find_promotable_ordered(ScanOrder::TopDown)
+    }
+
+    /// The promotion scan with an explicit rung visiting order. Algorithm 2
+    /// prescribes [`ScanOrder::TopDown`] (line 13 iterates `K-1, ..., 1, 0`);
+    /// [`ScanOrder::BottomUp`] is provided for the ablation study of that
+    /// design choice.
+    pub fn find_promotable_ordered(&self, order: ScanOrder) -> Option<(TrialId, f64, usize)> {
+        let top = match self.max_rung {
+            // Finite horizon: scan K-1 .. 0 (trials at rung K are done).
+            Some(max) => max,
+            // Infinite horizon: every existing rung may promote upward.
+            None => self.rungs.len(),
+        };
+        let limit = top.min(self.rungs.len());
+        let scan = |k: usize| self.rungs[k].promotable(self.eta).map(|(t, l)| (t, l, k));
+        match order {
+            ScanOrder::TopDown => (0..limit).rev().find_map(scan),
+            ScanOrder::BottomUp => (0..limit).find_map(scan),
+        }
+    }
+
+    /// Mark a trial as promoted out of rung `k`.
+    pub fn mark_promoted(&mut self, rung: usize, trial: TrialId) {
+        self.rung_mut(rung).mark_promoted(trial);
+    }
+
+    /// The best loss observed anywhere in the ladder, preferring higher
+    /// rungs' intermediate losses as ASHA does for incumbent reporting
+    /// (Section 3.3: "ASHA uses intermediate losses to determine the current
+    /// best performing configuration").
+    pub fn best_loss(&self) -> Option<(TrialId, f64)> {
+        self.rungs
+            .iter()
+            .flat_map(|r| r.best())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_key_is_monotone() {
+        let values = [-1e9, -1.0, -1e-12, 0.0, 1e-12, 0.5, 1.0, 1e9, f64::INFINITY];
+        for w in values.windows(2) {
+            assert!(loss_key(w[0]) < loss_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn resources_follow_geometric_schedule() {
+        // Figure 1 bracket 0: r=1, R=9, eta=3 -> rungs at 1, 3, 9.
+        let ladder = RungLadder::finite(1.0, 9.0, 3.0, 0);
+        assert_eq!(ladder.max_rung(), Some(2));
+        assert_eq!(ladder.resource(0), 1.0);
+        assert_eq!(ladder.resource(1), 3.0);
+        assert_eq!(ladder.resource(2), 9.0);
+        assert_eq!(ladder.eta(), 3.0);
+        assert_eq!(ladder.stop_rate(), 0);
+    }
+
+    #[test]
+    fn stop_rate_shifts_the_base_resource() {
+        // Figure 1 bracket 1: rungs at 3, 9. Bracket 2: rung at 9.
+        let b1 = RungLadder::finite(1.0, 9.0, 3.0, 1);
+        assert_eq!(b1.max_rung(), Some(1));
+        assert_eq!(b1.resource(0), 3.0);
+        assert_eq!(b1.resource(1), 9.0);
+        let b2 = RungLadder::finite(1.0, 9.0, 3.0, 2);
+        assert_eq!(b2.max_rung(), Some(0));
+        assert_eq!(b2.resource(0), 9.0);
+    }
+
+    #[test]
+    fn resource_is_capped_at_r_max() {
+        // R/r not a power of eta: top rung resource is clamped to R.
+        let ladder = RungLadder::finite(1.0, 10.0, 3.0, 0);
+        assert_eq!(ladder.max_rung(), Some(2));
+        assert_eq!(ladder.resource(2), 9.0);
+        assert_eq!(ladder.resource(3), 10.0); // hypothetical rung clamps
+    }
+
+    #[test]
+    fn promotable_needs_eta_records() {
+        let mut rung = Rung::new();
+        rung.record(TrialId(0), 0.5);
+        rung.record(TrialId(1), 0.3);
+        // |rung|/eta = 2/3 -> floor 0 candidates.
+        assert_eq!(rung.promotable(3.0), None);
+        rung.record(TrialId(2), 0.8);
+        // Now 3/3 = 1 candidate: trial 1 with loss 0.3.
+        assert_eq!(rung.promotable(3.0), Some((TrialId(1), 0.3)));
+        assert!(rung.contains(TrialId(1)));
+        assert!(!rung.contains(TrialId(9)));
+    }
+
+    #[test]
+    fn promoted_trials_are_skipped() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.9, 0.1, 0.2, 0.3, 0.4, 0.5].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        // top 6/3 = 2: trials 1 (0.1) and 2 (0.2).
+        assert_eq!(rung.promotable(3.0), Some((TrialId(1), 0.1)));
+        rung.mark_promoted(TrialId(1));
+        assert!(rung.is_promoted(TrialId(1)));
+        assert_eq!(rung.promotable(3.0), Some((TrialId(2), 0.2)));
+        rung.mark_promoted(TrialId(2));
+        assert_eq!(rung.promotable(3.0), None);
+        assert_eq!(rung.promoted_count(), 2);
+    }
+
+    #[test]
+    fn late_better_arrivals_reopen_promotion() {
+        // The exact Algorithm 2 corner case: the rung has promoted its k
+        // quota, but a strictly better configuration arrives later — it
+        // ranks inside the top k, so it must be promotable.
+        let mut rung = Rung::new();
+        for (i, loss) in [0.5, 0.6, 0.7].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        let (t, _) = rung.promotable(3.0).unwrap();
+        rung.mark_promoted(t); // quota of k=1 used
+        assert_eq!(rung.promotable(3.0), None);
+        rung.record(TrialId(10), 0.1); // better than everything promoted
+        // k is still floor(4/3) = 1 and promoted = 1, but trial 10 ranks 0.
+        assert_eq!(rung.promotable(3.0), Some((TrialId(10), 0.1)));
+    }
+
+    #[test]
+    fn fail_cache_invalidates_on_change() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        rung.mark_promoted(TrialId(0));
+        rung.mark_promoted(TrialId(1));
+        assert_eq!(rung.promotable(3.0), None);
+        assert_eq!(rung.promotable(3.0), None); // cached path
+        // Growth changes k: 9 records -> k = 3.
+        for i in 6..9 {
+            rung.record(TrialId(i), 0.9);
+        }
+        assert_eq!(rung.promotable(3.0), Some((TrialId(2), 0.3)));
+    }
+
+    #[test]
+    fn top_k_merges_promoted_and_unpromoted() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.4, 0.1, 0.3, 0.2].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        rung.mark_promoted(TrialId(1));
+        let top = rung.top_k(3);
+        let ids: Vec<u64> = top.iter().map(|(t, _)| t.0).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+        assert_eq!(top[0].1, 0.1);
+    }
+
+    #[test]
+    fn duplicate_records_are_ignored() {
+        let mut rung = Rung::new();
+        rung.record(TrialId(0), 0.5);
+        rung.record(TrialId(0), 0.1);
+        assert_eq!(rung.len(), 1);
+        assert_eq!(rung.records()[0].1, 0.5);
+        assert!(!rung.is_empty());
+    }
+
+    #[test]
+    fn nan_losses_become_infinite() {
+        let mut rung = Rung::new();
+        rung.record(TrialId(0), f64::NAN);
+        rung.record(TrialId(1), 0.4);
+        assert_eq!(rung.best(), Some((TrialId(1), 0.4)));
+        assert_eq!(rung.top_k(2)[1].0, TrialId(0));
+    }
+
+    #[test]
+    fn mark_promoted_unknown_trial_is_ignored() {
+        let mut rung = Rung::new();
+        rung.record(TrialId(0), 0.5);
+        rung.mark_promoted(TrialId(42));
+        assert_eq!(rung.promoted_count(), 0);
+    }
+
+    #[test]
+    fn find_promotable_scans_top_down() {
+        let mut ladder = RungLadder::finite(1.0, 27.0, 3.0, 0);
+        for i in 0..3 {
+            ladder.record(0, TrialId(i), 0.1 * (i + 1) as f64);
+        }
+        for i in 3..6 {
+            ladder.record(1, TrialId(i), 0.1 * (i + 1) as f64);
+        }
+        // Rung 1's best (trial 3) wins over rung 0's best (trial 0).
+        let (t, _, k) = ladder.find_promotable().unwrap();
+        assert_eq!((t, k), (TrialId(3), 1));
+        ladder.mark_promoted(1, TrialId(3));
+        let (t, _, k) = ladder.find_promotable().unwrap();
+        assert_eq!((t, k), (TrialId(0), 0));
+    }
+
+    #[test]
+    fn top_rung_never_promotes_in_finite_horizon() {
+        let mut ladder = RungLadder::finite(1.0, 9.0, 3.0, 0);
+        for i in 0..9 {
+            ladder.record(2, TrialId(i), i as f64);
+        }
+        assert_eq!(ladder.find_promotable(), None);
+    }
+
+    #[test]
+    fn infinite_horizon_grows_rungs() {
+        let mut ladder = RungLadder::infinite(1.0, 3.0, 0);
+        assert_eq!(ladder.max_rung(), None);
+        for i in 0..3 {
+            ladder.record(4, TrialId(i), i as f64);
+        }
+        assert_eq!(ladder.rungs().len(), 5);
+        // Rung 4 can promote upward: resources keep scaling.
+        let (t, _, k) = ladder.find_promotable().unwrap();
+        assert_eq!((t, k), (TrialId(0), 4));
+        assert_eq!(ladder.resource(5), 3f64.powi(5));
+    }
+
+    #[test]
+    fn best_loss_uses_intermediate_results() {
+        let mut ladder = RungLadder::finite(1.0, 9.0, 3.0, 0);
+        ladder.record(0, TrialId(0), 0.9);
+        ladder.record(1, TrialId(1), 0.2);
+        assert_eq!(ladder.best_loss(), Some((TrialId(1), 0.2)));
+    }
+
+    #[test]
+    fn promotion_scales_to_large_rungs() {
+        // Performance smoke test: 50k records with interleaved promotions
+        // must complete fast (quadratic behaviour would take minutes).
+        let start = std::time::Instant::now();
+        let mut rung = Rung::new();
+        let mut promoted = 0u64;
+        for i in 0..50_000u64 {
+            rung.record(TrialId(i), (i % 977) as f64);
+            if let Some((t, _)) = rung.promotable(4.0) {
+                rung.mark_promoted(t);
+                promoted += 1;
+            }
+        }
+        assert!(promoted > 10_000, "promoted {promoted}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "promotion path too slow: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds finite-horizon top rung")]
+    fn finite_ladder_rejects_out_of_range_rung() {
+        let mut ladder = RungLadder::finite(1.0, 9.0, 3.0, 0);
+        ladder.record(3, TrialId(0), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be >= 2")]
+    fn small_eta_is_rejected() {
+        let _ = RungLadder::finite(1.0, 9.0, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds log_eta")]
+    fn oversized_stop_rate_is_rejected() {
+        let _ = RungLadder::finite(1.0, 9.0, 3.0, 3);
+    }
+}

@@ -1,0 +1,74 @@
+use asha_space::{Config, SearchSpace};
+
+/// Strategy for proposing new configurations to try in the bottom rung.
+///
+/// SHA and ASHA sample uniformly at random ([`RandomSampler`]); BOHB swaps in
+/// a Tree-structured Parzen Estimator (`asha_baselines::TpeSampler`) — per
+/// the paper, "BOHB uses SHA to perform early-stopping and differs only in
+/// how configurations are sampled".
+pub trait ConfigSampler: Send {
+    /// Propose the next configuration to evaluate.
+    fn propose(&mut self, space: &SearchSpace, rng: &mut dyn rand::RngCore) -> Config;
+
+    /// Feed back an observed result so adaptive samplers can update their
+    /// model. `rung` and `resource` identify the fidelity of the loss.
+    fn record(&mut self, config: &Config, rung: usize, resource: f64, loss: f64);
+
+    /// Name used to label experiment output (e.g. `"random"`, `"tpe"`).
+    fn name(&self) -> &str {
+        "sampler"
+    }
+}
+
+/// Uniform random sampling over the search space — the sampler of SHA, ASHA,
+/// Hyperband, and random search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomSampler;
+
+impl RandomSampler {
+    /// Create a random sampler.
+    pub fn new() -> Self {
+        RandomSampler
+    }
+}
+
+impl ConfigSampler for RandomSampler {
+    fn propose(&mut self, space: &SearchSpace, rng: &mut dyn rand::RngCore) -> Config {
+        space.sample(rng)
+    }
+
+    fn record(&mut self, _config: &Config, _rung: usize, _resource: f64, _loss: f64) {}
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asha_space::Scale;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_sampler_draws_from_space() {
+        let space = SearchSpace::builder()
+            .continuous("x", 0.0, 1.0, Scale::Linear)
+            .build()
+            .unwrap();
+        let mut s = RandomSampler::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = s.propose(&space, &mut rng);
+        let x = c.float("x", &space).unwrap();
+        assert!((0.0..=1.0).contains(&x));
+        // record is a no-op but must not panic.
+        s.record(&c, 0, 1.0, 0.5);
+        assert_eq!(s.name(), "random");
+    }
+
+    #[test]
+    fn sampler_is_object_safe() {
+        let _boxed: Box<dyn ConfigSampler> = Box::new(RandomSampler::new());
+    }
+}

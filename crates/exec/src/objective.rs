@@ -1,0 +1,111 @@
+use asha_space::Config;
+
+/// The result of evaluating a trial at some resource level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Validation loss (what schedulers see and minimize).
+    pub val_loss: f64,
+    /// Test loss (recorded in traces, hidden from schedulers).
+    pub test_loss: f64,
+}
+
+impl Evaluation {
+    /// An evaluation whose test loss equals its validation loss.
+    pub fn of(val_loss: f64) -> Self {
+        Evaluation {
+            val_loss,
+            test_loss: val_loss,
+        }
+    }
+
+    /// An evaluation with distinct validation and test losses.
+    pub fn with_test(val_loss: f64, test_loss: f64) -> Self {
+        Evaluation {
+            val_loss,
+            test_loss,
+        }
+    }
+}
+
+/// A trainable objective: the real-execution analogue of the paper's
+/// `run_then_return_val_loss`.
+///
+/// `resource` is *cumulative*: implementations restore `checkpoint` (the
+/// state after the previous call for this trial, if any) and train until the
+/// trial's total consumed resource reaches `resource`. The returned
+/// checkpoint is stored by the executor and handed back on the trial's next
+/// rung — or cloned into a child trial when PBT inherits weights.
+pub trait Objective: Send + Sync {
+    /// Serializable-enough training state; cloning it is "copying weights".
+    type Checkpoint: Clone + Send;
+
+    /// Train `config` up to cumulative `resource` and report losses.
+    fn run(
+        &self,
+        config: &Config,
+        resource: f64,
+        checkpoint: Option<Self::Checkpoint>,
+    ) -> (Evaluation, Self::Checkpoint);
+}
+
+/// Adapter turning a closure into an [`Objective`].
+///
+/// See the crate-level example.
+pub struct FnObjective<C, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C, F> FnObjective<C, F>
+where
+    C: Clone + Send,
+    F: Fn(&Config, f64, Option<C>) -> (Evaluation, C) + Send + Sync,
+{
+    /// Wrap a closure.
+    pub fn new(f: F) -> Self {
+        FnObjective {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<C, F> Objective for FnObjective<C, F>
+where
+    C: Clone + Send,
+    F: Fn(&Config, f64, Option<C>) -> (Evaluation, C) + Send + Sync,
+{
+    type Checkpoint = C;
+
+    fn run(&self, config: &Config, resource: f64, checkpoint: Option<C>) -> (Evaluation, C) {
+        (self.f)(config, resource, checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_constructors() {
+        let e = Evaluation::of(0.5);
+        assert_eq!(e.val_loss, 0.5);
+        assert_eq!(e.test_loss, 0.5);
+        let e = Evaluation::with_test(0.5, 0.6);
+        assert_eq!(e.test_loss, 0.6);
+    }
+
+    #[test]
+    fn fn_objective_threads_checkpoints() {
+        let obj = FnObjective::new(|_c: &Config, r: f64, ckpt: Option<u32>| {
+            let count = ckpt.unwrap_or(0) + 1;
+            (Evaluation::of(1.0 / r), count)
+        });
+        let cfg = Config::default();
+        let (e1, c1) = obj.run(&cfg, 1.0, None);
+        assert_eq!(c1, 1);
+        let (_, c2) = obj.run(&cfg, 2.0, Some(c1));
+        assert_eq!(c2, 2);
+        assert_eq!(e1.val_loss, 1.0);
+    }
+}

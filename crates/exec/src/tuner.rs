@@ -1,0 +1,315 @@
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use asha_core::{Decision, Observation, Scheduler, TrialId};
+use asha_metrics::{RunTrace, TraceEvent};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::objective::Objective;
+
+/// Parallel execution parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Stop after this many completed jobs.
+    pub max_jobs: usize,
+    /// Optional wall-clock limit.
+    pub wall_limit: Option<Duration>,
+}
+
+impl ExecConfig {
+    /// `workers` threads, a 100k-job cap, and no wall-clock limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ExecConfig {
+            workers,
+            max_jobs: 100_000,
+            wall_limit: None,
+        }
+    }
+
+    /// Stop after `max_jobs` completions.
+    pub fn with_max_jobs(mut self, max_jobs: usize) -> Self {
+        self.max_jobs = max_jobs;
+        self
+    }
+
+    /// Stop after the given wall-clock duration.
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+}
+
+/// Outcome of a parallel tuning run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Completions in wall-clock order (times in seconds since start).
+    pub trace: RunTrace,
+    /// Number of completed jobs.
+    pub jobs_completed: usize,
+    /// Best `(trial, validation loss)` observed, if any.
+    pub best: Option<(TrialId, f64)>,
+    /// The best trial's configuration.
+    pub best_config: Option<asha_space::Config>,
+    /// Whether the scheduler reported [`Decision::Finished`].
+    pub scheduler_finished: bool,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+struct Shared<S, C> {
+    scheduler: S,
+    rng: StdRng,
+    checkpoints: HashMap<TrialId, C>,
+    trace: Vec<TraceEvent>,
+    jobs_completed: usize,
+    best: Option<(TrialId, f64)>,
+    best_config: Option<asha_space::Config>,
+    stop: bool,
+    finished: bool,
+    idle_workers: usize,
+}
+
+/// A pool of worker threads driving one scheduler; see the crate docs.
+#[derive(Debug, Clone)]
+pub struct ParallelTuner {
+    config: ExecConfig,
+}
+
+impl ParallelTuner {
+    /// Create a tuner with the given execution parameters.
+    pub fn new(config: ExecConfig) -> Self {
+        ParallelTuner { config }
+    }
+
+    /// Run `scheduler` against `objective` until the scheduler finishes, the
+    /// job cap is hit, or the wall-clock limit expires. `seed` drives the
+    /// scheduler's sampling RNG.
+    ///
+    /// Worker threads hold the scheduler lock only while asking for or
+    /// reporting work; objective evaluations run in parallel outside it.
+    pub fn run<S, O>(&self, scheduler: S, objective: &O, seed: u64) -> ExecResult
+    where
+        S: Scheduler + Send,
+        O: Objective,
+    {
+        let start = Instant::now();
+        let name = scheduler.name().to_owned();
+        let shared = Mutex::new(Shared {
+            scheduler,
+            rng: StdRng::seed_from_u64(seed),
+            checkpoints: HashMap::<TrialId, O::Checkpoint>::new(),
+            trace: Vec::new(),
+            jobs_completed: 0,
+            best: None,
+            best_config: None,
+            stop: false,
+            finished: false,
+            idle_workers: 0,
+        });
+        let wake = Condvar::new();
+        let cfg = &self.config;
+
+        crossbeam::scope(|scope| {
+            for _ in 0..cfg.workers {
+                scope.spawn(|_| {
+                    loop {
+                        // Acquire a job (or learn we are done).
+                        let job = {
+                            let mut guard = shared.lock();
+                            loop {
+                                let s = &mut *guard;
+                                if s.stop
+                                    || s.jobs_completed >= cfg.max_jobs
+                                    || cfg
+                                        .wall_limit
+                                        .is_some_and(|limit| start.elapsed() >= limit)
+                                {
+                                    s.stop = true;
+                                    wake.notify_all();
+                                    return;
+                                }
+                                match s.scheduler.suggest(&mut s.rng) {
+                                    Decision::Run(job) => break job,
+                                    Decision::Finished => {
+                                        s.finished = true;
+                                        s.stop = true;
+                                        wake.notify_all();
+                                        return;
+                                    }
+                                    Decision::Wait => {
+                                        // Block until some completion might
+                                        // unblock the scheduler. If every
+                                        // worker is waiting, nothing can ever
+                                        // complete: drain to avoid deadlock.
+                                        s.idle_workers += 1;
+                                        if s.idle_workers == cfg.workers {
+                                            s.stop = true;
+                                            s.idle_workers -= 1;
+                                            wake.notify_all();
+                                            return;
+                                        }
+                                        wake.wait(&mut guard);
+                                        guard.idle_workers -= 1;
+                                    }
+                                }
+                            }
+                        };
+
+                        // Fetch (or inherit) the checkpoint.
+                        let checkpoint = {
+                            let s = shared.lock();
+                            s.checkpoints
+                                .get(&job.trial)
+                                .or_else(|| {
+                                    job.inherit_from.and_then(|src| s.checkpoints.get(&src))
+                                })
+                                .cloned()
+                        };
+
+                        // Train outside the lock.
+                        let (eval, new_ckpt) = objective.run(&job.config, job.resource, checkpoint);
+
+                        // Report.
+                        let mut s = shared.lock();
+                        s.checkpoints.insert(job.trial, new_ckpt);
+                        s.jobs_completed += 1;
+                        if s.best.is_none_or(|(_, l)| eval.val_loss < l) {
+                            s.best = Some((job.trial, eval.val_loss));
+                            s.best_config = Some(job.config.clone());
+                        }
+                        s.trace.push(TraceEvent {
+                            time: start.elapsed().as_secs_f64(),
+                            trial: job.trial.0,
+                            bracket: job.bracket,
+                            rung: job.rung,
+                            resource: job.resource,
+                            val_loss: eval.val_loss,
+                            test_loss: eval.test_loss,
+                        });
+                        s.scheduler.observe(Observation::for_job(&job, eval.val_loss));
+                        wake.notify_all();
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let shared = shared.into_inner();
+        let mut trace = RunTrace::new(name);
+        let mut events = shared.trace;
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        for e in events {
+            trace.push(e);
+        }
+        ExecResult {
+            trace,
+            jobs_completed: shared.jobs_completed,
+            best: shared.best,
+            best_config: shared.best_config,
+            scheduler_finished: shared.finished,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Evaluation, FnObjective};
+    use asha_core::{Asha, AshaConfig, RandomSearch};
+    use asha_space::{Scale, SearchSpace};
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .continuous("x", 0.0, 1.0, Scale::Linear)
+            .build()
+            .unwrap()
+    }
+
+    /// Objective: loss = |x - 0.3| + 1/resource, checkpoint = resource seen.
+    type ObjFn = FnObjective<
+        f64,
+        fn(&asha_space::Config, f64, Option<f64>) -> (Evaluation, f64),
+    >;
+
+    fn objective() -> ObjFn {
+        fn eval(c: &asha_space::Config, r: f64, ckpt: Option<f64>) -> (Evaluation, f64) {
+            // Checkpoints must be cumulative: resource never decreases.
+            if let Some(prev) = ckpt {
+                assert!(r >= prev, "resource went backwards: {prev} -> {r}");
+            }
+            let x = match c.values()[0] {
+                asha_space::ParamValue::Float(v) => v,
+                _ => unreachable!("space is continuous"),
+            };
+            (Evaluation::of((x - 0.3).abs() + 1.0 / r), r)
+        }
+        FnObjective::new(eval as fn(&asha_space::Config, f64, Option<f64>) -> (Evaluation, f64))
+    }
+
+    #[test]
+    fn asha_runs_to_trial_cap_in_parallel() {
+        let asha = Asha::new(
+            space(),
+            AshaConfig::new(1.0, 27.0, 3.0).with_max_trials(30),
+        );
+        let result = ParallelTuner::new(ExecConfig::new(4)).run(asha, &objective(), 1);
+        assert!(result.scheduler_finished);
+        assert!(result.jobs_completed >= 30, "{}", result.jobs_completed);
+        let (_, best) = result.best.unwrap();
+        assert!(best < 0.4, "best loss {best}");
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches_serial_semantics() {
+        let asha = Asha::new(
+            space(),
+            AshaConfig::new(1.0, 9.0, 3.0).with_max_trials(9),
+        );
+        let result = ParallelTuner::new(ExecConfig::new(1)).run(asha, &objective(), 2);
+        assert!(result.scheduler_finished);
+        // 9 trials at rung 0, 3 promotions to rung 1, 1 to rung 2.
+        assert_eq!(result.jobs_completed, 13);
+    }
+
+    #[test]
+    fn job_cap_stops_random_search() {
+        let rs = RandomSearch::new(space(), 10.0);
+        let result = ParallelTuner::new(ExecConfig::new(4).with_max_jobs(50))
+            .run(rs, &objective(), 3);
+        assert!(result.jobs_completed >= 50);
+        assert!(!result.scheduler_finished);
+    }
+
+    #[test]
+    fn trace_times_are_monotone() {
+        let rs = RandomSearch::new(space(), 5.0);
+        let result = ParallelTuner::new(ExecConfig::new(8).with_max_jobs(100))
+            .run(rs, &objective(), 4);
+        let times: Vec<f64> = result.trace.events().iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn drained_wait_does_not_deadlock() {
+        // A trial cap of 3 with 4 workers: once all trials are issued the
+        // spare workers Wait; after everything completes the scheduler
+        // finishes. Must terminate.
+        let asha = Asha::new(
+            space(),
+            AshaConfig::new(1.0, 9.0, 3.0).with_max_trials(3),
+        );
+        let result = ParallelTuner::new(ExecConfig::new(4)).run(asha, &objective(), 5);
+        assert!(result.jobs_completed >= 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Diagnostics for early-stopping suitability.
+//!
+//! Successive halving assumes that losses at low resource are informative
+//! of losses at high resource — "the appropriate choice of early stopping
+//! rate is problem dependent" (Section 2). These tools quantify that
+//! assumption from a recorded [`crate::RunTrace`]: if successive rungs'
+//! losses are strongly rank-correlated, aggressive early stopping (`s = 0`)
+//! is safe; if not, a larger `s` (or Hyperband's bracket hedging) is wiser.
+
+use std::collections::HashMap;
+
+use crate::trace::RunTrace;
+
+/// Rank correlation between the losses trials obtained at rung `k` and at
+/// rung `k + 1`, for every adjacent rung pair with at least `min_pairs`
+/// trials observed at both.
+///
+/// Returns `(rung, pairs, spearman)` tuples, lowest rung first.
+///
+/// # Examples
+///
+/// ```
+/// use asha_metrics::{analysis, RunTrace, TraceEvent};
+///
+/// let mut t = RunTrace::new("x");
+/// let pairs = [(0, 0.5, 0.4), (1, 0.3, 0.2), (2, 0.7, 0.6), (3, 0.4, 0.3)];
+/// for &(trial, r0, _) in &pairs {
+///     t.push(TraceEvent { time: trial as f64, trial, bracket: 0, rung: 0,
+///                         resource: 1.0, val_loss: r0, test_loss: r0 });
+/// }
+/// for &(trial, _, r1) in &pairs {
+///     t.push(TraceEvent { time: 10.0 + trial as f64, trial, bracket: 0, rung: 1,
+///                         resource: 3.0, val_loss: r1, test_loss: r1 });
+/// }
+/// let rho = analysis::rung_rank_correlation(&t, 3);
+/// assert_eq!(rho.len(), 1);
+/// assert!((rho[0].2 - 1.0).abs() < 1e-12); // perfectly preserved order
+/// ```
+pub fn rung_rank_correlation(trace: &RunTrace, min_pairs: usize) -> Vec<(usize, usize, f64)> {
+    // First loss per (trial, rung).
+    let mut loss_at: HashMap<(u64, usize), f64> = HashMap::new();
+    let mut max_rung = 0;
+    for e in trace.events() {
+        loss_at.entry((e.trial, e.rung)).or_insert(e.val_loss);
+        max_rung = max_rung.max(e.rung);
+    }
+    let mut out = Vec::new();
+    for rung in 0..max_rung {
+        let mut lows = Vec::new();
+        let mut highs = Vec::new();
+        for (&(trial, r), &loss) in &loss_at {
+            if r == rung {
+                if let Some(&next) = loss_at.get(&(trial, rung + 1)) {
+                    lows.push(loss);
+                    highs.push(next);
+                }
+            }
+        }
+        if lows.len() >= min_pairs {
+            out.push((rung, lows.len(), spearman(&lows, &highs)));
+        }
+    }
+    out.sort_by_key(|&(rung, _, _)| rung);
+    out
+}
+
+/// Fraction of rung-`k` survivors that would *still* be selected using
+/// rung-`k+1` information: the overlap between the top `1/eta` by rung-`k`
+/// loss and the top `1/eta` by rung-`k+1` loss, among trials observed at
+/// both. An empirical view of the paper's mispromotion discussion.
+pub fn promotion_agreement(trace: &RunTrace, rung: usize, eta: f64) -> Option<f64> {
+    let mut loss_at: HashMap<(u64, usize), f64> = HashMap::new();
+    for e in trace.events() {
+        loss_at.entry((e.trial, e.rung)).or_insert(e.val_loss);
+    }
+    let mut pairs: Vec<(f64, f64)> = loss_at
+        .iter()
+        .filter(|&(&(_, r), _)| r == rung)
+        .filter_map(|(&(trial, _), &low)| {
+            loss_at.get(&(trial, rung + 1)).map(|&high| (low, high))
+        })
+        .collect();
+    let k = (pairs.len() as f64 / eta).floor() as usize;
+    if k == 0 {
+        return None;
+    }
+    let top_by = |pairs: &mut Vec<(f64, f64)>, by_second: bool, k: usize| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..pairs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let (xa, xb) = if by_second {
+                (pairs[a].1, pairs[b].1)
+            } else {
+                (pairs[a].0, pairs[b].0)
+            };
+            xa.partial_cmp(&xb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    };
+    let by_low = top_by(&mut pairs, false, k);
+    let by_high = top_by(&mut pairs, true, k);
+    let overlap = by_low.iter().filter(|i| by_high.contains(i)).count();
+    Some(overlap as f64 / k as f64)
+}
+
+// Self-contained Spearman (metrics deliberately has no asha-math
+// dependency; see that crate for the documented reference versions).
+fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &o in &idx[i..=j] {
+            out[o] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        f64::NAN
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(trial: u64, rung: usize, val: f64) -> TraceEvent {
+        TraceEvent {
+            time: trial as f64 + rung as f64 * 100.0,
+            trial,
+            bracket: 0,
+            rung,
+            resource: 3f64.powi(rung as i32),
+            val_loss: val,
+            test_loss: val,
+        }
+    }
+
+    fn two_rung_trace(pairs: &[(f64, f64)]) -> RunTrace {
+        let mut t = RunTrace::new("x");
+        for (i, &(low, _)) in pairs.iter().enumerate() {
+            t.push(ev(i as u64, 0, low));
+        }
+        for (i, &(_, high)) in pairs.iter().enumerate() {
+            t.push(ev(i as u64, 1, high));
+        }
+        t
+    }
+
+    #[test]
+    fn perfect_order_preservation_gives_rho_one() {
+        let t = two_rung_trace(&[(0.1, 0.05), (0.2, 0.15), (0.3, 0.25), (0.4, 0.35)]);
+        let rho = rung_rank_correlation(&t, 2);
+        assert_eq!(rho.len(), 1);
+        assert_eq!(rho[0].0, 0);
+        assert_eq!(rho[0].1, 4);
+        assert!((rho[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_order_gives_rho_minus_one() {
+        let t = two_rung_trace(&[(0.1, 0.9), (0.2, 0.8), (0.3, 0.7), (0.4, 0.6)]);
+        let rho = rung_rank_correlation(&t, 2);
+        assert!((rho[0].2 + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_pairs_filters_thin_rungs() {
+        let t = two_rung_trace(&[(0.1, 0.05), (0.2, 0.15)]);
+        assert!(rung_rank_correlation(&t, 3).is_empty());
+    }
+
+    #[test]
+    fn promotion_agreement_full_and_zero() {
+        // 6 pairs, eta = 3 -> k = 2. Ranks preserved: agreement 1.
+        let t = two_rung_trace(&[
+            (0.1, 0.1),
+            (0.2, 0.2),
+            (0.3, 0.3),
+            (0.4, 0.4),
+            (0.5, 0.5),
+            (0.6, 0.6),
+        ]);
+        assert_eq!(promotion_agreement(&t, 0, 3.0), Some(1.0));
+        // Ranks fully inverted: the top 2 by rung0 are the bottom 2 by rung1.
+        let t = two_rung_trace(&[
+            (0.1, 0.6),
+            (0.2, 0.5),
+            (0.3, 0.4),
+            (0.4, 0.3),
+            (0.5, 0.2),
+            (0.6, 0.1),
+        ]);
+        assert_eq!(promotion_agreement(&t, 0, 3.0), Some(0.0));
+    }
+
+    #[test]
+    fn promotion_agreement_needs_candidates() {
+        let t = two_rung_trace(&[(0.1, 0.1), (0.2, 0.2)]);
+        assert_eq!(promotion_agreement(&t, 0, 3.0), None);
+    }
+}

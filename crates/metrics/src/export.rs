@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Error writing experiment output.
+#[derive(Debug)]
+pub struct CsvError {
+    path: String,
+    source: std::io::Error,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to write csv `{}`: {}", self.path, self.source)
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Write a table of numbers to a CSV file with the given header. The parent
+/// directory is created if needed. Values are written with full `f64`
+/// precision; NaNs become empty cells.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on any I/O failure.
+///
+/// # Examples
+///
+/// ```no_run
+/// asha_metrics::write_csv(
+///     "results/fig3.csv",
+///     &["time", "mean", "q25", "q75"],
+///     &[vec![0.0, 0.9, 0.85, 0.95]],
+/// )?;
+/// # Ok::<(), asha_metrics::CsvError>(())
+/// ```
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> Result<(), CsvError> {
+    let path = path.as_ref();
+    let wrap = |source: std::io::Error| CsvError {
+        path: path.display().to_string(),
+        source,
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(wrap)?;
+        }
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path).map_err(wrap)?);
+    writeln!(out, "{}", header.join(",")).map_err(wrap)?;
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| if v.is_nan() { String::new() } else { format!("{v}") })
+            .collect();
+        writeln!(out, "{}", cells.join(",")).map_err(wrap)?;
+    }
+    out.flush().map_err(wrap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("asha-metrics-test");
+        let path = dir.join("out.csv");
+        write_csv(&path, &["a", "b"], &[vec![1.0, 2.5], vec![f64::NAN, 4.0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2.5");
+        assert_eq!(lines[2], ",4");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_mentions_path() {
+        // Route the path through an existing *file* so directory creation
+        // must fail on any platform.
+        let dir = std::env::temp_dir().join("asha-metrics-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"not a dir").unwrap();
+        let err = write_csv(blocker.join("x.csv"), &["a"], &[]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("x.csv"), "{msg}");
+        assert!(err.source().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,446 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use asha_core::{Decision, Job, Observation, Scheduler, TrialId};
+use asha_metrics::{RunTrace, TraceEvent};
+use asha_surrogate::{BenchmarkModel, TrainingState};
+use rand::Rng;
+
+/// How promotions pay for training already performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumePolicy {
+    /// Trials are checkpointed: a job trains only from the trial's current
+    /// resource to the job's target (Section 3.2's iterative setting). The
+    /// default.
+    #[default]
+    Checkpoint,
+    /// Every job trains from scratch to its target resource — the accounting
+    /// used by Figure 2 and the Appendix A.1 simulated workloads.
+    FromScratch,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of parallel workers.
+    pub workers: usize,
+    /// Simulated-time horizon; events past this time are not processed.
+    pub max_time: f64,
+    /// Safety cap on completed jobs (guards against runaway schedulers).
+    pub max_jobs: usize,
+    /// Straggler noise: job durations are multiplied by `1 + |z|`,
+    /// `z ~ N(0, straggler_std)`. Zero disables stragglers.
+    pub straggler_std: f64,
+    /// Probability that a running job is dropped in any given time unit.
+    pub drop_prob: f64,
+    /// Whether promoted trials resume from checkpoints or retrain.
+    pub resume: ResumePolicy,
+}
+
+impl SimConfig {
+    /// A cluster of `workers` simulated for `max_time` time units, without
+    /// stragglers or drops, with checkpoint resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `max_time <= 0`.
+    pub fn new(workers: usize, max_time: f64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(max_time > 0.0, "horizon must be positive");
+        SimConfig {
+            workers,
+            max_time,
+            max_jobs: 5_000_000,
+            straggler_std: 0.0,
+            drop_prob: 0.0,
+            resume: ResumePolicy::Checkpoint,
+        }
+    }
+
+    /// Enable straggler noise.
+    pub fn with_stragglers(mut self, std: f64) -> Self {
+        assert!(std >= 0.0, "straggler std must be non-negative");
+        self.straggler_std = std;
+        self
+    }
+
+    /// Enable job drops with per-time-unit probability `p`.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the resume policy.
+    pub fn with_resume(mut self, resume: ResumePolicy) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Cap the number of completed jobs.
+    pub fn with_max_jobs(mut self, max_jobs: usize) -> Self {
+        self.max_jobs = max_jobs;
+        self
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Every job completion, in simulated-time order.
+    pub trace: RunTrace,
+    /// Simulated time when the run stopped.
+    pub end_time: f64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Jobs that were dropped (and retried).
+    pub jobs_dropped: usize,
+    /// Whether the scheduler reported [`Decision::Finished`].
+    pub scheduler_finished: bool,
+    /// The configuration with the best validation loss, with that loss and
+    /// its cumulative resource: `(config, val_loss, resource)`.
+    pub best_config: Option<(asha_space::Config, f64, f64)>,
+}
+
+#[derive(Debug)]
+enum Outcome {
+    Completed,
+    Dropped,
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    job: Job,
+    outcome: Outcome,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, seq): BinaryHeap is a max-heap, so reverse.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event cluster simulator. See the crate docs for the model.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: SimConfig,
+}
+
+impl ClusterSim {
+    /// Create a simulator with the given parameters.
+    pub fn new(config: SimConfig) -> Self {
+        ClusterSim { config }
+    }
+
+    /// The simulation parameters.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run `scheduler` against `bench` until the time horizon, the job cap,
+    /// or scheduler completion — whichever comes first. Deterministic given
+    /// the RNG state.
+    pub fn run<S: Scheduler>(
+        &self,
+        mut scheduler: S,
+        bench: &dyn BenchmarkModel,
+        rng: &mut dyn rand::RngCore,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let mut trace = RunTrace::new(scheduler.name());
+        let mut states: HashMap<TrialId, TrainingState> = HashMap::new();
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut retry: VecDeque<Job> = VecDeque::new();
+        let mut free_workers = cfg.workers;
+        let mut now = 0.0;
+        let mut seq = 0u64;
+        let mut jobs_completed = 0usize;
+        let mut jobs_dropped = 0usize;
+        let mut scheduler_finished = false;
+        let mut best_config: Option<(asha_space::Config, f64, f64)> = None;
+
+        loop {
+            // Hand work to free workers: retries first, then the scheduler.
+            while free_workers > 0 && !scheduler_finished {
+                let job = if let Some(job) = retry.pop_front() {
+                    Some(job)
+                } else {
+                    match scheduler.suggest(rng) {
+                        Decision::Run(job) => Some(job),
+                        Decision::Wait => None,
+                        Decision::Finished => {
+                            scheduler_finished = true;
+                            None
+                        }
+                    }
+                };
+                let Some(job) = job else { break };
+                if !states.contains_key(&job.trial) {
+                    // PBT-style inheritance: copy the parent's checkpoint
+                    // (curve state) if the job asks for it.
+                    let state = job
+                        .inherit_from
+                        .and_then(|src| states.get(&src).copied())
+                        .unwrap_or_else(|| bench.init_state(&job.config, rng));
+                    states.insert(job.trial, state);
+                }
+                let state = states.get_mut(&job.trial).expect("state just ensured");
+                let trained_from = match cfg.resume {
+                    ResumePolicy::Checkpoint => state.resource,
+                    ResumePolicy::FromScratch => 0.0,
+                };
+                let delta = (job.resource - trained_from).max(0.0);
+                let mut duration = delta * bench.time_per_unit(&job.config);
+                if cfg.straggler_std > 0.0 {
+                    duration *= 1.0 + asha_math::dist::half_normal(rng, cfg.straggler_std);
+                }
+                // Zero-length jobs (already past target) still take a tick so
+                // the event loop always advances.
+                duration = duration.max(1e-9);
+                let outcome = if cfg.drop_prob > 0.0 {
+                    // Time to drop is geometric per unit time; survive the
+                    // whole duration with probability (1-p)^duration.
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let t_drop = u.ln() / (1.0 - cfg.drop_prob).ln();
+                    if t_drop < duration {
+                        duration = t_drop.max(1e-9);
+                        Outcome::Dropped
+                    } else {
+                        Outcome::Completed
+                    }
+                } else {
+                    Outcome::Completed
+                };
+                seq += 1;
+                heap.push(Event {
+                    time: now + duration,
+                    seq,
+                    job,
+                    outcome,
+                });
+                free_workers -= 1;
+            }
+
+            let Some(event) = heap.pop() else {
+                // No outstanding work: either finished, or a waiting
+                // scheduler that can never be unblocked (drained).
+                break;
+            };
+            if event.time > cfg.max_time {
+                now = cfg.max_time;
+                break;
+            }
+            now = event.time;
+            free_workers += 1;
+
+            match event.outcome {
+                Outcome::Dropped => {
+                    jobs_dropped += 1;
+                    // Work lost; retry from the last checkpoint.
+                    retry.push_back(event.job);
+                }
+                Outcome::Completed => {
+                    jobs_completed += 1;
+                    let job = event.job;
+                    let state = states
+                        .get_mut(&job.trial)
+                        .expect("state created at issue time");
+                    bench.advance(&job.config, state, job.resource, rng);
+                    let val = bench.validation_loss(&job.config, state, rng);
+                    let test = bench.test_loss(&job.config, state);
+                    if best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
+                        best_config = Some((job.config.clone(), val, job.resource));
+                    }
+                    trace.push(TraceEvent {
+                        time: now,
+                        trial: job.trial.0,
+                        bracket: job.bracket,
+                        rung: job.rung,
+                        resource: job.resource,
+                        val_loss: val,
+                        test_loss: test,
+                    });
+                    scheduler.observe(Observation::for_job(&job, val));
+                }
+            }
+
+            if jobs_completed >= cfg.max_jobs {
+                break;
+            }
+        }
+
+        SimResult {
+            trace,
+            end_time: now.min(cfg.max_time),
+            jobs_completed,
+            jobs_dropped,
+            scheduler_finished,
+            best_config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asha_core::{Asha, AshaConfig, RandomSearch, ShaConfig, SyncSha};
+    use asha_surrogate::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn asha_keeps_all_workers_busy() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+        let result =
+            ClusterSim::new(SimConfig::new(25, 100.0)).run(asha, &bench, &mut rng(0));
+        assert!(result.jobs_completed > 100, "{}", result.jobs_completed);
+        assert_eq!(result.jobs_dropped, 0);
+        assert!(!result.scheduler_finished);
+        assert!(result.end_time <= 100.0);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_improving() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+        let result = ClusterSim::new(SimConfig::new(9, 200.0)).run(asha, &bench, &mut rng(1));
+        let events = result.trace.events();
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        // The incumbent's *validation* loss is monotone by construction;
+        // the reported test loss may fluctuate with it.
+        let mut best = f64::INFINITY;
+        let mut updates = 0;
+        for e in events {
+            if e.val_loss < best {
+                best = e.val_loss;
+                updates += 1;
+            }
+        }
+        assert!(updates >= 3, "expected several incumbent updates");
+        assert_eq!(
+            result.trace.incumbent_curve().points().len(),
+            updates,
+            "one curve point per incumbent update"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let run = |seed| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            ClusterSim::new(SimConfig::new(5, 50.0)).run(asha, &bench, &mut rng(seed))
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a.trace, b.trace);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn sync_sha_finishes_and_reports_completion() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let sha = SyncSha::new(bench.space().clone(), ShaConfig::new(16, 16.0, 256.0, 4.0));
+        let result =
+            ClusterSim::new(SimConfig::new(4, 1e6)).run(sha, &bench, &mut rng(2));
+        assert!(result.scheduler_finished);
+        // 16 + 4 + 1 jobs.
+        assert_eq!(result.jobs_completed, 21);
+    }
+
+    #[test]
+    fn drops_are_retried_and_work_still_completes() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let sha = SyncSha::new(bench.space().clone(), ShaConfig::new(16, 16.0, 256.0, 4.0));
+        let result = ClusterSim::new(SimConfig::new(4, 1e7).with_drops(0.02))
+            .run(sha, &bench, &mut rng(3));
+        assert!(result.jobs_dropped > 0, "expected some drops");
+        assert!(result.scheduler_finished, "bracket must still complete");
+        assert_eq!(result.jobs_completed, 21);
+    }
+
+    #[test]
+    fn stragglers_slow_the_clock_but_not_correctness() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let mk = || SyncSha::new(bench.space().clone(), ShaConfig::new(16, 16.0, 256.0, 4.0));
+        let clean = ClusterSim::new(SimConfig::new(4, 1e7)).run(mk(), &bench, &mut rng(4));
+        let slow = ClusterSim::new(SimConfig::new(4, 1e7).with_stragglers(1.5))
+            .run(mk(), &bench, &mut rng(4));
+        assert!(slow.end_time > clean.end_time);
+        assert_eq!(slow.jobs_completed, clean.jobs_completed);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_cheaper_than_scratch() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let mk = || {
+            Asha::new(
+                bench.space().clone(),
+                AshaConfig::new(1.0, 256.0, 4.0).with_max_trials(64),
+            )
+        };
+        let ckpt = ClusterSim::new(SimConfig::new(8, 1e7)).run(mk(), &bench, &mut rng(5));
+        let scratch = ClusterSim::new(
+            SimConfig::new(8, 1e7).with_resume(ResumePolicy::FromScratch),
+        )
+        .run(mk(), &bench, &mut rng(5));
+        assert!(ckpt.scheduler_finished && scratch.scheduler_finished);
+        assert!(
+            scratch.end_time > ckpt.end_time,
+            "scratch {} should exceed checkpoint {}",
+            scratch.end_time,
+            ckpt.end_time
+        );
+    }
+
+    #[test]
+    fn job_cap_stops_runaway() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let rs = RandomSearch::new(bench.space().clone(), 256.0);
+        let result = ClusterSim::new(SimConfig::new(100, 1e12).with_max_jobs(500))
+            .run(rs, &bench, &mut rng(6));
+        assert_eq!(result.jobs_completed, 500);
+    }
+
+    #[test]
+    fn horizon_truncates_cleanly() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let rs = RandomSearch::new(bench.space().clone(), 256.0);
+        let result = ClusterSim::new(SimConfig::new(2, 10.0)).run(rs, &bench, &mut rng(7));
+        assert!(result.trace.events().iter().all(|e| e.time <= 10.0));
+        assert!(result.end_time <= 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = SimConfig::new(0, 1.0);
+    }
+}

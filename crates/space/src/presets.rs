@@ -1,0 +1,172 @@
+//! The search spaces used by the ASHA paper's experiments.
+//!
+//! * [`small_cnn_space`] — Table 1, the "small CNN architecture tuning task"
+//!   used on CIFAR-10 (benchmark 2 of Sections 4.1–4.2) and SVHN
+//!   (Appendix A.2/A.4).
+//! * [`ptb_lstm_space`] — Table 2, the PTB LSTM task of the 500-worker
+//!   comparison against Vizier (Section 4.3).
+//! * [`dropconnect_lstm_space`] — Table 3, the 16-GPU near-state-of-the-art
+//!   LSTM task (Section 4.3.1).
+//! * [`cuda_convnet_space`] — benchmark 1 of Sections 4.1–4.2, the
+//!   cuda-convnet CIFAR-10 model with the search space of Li et al. (2017).
+//! * [`svm_space`] — the kernel-SVM task of the Fabolas comparison
+//!   (Appendix A.2).
+//!
+//! Every function is deterministic and infallible: the bounds are literals
+//! straight out of the paper, validated once in tests.
+
+use crate::param::Scale;
+use crate::space::SearchSpace;
+
+/// Table 1: hyperparameters for the small CNN architecture tuning task.
+///
+/// Ten hyperparameters: batch size, number of convolutional layers, filter
+/// count, three weight-initialization scales, three ℓ2 penalties, and the
+/// initial learning rate.
+pub fn small_cnn_space() -> SearchSpace {
+    SearchSpace::builder()
+        .ordinal("batch_size", &[64.0, 128.0, 256.0, 512.0])
+        .ordinal("n_layers", &[2.0, 3.0, 4.0])
+        .ordinal("n_filters", &[16.0, 32.0, 48.0, 64.0])
+        .continuous("weight_init_std_1", 1e-4, 1e-1, Scale::Log)
+        .continuous("weight_init_std_2", 1e-3, 1.0, Scale::Log)
+        .continuous("weight_init_std_3", 1e-3, 1.0, Scale::Log)
+        .continuous("l2_penalty_1", 1e-5, 1.0, Scale::Log)
+        .continuous("l2_penalty_2", 1e-5, 1.0, Scale::Log)
+        .continuous("l2_penalty_3", 1e-3, 1e2, Scale::Log)
+        .continuous("learning_rate", 1e-5, 1e1, Scale::Log)
+        .build()
+        .expect("literal bounds are valid")
+}
+
+/// Table 2: hyperparameters for the PTB LSTM task (500-worker benchmark).
+///
+/// Per Appendix A.5 all parameters are tuned on a *linear* scale and sampled
+/// uniformly over their ranges — including the learning rate, whose range is
+/// `[10, 100]`.
+pub fn ptb_lstm_space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("learning_rate", 10.0, 100.0, Scale::Linear)
+        .discrete("batch_size", 10, 80)
+        .discrete("time_steps", 10, 80)
+        .discrete("hidden_nodes", 200, 1500)
+        .continuous("decay_rate", 0.01, 0.99, Scale::Linear)
+        .discrete("decay_epochs", 1, 10)
+        .continuous("clip_gradients", 1.0, 10.0, Scale::Linear)
+        .continuous("dropout_probability", 0.1, 1.0, Scale::Linear)
+        .continuous("weight_init_range", 0.001, 1.0, Scale::Log)
+        .build()
+        .expect("literal bounds are valid")
+}
+
+/// Table 3: hyperparameters for the 16-GPU DropConnect LSTM task, a search
+/// space constructed around the configuration of Merity et al. (2018).
+pub fn dropconnect_lstm_space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("learning_rate", 10.0, 100.0, Scale::Log)
+        .continuous("dropout_rnn", 0.15, 0.35, Scale::Linear)
+        .continuous("dropout_input", 0.3, 0.5, Scale::Linear)
+        .continuous("dropout_embedding", 0.05, 0.2, Scale::Linear)
+        .continuous("dropout_output", 0.3, 0.5, Scale::Linear)
+        .continuous("dropout_dropconnect", 0.4, 0.6, Scale::Linear)
+        .continuous("weight_decay", 0.5e-6, 2e-6, Scale::Log)
+        .ordinal("batch_size", &[15.0, 20.0, 25.0])
+        .ordinal("time_steps", &[65.0, 70.0, 75.0])
+        .build()
+        .expect("literal bounds are valid")
+}
+
+/// Benchmark 1 of Sections 4.1–4.2: the cuda-convnet CIFAR-10 model with the
+/// search space of Li et al. (2017) — initial learning rate, the ℓ2 weight
+/// costs of the three convolutional blocks and the fully-connected layer, and
+/// the scale/power of local response normalization.
+pub fn cuda_convnet_space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("learning_rate", 5e-5, 5.0, Scale::Log)
+        .continuous("conv1_l2", 5e-5, 5.0, Scale::Log)
+        .continuous("conv2_l2", 5e-5, 5.0, Scale::Log)
+        .continuous("conv3_l2", 5e-5, 5.0, Scale::Log)
+        .continuous("fc_l2", 5e-3, 500.0, Scale::Log)
+        .continuous("lrn_scale", 5e-6, 5.0, Scale::Log)
+        .continuous("lrn_power", 0.01, 3.0, Scale::Linear)
+        .build()
+        .expect("literal bounds are valid")
+}
+
+/// The kernel-SVM task of the Fabolas comparison (Appendix A.2): RBF-kernel
+/// SVM with regularization `C` and kernel width `gamma`, both log-scale, as
+/// in Klein et al. (2017).
+pub fn svm_space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("c", 2f64.powi(-10), 2f64.powi(10), Scale::Log)
+        .continuous("gamma", 2f64.powi(-10), 2f64.powi(10), Scale::Log)
+        .build()
+        .expect("literal bounds are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_presets_build_and_sample() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for (name, space) in [
+            ("small_cnn", small_cnn_space()),
+            ("ptb_lstm", ptb_lstm_space()),
+            ("dropconnect_lstm", dropconnect_lstm_space()),
+            ("cuda_convnet", cuda_convnet_space()),
+            ("svm", svm_space()),
+        ] {
+            assert!(!space.is_empty(), "{name} space is empty");
+            for _ in 0..20 {
+                let c = space.sample(&mut rng);
+                let u = space.to_unit(&c).expect("sampled config matches space");
+                assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_dimensions() {
+        let s = small_cnn_space();
+        assert_eq!(s.len(), 10);
+        assert!(s.index_of("learning_rate").is_ok());
+        assert!(s.index_of("l2_penalty_3").is_ok());
+    }
+
+    #[test]
+    fn table2_matches_paper_dimensions() {
+        let s = ptb_lstm_space();
+        assert_eq!(s.len(), 9);
+        // The paper's Table 2 gives hidden nodes in [200, 1500].
+        let idx = s.index_of("hidden_nodes").unwrap();
+        match s.spec_at(idx) {
+            crate::ParamSpec::Discrete { low, high } => {
+                assert_eq!((*low, *high), (200, 1500));
+            }
+            other => panic!("expected discrete spec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_dimensions() {
+        let s = dropconnect_lstm_space();
+        assert_eq!(s.len(), 9);
+        assert!(s.index_of("dropout_dropconnect").is_ok());
+    }
+
+    #[test]
+    fn cuda_convnet_learning_rate_range() {
+        let s = cuda_convnet_space();
+        assert_eq!(s.len(), 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = s.sample(&mut rng);
+            let lr = c.float("learning_rate", &s).unwrap();
+            assert!((5e-5..=5.0).contains(&lr));
+        }
+    }
+}

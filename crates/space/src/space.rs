@@ -1,0 +1,478 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Config;
+use crate::error::SpaceError;
+use crate::param::{ParamSpec, Scale};
+
+/// A named hyperparameter: a name plus its domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    spec: ParamSpec,
+}
+
+impl Param {
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's domain.
+    pub fn spec(&self) -> &ParamSpec {
+        &self.spec
+    }
+}
+
+/// An ordered collection of named hyperparameters.
+///
+/// Construct with [`SearchSpace::builder`]. See the crate-level docs for an
+/// example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<Param>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl PartialEq for SearchSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+    }
+}
+
+impl SearchSpace {
+    /// Start building a search space.
+    pub fn builder() -> SearchSpaceBuilder {
+        SearchSpaceBuilder { params: Vec::new() }
+    }
+
+    /// Number of hyperparameters (the dimensionality of the space).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameters in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Iterate over `(name, spec)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamSpec)> {
+        self.params.iter().map(|p| (p.name.as_str(), &p.spec))
+    }
+
+    /// Position of the named parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::UnknownParam`] when no parameter has that name.
+    pub fn index_of(&self, name: &str) -> Result<usize, SpaceError> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Ok(i);
+        }
+        // The name index is `#[serde(skip)]`ped, so a deserialized space
+        // arrives without it; fall back to a linear scan rather than
+        // reporting every parameter unknown.
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .ok_or_else(|| SpaceError::UnknownParam(name.to_owned()))
+    }
+
+    /// The spec at a given position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn spec_at(&self, idx: usize) -> &ParamSpec {
+        &self.params[idx].spec
+    }
+
+    /// Draw a uniformly random configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Config {
+        self.params
+            .iter()
+            .map(|p| p.spec.sample(rng))
+            .collect()
+    }
+
+    /// The configuration at the center of every parameter's domain; useful as
+    /// a deterministic placeholder in tests and examples.
+    pub fn default_config(&self) -> Config {
+        self.params
+            .iter()
+            .map(|p| p.spec.from_unit(0.5))
+            .collect()
+    }
+
+    /// Map a configuration into the unit hypercube `[0, 1]^d`, the
+    /// representation the model-based samplers (TPE, GP-EI) operate on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::ArityMismatch`] if the configuration does not
+    /// have exactly one value per parameter.
+    pub fn to_unit(&self, config: &Config) -> Result<Vec<f64>, SpaceError> {
+        self.check_arity(config)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(config.values())
+            .map(|(p, v)| p.spec.to_unit(v))
+            .collect())
+    }
+
+    /// Map a point in `[0, 1]^d` back to a configuration. Coordinates outside
+    /// `[0, 1]` are clamped; missing trailing coordinates default to `0.5`.
+    pub fn from_unit(&self, unit: &[f64]) -> Config {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.spec.from_unit(unit.get(i).copied().unwrap_or(0.5)))
+            .collect()
+    }
+
+    /// Perturb every value of a configuration the way PBT's explore step
+    /// does; see [`ParamSpec::perturb`]. `frozen` names parameters that must
+    /// not change (the paper freezes architecture-changing hyperparameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::ArityMismatch`] if the configuration does not
+    /// match this space.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        config: &Config,
+        factor: f64,
+        frozen: &[&str],
+        rng: &mut R,
+    ) -> Result<Config, SpaceError> {
+        self.check_arity(config)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(config.values())
+            .map(|(p, v)| {
+                if frozen.contains(&p.name.as_str()) {
+                    v.clone()
+                } else {
+                    p.spec.perturb(v, factor, rng)
+                }
+            })
+            .collect())
+    }
+
+    /// Render a configuration as `name=value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::ArityMismatch`] if the configuration does not
+    /// match this space.
+    pub fn display(&self, config: &Config) -> Result<String, SpaceError> {
+        self.check_arity(config)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(config.values())
+            .map(|(p, v)| format!("{}={}", p.name, p.spec.display_value(v)))
+            .collect::<Vec<_>>()
+            .join(" "))
+    }
+
+    fn check_arity(&self, config: &Config) -> Result<(), SpaceError> {
+        if config.len() != self.params.len() {
+            return Err(SpaceError::ArityMismatch {
+                expected: self.params.len(),
+                found: config.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_name = self
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+    }
+}
+
+impl fmt::Display for SearchSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.params {
+            match &p.spec {
+                ParamSpec::Continuous { low, high, scale } => {
+                    let scale = match scale {
+                        Scale::Linear => "linear",
+                        Scale::Log => "log",
+                    };
+                    writeln!(f, "{:<24} continuous {scale:<7} [{low:.6e}, {high:.6e}]", p.name)?
+                }
+                ParamSpec::Discrete { low, high } => {
+                    writeln!(f, "{:<24} discrete           [{low}, {high}]", p.name)?
+                }
+                ParamSpec::Ordinal { values } => {
+                    let vs: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+                    writeln!(f, "{:<24} choice             {{{}}}", p.name, vs.join(", "))?
+                }
+                ParamSpec::Categorical { labels } => {
+                    writeln!(f, "{:<24} categorical        {{{}}}", p.name, labels.join(", "))?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`SearchSpace`]; see [`SearchSpace::builder`].
+#[derive(Debug, Clone)]
+pub struct SearchSpaceBuilder {
+    params: Vec<Param>,
+}
+
+impl SearchSpaceBuilder {
+    /// Add a continuous parameter on the given scale.
+    pub fn continuous(mut self, name: &str, low: f64, high: f64, scale: Scale) -> Self {
+        self.params.push(Param {
+            name: name.to_owned(),
+            spec: ParamSpec::Continuous { low, high, scale },
+        });
+        self
+    }
+
+    /// Add an integer-range parameter (inclusive bounds).
+    pub fn discrete(mut self, name: &str, low: i64, high: i64) -> Self {
+        self.params.push(Param {
+            name: name.to_owned(),
+            spec: ParamSpec::Discrete { low, high },
+        });
+        self
+    }
+
+    /// Add an ordered numeric choice parameter.
+    pub fn ordinal(mut self, name: &str, values: &[f64]) -> Self {
+        self.params.push(Param {
+            name: name.to_owned(),
+            spec: ParamSpec::Ordinal {
+                values: values.to_vec(),
+            },
+        });
+        self
+    }
+
+    /// Add an unordered categorical parameter.
+    pub fn categorical(mut self, name: &str, labels: &[&str]) -> Self {
+        self.params.push(Param {
+            name: name.to_owned(),
+            spec: ParamSpec::Categorical {
+                labels: labels.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        });
+        self
+    }
+
+    /// Finish building, validating every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::DuplicateName`] for repeated names,
+    /// [`SpaceError::InvalidBounds`] for empty or non-finite ranges (or
+    /// non-positive bounds on log scale), and [`SpaceError::EmptyChoices`]
+    /// for choice parameters with no options.
+    pub fn build(self) -> Result<SearchSpace, SpaceError> {
+        let mut seen = HashMap::new();
+        for (i, p) in self.params.iter().enumerate() {
+            if seen.insert(p.name.clone(), i).is_some() {
+                return Err(SpaceError::DuplicateName(p.name.clone()));
+            }
+            match &p.spec {
+                ParamSpec::Continuous { low, high, scale } => {
+                    if !low.is_finite() || !high.is_finite() || low >= high {
+                        return Err(SpaceError::InvalidBounds {
+                            name: p.name.clone(),
+                            reason: format!("range [{low}, {high}] is empty or non-finite"),
+                        });
+                    }
+                    if *scale == Scale::Log && *low <= 0.0 {
+                        return Err(SpaceError::InvalidBounds {
+                            name: p.name.clone(),
+                            reason: format!("log scale requires positive bounds, got low={low}"),
+                        });
+                    }
+                }
+                ParamSpec::Discrete { low, high } => {
+                    if low > high {
+                        return Err(SpaceError::InvalidBounds {
+                            name: p.name.clone(),
+                            reason: format!("range [{low}, {high}] is empty"),
+                        });
+                    }
+                }
+                ParamSpec::Ordinal { values } => {
+                    if values.is_empty() {
+                        return Err(SpaceError::EmptyChoices(p.name.clone()));
+                    }
+                }
+                ParamSpec::Categorical { labels } => {
+                    if labels.is_empty() {
+                        return Err(SpaceError::EmptyChoices(p.name.clone()));
+                    }
+                }
+            }
+        }
+        let mut space = SearchSpace {
+            params: self.params,
+            by_name: HashMap::new(),
+        };
+        space.rebuild_index();
+        Ok(space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamValue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .continuous("lr", 1e-4, 1.0, Scale::Log)
+            .discrete("layers", 2, 4)
+            .ordinal("batch", &[64.0, 128.0, 256.0])
+            .categorical("act", &["relu", "tanh"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_duplicate_names() {
+        let err = SearchSpace::builder()
+            .discrete("n", 0, 1)
+            .discrete("n", 0, 2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateName("n".into()));
+    }
+
+    #[test]
+    fn builder_validates_bounds() {
+        assert!(matches!(
+            SearchSpace::builder()
+                .continuous("x", 1.0, 0.0, Scale::Linear)
+                .build(),
+            Err(SpaceError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            SearchSpace::builder()
+                .continuous("x", -1.0, 1.0, Scale::Log)
+                .build(),
+            Err(SpaceError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            SearchSpace::builder().discrete("x", 5, 4).build(),
+            Err(SpaceError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            SearchSpace::builder().ordinal("x", &[]).build(),
+            Err(SpaceError::EmptyChoices(_))
+        ));
+    }
+
+    #[test]
+    fn sample_produces_valid_configs() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let c = s.sample(&mut rng);
+            assert_eq!(c.len(), 4);
+            let lr = c.float("lr", &s).unwrap();
+            assert!((1e-4..=1.0).contains(&lr));
+            let layers = c.int("layers", &s).unwrap();
+            assert!((2..=4).contains(&layers));
+            assert!(c.index("batch", &s).unwrap() < 3);
+            assert!(c.index("act", &s).unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn unit_round_trip() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let c = s.sample(&mut rng);
+            let u = s.to_unit(&c).unwrap();
+            assert_eq!(u.len(), 4);
+            assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let c2 = s.from_unit(&u);
+            // Continuous coordinates round-trip approximately; finite ones
+            // exactly.
+            let lr1 = c.float("lr", &s).unwrap();
+            let lr2 = c2.float("lr", &s).unwrap();
+            assert!((lr1.ln() - lr2.ln()).abs() < 1e-9);
+            assert_eq!(c.int("layers", &s), c2.int("layers", &s));
+            assert_eq!(c.index("batch", &s), c2.index("batch", &s));
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let s = space();
+        let c = Config::new(vec![ParamValue::Float(0.1)]);
+        assert!(matches!(
+            s.to_unit(&c),
+            Err(SpaceError::ArityMismatch {
+                expected: 4,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn perturb_respects_frozen_params() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = s.sample(&mut rng);
+        let layers_before = c.int("layers", &s).unwrap();
+        for _ in 0..20 {
+            let p = s.perturb(&c, 1.2, &["layers", "act"], &mut rng).unwrap();
+            assert_eq!(p.int("layers", &s).unwrap(), layers_before);
+            assert_eq!(p.index("act", &s).unwrap(), c.index("act", &s).unwrap());
+        }
+    }
+
+    #[test]
+    fn display_lists_all_params() {
+        let s = space();
+        let c = s.default_config();
+        let text = s.display(&c).unwrap();
+        for name in ["lr", "layers", "batch", "act"] {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+        let spec_text = s.to_string();
+        assert!(spec_text.contains("continuous"));
+        assert!(spec_text.contains("categorical"));
+    }
+
+    #[test]
+    fn default_config_is_deterministic_center() {
+        let s = space();
+        let c1 = s.default_config();
+        let c2 = s.default_config();
+        assert_eq!(c1, c2);
+        // Center of log scale [1e-4, 1] is 1e-2.
+        assert!((c1.float("lr", &s).unwrap() - 1e-2).abs() < 1e-9);
+    }
+}

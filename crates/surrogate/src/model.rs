@@ -1,0 +1,99 @@
+use asha_space::{Config, SearchSpace};
+
+/// The evolving state of one training run.
+///
+/// The state is Markovian *and config-free*: it stores the current loss plus
+/// run-level randomness (weight-init luck, data order, divergence luck), but
+/// no config-derived quantities. [`BenchmarkModel::advance`] recomputes the
+/// target asymptote and rate from the configuration every call, so copying a
+/// state across configurations — exactly what PBT's exploit step does when
+/// it copies weights — behaves correctly: the child resumes from the
+/// parent's loss and converges toward *its own* asymptote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingState {
+    /// Cumulative resource this run has been trained for.
+    pub resource: f64,
+    /// Current (noise-free) training loss.
+    pub loss: f64,
+    /// Run-level additive jitter on the asymptotic loss (weight-init luck).
+    pub asym_jitter: f64,
+    /// Run-level multiplicative jitter on the convergence rate.
+    pub rate_jitter: f64,
+    /// Run-level uniform draw deciding if/when the run diverges.
+    pub divergence_draw: f64,
+    /// Whether the run has diverged.
+    pub diverged: bool,
+}
+
+impl TrainingState {
+    /// A fresh, untrained, jitter-free state (useful in tests; benchmarks
+    /// construct states via [`BenchmarkModel::init_state`]).
+    pub fn fresh(init_loss: f64) -> Self {
+        TrainingState {
+            resource: 0.0,
+            loss: init_loss,
+            asym_jitter: 0.0,
+            rate_jitter: 1.0,
+            divergence_draw: 1.0,
+            diverged: false,
+        }
+    }
+}
+
+/// A tunable benchmark: the substitute for `run_then_return_val_loss` in
+/// Algorithms 1–2.
+///
+/// Implementations must be cheap to evaluate (they are called millions of
+/// times by the simulator) and deterministic given the RNG stream.
+pub trait BenchmarkModel: Send + Sync {
+    /// The hyperparameter search space being tuned.
+    fn space(&self) -> &SearchSpace;
+
+    /// The maximum resource `R` a configuration can be trained for.
+    fn max_resource(&self) -> f64;
+
+    /// Start a new training run of `config`. Run-level randomness (weight
+    /// initialization, data order) is drawn here, so two runs of the same
+    /// configuration differ slightly.
+    fn init_state(&self, config: &Config, rng: &mut dyn rand::RngCore) -> TrainingState;
+
+    /// Train from `state.resource` up to `target_resource` (no-op if the
+    /// state is already past the target).
+    fn advance(
+        &self,
+        config: &Config,
+        state: &mut TrainingState,
+        target_resource: f64,
+        rng: &mut dyn rand::RngCore,
+    );
+
+    /// Validation loss of the current state: the noise-free loss plus
+    /// evaluation noise. This is what schedulers observe.
+    fn validation_loss(
+        &self,
+        config: &Config,
+        state: &TrainingState,
+        rng: &mut dyn rand::RngCore,
+    ) -> f64;
+
+    /// Test loss of the current state: the noise-free loss plus a
+    /// deterministic generalization gap. Experiments report this for the
+    /// incumbent; schedulers never see it.
+    fn test_loss(&self, config: &Config, state: &TrainingState) -> f64;
+
+    /// Wall-clock time to train `config` for one unit of resource,
+    /// excluding straggler noise (the simulator adds that). Deterministic
+    /// per config.
+    fn time_per_unit(&self, config: &Config) -> f64;
+
+    /// Wall-clock time to train `config` from scratch to the full resource
+    /// `R`: `time_per_unit * R`.
+    fn time_full(&self, config: &Config) -> f64 {
+        self.time_per_unit(config) * self.max_resource()
+    }
+
+    /// A short name for experiment output.
+    fn name(&self) -> &str {
+        "benchmark"
+    }
+}

@@ -1,0 +1,358 @@
+//! Surrogate instances of the paper's seven benchmark tasks.
+//!
+//! Each function returns a [`CurveBenchmark`] over the corresponding paper
+//! search space (`asha_space::presets`), with loss ranges, convergence
+//! behaviour, cost structure, and pathologies chosen to match what the
+//! paper reports:
+//!
+//! | Benchmark | Paper section | Loss metric | Key property |
+//! |---|---|---|---|
+//! | [`cifar10_cuda_convnet`] | §4.1–4.2 benchmark 1 | test error ≈ 0.18–0.26 | relatively easy; low cost variance |
+//! | [`cifar10_small_cnn`] | §4.1–4.2 benchmark 2 | test error ≈ 0.20–0.26 | cost mean ≈ 30 min, std ≈ 27 min |
+//! | [`svhn_small_cnn`] | App. A.2/A.4 | test error ≈ 0.02–0.20 | same space as benchmark 2 |
+//! | [`ptb_lstm`] | §4.3 | perplexity ≈ 76+ | divergent configs; losses capped at 1000 |
+//! | [`ptb_dropconnect_lstm`] | §4.3.1 | perplexity ≈ 58.5+ | long training (≈ 600 min per full run) |
+//! | [`svm_vehicle`] | App. A.2 | test error ≈ 0.18–0.45 | resource = training-set size |
+//! | [`svm_mnist`] | App. A.2 | test error ≈ 0.015–0.6 | resource = training-set size |
+//!
+//! The `seed` argument perturbs the *response surface*; experiments use a
+//! fixed seed (conventionally the default of [`DEFAULT_SURFACE_SEED`]) so
+//! that all tuners race on the same landscape, and vary only the tuner RNG
+//! across trials.
+
+use asha_space::presets as spaces;
+
+use crate::curve::{CurveBenchmark, DivergenceSpec};
+
+/// Surface seed used by the paper-reproduction experiments.
+pub const DEFAULT_SURFACE_SEED: u64 = 2020;
+
+/// Benchmark 1 of Sections 4.1–4.2: the cuda-convnet CIFAR-10 model.
+///
+/// "Relatively simple task, i.e. it only required evaluating a few hundred
+/// configurations before identifying a good one" — the surface is smoother
+/// and the cost variance low. `R = 256` resource units correspond to the
+/// paper's 30k SGD iterations; a median full training run takes ≈ 40
+/// simulated minutes.
+pub fn cifar10_cuda_convnet(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("cifar10-cuda-convnet", spaces::cuda_convnet_space(), 256.0, seed ^ 0x11)
+        .losses(0.17, 0.25, 0.65, 1.0)
+        .optimum(&[0.45, 0.4, 0.5, 0.45, 0.35, 0.5, 0.4])
+        .weights(&[3.0, 1.5, 1.0, 1.0, 1.5, 0.8, 0.8])
+        .asymmetric(0, 3.0)
+        // Rugged enough that local perturbation (PBT) gets trapped while
+        // global random sampling plus early stopping does not — the paper
+        // finds SHA-family methods 3x ahead of PBT on this benchmark — and
+        // with a genuine learning-rate cliff: perturbing lr upward across it
+        // blows the run up, which is what real cuda-convnet training does.
+        .shape(4.5, 0.25)
+        .divergence(DivergenceSpec {
+            dim: 0,
+            threshold: 0.62,
+            magnitude: 0.9,
+        })
+        .dynamics(7.0, 1.0)
+        .noise(0.015, 0.012)
+        .gap(0.06)
+        .cost(40.0, &[0.3, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0])
+        .build()
+}
+
+/// Benchmark 2 of Sections 4.1–4.2: the small-CNN architecture tuning task
+/// on CIFAR-10 (Table 1 search space).
+///
+/// The architecture hyperparameters (batch size, layers, filters) drive a
+/// heavy-tailed cost distribution — the paper reports "the average time
+/// required to train a configuration on the maximum resource R is 30
+/// minutes with a standard deviation of 27 minutes", the property that
+/// cripples synchronous SHA in Figure 4.
+pub fn cifar10_small_cnn(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("cifar10-small-cnn", spaces::small_cnn_space(), 256.0, seed ^ 0x22)
+        .losses(0.19, 0.40, 0.90, 1.0)
+        .optimum(&[0.6, 0.7, 0.7, 0.4, 0.45, 0.5, 0.35, 0.4, 0.3, 0.42])
+        .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
+        .asymmetric(9, 3.0)
+        .shape(2.6, 0.15)
+        .dynamics(6.0, 1.2)
+        .noise(0.008, 0.008)
+        .gap(0.06)
+        .cost(
+            25.0,
+            &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        )
+        .build()
+}
+
+/// The SVHN variant of the small-CNN architecture task (Appendices A.2/A.4,
+/// bottom-right panel of Figure 9).
+pub fn svhn_small_cnn(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("svhn-small-cnn", spaces::small_cnn_space(), 256.0, seed ^ 0x33)
+        .losses(0.02, 0.18, 0.85, 1.0)
+        .optimum(&[0.55, 0.65, 0.7, 0.4, 0.45, 0.5, 0.4, 0.4, 0.35, 0.45])
+        .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
+        .asymmetric(9, 3.0)
+        .shape(2.6, 0.12)
+        .dynamics(6.0, 1.2)
+        .noise(0.004, 0.004)
+        .gap(0.06)
+        .cost(
+            35.0,
+            &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        )
+        .build()
+}
+
+/// The 500-worker PTB LSTM task of Section 4.3 (Table 2 search space).
+///
+/// Perplexities of poor configurations are "orders of magnitude larger than
+/// the average case"; following the paper's treatment of Vizier, observed
+/// perplexities are capped at 1000. Time is measured in units of the average
+/// `time(R)` (the x-axis of Figure 5), and `R = 64` resource units so that
+/// `r = R/64 = 1` and asynchronous Hyperband loops brackets `s = 0..=3`.
+pub fn ptb_lstm(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("ptb-lstm", spaces::ptb_lstm_space(), 64.0, seed ^ 0x44)
+        .losses(76.0, 150.0, 300.0, 1000.0)
+        // The best learning rates sit right at the edge of instability
+        // (optimum at 0.48 against a divergence cliff at 0.55): model-based
+        // methods sampling near the optimum keep hitting capped-at-1000
+        // blowups, the failure mode Section 4.3 describes for Vizier, while
+        // ASHA just early-stops them. Quality is driven by a handful of
+        // hyperparameters; LSTM curves converge fast early (≈95% of the
+        // improvement by a quarter of training).
+        .optimum(&[0.48, 0.35, 0.6, 0.75, 0.6, 0.4, 0.5, 0.35, 0.3])
+        .weights(&[2.5, 0.1, 0.1, 2.0, 0.2, 0.1, 0.1, 1.5, 0.2])
+        .asymmetric(0, 2.0)
+        .shape(5.5, 0.08)
+        .dynamics(30.0, 0.3)
+        .rate_quality_coupling(1.2)
+        .noise(0.8, 0.6)
+        .gap(0.02)
+        .divergence(DivergenceSpec {
+            dim: 0,
+            threshold: 0.55,
+            magnitude: 1e6, // clamped to the 1000 cap on observation
+        })
+        .cost(1.0, &[-0.5, -0.4, 0.0, 1.1, 0.0, 0.0, 0.0, 0.0, 0.0])
+        .build()
+}
+
+/// The 16-GPU DropConnect LSTM task of Section 4.3.1 (Table 3 search
+/// space). `R = 256` epochs with `r = 1`; a median full run takes ≈ 600
+/// simulated minutes, matching Figure 6's ≈ 1400-minute x-axis covering
+/// a bit over 2 × `time(R)`.
+pub fn ptb_dropconnect_lstm(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder(
+        "ptb-dropconnect-lstm",
+        spaces::dropconnect_lstm_space(),
+        256.0,
+        seed ^ 0x55,
+    )
+    .losses(58.8, 20.0, 110.0, 1000.0)
+    .optimum(&[0.4, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.6, 0.5])
+    .weights(&[2.5, 1.5, 1.0, 1.0, 1.0, 1.5, 1.2, 0.6, 0.4])
+    .asymmetric(0, 2.5)
+    // Rugged enough that population-local perturbation plateaus above the
+    // floor: the paper's PBT stalls around one perplexity point short of
+    // ASHA's final configuration.
+    .shape(2.4, 0.22)
+    .dynamics(6.0, 0.8)
+    .noise(0.8, 0.5)
+    .gap(0.03)
+    .divergence(DivergenceSpec {
+        dim: 0,
+        threshold: 0.78,
+        magnitude: 1e4,
+    })
+    .cost(600.0, &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -0.3, 0.2])
+    .build()
+}
+
+/// The kernel-SVM task on the `vehicle` dataset (Appendix A.2, Figure 9
+/// top-left). The resource is the number of training points; `R = 64`
+/// subset-size units.
+pub fn svm_vehicle(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("svm-vehicle", spaces::svm_space(), 64.0, seed ^ 0x66)
+        .losses(0.18, 0.30, 0.75, 1.0)
+        .optimum(&[0.6, 0.45])
+        .weights(&[1.5, 2.0])
+        .shape(2.8, 0.12)
+        .dynamics(5.0, 0.8)
+        .noise(0.012, 0.010)
+        .gap(0.08)
+        .cost(40.0, &[0.4, 0.8])
+        .build()
+}
+
+/// The kernel-SVM task on MNIST (Appendix A.2, Figure 9 top-right). Slower
+/// per full evaluation than `vehicle` (more data), with a much larger loss
+/// range.
+pub fn svm_mnist(seed: u64) -> CurveBenchmark {
+    CurveBenchmark::builder("svm-mnist", spaces::svm_space(), 64.0, seed ^ 0x77)
+        .losses(0.015, 0.55, 0.90, 1.0)
+        .optimum(&[0.65, 0.4])
+        .weights(&[1.5, 2.5])
+        .shape(3.0, 0.10)
+        .dynamics(5.0, 0.8)
+        .noise(0.006, 0.005)
+        .gap(0.05)
+        .cost(120.0, &[0.4, 0.8])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BenchmarkModel;
+    use asha_math::stats::{mean, spearman, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all() -> Vec<CurveBenchmark> {
+        vec![
+            cifar10_cuda_convnet(DEFAULT_SURFACE_SEED),
+            cifar10_small_cnn(DEFAULT_SURFACE_SEED),
+            svhn_small_cnn(DEFAULT_SURFACE_SEED),
+            ptb_lstm(DEFAULT_SURFACE_SEED),
+            ptb_dropconnect_lstm(DEFAULT_SURFACE_SEED),
+            svm_vehicle(DEFAULT_SURFACE_SEED),
+            svm_mnist(DEFAULT_SURFACE_SEED),
+        ]
+    }
+
+    #[test]
+    fn every_preset_trains_and_reports_finite_losses() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for b in all() {
+            for _ in 0..20 {
+                let c = b.space().sample(&mut rng);
+                let mut s = b.init_state(&c, &mut rng);
+                b.advance(&c, &mut s, b.max_resource(), &mut rng);
+                let v = b.validation_loss(&c, &s, &mut rng);
+                let t = b.test_loss(&c, &s);
+                assert!(v.is_finite() && t.is_finite(), "{}", b.name());
+                assert!(v >= 0.0 && t >= 0.0, "{}", b.name());
+                assert!(b.time_full(&c) > 0.0, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_preset_preserves_early_final_rank_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for b in all() {
+            let mut early = Vec::new();
+            let mut fin = Vec::new();
+            for _ in 0..150 {
+                let c = b.space().sample(&mut rng);
+                let mut s = b.init_state(&c, &mut rng);
+                b.advance(&c, &mut s, b.max_resource() / 4.0, &mut rng);
+                early.push(s.loss);
+                b.advance(&c, &mut s, b.max_resource(), &mut rng);
+                fin.push(s.loss);
+            }
+            let rho = spearman(&early, &fin);
+            assert!(rho > 0.5, "{}: early/final correlation {rho}", b.name());
+        }
+    }
+
+    #[test]
+    fn benchmark2_cost_distribution_matches_paper() {
+        // Section 4.2: mean 30 min, std 27 min. Accept a generous band —
+        // the point is high relative variance, not the exact numbers.
+        let b = cifar10_small_cnn(DEFAULT_SURFACE_SEED);
+        let mut rng = StdRng::seed_from_u64(2);
+        let times: Vec<f64> = (0..1000)
+            .map(|_| b.time_full(&b.space().sample(&mut rng)))
+            .collect();
+        let m = mean(&times);
+        let s = std_dev(&times);
+        assert!((20.0..45.0).contains(&m), "mean time {m}");
+        assert!(s / m > 0.55, "relative cost spread {s}/{m} too small");
+    }
+
+    #[test]
+    fn benchmark1_cost_variance_is_low() {
+        let b = cifar10_cuda_convnet(DEFAULT_SURFACE_SEED);
+        let mut rng = StdRng::seed_from_u64(3);
+        let times: Vec<f64> = (0..500)
+            .map(|_| b.time_full(&b.space().sample(&mut rng)))
+            .collect();
+        let m = mean(&times);
+        let s = std_dev(&times);
+        assert!(s / m < 0.25, "benchmark 1 cost spread {s}/{m} too large");
+        assert!((30.0..55.0).contains(&m), "mean {m} should be ≈ 40 min");
+    }
+
+    #[test]
+    fn ptb_has_divergent_tail_capped_at_1000() {
+        let b = ptb_lstm(DEFAULT_SURFACE_SEED);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut diverged = 0;
+        let n = 400;
+        for _ in 0..n {
+            let c = b.space().sample(&mut rng);
+            let mut s = b.init_state(&c, &mut rng);
+            b.advance(&c, &mut s, b.max_resource(), &mut rng);
+            let v = b.validation_loss(&c, &s, &mut rng);
+            assert!(v <= 1000.0, "cap violated: {v}");
+            if s.diverged {
+                diverged += 1;
+                assert_eq!(v, 1000.0);
+            }
+        }
+        // Roughly 45% of the lr range is above threshold; of those about
+        // half diverge. Accept a broad band.
+        let frac = diverged as f64 / n as f64;
+        assert!(
+            (0.05..0.5).contains(&frac),
+            "divergence fraction {frac} implausible"
+        );
+    }
+
+    #[test]
+    fn good_configs_exist_near_the_papers_numbers() {
+        // With enough random sampling, the best full-train losses should
+        // approach each benchmark's floor (paper: benchmark 1 below 0.21,
+        // PTB near 80, DropConnect near 60).
+        let mut rng = StdRng::seed_from_u64(5);
+        for (b, target) in [
+            (cifar10_cuda_convnet(DEFAULT_SURFACE_SEED), 0.21),
+            (cifar10_small_cnn(DEFAULT_SURFACE_SEED), 0.23),
+            (ptb_lstm(DEFAULT_SURFACE_SEED), 90.0),
+            (ptb_dropconnect_lstm(DEFAULT_SURFACE_SEED), 62.0),
+        ] {
+            let mut best = f64::INFINITY;
+            for _ in 0..800 {
+                let c = b.space().sample(&mut rng);
+                let mut s = b.init_state(&c, &mut rng);
+                b.advance(&c, &mut s, b.max_resource(), &mut rng);
+                best = best.min(s.loss);
+            }
+            assert!(
+                best <= target,
+                "{}: best random loss {best} above target {target}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_configs_are_usually_mediocre() {
+        // The search must be non-trivial: the median random config should
+        // be clearly worse than the achievable best.
+        let b = cifar10_small_cnn(DEFAULT_SURFACE_SEED);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut losses: Vec<f64> = (0..300)
+            .map(|_| {
+                let c = b.space().sample(&mut rng);
+                let mut s = b.init_state(&c, &mut rng);
+                b.advance(&c, &mut s, b.max_resource(), &mut rng);
+                s.loss
+            })
+            .collect();
+        losses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let best = losses[0];
+        let median = losses[losses.len() / 2];
+        assert!(median - best > 0.05, "median {median} vs best {best}");
+    }
+}

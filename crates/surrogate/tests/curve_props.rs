@@ -1,0 +1,108 @@
+//! Property-based tests of the surrogate learning curves: the invariants
+//! the schedulers rely on must hold for every preset and arbitrary configs,
+//! resources, and advance schedules.
+
+use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_presets() -> Vec<CurveBenchmark> {
+    let s = presets::DEFAULT_SURFACE_SEED;
+    vec![
+        presets::cifar10_cuda_convnet(s),
+        presets::cifar10_small_cnn(s),
+        presets::svhn_small_cnn(s),
+        presets::ptb_lstm(s),
+        presets::ptb_dropconnect_lstm(s),
+        presets::svm_vehicle(s),
+        presets::svm_mnist(s),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn advancing_in_steps_equals_one_shot(
+        bench_idx in 0usize..7,
+        fracs in prop::collection::vec(0.0f64..1.0, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let bench = &all_presets()[bench_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = bench.space().sample(&mut rng);
+        let s0 = bench.init_state(&config, &mut rng);
+        // One shot to the max of the schedule.
+        let target = fracs.iter().copied().fold(0.0f64, f64::max) * bench.max_resource();
+        let mut one = s0;
+        bench.advance(&config, &mut one, target, &mut rng);
+        // Stepwise through the (unordered) schedule.
+        let mut step = s0;
+        for f in &fracs {
+            bench.advance(&config, &mut step, f * bench.max_resource(), &mut rng);
+        }
+        prop_assert!((one.loss - step.loss).abs() < 1e-9,
+            "Markov violation on {}: {} vs {}", bench.name(), one.loss, step.loss);
+        prop_assert_eq!(one.resource, step.resource);
+        prop_assert_eq!(one.diverged, step.diverged);
+    }
+
+    #[test]
+    fn losses_are_monotone_nonincreasing_unless_diverged(
+        bench_idx in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let bench = &all_presets()[bench_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = bench.space().sample(&mut rng);
+        let mut state = bench.init_state(&config, &mut rng);
+        let mut prev = state.loss;
+        let mut was_diverged = state.diverged;
+        for i in 1..=8 {
+            bench.advance(&config, &mut state, bench.max_resource() * i as f64 / 8.0, &mut rng);
+            if !state.diverged {
+                prop_assert!(state.loss <= prev + 1e-9, "{}", bench.name());
+            } else if !was_diverged {
+                // Divergence jumps the loss up, once.
+                was_diverged = true;
+            }
+            prev = state.loss;
+        }
+    }
+
+    #[test]
+    fn evaluation_outputs_are_bounded_and_finite(
+        bench_idx in 0usize..7,
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let bench = &all_presets()[bench_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = bench.space().sample(&mut rng);
+        let mut state = bench.init_state(&config, &mut rng);
+        bench.advance(&config, &mut state, frac * bench.max_resource(), &mut rng);
+        for _ in 0..4 {
+            let v = bench.validation_loss(&config, &state, &mut rng);
+            prop_assert!(v.is_finite() && v >= 0.0, "{}: {v}", bench.name());
+        }
+        let t = bench.test_loss(&config, &state);
+        prop_assert!(t.is_finite() && t >= 0.0);
+        prop_assert!(bench.time_per_unit(&config) > 0.0);
+        prop_assert!(bench.time_full(&config) > 0.0);
+    }
+
+    #[test]
+    fn ground_truth_helpers_are_deterministic(
+        bench_idx in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let bench = &all_presets()[bench_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = bench.space().sample(&mut rng);
+        prop_assert_eq!(bench.asymptote(&config), bench.asymptote(&config));
+        prop_assert_eq!(bench.convergence_rate(&config), bench.convergence_rate(&config));
+        let p = bench.divergence_probability(&config);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

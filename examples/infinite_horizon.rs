@@ -1,0 +1,53 @@
+//! Section 3.3's infinite-horizon ASHA: no maximum resource — the
+//! per-configuration budget grows naturally as configurations keep being
+//! promoted up an unbounded ladder, with no doubling-trick reruns.
+//!
+//! Run with: `cargo run --release --example infinite_horizon`
+
+use asha::core::{Asha, AshaConfig, Decision, Observation, Scheduler};
+use asha::space::{Scale, SearchSpace};
+use rand::SeedableRng;
+
+fn main() {
+    let space = SearchSpace::builder()
+        .continuous("lr", 1e-4, 1.0, Scale::Log)
+        .build()
+        .expect("valid space");
+
+    // Infinite horizon: the `max_resource` in the config is ignored.
+    let mut asha = Asha::new(space.clone(), AshaConfig::new(1.0, f64::INFINITY, 3.0).infinite());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+
+    // Serial execution with a synthetic objective: loss improves with both
+    // configuration quality and training budget.
+    let mut deepest: (usize, f64) = (0, 0.0);
+    for step in 0..3000 {
+        let Decision::Run(job) = asha.suggest(&mut rng) else {
+            unreachable!("infinite-horizon ASHA always has work");
+        };
+        let lr = job.config.float("lr", &space).expect("float param");
+        let quality = (lr.ln() - (-4.0f64)).abs() / 5.0;
+        let loss = quality + 1.0 / (1.0 + job.resource);
+        if job.rung > deepest.0 {
+            deepest = (job.rung, job.resource);
+            println!(
+                "step {step:>5}: first promotion to rung {:>2} (cumulative resource {:>8})",
+                job.rung, job.resource
+            );
+        }
+        asha.observe(Observation::for_job(&job, loss));
+    }
+
+    println!(
+        "\nafter 3000 jobs the ladder reached rung {} (resource {}), with rung sizes:",
+        deepest.0, deepest.1
+    );
+    for (k, rung) in asha.ladder().rungs().iter().enumerate() {
+        println!(
+            "    rung {k:>2}: {:>5} trials ({} promoted)",
+            rung.len(),
+            rung.promoted_count()
+        );
+    }
+    println!("\nEach rung holds ≈ 1/eta of the rung below, indefinitely — no R, no reruns.");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: tune a surrogate CIFAR-10 benchmark with ASHA on a simulated
+//! 25-worker cluster, and inspect the incumbent trajectory.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use asha::core::{Asha, AshaConfig};
+use asha::sim::{ClusterSim, SimConfig};
+use asha::surrogate::{presets, BenchmarkModel};
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Pick a benchmark. Surrogates stand in for real training; swap in
+    //    your own `BenchmarkModel` (or use `asha::exec` for real training).
+    let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+
+    // 2. Configure ASHA exactly as the paper does for this task:
+    //    eta = 4, r = 1, R = 256, s = 0.
+    let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+
+    // 3. Simulate 25 workers for 150 minutes.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let result = ClusterSim::new(SimConfig::new(25, 150.0)).run(asha, &bench, &mut rng);
+
+    println!(
+        "completed {} jobs across {} distinct configurations in 150 simulated minutes",
+        result.jobs_completed,
+        result.trace.distinct_trials()
+    );
+
+    println!("\nincumbent trajectory (validation-selected, test error reported):");
+    let curve = result.trace.incumbent_curve();
+    for &(time, test_error) in curve.points().iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+        println!("  t = {time:7.2} min   test error = {test_error:.4}");
+    }
+
+    let (best_val, best_test) = result.trace.final_best().expect("jobs completed");
+    println!("\nbest: validation {best_val:.4}, test {best_test:.4}");
+    println!(
+        "time to test error <= 0.21: {:?} minutes (the paper's 'about the time to train a single model')",
+        curve.time_to_reach(0.21)
+    );
+}

@@ -1,0 +1,57 @@
+//! # asha — massively parallel hyperparameter tuning
+//!
+//! A from-scratch Rust reproduction of *Li et al., "A System for Massively
+//! Parallel Hyperparameter Tuning" (MLSys 2020)*: the **Asynchronous
+//! Successive Halving Algorithm (ASHA)**, its synchronous relatives, the
+//! baselines the paper compares against, a discrete-event cluster simulator
+//! for the paper's experiments, and a real thread-pool executor for tuning
+//! actual training jobs.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a module of the same name.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`space`] | `asha-space` | search-space DSL + the paper's spaces |
+//! | [`core`] | `asha-core` | ASHA, SHA, Hyperband, async Hyperband, random search |
+//! | [`baselines`] | `asha-baselines` | PBT, BOHB/TPE, Vizier-like, Fabolas-like |
+//! | [`surrogate`] | `asha-surrogate` | synthetic learning-curve benchmarks |
+//! | [`sim`] | `asha-sim` | discrete-event cluster simulator |
+//! | [`exec`] | `asha-exec` | real multi-threaded executor |
+//! | [`metrics`] | `asha-metrics` | traces, incumbent curves, aggregation |
+//! | [`math`] | `asha-math` | GP, KDE, distributions, stats, Cholesky |
+//! | [`ml`] | `asha-ml` | tiny MLP/SGD substrate for real tuning demos |
+//!
+//! # Quickstart
+//!
+//! Tune a surrogate CIFAR-10 benchmark with ASHA on a simulated 25-worker
+//! cluster:
+//!
+//! ```
+//! use asha::core::{Asha, AshaConfig};
+//! use asha::sim::{ClusterSim, SimConfig};
+//! use asha::surrogate::{presets, BenchmarkModel};
+//! use rand::SeedableRng;
+//!
+//! let bench = presets::cifar10_cuda_convnet(2020);
+//! let tuner = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let result = ClusterSim::new(SimConfig::new(25, 150.0)).run(tuner, &bench, &mut rng);
+//! let (best_val, best_test) = result.trace.final_best().expect("jobs completed");
+//! assert!(best_val.is_finite() && best_test.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tune;
+
+pub use asha_baselines as baselines;
+pub use asha_core as core;
+pub use asha_exec as exec;
+pub use asha_math as math;
+pub use asha_metrics as metrics;
+pub use asha_ml as ml;
+pub use asha_sim as sim;
+pub use asha_space as space;
+pub use asha_surrogate as surrogate;

@@ -1,0 +1,437 @@
+//! High-level tuning front end: pick a searcher by name, point it at a
+//! benchmark (simulated) or an objective (real threads), set a budget, run.
+//!
+//! This is the "system" layer over the algorithmic crates: everything it
+//! does can also be done by wiring `asha_core` + `asha_sim`/`asha_exec`
+//! together by hand, but downstream users mostly want exactly this:
+//!
+//! ```
+//! use asha::tune::{Searcher, SimTune};
+//! use asha::surrogate::presets;
+//!
+//! let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+//! let outcome = SimTune::new(&bench)
+//!     .searcher(Searcher::Asha { min_resource: 1.0, reduction_factor: 4.0, stop_rate: 0 })
+//!     .workers(25)
+//!     .horizon(60.0)
+//!     .seed(7)
+//!     .run();
+//! let best = outcome.best.expect("jobs completed");
+//! println!("best validation loss {:.4}: {}", best.val_loss, best.summary);
+//! ```
+
+use asha_baselines::{bohb, Fabolas, FabolasConfig, Pbt, PbtConfig, Vizier, VizierConfig};
+use asha_core::{
+    Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, Scheduler,
+    ShaConfig, SyncSha,
+};
+use asha_metrics::RunTrace;
+use asha_sim::{ClusterSim, ResumePolicy, SimConfig, SimResult};
+use asha_space::{Config, SearchSpace};
+use asha_surrogate::BenchmarkModel;
+use rand::SeedableRng;
+
+/// Searcher selection for the high-level front ends. Each variant carries
+/// only the knobs the paper tunes; everything else uses the paper's
+/// defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Searcher {
+    /// Asynchronous Successive Halving (Algorithm 2).
+    Asha {
+        /// Minimum resource `r`.
+        min_resource: f64,
+        /// Reduction factor `eta`.
+        reduction_factor: f64,
+        /// Early-stopping rate `s`.
+        stop_rate: usize,
+    },
+    /// Synchronous SHA with bracket growing.
+    Sha {
+        /// Base-rung size `n`.
+        num_configs: usize,
+        /// Minimum resource `r`.
+        min_resource: f64,
+        /// Reduction factor `eta`.
+        reduction_factor: f64,
+    },
+    /// Synchronous Hyperband looping over brackets.
+    Hyperband {
+        /// Minimum resource `r`.
+        min_resource: f64,
+        /// Reduction factor `eta`.
+        reduction_factor: f64,
+    },
+    /// Asynchronous Hyperband (Section 3.2).
+    AsyncHyperband {
+        /// Minimum resource `r`.
+        min_resource: f64,
+        /// Reduction factor `eta`.
+        reduction_factor: f64,
+        /// Number of brackets to loop (`s = 0..brackets`).
+        brackets: usize,
+    },
+    /// BOHB: synchronous SHA + TPE sampling.
+    Bohb {
+        /// Base-rung size `n`.
+        num_configs: usize,
+        /// Minimum resource `r`.
+        min_resource: f64,
+        /// Reduction factor `eta`.
+        reduction_factor: f64,
+    },
+    /// Population Based Training (Appendix A.3 settings).
+    Pbt {
+        /// Population size.
+        population: usize,
+        /// Resource between exploit/explore rounds.
+        interval: f64,
+    },
+    /// Vizier-like GP-EI without early stopping.
+    Vizier,
+    /// Fabolas-like cost-aware BO over (config, subset) space.
+    Fabolas,
+    /// Random search at full budget.
+    Random,
+}
+
+impl Searcher {
+    /// The paper's default ASHA settings for a maximum resource `R`:
+    /// `r = R/256` (floored at 1), `eta = 4`, `s = 0`.
+    pub fn default_asha(max_resource: f64) -> Self {
+        Searcher::Asha {
+            min_resource: (max_resource / 256.0).max(1.0),
+            reduction_factor: 4.0,
+            stop_rate: 0,
+        }
+    }
+
+    /// Instantiate a scheduler over `space` with maximum resource `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant's parameters are invalid for `max_resource`
+    /// (same preconditions as the underlying constructors).
+    pub fn build(&self, space: &SearchSpace, max_resource: f64) -> Box<dyn Scheduler> {
+        match *self {
+            Searcher::Asha {
+                min_resource,
+                reduction_factor,
+                stop_rate,
+            } => Box::new(Asha::new(
+                space.clone(),
+                AshaConfig::new(min_resource, max_resource, reduction_factor)
+                    .with_stop_rate(stop_rate),
+            )),
+            Searcher::Sha {
+                num_configs,
+                min_resource,
+                reduction_factor,
+            } => Box::new(SyncSha::new(
+                space.clone(),
+                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor)
+                    .growing(),
+            )),
+            Searcher::Hyperband {
+                min_resource,
+                reduction_factor,
+            } => Box::new(Hyperband::new(
+                space.clone(),
+                HyperbandConfig::new(min_resource, max_resource, reduction_factor),
+            )),
+            Searcher::AsyncHyperband {
+                min_resource,
+                reduction_factor,
+                brackets,
+            } => Box::new(AsyncHyperband::new(
+                space.clone(),
+                HyperbandConfig::new(min_resource, max_resource, reduction_factor)
+                    .with_brackets(brackets),
+            )),
+            Searcher::Bohb {
+                num_configs,
+                min_resource,
+                reduction_factor,
+            } => Box::new(bohb(
+                space.clone(),
+                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor)
+                    .growing(),
+            )),
+            Searcher::Pbt {
+                population,
+                interval,
+            } => Box::new(Pbt::new(
+                space.clone(),
+                PbtConfig::new(population, max_resource, interval).spawning(),
+            )),
+            Searcher::Vizier => Box::new(Vizier::new(space.clone(), VizierConfig::new(max_resource))),
+            Searcher::Fabolas => {
+                Box::new(Fabolas::new(space.clone(), FabolasConfig::new(max_resource)))
+            }
+            Searcher::Random => Box::new(RandomSearch::new(space.clone(), max_resource)),
+        }
+    }
+
+    /// Parse a searcher from its CLI name (`asha`, `sha`, `hyperband`,
+    /// `async-hyperband`, `bohb`, `pbt`, `vizier`, `fabolas`, `random`),
+    /// using paper defaults scaled to `max_resource`.
+    pub fn from_name(name: &str, max_resource: f64) -> Option<Self> {
+        let r = (max_resource / 256.0).max(1.0);
+        let n = (max_resource / r).round() as usize;
+        Some(match name {
+            "asha" => Searcher::default_asha(max_resource),
+            "sha" => Searcher::Sha {
+                num_configs: n,
+                min_resource: r,
+                reduction_factor: 4.0,
+            },
+            "hyperband" => Searcher::Hyperband {
+                min_resource: r,
+                reduction_factor: 4.0,
+            },
+            "async-hyperband" => Searcher::AsyncHyperband {
+                min_resource: r,
+                reduction_factor: 4.0,
+                brackets: 4,
+            },
+            "bohb" => Searcher::Bohb {
+                num_configs: n,
+                min_resource: r,
+                reduction_factor: 4.0,
+            },
+            "pbt" => Searcher::Pbt {
+                population: 25,
+                interval: (max_resource / 30.0).max(1.0),
+            },
+            "vizier" => Searcher::Vizier,
+            "fabolas" => Searcher::Fabolas,
+            "random" => Searcher::Random,
+            _ => return None,
+        })
+    }
+}
+
+/// The best configuration a tuning run found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestConfig {
+    /// The winning hyperparameter configuration.
+    pub config: Config,
+    /// Its validation loss.
+    pub val_loss: f64,
+    /// The cumulative resource it was trained for when observed.
+    pub resource: f64,
+    /// `name=value` rendering of the configuration.
+    pub summary: String,
+}
+
+/// Outcome of a [`SimTune`] run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The best configuration found, if any job completed.
+    pub best: Option<BestConfig>,
+    /// The full completion trace.
+    pub trace: RunTrace,
+    /// Jobs completed / dropped.
+    pub jobs_completed: usize,
+    /// Jobs dropped (and retried) by the simulated cluster.
+    pub jobs_dropped: usize,
+    /// Distinct configurations evaluated.
+    pub configs_evaluated: usize,
+    /// Simulated end time.
+    pub end_time: f64,
+}
+
+impl TuneOutcome {
+    fn from_sim(result: SimResult, space: &SearchSpace) -> Self {
+        let configs_evaluated = result.trace.distinct_trials();
+        let best = result.best_config.map(|(config, val_loss, resource)| {
+            let summary = space
+                .display(&config)
+                .unwrap_or_else(|_| "<foreign config>".to_owned());
+            BestConfig {
+                config,
+                val_loss,
+                resource,
+                summary,
+            }
+        });
+        TuneOutcome {
+            best,
+            trace: result.trace,
+            jobs_completed: result.jobs_completed,
+            jobs_dropped: result.jobs_dropped,
+            configs_evaluated,
+            end_time: result.end_time,
+        }
+    }
+}
+
+/// Builder for a simulated tuning run over a [`BenchmarkModel`]; see the
+/// module docs for an example.
+pub struct SimTune<'a> {
+    bench: &'a dyn BenchmarkModel,
+    searcher: Searcher,
+    workers: usize,
+    horizon: f64,
+    straggler_std: f64,
+    drop_prob: f64,
+    resume: ResumePolicy,
+    seed: u64,
+}
+
+impl<'a> SimTune<'a> {
+    /// Tune `bench` with the paper-default ASHA on 25 workers for 10 full
+    /// training times; override anything via the builder methods.
+    pub fn new(bench: &'a dyn BenchmarkModel) -> Self {
+        let horizon = bench.time_full(&bench.space().default_config()) * 10.0;
+        SimTune {
+            searcher: Searcher::default_asha(bench.max_resource()),
+            bench,
+            workers: 25,
+            horizon,
+            straggler_std: 0.0,
+            drop_prob: 0.0,
+            resume: ResumePolicy::Checkpoint,
+            seed: 0,
+        }
+    }
+
+    /// Select the searcher.
+    pub fn searcher(mut self, searcher: Searcher) -> Self {
+        self.searcher = searcher;
+        self
+    }
+
+    /// Number of simulated workers.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Simulated-time budget.
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Straggler noise (Appendix A.1's `1 + |z|` multiplier).
+    pub fn stragglers(mut self, std: f64) -> Self {
+        self.straggler_std = std;
+        self
+    }
+
+    /// Per-time-unit job-drop probability.
+    pub fn drops(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Resume policy for promotions.
+    pub fn resume(mut self, resume: ResumePolicy) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// RNG seed (sampling, noise, stragglers).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the searcher parameters are invalid for the benchmark's
+    /// resource scale, or `workers == 0` / `horizon <= 0`.
+    pub fn run(self) -> TuneOutcome {
+        let space = self.bench.space().clone();
+        let scheduler = self.searcher.build(&space, self.bench.max_resource());
+        let sim = ClusterSim::new(
+            SimConfig::new(self.workers, self.horizon)
+                .with_stragglers(self.straggler_std)
+                .with_drops(self.drop_prob)
+                .with_resume(self.resume),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        TuneOutcome::from_sim(sim.run(scheduler, self.bench, &mut rng), &space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asha_surrogate::presets;
+
+    #[test]
+    fn every_named_searcher_builds_and_runs() {
+        let bench = presets::svm_vehicle(presets::DEFAULT_SURFACE_SEED);
+        for name in [
+            "asha",
+            "sha",
+            "hyperband",
+            "async-hyperband",
+            "bohb",
+            "pbt",
+            "vizier",
+            "fabolas",
+            "random",
+        ] {
+            let searcher =
+                Searcher::from_name(name, bench.max_resource()).expect("known name");
+            let outcome = SimTune::new(&bench)
+                .searcher(searcher)
+                .workers(4)
+                .horizon(120.0)
+                .seed(1)
+                .run();
+            assert!(outcome.jobs_completed > 0, "{name} did nothing");
+            let best = outcome.best.expect("at least one completion");
+            assert!(best.val_loss.is_finite());
+            assert!(best.summary.contains('='), "summary: {}", best.summary);
+        }
+        assert!(Searcher::from_name("nope", 64.0).is_none());
+    }
+
+    #[test]
+    fn default_asha_matches_paper_settings() {
+        match Searcher::default_asha(256.0) {
+            Searcher::Asha {
+                min_resource,
+                reduction_factor,
+                stop_rate,
+            } => {
+                assert_eq!(min_resource, 1.0);
+                assert_eq!(reduction_factor, 4.0);
+                assert_eq!(stop_rate, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_reports_the_best_config_consistently() {
+        let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+        let outcome = SimTune::new(&bench).workers(9).horizon(100.0).seed(3).run();
+        let best = outcome.best.expect("jobs completed");
+        // The reported best must agree with the trace's final best.
+        let (trace_val, _) = outcome.trace.final_best().expect("events exist");
+        assert_eq!(best.val_loss, trace_val);
+        assert!(best.resource > 0.0);
+        assert!(outcome.configs_evaluated > 10);
+    }
+
+    #[test]
+    fn stragglers_and_drops_are_plumbed_through() {
+        let bench = presets::svm_vehicle(presets::DEFAULT_SURFACE_SEED);
+        let clean = SimTune::new(&bench).workers(4).horizon(300.0).seed(5).run();
+        let noisy = SimTune::new(&bench)
+            .workers(4)
+            .horizon(300.0)
+            .stragglers(1.0)
+            .drops(5e-3)
+            .seed(5)
+            .run();
+        assert!(noisy.jobs_dropped > 0);
+        assert!(noisy.jobs_completed < clean.jobs_completed);
+    }
+}

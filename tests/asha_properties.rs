@@ -1,0 +1,173 @@
+//! Property-based tests of the scheduling core: ASHA's invariants must hold
+//! under arbitrary interleavings of suggestions, completions, stragglers,
+//! and losses — exactly the asynchrony the algorithm is designed for.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use asha::core::{Asha, AshaConfig, Decision, Job, Observation, Scheduler};
+use asha::space::{Scale, SearchSpace};
+use proptest::prelude::*;
+
+fn space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("x", 0.0, 1.0, Scale::Linear)
+        .build()
+        .expect("valid space")
+}
+
+/// Drive ASHA with a random interleaving: at each step either ask for a job
+/// (if below the worker cap) or complete a random outstanding job with a
+/// random loss. Returns everything needed to check invariants.
+fn drive(
+    steps: &[(bool, u8, u16)],
+    workers: usize,
+    eta: f64,
+    max_r: f64,
+) -> (Vec<Job>, HashMap<(u64, usize), f64>) {
+    let mut asha = Asha::new(space(), AshaConfig::new(1.0, max_r, eta));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    use rand::SeedableRng as _;
+    let mut outstanding: VecDeque<Job> = VecDeque::new();
+    let mut issued = Vec::new();
+    let mut observed = HashMap::new();
+    for &(ask, pick, loss) in steps {
+        if ask && outstanding.len() < workers {
+            if let Decision::Run(job) = asha.suggest(&mut rng) {
+                issued.push(job.clone());
+                outstanding.push_back(job);
+            }
+        } else if !outstanding.is_empty() {
+            let idx = pick as usize % outstanding.len();
+            let job = outstanding.remove(idx).expect("index in range");
+            let loss = loss as f64 / 16.0;
+            observed.insert((job.trial.0, job.rung), loss);
+            asha.observe(Observation::for_job(&job, loss));
+        }
+    }
+    (issued, observed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn asha_invariants_under_arbitrary_interleavings(
+        steps in prop::collection::vec((any::<bool>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..32,
+    ) {
+        let eta = 3.0;
+        let max_r = 27.0;
+        let (issued, _observed) = drive(&steps, workers, eta, max_r);
+
+        // 1. No (trial, rung) pair is ever issued twice.
+        let mut seen = HashSet::new();
+        for job in &issued {
+            prop_assert!(
+                seen.insert((job.trial.0, job.rung)),
+                "duplicate issue of trial {} rung {}", job.trial.0, job.rung
+            );
+        }
+
+        // 2. Resources follow the geometric rung schedule and never exceed R.
+        for job in &issued {
+            let expected = (1.0 * eta.powi(job.rung as i32)).min(max_r);
+            prop_assert_eq!(job.resource, expected);
+        }
+
+        // 3. A trial appears at rung k+1 only after appearing at rung k.
+        let mut rungs_of: HashMap<u64, Vec<usize>> = HashMap::new();
+        for job in &issued {
+            rungs_of.entry(job.trial.0).or_default().push(job.rung);
+        }
+        for (trial, rungs) in &rungs_of {
+            for (i, &r) in rungs.iter().enumerate() {
+                prop_assert_eq!(
+                    r, i,
+                    "trial {} visited rungs {:?} out of order", trial, rungs
+                );
+            }
+        }
+
+        // 4. Plain ASHA never issues jobs beyond the top rung.
+        let top = 3; // log_3(27)
+        prop_assert!(issued.iter().all(|j| j.rung <= top));
+    }
+
+    #[test]
+    fn promotions_only_take_top_fraction_candidates(
+        losses in prop::collection::vec(0u16..1000, 30..300),
+    ) {
+        // The exact Algorithm 2 invariant: whenever a trial is promoted out
+        // of rung k, it is at that moment among the top floor(|rung k|/eta)
+        // of rung k by loss.
+        let eta = 3.0;
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 27.0, eta));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::SeedableRng as _;
+        for &loss in &losses {
+            // Snapshot rung contents before suggesting.
+            let tops: Vec<Vec<u64>> = asha
+                .ladder()
+                .rungs()
+                .iter()
+                .map(|r| {
+                    let k = (r.len() as f64 / eta).floor() as usize;
+                    r.top_k(k).into_iter().map(|(t, _)| t.0).collect()
+                })
+                .collect();
+            let job = match asha.suggest(&mut rng) {
+                Decision::Run(job) => job,
+                other => { prop_assert!(false, "unexpected {other:?}"); unreachable!() }
+            };
+            if job.rung > 0 {
+                let from = job.rung - 1;
+                prop_assert!(
+                    tops[from].contains(&job.trial.0),
+                    "promoted trial {} was not in the top 1/eta of rung {from}",
+                    job.trial.0
+                );
+            }
+            asha.observe(Observation::for_job(&job, loss as f64));
+        }
+        // And mispromotion *count* stays sane: promoted out of rung 0 is at
+        // most len/eta plus a sqrt(len)-scale excess (the paper's Section
+        // 3.3 law-of-large-numbers argument).
+        let rung0 = &asha.ladder().rungs()[0];
+        let bound = rung0.len() as f64 / eta + 2.5 * (rung0.len() as f64).sqrt() + 2.0;
+        prop_assert!(
+            (rung0.promoted_count() as f64) <= bound,
+            "rung0 promoted {} of {} (bound {bound})",
+            rung0.promoted_count(),
+            rung0.len()
+        );
+    }
+
+    #[test]
+    fn rung_sizes_form_a_geometric_pyramid(
+        losses in prop::collection::vec(0u16..1000, 100..400),
+    ) {
+        // After a serial run, each rung holds roughly 1/eta of the rung
+        // below (Figure 2's "simple rule").
+        let eta = 3.0;
+        let mut asha = Asha::new(space(), AshaConfig::new(1.0, 27.0, eta));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use rand::SeedableRng as _;
+        for &loss in &losses {
+            if let Decision::Run(job) = asha.suggest(&mut rng) {
+                asha.observe(Observation::for_job(&job, loss as f64));
+            }
+        }
+        let rungs = asha.ladder().rungs();
+        for k in 1..rungs.len() {
+            let below = rungs[k - 1].len() as f64;
+            let here = rungs[k].len() as f64;
+            // Each rung holds ~1/eta of the rung below; late record-breaking
+            // arrivals can promote past the quota (and cascade), but only
+            // by a sqrt-scale excess (Section 3.3's argument).
+            prop_assert!(
+                here <= below / eta + 2.5 * below.sqrt() + 2.0,
+                "rung {k} has {here} with {below} below"
+            );
+        }
+    }
+}
