@@ -161,8 +161,7 @@ impl Scheduler for Fabolas {
         let dims = self.space.len();
         // Warmup: random configs cycling through the subset fractions.
         if self.observations.len() < self.config.warmup {
-            let frac = self.config.fractions
-                [self.suggestions % self.config.fractions.len()];
+            let frac = self.config.fractions[self.suggestions % self.config.fractions.len()];
             let config = self.space.sample(rng);
             let resource = frac * self.config.max_resource;
             return Decision::Run(self.make_job(config, resource));

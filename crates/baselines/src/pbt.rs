@@ -181,9 +181,7 @@ impl Pbt {
         pop.iter()
             .enumerate()
             .filter(|(_, m)| {
-                !m.pending
-                    && !m.done
-                    && m.resource - min_active < self.config.max_lag - 1e-9
+                !m.pending && !m.done && m.resource - min_active < self.config.max_lag - 1e-9
             })
             .min_by(|a, b| {
                 a.1.resource
@@ -261,11 +259,7 @@ impl Pbt {
     }
 
     fn all_done(&self) -> bool {
-        !self.populations.is_empty()
-            && self
-                .populations
-                .iter()
-                .all(|p| p.iter().all(|m| m.done))
+        !self.populations.is_empty() && self.populations.iter().all(|p| p.iter().all(|m| m.done))
     }
 }
 

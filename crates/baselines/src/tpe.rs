@@ -146,10 +146,10 @@ impl ConfigSampler for TpeSampler {
         // A config from a foreign space cannot be embedded; drop it rather
         // than corrupting the model.
         if let Ok(u) = self.space.to_unit(config) {
-            self.by_rung.entry(rung).or_default().push((
-                u,
-                if loss.is_nan() { f64::INFINITY } else { loss },
-            ));
+            self.by_rung
+                .entry(rung)
+                .or_default()
+                .push((u, if loss.is_nan() { f64::INFINITY } else { loss }));
         }
     }
 

@@ -238,7 +238,10 @@ mod tests {
             v.observe(Observation::for_job(&job, loss));
         }
         let mean_dist = dists.iter().sum::<f64>() / dists.len() as f64;
-        assert!(mean_dist < 0.30, "mean distance {mean_dist} (uniform ≈ 0.48)");
+        assert!(
+            mean_dist < 0.30,
+            "mean distance {mean_dist} (uniform ≈ 0.48)"
+        );
     }
 
     #[test]
@@ -263,9 +266,9 @@ mod tests {
         // Not all identical.
         let first = &batch[0];
         assert!(
-            batch.iter().any(|u| {
-                (u[0] - first[0]).abs() > 1e-3 || (u[1] - first[1]).abs() > 1e-3
-            }),
+            batch
+                .iter()
+                .any(|u| { (u[0] - first[0]).abs() > 1e-3 || (u[1] - first[1]).abs() > 1e-3 }),
             "batch collapsed to a single point"
         );
     }

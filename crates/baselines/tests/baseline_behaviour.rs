@@ -30,8 +30,8 @@ fn drive_tail<S: Scheduler>(
         match scheduler.suggest(&mut rng) {
             Decision::Run(job) => {
                 let u = s.to_unit(&job.config).expect("config from space");
-                let loss = (u[0] - 0.7).powi(2) + (u[1] - 0.2).powi(2)
-                    + 0.3 * (1.0 - job.resource / 64.0);
+                let loss =
+                    (u[0] - 0.7).powi(2) + (u[1] - 0.2).powi(2) + 0.3 * (1.0 - job.resource / 64.0);
                 if !full_resource_only || job.resource == 64.0 {
                     proposals.push(u);
                 }

@@ -55,7 +55,10 @@ fn bench_sync_sha_round_trip(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         let mut i = 0u64;
         b.iter(|| {
-            let job = sha.suggest(&mut rng).job().expect("growing sha always runs");
+            let job = sha
+                .suggest(&mut rng)
+                .job()
+                .expect("growing sha always runs");
             sha.observe(Observation::for_job(&job, (i % 997) as f64));
             i += 1;
         });

@@ -55,10 +55,7 @@ fn main() {
     let ckpt = run_experiment(&bench, &methods, &ckpt_cfg);
     let scratch = run_experiment(&bench, &methods, &scratch_cfg);
     println!("\n== Ablation 2 — resume policy (benchmark 2, 25 workers) ==");
-    println!(
-        "{:>22} {:>14} {:>14}",
-        "", "checkpoint", "from-scratch"
-    );
+    println!("{:>22} {:>14} {:>14}", "", "checkpoint", "from-scratch");
     println!(
         "{:>22} {:>14.4} {:>14.4}",
         "final mean test error",
@@ -116,7 +113,10 @@ fn main() {
         let by_any = result.trace.incumbent_curve();
         let final_only = result.trace.incumbent_curve_final_only(R);
         println!("\n== Ablation 5 — incumbent accounting (Section 3.3) ==");
-        println!("{:>8} {:>22} {:>22}", "time", "intermediate losses", "final-rung only");
+        println!(
+            "{:>8} {:>22} {:>22}",
+            "time", "intermediate losses", "final-rung only"
+        );
         for t in [15.0, 30.0, 60.0, 100.0, 150.0] {
             println!(
                 "{t:>8.0} {:>22.4} {:>22.4}",

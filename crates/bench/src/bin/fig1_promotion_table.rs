@@ -24,7 +24,10 @@ fn print_bracket(n: usize, r: f64, max_r: f64, eta: f64, s: usize) {
 
 fn main() {
     println!("Figure 1 (right): promotion scheme for n=9, r=1, R=9, eta=3");
-    println!("{:>8} {:>6} {:>6} {:>10} {:>14}", "bracket", "rung", "n_i", "r_i", "budget");
+    println!(
+        "{:>8} {:>6} {:>6} {:>10} {:>14}",
+        "bracket", "rung", "n_i", "r_i", "budget"
+    );
     for s in 0..=2 {
         print_bracket(9, 1.0, 9.0, 3.0, s);
     }
@@ -50,6 +53,9 @@ fn main() {
     }
 
     println!("\nSections 4.1-4.2 scale: promotion scheme for n=256, r=1, R=256, eta=4");
-    println!("{:>8} {:>6} {:>6} {:>10} {:>14}", "bracket", "rung", "n_i", "r_i", "budget");
+    println!(
+        "{:>8} {:>6} {:>6} {:>10} {:>14}",
+        "bracket", "rung", "n_i", "r_i", "budget"
+    );
     print_bracket(256, 1.0, 256.0, 4.0, 0);
 }

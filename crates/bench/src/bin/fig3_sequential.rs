@@ -7,8 +7,13 @@
 //! population 25 with explore/exploit every 1000 iterations (≈ R/30).
 
 use asha_baselines::{bohb, Pbt, PbtConfig};
-use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
-use asha_core::{Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha};
+use asha_bench::{
+    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
+    MethodSpec,
+};
+use asha_core::{
+    Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha,
+};
 use asha_space::SearchSpace;
 use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
 
@@ -66,7 +71,10 @@ fn run(bench: &CurveBenchmark, default_loss: f64, threshold: f64, stem: &str) {
     let cfg = ExperimentConfig::new(1, 2500.0, 10, default_loss);
     let results = run_experiment(bench, &methods(bench.space()), &cfg);
     print_comparison(
-        &format!("Figure 3 — {} (1 worker, mean of 10 trials, test error)", bench.name()),
+        &format!(
+            "Figure 3 — {} (1 worker, mean of 10 trials, test error)",
+            bench.name()
+        ),
         &results,
         &[250.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0],
     );

@@ -9,7 +9,10 @@
 //! synchronous methods behind stragglers.
 
 use asha_baselines::{bohb, Pbt, PbtConfig};
-use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
+use asha_bench::{
+    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
+    MethodSpec,
+};
 use asha_core::{Asha, AshaConfig, ShaConfig, SyncSha};
 use asha_space::SearchSpace;
 use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};

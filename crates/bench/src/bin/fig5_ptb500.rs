@@ -8,7 +8,10 @@
 //! benchmark's divergent tail is what hurts the model-based baseline.
 
 use asha_baselines::{Vizier, VizierConfig};
-use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
+use asha_bench::{
+    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
+    MethodSpec,
+};
 use asha_core::{Asha, AshaConfig, AsyncHyperband, HyperbandConfig};
 use asha_surrogate::{presets, BenchmarkModel};
 

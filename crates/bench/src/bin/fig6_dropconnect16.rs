@@ -5,7 +5,10 @@
 //! PBT with population 20 and explore/exploit every 8 epochs.
 
 use asha_baselines::{Pbt, PbtConfig};
-use asha_bench::{print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig, MethodSpec};
+use asha_bench::{
+    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
+    MethodSpec,
+};
 use asha_core::{Asha, AshaConfig};
 use asha_surrogate::{presets, BenchmarkModel};
 

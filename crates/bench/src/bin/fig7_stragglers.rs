@@ -12,8 +12,8 @@ use asha_core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
 use asha_metrics::write_csv;
 use asha_sim::{ClusterSim, ResumePolicy, SimConfig};
 use asha_space::{Scale, SearchSpace};
-use asha_surrogate::CurveBenchmark;
 use asha_surrogate::BenchmarkModel;
+use asha_surrogate::CurveBenchmark;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -88,7 +88,12 @@ fn main() {
     }
     if let Err(e) = write_csv(
         "results/fig7_stragglers.csv",
-        &["train_std", "drop_prob", "asha_configs_at_r", "sha_configs_at_r"],
+        &[
+            "train_std",
+            "drop_prob",
+            "asha_configs_at_r",
+            "sha_configs_at_r",
+        ],
         &rows,
     ) {
         eprintln!("warning: {e}");

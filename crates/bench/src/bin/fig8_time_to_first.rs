@@ -83,7 +83,12 @@ fn main() {
     }
     if let Err(e) = write_csv(
         "results/fig8_time_to_first.csv",
-        &["train_std", "drop_prob", "asha_first_time", "sha_first_time"],
+        &[
+            "train_std",
+            "drop_prob",
+            "asha_first_time",
+            "sha_first_time",
+        ],
         &rows,
     ) {
         eprintln!("warning: {e}");

@@ -34,7 +34,10 @@ fn run_task(bench: &CurveBenchmark, horizon: f64, default_loss: f64, stem: &str)
     let mut by_bracket = Vec::new();
     for t in 0..TRIALS {
         let mut rng = StdRng::seed_from_u64(100 + t as u64);
-        let hb = Hyperband::new(space.clone(), HyperbandConfig::new(max_r / 64.0, max_r, ETA));
+        let hb = Hyperband::new(
+            space.clone(),
+            HyperbandConfig::new(max_r / 64.0, max_r, ETA),
+        );
         let result = ClusterSim::new(SimConfig::new(1, horizon)).run(hb, bench, &mut rng);
         by_rung.push(result.trace.incumbent_curve());
         by_bracket.push(result.trace.incumbent_curve_by_bracket());

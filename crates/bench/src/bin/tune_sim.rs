@@ -44,7 +44,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(bench_name) = parse_flag(&args, "--bench") else {
         eprintln!("usage: tune_sim --bench <name> [--searcher asha] [--workers 25] ...");
-        eprintln!("benchmarks: cuda-convnet small-cnn svhn ptb-lstm dropconnect svm-vehicle svm-mnist");
+        eprintln!(
+            "benchmarks: cuda-convnet small-cnn svhn ptb-lstm dropconnect svm-vehicle svm-mnist"
+        );
         std::process::exit(2);
     };
     let Some(bench) = benchmark_by_name(&bench_name) else {
@@ -87,7 +89,10 @@ fn main() {
 
     println!(
         "\ncompleted {} jobs over {} configurations ({} dropped), sim time {:.1}",
-        outcome.jobs_completed, outcome.configs_evaluated, outcome.jobs_dropped, outcome.end_time
+        outcome.jobs_completed,
+        outcome.configs_evaluated,
+        outcome.faults.jobs_dropped,
+        outcome.end_time
     );
     match &outcome.best {
         Some(best) => {
@@ -103,7 +108,15 @@ fn main() {
     }
     println!("\nincumbent trajectory (last 5 improvements):");
     let curve = outcome.trace.incumbent_curve();
-    for &(t, v) in curve.points().iter().rev().take(5).collect::<Vec<_>>().iter().rev() {
+    for &(t, v) in curve
+        .points()
+        .iter()
+        .rev()
+        .take(5)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("    t = {t:9.2}   test loss = {v:.4}");
     }
 }

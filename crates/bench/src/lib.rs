@@ -102,10 +102,8 @@ pub fn run_experiment(
             for t in 0..cfg.trials {
                 let mut rng = StdRng::seed_from_u64(cfg.base_seed + t as u64);
                 let scheduler = (m.factory)();
-                let sim = ClusterSim::new((cfg.sim_tweak)(SimConfig::new(
-                    cfg.workers,
-                    cfg.horizon,
-                )));
+                let sim =
+                    ClusterSim::new((cfg.sim_tweak)(SimConfig::new(cfg.workers, cfg.horizon)));
                 let result = sim.run(scheduler, bench, &mut rng);
                 jobs += result.jobs_completed;
                 configs += result.trace.distinct_trials();
@@ -191,14 +189,18 @@ pub fn write_results(file_stem: &str, results: &[MethodResult]) {
         let slug: String = r
             .name
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = format!("results/{file_stem}_{slug}.csv");
-        if let Err(e) = asha_metrics::write_csv(
-            &path,
-            &["time", "mean", "q25", "q75", "min", "max"],
-            &rows,
-        ) {
+        if let Err(e) =
+            asha_metrics::write_csv(&path, &["time", "mean", "q25", "q75", "min", "max"], &rows)
+        {
             eprintln!("warning: {e}");
         }
     }
@@ -233,9 +235,7 @@ mod tests {
             MethodSpec::new("ASHA", move || {
                 Asha::new(space.clone(), AshaConfig::new(1.0, 256.0, 4.0))
             }),
-            MethodSpec::new("Random", move || {
-                RandomSearch::new(space2.clone(), 256.0)
-            }),
+            MethodSpec::new("Random", move || RandomSearch::new(space2.clone(), 256.0)),
         ];
         let cfg = ExperimentConfig::new(9, 120.0, 2, 0.9);
         let results = run_experiment(&bench, &methods, &cfg);

@@ -130,7 +130,11 @@ impl Asha {
         sampler: Box<dyn ConfigSampler>,
     ) -> Self {
         let ladder = if config.infinite_horizon {
-            RungLadder::infinite(config.min_resource, config.reduction_factor, config.stop_rate)
+            RungLadder::infinite(
+                config.min_resource,
+                config.reduction_factor,
+                config.stop_rate,
+            )
         } else {
             RungLadder::finite(
                 config.min_resource,
@@ -257,7 +261,8 @@ impl Scheduler for Asha {
         }
         self.ladder.record(obs.rung, obs.trial, obs.loss);
         if let Some(config) = self.trial_configs.get(&obs.trial) {
-            self.sampler.record(config, obs.rung, obs.resource, obs.loss);
+            self.sampler
+                .record(config, obs.rung, obs.resource, obs.loss);
         }
     }
 

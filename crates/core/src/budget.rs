@@ -111,14 +111,18 @@ mod tests {
         // Bracket 1: n_i = {9, 3}, r_i = {3, 9}, budgets {27, 27}.
         let rows = promotion_table(9, 1.0, 9.0, 3.0, 1);
         assert_eq!(
-            rows.iter().map(|r| (r.num_configs, r.resource)).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| (r.num_configs, r.resource))
+                .collect::<Vec<_>>(),
             vec![(9, 3.0), (3, 9.0)]
         );
         assert!(rows.iter().all(|r| r.budget == 27.0));
         // Bracket 2: single rung of 9 configs at R = 9, budget 81.
         let rows = promotion_table(9, 1.0, 9.0, 3.0, 2);
         assert_eq!(
-            rows.iter().map(|r| (r.num_configs, r.resource)).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| (r.num_configs, r.resource))
+                .collect::<Vec<_>>(),
             vec![(9, 9.0)]
         );
         assert_eq!(bracket_budget(9, 1.0, 9.0, 3.0, 2), 81.0);

@@ -349,7 +349,10 @@ mod tests {
             hb.observe(Observation::for_job(&job, job.trial.0 as f64));
         }
         // Must cycle s = 0, 1, 2 and wrap back to 0.
-        assert!(brackets_seen.starts_with(&[0, 1, 2, 0]), "{brackets_seen:?}");
+        assert!(
+            brackets_seen.starts_with(&[0, 1, 2, 0]),
+            "{brackets_seen:?}"
+        );
     }
 
     #[test]

@@ -154,6 +154,13 @@ impl Rung {
             return None;
         }
         let &(best_key, best_trial) = self.unpromoted.first()?;
+        // Poisoned or diverged trials (infinite loss, NaN recorded as such)
+        // are never promoted, even when the rung is small enough that they
+        // would rank in the top `1/eta`: promoting them would spend higher
+        // rungs on configurations known to be broken.
+        if !key_loss(best_key).is_finite() {
+            return None;
+        }
         let p = self.promoted_sorted.len();
         // Fast path: every trial better than the best unpromoted one is
         // promoted, so its rank is at most p.
@@ -290,8 +297,7 @@ impl RungLadder {
     /// Cumulative resource allocated to a trial at rung `k`:
     /// `min(r * eta^(s + k), R)`.
     pub fn resource(&self, rung: usize) -> f64 {
-        (self.min_resource * self.eta.powi((self.stop_rate + rung) as i32))
-            .min(self.max_resource)
+        (self.min_resource * self.eta.powi((self.stop_rate + rung) as i32)).min(self.max_resource)
     }
 
     /// The rungs, bottom first. Infinite-horizon ladders grow on demand.
@@ -424,6 +430,28 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_losses_are_never_promotable() {
+        let mut rung = Rung::new();
+        rung.record(TrialId(0), f64::INFINITY);
+        rung.record(TrialId(1), f64::NAN); // recorded as INFINITY
+        rung.record(TrialId(2), f64::INFINITY);
+        // 3/3 = 1 candidate by count, but every loss is poisoned.
+        assert_eq!(rung.promotable(3.0), None);
+        // A finite arrival is promotable as usual; the poisoned ones stay.
+        for t in 3..9 {
+            rung.record(TrialId(t), 0.5);
+        }
+        rung.record(TrialId(9), 0.1);
+        assert_eq!(rung.promotable(3.0), Some((TrialId(9), 0.1)));
+        rung.mark_promoted(TrialId(9));
+        for t in 3..9 {
+            rung.mark_promoted(TrialId(t));
+        }
+        // Only the non-finite trials remain unpromoted; k = 3 but none pass.
+        assert_eq!(rung.promotable(3.0), None);
+    }
+
+    #[test]
     fn promoted_trials_are_skipped() {
         let mut rung = Rung::new();
         for (i, loss) in [0.9, 0.1, 0.2, 0.3, 0.4, 0.5].iter().enumerate() {
@@ -452,7 +480,7 @@ mod tests {
         rung.mark_promoted(t); // quota of k=1 used
         assert_eq!(rung.promotable(3.0), None);
         rung.record(TrialId(10), 0.1); // better than everything promoted
-        // k is still floor(4/3) = 1 and promoted = 1, but trial 10 ranks 0.
+                                       // k is still floor(4/3) = 1 and promoted = 1, but trial 10 ranks 0.
         assert_eq!(rung.promotable(3.0), Some((TrialId(10), 0.1)));
     }
 
@@ -466,7 +494,7 @@ mod tests {
         rung.mark_promoted(TrialId(1));
         assert_eq!(rung.promotable(3.0), None);
         assert_eq!(rung.promotable(3.0), None); // cached path
-        // Growth changes k: 9 records -> k = 3.
+                                                // Growth changes k: 9 records -> k = 3.
         for i in 6..9 {
             rung.record(TrialId(i), 0.9);
         }

@@ -125,6 +125,22 @@ impl Decision {
 /// failed trials; schedulers must treat such trials as worst-possible rather
 /// than erroring.
 ///
+/// # Fault model
+///
+/// Real execution layers retry, time out, and lose jobs (paper Section 4.4;
+/// DESIGN.md "Fault model"), so every implementation must additionally be
+/// robust to the observation stream those faults produce:
+///
+/// * **Non-finite losses** (`INFINITY` from a poisoned — panicked or
+///   retry-exhausted — trial, or `NaN` from a numerically diverged one) must
+///   never panic the scheduler and must never be *promoted*: a trial with a
+///   non-finite loss stays at its rung forever.
+/// * **Duplicate observations** for the same `(trial, rung)` — an executor
+///   retry whose first attempt actually landed — must be idempotent: the
+///   first report wins and later ones are ignored.
+/// * **Observations for never-issued trials** (a misrouted or corrupted
+///   report) must be ignored outright.
+///
 /// [`suggest`]: Scheduler::suggest
 /// [`observe`]: Scheduler::observe
 pub trait Scheduler {

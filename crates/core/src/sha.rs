@@ -2,7 +2,7 @@
 //! bracket-growing parallelization scheme of Falkner et al. (2018) that the
 //! paper's distributed experiments compare against.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use asha_space::{Config, SearchSpace};
 
@@ -66,11 +66,8 @@ impl ShaConfig {
 
     /// Cumulative resource of rung `k`: `min(r * eta^(s+k), R)`.
     pub fn rung_resource(&self, rung: usize) -> f64 {
-        (self.min_resource
-            * self
-                .reduction_factor
-                .powi((self.stop_rate + rung) as i32))
-        .min(self.max_resource)
+        (self.min_resource * self.reduction_factor.powi((self.stop_rate + rung) as i32))
+            .min(self.max_resource)
     }
 
     fn validate(&self) {
@@ -89,9 +86,7 @@ impl ShaConfig {
         );
         // Line 3 of Algorithm 1: n >= eta^(s_max - s) so at least one
         // configuration reaches R.
-        let needed = self
-            .reduction_factor
-            .powi((s_max - self.stop_rate) as i32) as usize;
+        let needed = self.reduction_factor.powi((s_max - self.stop_rate) as i32) as usize;
         assert!(
             self.num_configs >= needed,
             "n = {} too small: need at least eta^(s_max - s) = {needed}",
@@ -109,6 +104,11 @@ struct Bracket {
     queue: Vec<(TrialId, Config)>,
     /// Jobs issued at the current rung and not yet reported.
     outstanding: usize,
+    /// Trials currently issued (and unreported) at the current rung. A
+    /// report is accepted only for trials in this set, which makes duplicate
+    /// reports (executor retries) and reports for never-issued trials
+    /// harmless rather than barrier-corrupting.
+    issued: HashSet<TrialId>,
     /// Results gathered at the current rung.
     results: Vec<(TrialId, f64)>,
     /// Current rung index.
@@ -122,6 +122,7 @@ impl Bracket {
             remaining_to_sample: num_configs,
             queue: Vec::new(),
             outstanding: 0,
+            issued: HashSet::new(),
             results: Vec::new(),
             rung: 0,
             done: false,
@@ -227,8 +228,7 @@ impl SyncSha {
             let trial = TrialId(self.next_trial);
             self.next_trial += 1;
             let config = self.sampler.propose(&self.space, rng);
-            self.trial_meta
-                .insert(trial, (bracket_idx, config.clone()));
+            self.trial_meta.insert(trial, (bracket_idx, config.clone()));
             (trial, config)
         } else {
             self.brackets[bracket_idx]
@@ -237,6 +237,7 @@ impl SyncSha {
                 .expect("issue_from called with work available")
         };
         self.brackets[bracket_idx].outstanding += 1;
+        self.brackets[bracket_idx].issued.insert(trial);
         Job {
             trial,
             config,
@@ -258,8 +259,17 @@ impl SyncSha {
             return;
         }
         let mut sorted = std::mem::take(&mut bracket.results);
+        // Poisoned trials (infinite or NaN loss — a crashed or diverged job)
+        // are never promoted; `k` still follows Algorithm 1's |rung|/eta.
+        sorted.retain(|&(_, loss)| loss.is_finite());
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         sorted.truncate(k);
+        if sorted.is_empty() {
+            // Every survivor candidate was poisoned: the bracket cannot
+            // continue meaningfully.
+            bracket.done = true;
+            return;
+        }
         bracket.rung += 1;
         // Pop order is LIFO; reverse so the best survivor is issued first.
         let meta = &self.trial_meta;
@@ -296,13 +306,17 @@ impl Scheduler for SyncSha {
         };
         {
             let bracket = &mut self.brackets[bracket_idx];
-            if bracket.done || bracket.rung != obs.rung || bracket.outstanding == 0 {
-                return; // stale or duplicate report
+            if bracket.done || bracket.rung != obs.rung {
+                return; // stale report
+            }
+            if !bracket.issued.remove(&obs.trial) {
+                return; // duplicate, or never issued at this rung
             }
             bracket.outstanding -= 1;
             bracket.results.push((obs.trial, obs.loss));
         }
-        self.sampler.record(&config, obs.rung, obs.resource, obs.loss);
+        self.sampler
+            .record(&config, obs.rung, obs.resource, obs.loss);
         let bracket = &self.brackets[bracket_idx];
         if bracket.outstanding == 0 && bracket.idle() && !bracket.results.is_empty() {
             self.complete_rung(bracket_idx);
@@ -442,8 +456,70 @@ mod tests {
         sha.observe(Observation::for_job(&job, 1.0));
         sha.observe(Observation::for_job(&job, 0.0)); // duplicate
         sha.observe(Observation::new(TrialId(999), 0, 1.0, 0.0)); // unknown
-        // One result recorded, eight to go.
+                                                                  // One result recorded, eight to go.
         assert!(!sha.all_done());
+    }
+
+    #[test]
+    fn duplicate_reports_do_not_corrupt_the_barrier() {
+        let mut sha = SyncSha::new(space(), ShaConfig::new(9, 1.0, 9.0, 3.0));
+        let mut r = rng();
+        let mut jobs = Vec::new();
+        for _ in 0..9 {
+            jobs.push(sha.suggest(&mut r).job().unwrap());
+        }
+        // Report the first job three times (an executor retrying a job whose
+        // first attempt actually landed): the rung must NOT complete until
+        // the other eight distinct trials report.
+        for _ in 0..3 {
+            sha.observe(Observation::for_job(&jobs[0], 0.0));
+        }
+        assert!(sha.suggest(&mut r).is_wait(), "8 trials still outstanding");
+        for job in &jobs[1..] {
+            sha.observe(Observation::for_job(job, job.trial.0 as f64));
+        }
+        let next = sha.suggest(&mut r).job().unwrap();
+        assert_eq!(next.rung, 1);
+    }
+
+    #[test]
+    fn poisoned_trials_are_not_promoted() {
+        let mut sha = SyncSha::new(space(), ShaConfig::new(9, 1.0, 9.0, 3.0));
+        let mut r = rng();
+        let mut promoted = Vec::new();
+        while let Decision::Run(job) = sha.suggest(&mut r) {
+            if job.rung > 0 {
+                promoted.push(job.trial.0);
+            }
+            // Trials 0 and 1 crash (INFINITY / NaN); the rest are ranked by
+            // id, so the rung-1 survivors must be trials 2, 3, 4.
+            let loss = match job.trial.0 {
+                0 => f64::INFINITY,
+                1 => f64::NAN,
+                t => t as f64,
+            };
+            sha.observe(Observation::for_job(&job, loss));
+        }
+        assert!(sha.all_done());
+        assert!(
+            !promoted.contains(&0) && !promoted.contains(&1),
+            "poisoned trials promoted: {promoted:?}"
+        );
+    }
+
+    #[test]
+    fn all_poisoned_rung_finishes_the_bracket() {
+        let mut sha = SyncSha::new(space(), ShaConfig::new(9, 1.0, 9.0, 3.0));
+        let mut r = rng();
+        let mut count = 0;
+        while let Decision::Run(job) = sha.suggest(&mut r) {
+            count += 1;
+            sha.observe(Observation::for_job(&job, f64::INFINITY));
+            assert!(count < 100, "runaway bracket");
+        }
+        // No finite survivor: the bracket stops after the base rung.
+        assert_eq!(count, 9);
+        assert!(sha.all_done());
     }
 
     #[test]

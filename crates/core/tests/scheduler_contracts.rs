@@ -21,9 +21,18 @@ fn space() -> SearchSpace {
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     vec![
         Box::new(Asha::new(space(), AshaConfig::new(1.0, 27.0, 3.0))),
-        Box::new(SyncSha::new(space(), ShaConfig::new(27, 1.0, 27.0, 3.0).growing())),
-        Box::new(Hyperband::new(space(), HyperbandConfig::new(1.0, 27.0, 3.0))),
-        Box::new(AsyncHyperband::new(space(), HyperbandConfig::new(1.0, 27.0, 3.0))),
+        Box::new(SyncSha::new(
+            space(),
+            ShaConfig::new(27, 1.0, 27.0, 3.0).growing(),
+        )),
+        Box::new(Hyperband::new(
+            space(),
+            HyperbandConfig::new(1.0, 27.0, 3.0),
+        )),
+        Box::new(AsyncHyperband::new(
+            space(),
+            HyperbandConfig::new(1.0, 27.0, 3.0),
+        )),
         Box::new(RandomSearch::new(space(), 27.0)),
     ]
 }

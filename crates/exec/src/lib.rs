@@ -13,6 +13,14 @@
 //! finish. PBT's weight copies are honoured by cloning the parent trial's
 //! checkpoint when a job carries `inherit_from`.
 //!
+//! Faults never escape the pool (paper Section 4.4; DESIGN.md "Fault
+//! model"): a panicking objective poisons its trial (the scheduler observes
+//! `f64::INFINITY`), timeouts and dropped results are retried from the last
+//! reported checkpoint with exponential backoff per the configured
+//! [`FaultPolicy`], and every event is tallied in [`ExecResult::faults`].
+//! [`ChaosObjective`] injects exactly these faults deterministically for
+//! testing.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,8 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod objective;
 mod tuner;
 
-pub use objective::{Evaluation, FnObjective, Objective};
-pub use tuner::{ExecConfig, ExecResult, ParallelTuner};
+pub use chaos::{
+    install_quiet_panic_hook, ChaosConfig, ChaosObjective, ChaosPanic, InjectionReport,
+};
+pub use objective::{Evaluation, FnObjective, JobCtx, JobDropped, Objective};
+pub use tuner::{ExecConfig, ExecResult, FaultPolicy, ParallelTuner};

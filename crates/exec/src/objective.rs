@@ -27,6 +27,34 @@ impl Evaluation {
     }
 }
 
+/// Identity of one execution attempt, passed to [`Objective::run_ctx`].
+///
+/// The executor threads this through so wrappers (notably
+/// [`ChaosObjective`](crate::ChaosObjective)) can key deterministic
+/// per-attempt behaviour off *which* piece of work is running rather than
+/// off wall-clock or thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobCtx {
+    /// Trial identifier (`TrialId.0`).
+    pub trial: u64,
+    /// Rung index the trial is being trained at.
+    pub rung: usize,
+    /// Bracket index (0 outside Hyperband).
+    pub bracket: usize,
+    /// 1-based attempt number; >1 means this is a retry after a fault.
+    pub attempt: u32,
+}
+
+/// Panic payload marking a *retryable* lost result.
+///
+/// An objective (or a fault-injection wrapper) that wants to simulate "the
+/// job ran but its result never came back" unwinds with this marker via
+/// [`std::panic::panic_any`]. The executor treats it as a dropped result —
+/// retried from the last reported checkpoint, per the fault model — whereas
+/// any other panic payload marks the trial poisoned.
+#[derive(Debug, Clone, Copy)]
+pub struct JobDropped;
+
 /// A trainable objective: the real-execution analogue of the paper's
 /// `run_then_return_val_loss`.
 ///
@@ -37,7 +65,7 @@ impl Evaluation {
 /// rung — or cloned into a child trial when PBT inherits weights.
 pub trait Objective: Send + Sync {
     /// Serializable-enough training state; cloning it is "copying weights".
-    type Checkpoint: Clone + Send;
+    type Checkpoint: Clone + Send + 'static;
 
     /// Train `config` up to cumulative `resource` and report losses.
     fn run(
@@ -46,6 +74,22 @@ pub trait Objective: Send + Sync {
         resource: f64,
         checkpoint: Option<Self::Checkpoint>,
     ) -> (Evaluation, Self::Checkpoint);
+
+    /// [`run`](Objective::run), plus the attempt's identity.
+    ///
+    /// The executor always calls this entry point. The default forwards to
+    /// `run`, so plain objectives ignore the context for free; wrappers that
+    /// need determinism per `(trial, rung, attempt)` override it.
+    fn run_ctx(
+        &self,
+        ctx: JobCtx,
+        config: &Config,
+        resource: f64,
+        checkpoint: Option<Self::Checkpoint>,
+    ) -> (Evaluation, Self::Checkpoint) {
+        let _ = ctx;
+        self.run(config, resource, checkpoint)
+    }
 }
 
 /// Adapter turning a closure into an [`Objective`].
@@ -58,7 +102,7 @@ pub struct FnObjective<C, F> {
 
 impl<C, F> FnObjective<C, F>
 where
-    C: Clone + Send,
+    C: Clone + Send + 'static,
     F: Fn(&Config, f64, Option<C>) -> (Evaluation, C) + Send + Sync,
 {
     /// Wrap a closure.
@@ -72,7 +116,7 @@ where
 
 impl<C, F> Objective for FnObjective<C, F>
 where
-    C: Clone + Send,
+    C: Clone + Send + 'static,
     F: Fn(&Config, f64, Option<C>) -> (Evaluation, C) + Send + Sync,
 {
     type Checkpoint = C;

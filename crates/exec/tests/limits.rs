@@ -27,10 +27,8 @@ fn slow_objective() -> impl asha_exec::Objective<Checkpoint = f64> {
 #[test]
 fn wall_limit_stops_an_endless_scheduler() {
     let rs = RandomSearch::new(space(), 10.0);
-    let result = ParallelTuner::new(
-        ExecConfig::new(2).with_wall_limit(Duration::from_millis(150)),
-    )
-    .run(rs, &slow_objective(), 0);
+    let result = ParallelTuner::new(ExecConfig::new(2).with_wall_limit(Duration::from_millis(150)))
+        .run(rs, &slow_objective(), 0);
     assert!(!result.scheduler_finished);
     assert!(result.elapsed < Duration::from_secs(5));
     assert!(result.jobs_completed >= 1);
@@ -38,7 +36,10 @@ fn wall_limit_stops_an_endless_scheduler() {
 
 #[test]
 fn many_workers_with_instant_jobs_do_not_race() {
-    let asha = Asha::new(space(), AshaConfig::new(1.0, 81.0, 3.0).with_max_trials(200));
+    let asha = Asha::new(
+        space(),
+        AshaConfig::new(1.0, 81.0, 3.0).with_max_trials(200),
+    );
     let result = ParallelTuner::new(ExecConfig::new(16)).run(asha, &instant_objective(), 1);
     assert!(result.scheduler_finished);
     // Every trace event is unique per (trial, rung).
@@ -57,8 +58,8 @@ fn many_workers_with_instant_jobs_do_not_race() {
 #[test]
 fn single_job_cap_is_respected_exactly_enough() {
     let rs = RandomSearch::new(space(), 10.0);
-    let result = ParallelTuner::new(ExecConfig::new(4).with_max_jobs(10))
-        .run(rs, &instant_objective(), 2);
+    let result =
+        ParallelTuner::new(ExecConfig::new(4).with_max_jobs(10)).run(rs, &instant_objective(), 2);
     // Workers can overshoot by at most the number of in-flight jobs.
     assert!(result.jobs_completed >= 10);
     assert!(result.jobs_completed <= 14, "{}", result.jobs_completed);

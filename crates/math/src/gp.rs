@@ -126,8 +126,8 @@ impl Gp {
             .collect();
         let mu_z: f64 = kx.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
         let v = self.chol.solve_lower(&kx);
-        let var_z = (self.config.signal_variance - v.iter().map(|vi| vi * vi).sum::<f64>())
-            .max(1e-12);
+        let var_z =
+            (self.config.signal_variance - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
         (
             self.y_mean + self.y_std * mu_z,
             var_z * self.y_std * self.y_std,
@@ -257,9 +257,7 @@ mod tests {
         // At mu == best with sigma = 1, EI = phi(0) ≈ 0.3989.
         assert!((expected_improvement(2.0, 1.0, 2.0) - 0.398_942_3).abs() < 1e-5);
         // EI decreases as mu rises above best.
-        assert!(
-            expected_improvement(2.5, 1.0, 2.0) < expected_improvement(2.0, 1.0, 2.0)
-        );
+        assert!(expected_improvement(2.5, 1.0, 2.0) < expected_improvement(2.0, 1.0, 2.0));
         // EI is non-negative everywhere.
         assert!(expected_improvement(10.0, 0.5, 0.0) >= 0.0);
     }

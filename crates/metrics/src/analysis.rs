@@ -76,9 +76,7 @@ pub fn promotion_agreement(trace: &RunTrace, rung: usize, eta: f64) -> Option<f6
     let mut pairs: Vec<(f64, f64)> = loss_at
         .iter()
         .filter(|&(&(_, r), _)| r == rung)
-        .filter_map(|(&(trial, _), &low)| {
-            loss_at.get(&(trial, rung + 1)).map(|&high| (low, high))
-        })
+        .filter_map(|(&(trial, _), &low)| loss_at.get(&(trial, rung + 1)).map(|&high| (low, high)))
         .collect();
     let k = (pairs.len() as f64 / eta).floor() as usize;
     if k == 0 {
@@ -113,7 +111,11 @@ fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -60,7 +60,13 @@ pub fn write_csv(
     for row in rows {
         let cells: Vec<String> = row
             .iter()
-            .map(|v| if v.is_nan() { String::new() } else { format!("{v}") })
+            .map(|v| {
+                if v.is_nan() {
+                    String::new()
+                } else {
+                    format!("{v}")
+                }
+            })
             .collect();
         writeln!(out, "{}", cells.join(",")).map_err(wrap)?;
     }

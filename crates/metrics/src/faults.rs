@@ -1,0 +1,121 @@
+//! Fault accounting shared by the simulator and the real executor.
+//!
+//! Section 4.4 of the paper evaluates ASHA under exactly the failures real
+//! clusters produce — stragglers and dropped jobs — and both execution
+//! backends in this workspace (`asha-sim`'s virtual cluster and `asha-exec`'s
+//! thread pool) model them. [`FaultStats`] is the common ledger, so a
+//! simulated run and a real run report fault behaviour in identical units.
+
+/// Counts of every fault handled during one tuning run.
+///
+/// The unified fault semantics (see DESIGN.md, "Fault model"):
+///
+/// * **drop** — the job's result was lost (simulated network drop, or a real
+///   result discarded after its timeout); the attempt's checkpoint is lost
+///   and any retry resumes from the last *reported* checkpoint.
+/// * **retry** — a dropped or timed-out job was re-issued (with exponential
+///   backoff in the real executor).
+/// * **timeout** — an attempt exceeded the per-job wall-clock budget.
+/// * **panic** — the objective panicked; the worker caught it and survived.
+/// * **poisoned** — a trial exhausted its retry budget or produced a
+///   non-finite loss, and was reported to the scheduler as
+///   `f64::INFINITY` (the contract `Scheduler::observe` documents).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Job attempts whose result was lost (dropped or discarded late).
+    pub jobs_dropped: usize,
+    /// Job attempts re-issued after a drop or timeout.
+    pub jobs_retried: usize,
+    /// Job attempts that exceeded the per-job timeout.
+    pub jobs_timed_out: usize,
+    /// Job attempts that panicked inside the objective.
+    pub jobs_panicked: usize,
+    /// Jobs reported to the scheduler as `f64::INFINITY` after their fault
+    /// budget was exhausted or their loss came back non-finite.
+    pub jobs_poisoned: usize,
+}
+
+impl FaultStats {
+    /// Stats with every counter at zero.
+    pub fn none() -> Self {
+        FaultStats::default()
+    }
+
+    /// Total number of fault events of any kind.
+    pub fn total(&self) -> usize {
+        self.jobs_dropped
+            + self.jobs_retried
+            + self.jobs_timed_out
+            + self.jobs_panicked
+            + self.jobs_poisoned
+    }
+
+    /// Whether no fault of any kind occurred.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Element-wise sum, for aggregating over repeated runs.
+    pub fn merge(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            jobs_dropped: self.jobs_dropped + other.jobs_dropped,
+            jobs_retried: self.jobs_retried + other.jobs_retried,
+            jobs_timed_out: self.jobs_timed_out + other.jobs_timed_out,
+            jobs_panicked: self.jobs_panicked + other.jobs_panicked,
+            jobs_poisoned: self.jobs_poisoned + other.jobs_poisoned,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dropped={} retried={} timed_out={} panicked={} poisoned={}",
+            self.jobs_dropped,
+            self.jobs_retried,
+            self.jobs_timed_out,
+            self.jobs_panicked,
+            self.jobs_poisoned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FaultStats;
+
+    #[test]
+    fn clean_stats_total_zero() {
+        let s = FaultStats::none();
+        assert!(s.is_clean());
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let a = FaultStats {
+            jobs_dropped: 1,
+            jobs_retried: 2,
+            jobs_timed_out: 3,
+            jobs_panicked: 4,
+            jobs_poisoned: 5,
+        };
+        let b = FaultStats {
+            jobs_dropped: 10,
+            ..FaultStats::none()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.jobs_dropped, 11);
+        assert_eq!(m.total(), a.total() + b.total());
+        assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let text = FaultStats::none().to_string();
+        for field in ["dropped", "retried", "timed_out", "panicked", "poisoned"] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+}

@@ -36,8 +36,10 @@
 pub mod analysis;
 mod curve;
 mod export;
+mod faults;
 mod trace;
 
 pub use curve::{aggregate, uniform_grid, AggregateCurve, StepCurve};
 pub use export::{write_csv, CsvError};
+pub use faults::FaultStats;
 pub use trace::{RunTrace, TraceEvent};

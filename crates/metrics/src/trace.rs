@@ -136,7 +136,10 @@ impl RunTrace {
     /// # Errors
     ///
     /// Returns [`crate::CsvError`] on I/O failure.
-    pub fn write_events_csv(&self, path: impl AsRef<std::path::Path>) -> Result<(), crate::CsvError> {
+    pub fn write_events_csv(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::CsvError> {
         let rows: Vec<Vec<f64>> = self
             .events
             .iter()
@@ -154,7 +157,15 @@ impl RunTrace {
             .collect();
         crate::write_csv(
             path,
-            &["time", "trial", "bracket", "rung", "resource", "val_loss", "test_loss"],
+            &[
+                "time",
+                "trial",
+                "bracket",
+                "rung",
+                "resource",
+                "val_loss",
+                "test_loss",
+            ],
             &rows,
         )
     }

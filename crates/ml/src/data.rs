@@ -43,7 +43,10 @@ impl Dataset {
     ///
     /// Panics if `k == 0`, `dims == 0`, or `per_class == 0`.
     pub fn gaussian_blobs(k: usize, dims: usize, per_class: usize, noise: f64, seed: u64) -> Self {
-        assert!(k > 0 && dims > 0 && per_class > 0, "degenerate dataset shape");
+        assert!(
+            k > 0 && dims > 0 && per_class > 0,
+            "degenerate dataset shape"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let centers: Vec<Vec<f64>> = (0..k)
             .map(|_| (0..dims).map(|_| rng.gen_range(-2.0..2.0)).collect())
@@ -119,8 +122,7 @@ impl Dataset {
                 };
                 xs.push(vec![
                     cx + t.cos() * sign + noise * box_muller(&mut rng),
-                    cy + t.sin() * sign - if label == 1 { 0.0 } else { 0.0 }
-                        + noise * box_muller(&mut rng),
+                    cy + t.sin() * sign + noise * box_muller(&mut rng),
                 ]);
                 ys.push(label);
             }
@@ -265,13 +267,12 @@ mod tests {
         assert_eq!(d.ys.iter().filter(|&&y| y == 0).count(), 80);
         // The two classes occupy different regions on average.
         let mean_y = |label: usize| {
-            let pts: Vec<f64> = d
-                .xs
-                .iter()
-                .zip(&d.ys)
-                .filter(|(_, &y)| y == label)
-                .map(|(x, _)| x[1])
-                .collect();
+            let pts: Vec<f64> =
+                d.xs.iter()
+                    .zip(&d.ys)
+                    .filter(|(_, &y)| y == label)
+                    .map(|(x, _)| x[1])
+                    .collect();
             pts.iter().sum::<f64>() / pts.len() as f64
         };
         assert!((mean_y(0) - mean_y(1)).abs() > 0.2);

@@ -136,16 +136,19 @@ mod tests {
     use super::*;
 
     fn blobs() -> Dataset {
-        Dataset::gaussian_blobs(3, 2, 80, 0.35, 21)
+        Dataset::gaussian_blobs(3, 2, 80, 0.35, 17)
     }
 
     #[test]
     fn separable_blobs_are_learned() {
         let data = blobs();
         let split = data.split(0.7, 0.0);
-        let model =
-            KernelRidge::fit(&split.train, split.train.len(), KernelRidgeConfig::default())
-                .expect("well-conditioned fit");
+        let model = KernelRidge::fit(
+            &split.train,
+            split.train.len(),
+            KernelRidgeConfig::default(),
+        )
+        .expect("well-conditioned fit");
         let err = model.error_rate(&split.test);
         // Random blob centers can overlap slightly; chance level is 2/3.
         assert!(err < 0.15, "error rate {err}");

@@ -106,7 +106,10 @@ impl Mlp {
     ) -> Self {
         assert!(inputs > 0, "need at least one input feature");
         assert!(classes >= 2, "need at least two classes");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(hidden.len() + 1);
         let mut prev = inputs;
@@ -159,11 +162,7 @@ impl Mlp {
 
     /// Forward + backward for one example; returns (loss, per-layer weight
     /// gradients, per-layer bias gradients).
-    pub(crate) fn backprop(
-        &self,
-        x: &[f64],
-        y: usize,
-    ) -> (f64, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    pub(crate) fn backprop(&self, x: &[f64], y: usize) -> (f64, Vec<Vec<f64>>, Vec<Vec<f64>>) {
         // Forward, caching activations (input of each layer).
         let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
         for (i, layer) in self.layers.iter().enumerate() {

@@ -104,8 +104,9 @@ impl Trainer {
         for _ in 0..epochs {
             let lr = self.current_lr();
             let mut order: Vec<usize> = (0..n).collect();
-            let mut rng =
-                StdRng::seed_from_u64(self.config.seed ^ (self.epochs_done as u64).wrapping_mul(0x9E37));
+            let mut rng = StdRng::seed_from_u64(
+                self.config.seed ^ (self.epochs_done as u64).wrapping_mul(0x9E37),
+            );
             for i in (1..n).rev() {
                 let j = rng.gen_range(0..=i);
                 order.swap(i, j);
@@ -154,10 +155,7 @@ impl Trainer {
                 correct += 1;
             }
         }
-        (
-            loss / data.len() as f64,
-            correct as f64 / data.len() as f64,
-        )
+        (loss / data.len() as f64, correct as f64 / data.len() as f64)
     }
 }
 

@@ -111,7 +111,11 @@ fn certain_drops_prevent_completion_but_terminate() {
         &mut rng,
     );
     assert_eq!(result.jobs_completed, 0);
-    assert!(result.jobs_dropped > 50, "{} drops", result.jobs_dropped);
+    assert!(
+        result.faults.jobs_dropped > 50,
+        "{} drops",
+        result.faults.jobs_dropped
+    );
 }
 
 #[test]
@@ -142,10 +146,8 @@ fn straggler_multiplier_only_stretches_time() {
 fn from_scratch_resume_repays_full_budget() {
     let b = bench();
     let mut rng = StdRng::seed_from_u64(3);
-    let result = ClusterSim::new(
-        SimConfig::new(1, 1e6).with_resume(ResumePolicy::FromScratch),
-    )
-    .run(InheritProbe { step: 0 }, &b, &mut rng);
+    let result = ClusterSim::new(SimConfig::new(1, 1e6).with_resume(ResumePolicy::FromScratch))
+        .run(InheritProbe { step: 0 }, &b, &mut rng);
     let events = result.trace.events();
     // Parent 8, child 16 (full, from scratch), fresh 16.
     assert!((events[0].time - 8.0).abs() < 1e-6);

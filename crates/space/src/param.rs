@@ -141,7 +141,12 @@ impl ParamSpec {
     /// (Appendix A.3 of the paper): continuous values are multiplied by
     /// `factor` or `1/factor` (clamped to the domain); finite domains move to
     /// one of the two adjacent choices; categorical values are re-sampled.
-    pub fn perturb<R: Rng + ?Sized>(&self, value: &ParamValue, factor: f64, rng: &mut R) -> ParamValue {
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        value: &ParamValue,
+        factor: f64,
+        rng: &mut R,
+    ) -> ParamValue {
         let up = rng.gen_bool(0.5);
         match (self, value) {
             (ParamSpec::Continuous { low, high, .. }, ParamValue::Float(v)) => {
@@ -154,7 +159,11 @@ impl ParamSpec {
             }
             (ParamSpec::Ordinal { values }, ParamValue::Index(i)) => {
                 let n = values.len();
-                let j = if up { (*i + 1).min(n - 1) } else { i.saturating_sub(1) };
+                let j = if up {
+                    (*i + 1).min(n - 1)
+                } else {
+                    i.saturating_sub(1)
+                };
                 ParamValue::Index(j)
             }
             _ => self.sample(rng),
@@ -226,7 +235,10 @@ mod tests {
             }
         }
         let frac = below as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.05, "log-uniform midpoint mass {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "log-uniform midpoint mass {frac}"
+        );
     }
 
     #[test]
@@ -353,7 +365,10 @@ mod tests {
             .cardinality(),
             None
         );
-        assert_eq!(ParamSpec::Discrete { low: 1, high: 10 }.cardinality(), Some(10));
+        assert_eq!(
+            ParamSpec::Discrete { low: 1, high: 10 }.cardinality(),
+            Some(10)
+        );
         assert_eq!(
             ParamSpec::Ordinal {
                 values: vec![1.0, 2.0]

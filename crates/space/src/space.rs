@@ -99,19 +99,13 @@ impl SearchSpace {
 
     /// Draw a uniformly random configuration.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Config {
-        self.params
-            .iter()
-            .map(|p| p.spec.sample(rng))
-            .collect()
+        self.params.iter().map(|p| p.spec.sample(rng)).collect()
     }
 
     /// The configuration at the center of every parameter's domain; useful as
     /// a deterministic placeholder in tests and examples.
     pub fn default_config(&self) -> Config {
-        self.params
-            .iter()
-            .map(|p| p.spec.from_unit(0.5))
-            .collect()
+        self.params.iter().map(|p| p.spec.from_unit(0.5)).collect()
     }
 
     /// Map a configuration into the unit hypercube `[0, 1]^d`, the
@@ -217,7 +211,11 @@ impl fmt::Display for SearchSpace {
                         Scale::Linear => "linear",
                         Scale::Log => "log",
                     };
-                    writeln!(f, "{:<24} continuous {scale:<7} [{low:.6e}, {high:.6e}]", p.name)?
+                    writeln!(
+                        f,
+                        "{:<24} continuous {scale:<7} [{low:.6e}, {high:.6e}]",
+                        p.name
+                    )?
                 }
                 ParamSpec::Discrete { low, high } => {
                     writeln!(f, "{:<24} discrete           [{low}, {high}]", p.name)?
@@ -226,9 +224,12 @@ impl fmt::Display for SearchSpace {
                     let vs: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
                     writeln!(f, "{:<24} choice             {{{}}}", p.name, vs.join(", "))?
                 }
-                ParamSpec::Categorical { labels } => {
-                    writeln!(f, "{:<24} categorical        {{{}}}", p.name, labels.join(", "))?
-                }
+                ParamSpec::Categorical { labels } => writeln!(
+                    f,
+                    "{:<24} categorical        {{{}}}",
+                    p.name,
+                    labels.join(", ")
+                )?,
             }
         }
         Ok(())

@@ -27,8 +27,7 @@ fn spec_strategy() -> impl Strategy<Value = ParamSpec> {
             high: low + width,
         }),
         // Ordinal choices.
-        prop::collection::vec(-1e3f64..1e3, 1..8)
-            .prop_map(|values| ParamSpec::Ordinal { values }),
+        prop::collection::vec(-1e3f64..1e3, 1..8).prop_map(|values| ParamSpec::Ordinal { values }),
         // Categorical labels.
         (1usize..6).prop_map(|n| ParamSpec::Categorical {
             labels: (0..n).map(|i| format!("c{i}")).collect(),

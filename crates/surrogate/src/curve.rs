@@ -66,7 +66,12 @@ pub struct CurveBenchmark {
 impl CurveBenchmark {
     /// Start building a benchmark over `space` with maximum resource `R`,
     /// deterministic for the given `seed`.
-    pub fn builder(name: &str, space: SearchSpace, max_resource: f64, seed: u64) -> CurveBenchmarkBuilder {
+    pub fn builder(
+        name: &str,
+        space: SearchSpace,
+        max_resource: f64,
+        seed: u64,
+    ) -> CurveBenchmarkBuilder {
         CurveBenchmarkBuilder::new(name, space, max_resource, seed)
     }
 
@@ -195,8 +200,8 @@ impl BenchmarkModel for CurveBenchmark {
             .space
             .to_unit(config)
             .expect("config must come from this benchmark's space");
-        let asym = (self.floor + self.range * self.quality(&u) + state.asym_jitter)
-            .max(self.floor * 0.5);
+        let asym =
+            (self.floor + self.range * self.quality(&u) + state.asym_jitter).max(self.floor * 0.5);
         let rate = self.rate_of(&u) * state.rate_jitter;
         let delta = (target - state.resource) / self.max_resource;
         state.loss = asym + (state.loss - asym) * (-rate * delta).exp();
@@ -321,7 +326,10 @@ impl CurveBenchmarkBuilder {
     /// Loss range: asymptotes lie in `[floor, floor + range]` (before
     /// jitter); `init_loss` is the untrained loss; `cap` clamps outputs.
     pub fn losses(mut self, floor: f64, range: f64, init_loss: f64, cap: f64) -> Self {
-        assert!(range > 0.0 && floor >= 0.0 && cap > floor, "invalid loss shape");
+        assert!(
+            range > 0.0 && floor >= 0.0 && cap > floor,
+            "invalid loss shape"
+        );
         self.inner.floor = floor;
         self.inner.range = range;
         self.inner.init_loss = init_loss;
@@ -439,7 +447,11 @@ mod tests {
             prev = state.loss;
         }
         let asym = b.asymptote(&c);
-        assert!((state.loss - asym).abs() < 0.2, "loss {} vs asym {asym}", state.loss);
+        assert!(
+            (state.loss - asym).abs() < 0.2,
+            "loss {} vs asym {asym}",
+            state.loss
+        );
     }
 
     #[test]
@@ -637,7 +649,10 @@ mod tests {
             .build();
         let under = b.asymptote(&b.space().from_unit(&[0.3]));
         let over = b.asymptote(&b.space().from_unit(&[0.7]));
-        assert!(over > under, "overshoot {over} must exceed undershoot {under}");
+        assert!(
+            over > under,
+            "overshoot {over} must exceed undershoot {under}"
+        );
     }
 
     #[test]

@@ -35,27 +35,32 @@ pub const DEFAULT_SURFACE_SEED: u64 = 2020;
 /// paper's 30k SGD iterations; a median full training run takes ≈ 40
 /// simulated minutes.
 pub fn cifar10_cuda_convnet(seed: u64) -> CurveBenchmark {
-    CurveBenchmark::builder("cifar10-cuda-convnet", spaces::cuda_convnet_space(), 256.0, seed ^ 0x11)
-        .losses(0.17, 0.25, 0.65, 1.0)
-        .optimum(&[0.45, 0.4, 0.5, 0.45, 0.35, 0.5, 0.4])
-        .weights(&[3.0, 1.5, 1.0, 1.0, 1.5, 0.8, 0.8])
-        .asymmetric(0, 3.0)
-        // Rugged enough that local perturbation (PBT) gets trapped while
-        // global random sampling plus early stopping does not — the paper
-        // finds SHA-family methods 3x ahead of PBT on this benchmark — and
-        // with a genuine learning-rate cliff: perturbing lr upward across it
-        // blows the run up, which is what real cuda-convnet training does.
-        .shape(4.5, 0.25)
-        .divergence(DivergenceSpec {
-            dim: 0,
-            threshold: 0.62,
-            magnitude: 0.9,
-        })
-        .dynamics(7.0, 1.0)
-        .noise(0.015, 0.012)
-        .gap(0.06)
-        .cost(40.0, &[0.3, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0])
-        .build()
+    CurveBenchmark::builder(
+        "cifar10-cuda-convnet",
+        spaces::cuda_convnet_space(),
+        256.0,
+        seed ^ 0x11,
+    )
+    .losses(0.17, 0.25, 0.65, 1.0)
+    .optimum(&[0.45, 0.4, 0.5, 0.45, 0.35, 0.5, 0.4])
+    .weights(&[3.0, 1.5, 1.0, 1.0, 1.5, 0.8, 0.8])
+    .asymmetric(0, 3.0)
+    // Rugged enough that local perturbation (PBT) gets trapped while
+    // global random sampling plus early stopping does not — the paper
+    // finds SHA-family methods 3x ahead of PBT on this benchmark — and
+    // with a genuine learning-rate cliff: perturbing lr upward across it
+    // blows the run up, which is what real cuda-convnet training does.
+    .shape(4.5, 0.25)
+    .divergence(DivergenceSpec {
+        dim: 0,
+        threshold: 0.62,
+        magnitude: 0.9,
+    })
+    .dynamics(7.0, 1.0)
+    .noise(0.015, 0.012)
+    .gap(0.06)
+    .cost(40.0, &[0.3, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0])
+    .build()
 }
 
 /// Benchmark 2 of Sections 4.1–4.2: the small-CNN architecture tuning task
@@ -67,39 +72,43 @@ pub fn cifar10_cuda_convnet(seed: u64) -> CurveBenchmark {
 /// minutes with a standard deviation of 27 minutes", the property that
 /// cripples synchronous SHA in Figure 4.
 pub fn cifar10_small_cnn(seed: u64) -> CurveBenchmark {
-    CurveBenchmark::builder("cifar10-small-cnn", spaces::small_cnn_space(), 256.0, seed ^ 0x22)
-        .losses(0.19, 0.40, 0.90, 1.0)
-        .optimum(&[0.6, 0.7, 0.7, 0.4, 0.45, 0.5, 0.35, 0.4, 0.3, 0.42])
-        .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
-        .asymmetric(9, 3.0)
-        .shape(2.6, 0.15)
-        .dynamics(6.0, 1.2)
-        .noise(0.008, 0.008)
-        .gap(0.06)
-        .cost(
-            25.0,
-            &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-        )
-        .build()
+    CurveBenchmark::builder(
+        "cifar10-small-cnn",
+        spaces::small_cnn_space(),
+        256.0,
+        seed ^ 0x22,
+    )
+    .losses(0.19, 0.40, 0.90, 1.0)
+    .optimum(&[0.6, 0.7, 0.7, 0.4, 0.45, 0.5, 0.35, 0.4, 0.3, 0.42])
+    .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
+    .asymmetric(9, 3.0)
+    .shape(2.6, 0.15)
+    .dynamics(6.0, 1.2)
+    .noise(0.008, 0.008)
+    .gap(0.06)
+    .cost(25.0, &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    .build()
 }
 
 /// The SVHN variant of the small-CNN architecture task (Appendices A.2/A.4,
 /// bottom-right panel of Figure 9).
 pub fn svhn_small_cnn(seed: u64) -> CurveBenchmark {
-    CurveBenchmark::builder("svhn-small-cnn", spaces::small_cnn_space(), 256.0, seed ^ 0x33)
-        .losses(0.02, 0.18, 0.85, 1.0)
-        .optimum(&[0.55, 0.65, 0.7, 0.4, 0.45, 0.5, 0.4, 0.4, 0.35, 0.45])
-        .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
-        .asymmetric(9, 3.0)
-        .shape(2.6, 0.12)
-        .dynamics(6.0, 1.2)
-        .noise(0.004, 0.004)
-        .gap(0.06)
-        .cost(
-            35.0,
-            &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-        )
-        .build()
+    CurveBenchmark::builder(
+        "svhn-small-cnn",
+        spaces::small_cnn_space(),
+        256.0,
+        seed ^ 0x33,
+    )
+    .losses(0.02, 0.18, 0.85, 1.0)
+    .optimum(&[0.55, 0.65, 0.7, 0.4, 0.45, 0.5, 0.4, 0.4, 0.35, 0.45])
+    .weights(&[1.2, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
+    .asymmetric(9, 3.0)
+    .shape(2.6, 0.12)
+    .dynamics(6.0, 1.2)
+    .noise(0.004, 0.004)
+    .gap(0.06)
+    .cost(35.0, &[1.3, 1.4, 1.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    .build()
 }
 
 /// The 500-worker PTB LSTM task of Section 4.3 (Table 2 search space).

@@ -112,9 +112,7 @@ mod tests {
     #[test]
     fn field_is_not_constant() {
         let f = SmoothPseudo::new(9, 2, 4);
-        let vals: Vec<f64> = (0..20)
-            .map(|i| f.eval(&[i as f64 / 19.0, 0.5]))
-            .collect();
+        let vals: Vec<f64> = (0..20).map(|i| f.eval(&[i as f64 / 19.0, 0.5])).collect();
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 0.05, "field looks constant: {min}..{max}");

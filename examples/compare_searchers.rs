@@ -24,10 +24,22 @@ fn main() {
 
     let searchers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(Asha::new(space.clone(), AshaConfig::new(1.0, R, ETA))),
-        Box::new(SyncSha::new(space.clone(), ShaConfig::new(256, 1.0, R, ETA).growing())),
-        Box::new(Hyperband::new(space.clone(), HyperbandConfig::new(1.0, R, ETA))),
-        Box::new(AsyncHyperband::new(space.clone(), HyperbandConfig::new(1.0, R, ETA))),
-        Box::new(bohb(space.clone(), ShaConfig::new(256, 1.0, R, ETA).growing())),
+        Box::new(SyncSha::new(
+            space.clone(),
+            ShaConfig::new(256, 1.0, R, ETA).growing(),
+        )),
+        Box::new(Hyperband::new(
+            space.clone(),
+            HyperbandConfig::new(1.0, R, ETA),
+        )),
+        Box::new(AsyncHyperband::new(
+            space.clone(),
+            HyperbandConfig::new(1.0, R, ETA),
+        )),
+        Box::new(bohb(
+            space.clone(),
+            ShaConfig::new(256, 1.0, R, ETA).growing(),
+        )),
         Box::new(Pbt::new(
             space.clone(),
             PbtConfig::new(16, R, R / 30.0)

@@ -41,10 +41,7 @@ fn main() {
         &presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED),
         150.0,
     );
-    diagnose(
-        &presets::ptb_lstm(presets::DEFAULT_SURFACE_SEED),
-        4.0,
-    );
+    diagnose(&presets::ptb_lstm(presets::DEFAULT_SURFACE_SEED), 4.0);
     println!("\nNote the caveat: these are *conditional* correlations among survivors —");
     println!("the rungs only contain configurations ASHA already considered promising.");
 }

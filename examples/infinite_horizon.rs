@@ -15,7 +15,10 @@ fn main() {
         .expect("valid space");
 
     // Infinite horizon: the `max_resource` in the config is ignored.
-    let mut asha = Asha::new(space.clone(), AshaConfig::new(1.0, f64::INFINITY, 3.0).infinite());
+    let mut asha = Asha::new(
+        space.clone(),
+        AshaConfig::new(1.0, f64::INFINITY, 3.0).infinite(),
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 
     // Serial execution with a synthetic objective: loss improves with both

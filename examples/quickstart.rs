@@ -29,7 +29,15 @@ fn main() {
 
     println!("\nincumbent trajectory (validation-selected, test error reported):");
     let curve = result.trace.incumbent_curve();
-    for &(time, test_error) in curve.points().iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+    for &(time, test_error) in curve
+        .points()
+        .iter()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  t = {time:7.2} min   test error = {test_error:.4}");
     }
 

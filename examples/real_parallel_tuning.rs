@@ -28,42 +28,50 @@ fn main() {
 
     // The objective trains an MLP to the requested cumulative epoch count,
     // resuming from the checkpointed trainer when one exists.
-    let objective = FnObjective::new(move |config: &asha::space::Config,
-                                          resource: f64,
-                                          ckpt: Option<Trainer>| {
-        let mut trainer = ckpt.unwrap_or_else(|| {
-            let hidden = space_for_obj
-                .spec_at(space_for_obj.index_of("hidden").expect("exists"))
-                .numeric(&config.values()[2]) as usize;
-            let act = match config.index("activation", &space_for_obj).expect("categorical") {
-                0 => Activation::Relu,
-                _ => Activation::Tanh,
-            };
-            let batch = space_for_obj
-                .spec_at(space_for_obj.index_of("batch_size").expect("exists"))
-                .numeric(&config.values()[3]) as usize;
-            Trainer::new(
-                Mlp::new(2, &[hidden, hidden], 2, act, 0.5, 7),
-                TrainConfig {
-                    learning_rate: config.float("learning_rate", &space_for_obj).expect("float"),
-                    weight_decay: config.float("weight_decay", &space_for_obj).expect("float"),
-                    batch_size: batch,
-                    ..TrainConfig::default()
-                },
-            )
-        });
-        let target_epochs = resource.round() as usize;
-        if target_epochs > trainer.epochs_done() {
-            trainer.train_epochs(&train, target_epochs - trainer.epochs_done());
-        }
-        // Validation loss drives the search; report error rate as the "test"
-        // metric so the trace is human-readable.
-        let (val_loss, val_acc) = trainer.evaluate(&val);
-        (Evaluation::with_test(val_loss, 1.0 - val_acc), trainer)
-    });
+    let objective = FnObjective::new(
+        move |config: &asha::space::Config, resource: f64, ckpt: Option<Trainer>| {
+            let mut trainer = ckpt.unwrap_or_else(|| {
+                let hidden = space_for_obj
+                    .spec_at(space_for_obj.index_of("hidden").expect("exists"))
+                    .numeric(&config.values()[2]) as usize;
+                let act = match config
+                    .index("activation", &space_for_obj)
+                    .expect("categorical")
+                {
+                    0 => Activation::Relu,
+                    _ => Activation::Tanh,
+                };
+                let batch = space_for_obj
+                    .spec_at(space_for_obj.index_of("batch_size").expect("exists"))
+                    .numeric(&config.values()[3]) as usize;
+                Trainer::new(
+                    Mlp::new(2, &[hidden, hidden], 2, act, 0.5, 7),
+                    TrainConfig {
+                        learning_rate: config
+                            .float("learning_rate", &space_for_obj)
+                            .expect("float"),
+                        weight_decay: config.float("weight_decay", &space_for_obj).expect("float"),
+                        batch_size: batch,
+                        ..TrainConfig::default()
+                    },
+                )
+            });
+            let target_epochs = resource.round() as usize;
+            if target_epochs > trainer.epochs_done() {
+                trainer.train_epochs(&train, target_epochs - trainer.epochs_done());
+            }
+            // Validation loss drives the search; report error rate as the "test"
+            // metric so the trace is human-readable.
+            let (val_loss, val_acc) = trainer.evaluate(&val);
+            (Evaluation::with_test(val_loss, 1.0 - val_acc), trainer)
+        },
+    );
 
     // ASHA: eta = 3, r = 3 epochs, R = 81 epochs, 80 configurations.
-    let asha = Asha::new(space.clone(), AshaConfig::new(3.0, 81.0, 3.0).with_max_trials(80));
+    let asha = Asha::new(
+        space.clone(),
+        AshaConfig::new(3.0, 81.0, 3.0).with_max_trials(80),
+    );
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
     println!("tuning a real MLP on two-spirals with ASHA across {workers} threads...");
     let result = ParallelTuner::new(ExecConfig::new(workers)).run(asha, &objective, 11);
@@ -72,7 +80,11 @@ fn main() {
         "completed {} training jobs in {:.2?} ({} finished; best val loss {:.4})",
         result.jobs_completed,
         result.elapsed,
-        if result.scheduler_finished { "scheduler" } else { "cap" },
+        if result.scheduler_finished {
+            "scheduler"
+        } else {
+            "cap"
+        },
         result.best.map(|(_, l)| l).unwrap_or(f64::NAN),
     );
     let curve = result.trace.incumbent_curve();

@@ -25,7 +25,7 @@ use asha_core::{
     Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, Scheduler,
     ShaConfig, SyncSha,
 };
-use asha_metrics::RunTrace;
+use asha_metrics::{FaultStats, RunTrace};
 use asha_sim::{ClusterSim, ResumePolicy, SimConfig, SimResult};
 use asha_space::{Config, SearchSpace};
 use asha_surrogate::BenchmarkModel;
@@ -128,8 +128,7 @@ impl Searcher {
                 reduction_factor,
             } => Box::new(SyncSha::new(
                 space.clone(),
-                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor)
-                    .growing(),
+                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor).growing(),
             )),
             Searcher::Hyperband {
                 min_resource,
@@ -153,8 +152,7 @@ impl Searcher {
                 reduction_factor,
             } => Box::new(bohb(
                 space.clone(),
-                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor)
-                    .growing(),
+                ShaConfig::new(num_configs, min_resource, max_resource, reduction_factor).growing(),
             )),
             Searcher::Pbt {
                 population,
@@ -163,10 +161,13 @@ impl Searcher {
                 space.clone(),
                 PbtConfig::new(population, max_resource, interval).spawning(),
             )),
-            Searcher::Vizier => Box::new(Vizier::new(space.clone(), VizierConfig::new(max_resource))),
-            Searcher::Fabolas => {
-                Box::new(Fabolas::new(space.clone(), FabolasConfig::new(max_resource)))
+            Searcher::Vizier => {
+                Box::new(Vizier::new(space.clone(), VizierConfig::new(max_resource)))
             }
+            Searcher::Fabolas => Box::new(Fabolas::new(
+                space.clone(),
+                FabolasConfig::new(max_resource),
+            )),
             Searcher::Random => Box::new(RandomSearch::new(space.clone(), max_resource)),
         }
     }
@@ -230,10 +231,11 @@ pub struct TuneOutcome {
     pub best: Option<BestConfig>,
     /// The full completion trace.
     pub trace: RunTrace,
-    /// Jobs completed / dropped.
+    /// Jobs completed.
     pub jobs_completed: usize,
-    /// Jobs dropped (and retried) by the simulated cluster.
-    pub jobs_dropped: usize,
+    /// Fault tally of the simulated cluster (drops are always retried), in
+    /// the same format the real executor reports.
+    pub faults: FaultStats,
     /// Distinct configurations evaluated.
     pub configs_evaluated: usize,
     /// Simulated end time.
@@ -258,7 +260,7 @@ impl TuneOutcome {
             best,
             trace: result.trace,
             jobs_completed: result.jobs_completed,
-            jobs_dropped: result.jobs_dropped,
+            faults: result.faults,
             configs_evaluated,
             end_time: result.end_time,
         }
@@ -376,8 +378,7 @@ mod tests {
             "fabolas",
             "random",
         ] {
-            let searcher =
-                Searcher::from_name(name, bench.max_resource()).expect("known name");
+            let searcher = Searcher::from_name(name, bench.max_resource()).expect("known name");
             let outcome = SimTune::new(&bench)
                 .searcher(searcher)
                 .workers(4)
@@ -431,7 +432,7 @@ mod tests {
             .drops(5e-3)
             .seed(5)
             .run();
-        assert!(noisy.jobs_dropped > 0);
+        assert!(noisy.faults.jobs_dropped > 0);
         assert!(noisy.jobs_completed < clean.jobs_completed);
     }
 }

@@ -4,7 +4,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use asha::core::{Asha, AshaConfig, Decision, Job, Observation, Scheduler};
+use asha::core::{
+    Asha, AshaConfig, AsyncHyperband, Decision, HyperbandConfig, Job, Observation, Scheduler,
+    ShaConfig, SyncSha, TrialId,
+};
 use asha::space::{Scale, SearchSpace};
 use proptest::prelude::*;
 
@@ -47,8 +50,123 @@ fn drive(
     (issued, observed)
 }
 
+/// Drive any scheduler with a *hostile* completion stream — the one a faulty
+/// executor produces: losses may be `INFINITY`/`-INFINITY`/`NaN` (poisoned
+/// or diverged trials), results may be delivered more than once (retries
+/// whose first attempt landed), and observations may arrive for trials that
+/// were never issued. Returns the issued jobs and the first loss delivered
+/// per `(trial, rung)` — the one the scheduler contract says wins.
+fn drive_hostile<S: Scheduler>(
+    mut sched: S,
+    steps: &[(u8, u8, u16)],
+    workers: usize,
+) -> (Vec<Job>, HashMap<(u64, usize), f64>) {
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut outstanding: VecDeque<Job> = VecDeque::new();
+    let mut issued = Vec::new();
+    let mut first_loss: HashMap<(u64, usize), f64> = HashMap::new();
+    for &(action, pick, raw) in steps {
+        let action = action % 8;
+        if action < 3 && outstanding.len() < workers {
+            if let Decision::Run(job) = sched.suggest(&mut rng) {
+                issued.push(job.clone());
+                outstanding.push_back(job);
+            }
+        } else if action == 3 {
+            // A report for a trial that was never issued.
+            sched.observe(Observation::new(
+                TrialId(1_000_000_000 + raw as u64),
+                (pick % 4) as usize,
+                1.0,
+                raw as f64,
+            ));
+        } else if !outstanding.is_empty() {
+            let idx = pick as usize % outstanding.len();
+            // action == 4: deliver a duplicate but keep the job outstanding,
+            // so its "real" completion arrives again later.
+            let job = if action == 4 {
+                outstanding[idx].clone()
+            } else {
+                outstanding.remove(idx).expect("index in range")
+            };
+            let loss = match raw % 8 {
+                0 => f64::INFINITY,
+                1 => f64::NAN,
+                2 => f64::NEG_INFINITY,
+                _ => raw as f64 / 16.0,
+            };
+            first_loss.entry((job.trial.0, job.rung)).or_insert(loss);
+            sched.observe(Observation::for_job(&job, loss));
+        }
+    }
+    (issued, first_loss)
+}
+
+/// Trials promoted past a rung where their accepted loss was non-finite.
+fn poisoned_promotions(issued: &[Job], first_loss: &HashMap<(u64, usize), f64>) -> Vec<u64> {
+    issued
+        .iter()
+        .filter(|job| job.rung > 0)
+        .filter(|job| {
+            first_loss
+                .get(&(job.trial.0, job.rung - 1))
+                .is_some_and(|l| !l.is_finite())
+        })
+        .map(|job| job.trial.0)
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn asha_survives_hostile_observation_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..16,
+    ) {
+        let asha = Asha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let (issued, first_loss) = drive_hostile(asha, &steps, workers);
+        let bad = poisoned_promotions(&issued, &first_loss);
+        prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+        // Duplicates are idempotent: no (trial, rung) is issued twice.
+        let mut seen = HashSet::new();
+        for job in &issued {
+            prop_assert!(
+                seen.insert((job.trial.0, job.rung)),
+                "duplicate issue of trial {} rung {}", job.trial.0, job.rung
+            );
+        }
+    }
+
+    #[test]
+    fn sync_sha_survives_hostile_observation_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..16,
+    ) {
+        let sha = SyncSha::new(space(), ShaConfig::new(9, 1.0, 9.0, 3.0).growing());
+        let (issued, first_loss) = drive_hostile(sha, &steps, workers);
+        let bad = poisoned_promotions(&issued, &first_loss);
+        prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+        let mut seen = HashSet::new();
+        for job in &issued {
+            prop_assert!(
+                seen.insert((job.trial.0, job.rung)),
+                "duplicate issue of trial {} rung {}", job.trial.0, job.rung
+            );
+        }
+    }
+
+    #[test]
+    fn async_hyperband_survives_hostile_observation_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..16,
+    ) {
+        let hb = AsyncHyperband::new(space(), HyperbandConfig::new(1.0, 27.0, 3.0));
+        let (issued, first_loss) = drive_hostile(hb, &steps, workers);
+        let bad = poisoned_promotions(&issued, &first_loss);
+        prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+    }
 
     #[test]
     fn asha_invariants_under_arbitrary_interleavings(

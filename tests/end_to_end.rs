@@ -18,11 +18,26 @@ fn all_schedulers(space: &SearchSpace, max_r: f64) -> Vec<Box<dyn Scheduler>> {
     let r = max_r / 64.0;
     vec![
         Box::new(Asha::new(space.clone(), AshaConfig::new(r, max_r, eta))),
-        Box::new(SyncSha::new(space.clone(), ShaConfig::new(n, r, max_r, eta).growing())),
-        Box::new(Hyperband::new(space.clone(), HyperbandConfig::new(r, max_r, eta))),
-        Box::new(AsyncHyperband::new(space.clone(), HyperbandConfig::new(r, max_r, eta))),
-        Box::new(bohb(space.clone(), ShaConfig::new(n, r, max_r, eta).growing())),
-        Box::new(Pbt::new(space.clone(), PbtConfig::new(8, max_r, max_r / 16.0).spawning())),
+        Box::new(SyncSha::new(
+            space.clone(),
+            ShaConfig::new(n, r, max_r, eta).growing(),
+        )),
+        Box::new(Hyperband::new(
+            space.clone(),
+            HyperbandConfig::new(r, max_r, eta),
+        )),
+        Box::new(AsyncHyperband::new(
+            space.clone(),
+            HyperbandConfig::new(r, max_r, eta),
+        )),
+        Box::new(bohb(
+            space.clone(),
+            ShaConfig::new(n, r, max_r, eta).growing(),
+        )),
+        Box::new(Pbt::new(
+            space.clone(),
+            PbtConfig::new(8, max_r, max_r / 16.0).spawning(),
+        )),
         Box::new(Vizier::new(space.clone(), VizierConfig::new(max_r))),
         Box::new(Fabolas::new(space.clone(), FabolasConfig::new(max_r))),
         Box::new(RandomSearch::new(space.clone(), max_r)),
@@ -48,9 +63,8 @@ fn every_scheduler_runs_on_every_benchmark() {
         for scheduler in all_schedulers(bench.space(), max_r) {
             let name = scheduler.name().to_owned();
             let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-            let result =
-                ClusterSim::new(SimConfig::new(8, horizon).with_max_jobs(3000))
-                    .run(scheduler, &bench, &mut rng);
+            let result = ClusterSim::new(SimConfig::new(8, horizon).with_max_jobs(3000))
+                .run(scheduler, &bench, &mut rng);
             assert!(
                 result.jobs_completed > 0,
                 "{name} completed nothing on {}",
@@ -59,7 +73,9 @@ fn every_scheduler_runs_on_every_benchmark() {
             let events = result.trace.events();
             assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
             assert!(
-                events.iter().all(|e| e.val_loss.is_finite() && e.resource > 0.0),
+                events
+                    .iter()
+                    .all(|e| e.val_loss.is_finite() && e.resource > 0.0),
                 "{name} produced malformed events on {}",
                 bench.name()
             );
@@ -116,10 +132,7 @@ fn pbt_inheritance_flows_through_the_simulator() {
     // actually transfer curve state through the simulator's checkpoint map.
     let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let pbt = Pbt::new(
-        bench.space().clone(),
-        PbtConfig::new(10, 256.0, 16.0),
-    );
+    let pbt = Pbt::new(bench.space().clone(), PbtConfig::new(10, 256.0, 16.0));
     let result = ClusterSim::new(SimConfig::new(10, 500.0)).run(pbt, &bench, &mut rng);
     let events = result.trace.events();
     // First generation: the 10 founding trials' first observations.

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 /// Mean final incumbent over a few seeds (keeps single-run noise out of CI).
 fn mean_final(bench: &CurveBenchmark, searcher: Searcher, workers: usize, horizon: f64) -> f64 {
     let mut total = 0.0;
-    let seeds = [11, 22, 33];
+    let seeds = [11, 22, 33, 44, 55];
     for &seed in &seeds {
         let outcome = SimTune::new(bench)
             .searcher(searcher.clone())
@@ -113,11 +113,29 @@ fn by_rung_accounting_never_trails_by_bracket() {
         .run();
     let by_rung = outcome.trace.incumbent_curve();
     let by_bracket = outcome.trace.incumbent_curve_by_bracket();
-    for t in [50.0, 100.0, 200.0, 300.0, 400.0, 500.0] {
-        let r = by_rung.eval_or(t, f64::INFINITY);
-        let b = by_bracket.eval_or(t, f64::INFINITY);
-        assert!(r <= b, "at t={t}: by-rung {r} vs by-bracket {b}");
+    // "Earlier" is about *when* the incumbent is revealed, not a pointwise
+    // ordering of test losses: both curves plot the test loss of the best
+    // *validation* config, so observation noise can make a newer incumbent's
+    // test loss momentarily worse than a stale one's. The invariant that does
+    // hold on any trace: every value by-bracket reveals was already revealed
+    // by-rung at an earlier (or equal) time.
+    assert!(!by_bracket.points().is_empty(), "by-bracket curve is empty");
+    for &(tb, v) in by_bracket.points() {
+        let revealed_earlier = by_rung
+            .points()
+            .iter()
+            .any(|&(tr, vr)| tr <= tb && vr.to_bits() == v.to_bits());
+        assert!(
+            revealed_earlier,
+            "by-bracket value {v} at t={tb} was never revealed earlier by-rung"
+        );
     }
+    // Both accountings agree on the final incumbent.
+    assert_eq!(
+        by_rung.last_value().map(f64::to_bits),
+        by_bracket.last_value().map(f64::to_bits),
+        "final incumbents disagree"
+    );
 }
 
 #[test]

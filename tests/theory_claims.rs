@@ -28,9 +28,8 @@ fn first_full_r_time(
     workers: usize,
 ) -> f64 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let sim = ClusterSim::new(
-        SimConfig::new(workers, 100.0).with_resume(ResumePolicy::FromScratch),
-    );
+    let sim =
+        ClusterSim::new(SimConfig::new(workers, 100.0).with_resume(ResumePolicy::FromScratch));
     let result = sim.run(scheduler, bench, &mut rng);
     result
         .trace

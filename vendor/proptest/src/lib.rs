@@ -1,0 +1,580 @@
+//! Offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest it uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `Just`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   assertion message; it is not minimized. Every `proptest!` run is seeded
+//!   deterministically from the test's name, so a failure reproduces exactly
+//!   under `cargo test`.
+//! * **No persistence.** `.proptest-regressions` files are neither read nor
+//!   written.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+#[doc(hidden)]
+pub use rand;
+
+use rand::{Rng as _, RngCore, SampleUniform};
+
+/// Strategy combinators and supporting types.
+pub mod strategy {
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree: a strategy simply draws a
+    /// value from an RNG (no shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut dyn RngCore) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// around it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discard generated values failing `f` (regenerates, bounded).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 straight candidates: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Always generates a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut dyn RngCore) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the (non-empty) list of branches.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> V {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> T {
+            T::sample_closed(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A => 0);
+    impl_tuple_strategy!(A => 0, B => 1);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the type's full domain.
+        fn arbitrary(rng: &mut dyn RngCore) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut dyn RngCore) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut dyn RngCore) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut dyn RngCore) -> f64 {
+            // Finite values only: uniform sign/magnitude over a wide span.
+            let mag = rng.gen::<f64>() * 1e9;
+            if rng.next_u64() & 1 == 1 {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`](super::any).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The whole-domain strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::{Rng as _, RngCore};
+
+    /// A length specification: an exact `usize` or a `Range<usize>`.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut dyn RngCore) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// Controls how many cases each `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` works after a glob
+    /// import, as it does with upstream's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert inside a `proptest!` body; on failure the case (not the whole
+/// process) fails with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} ({:?} vs {:?})",
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Assert two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ..) { .. }`
+/// becomes a normal test running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_impl!($config; $($body)*);
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_impl!(
+            <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($body)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            // Deterministic per-test seed: FNV-1a over the test name.
+            let __seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1_0000_0000_01b3)
+                });
+            let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0, z in 5u64..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((5..=9).contains(&z));
+        }
+
+        #[test]
+        fn combinators_compose(xs in prop::collection::vec(evens(), 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for x in xs {
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+
+        #[test]
+        fn tuples_and_any(t in (any::<bool>(), any::<u8>(), 0u16..99), mut n in 0usize..4) {
+            n += 1;
+            prop_assert!(n >= 1);
+            prop_assert!(t.2 < 99);
+        }
+
+        #[test]
+        fn oneof_union_covers_branches(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!((1..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let strat = (1usize..6)
+            .prop_flat_map(|n| prop::collection::vec(0u8..10, n))
+            .boxed();
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        // No #[test] attribute on the inner fn: it is invoked directly below
+        // (a nested #[test] would be unrunnable anyway).
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x >= 10, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("always_fails"), "{msg}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Offline, API-compatible subset of the [`rand`] crate (version 0.8 line).
+//!
+//! The build environment has no network access and no crates-io mirror, so
+//! the workspace vendors the small slice of `rand`'s API that it actually
+//! uses: [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream's ChaCha12, but with the same contract the workspace
+//! relies on: deterministic given the seed, uniform, and fast. Everything in
+//! the workspace that depends on exact reproducibility derives it from the
+//! seed, never from a particular generator family.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator, object-safe so schedulers can take
+/// `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed material (byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanding it over the full seed via
+    /// SplitMix64 (mirrors upstream's behaviour of never mapping two inputs
+    /// to the same state).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander (public only within the crate).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+mod sample {
+    //! `gen_range` support: uniform sampling over the primitive ranges the
+    //! workspace uses.
+
+    use super::RngCore;
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Draw uniformly from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Draw uniformly from `[low, high]`.
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Draw a `u64` uniformly below `bound` (Lemire-style rejection, without
+    /// the 128-bit multiply fast path — this is not a hot loop).
+    fn u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the draw exactly uniform.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    (low as $wide).wrapping_add(u64_below(rng, span) as $wide) as $t
+                }
+
+                fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as $wide).wrapping_add(u64_below(rng, span + 1) as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_uniform!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+            assert!(low < high, "gen_range: empty range");
+            let u = super::unit_f64(rng.next_u64());
+            low + u * (high - low)
+        }
+
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+            assert!(low <= high, "gen_range: empty range");
+            let u = super::unit_f64(rng.next_u64());
+            low + u * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+            f64::sample_half_open(rng, low as f64, high as f64) as f32
+        }
+
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+            f64::sample_closed(rng, low as f64, high as f64) as f32
+        }
+    }
+
+    /// A range usable with [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draw a value from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_closed(rng, low, high)
+        }
+    }
+}
+
+pub use sample::{SampleRange, SampleUniform};
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution of upstream
+/// `rand`).
+pub trait StandardSample {
+    /// Draw one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods on every [`RngCore`]; mirrors upstream's `Rng`.
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` (uniform over the type's standard domain;
+    /// `f64` is uniform on `[0, 1)`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draw uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand`'s `StdRng` (ChaCha12), but the
+    /// workspace never depends on a particular stream — only on determinism
+    /// given the seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xB7E1_5162_8AED_2A6B,
+                    0x243F_6A88_85A3_08D3,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias kept for code written against `rand`'s `SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(draws.iter().any(|&x| x < 0.01));
+        assert!(draws.iter().any(|&x| x > 0.99));
+    }
+
+    #[test]
+    fn gen_range_is_uniform_enough_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800 && c < 1200), "{counts:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&v));
+            let w = rng.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-10i64..-3);
+            assert!((-10..-3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen::<f64>();
+        assert!((0.0..1.0).contains(&x));
+        let mut bytes = [0u8; 13];
+        dyn_rng.fill_bytes(&mut bytes);
+        assert!(bytes.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seed_expansion_avoids_zero_state() {
+        // from_seed on an all-zero seed must still produce a working rng.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline marker-trait subset of [`serde`].
+//!
+//! The build environment has no network access, and nothing in the workspace
+//! actually serializes data — `serde` appears only as derive attributes and
+//! generic trait bounds (e.g. `T: Serialize + DeserializeOwned`). This stub
+//! therefore implements `Serialize` and `Deserialize` as blanket marker
+//! traits and re-exports no-op derive macros, which is exactly enough for
+//! every bound and `#[derive(..)]` in the tree to compile. If a future PR
+//! needs a real wire format, it should vendor a real implementation.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`; blanket-implemented for
+/// every type since no serialization format is exercised offline.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`; blanket-implemented
+/// for every type since no deserialization is exercised offline.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de` with the `DeserializeOwned` convenience bound.
+pub mod de {
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+
+    pub use super::Deserialize;
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

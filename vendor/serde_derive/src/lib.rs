@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored serde
+//! stub. The workspace's vendored `serde` implements `Serialize` and
+//! `Deserialize` as blanket marker traits, so the derives have nothing to
+//! generate — they only need to exist (and accept `#[serde(...)]` attributes)
+//! so that `#[derive(..)]` and field attributes compile.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing (the vendored `serde::Serialize` is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing (the vendored `serde::Deserialize` is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
