@@ -10,7 +10,9 @@
 //!    2018); this sweeps `s = 0..=3` on benchmark 2.
 //! 4. **Reduction factor `eta`** — 2 vs 4 vs 8 on the same budget.
 
-use asha_bench::{print_comparison, run_experiment, ExperimentConfig, MethodSpec};
+use asha_bench::{
+    print_comparison, run_experiment_parallel, threads_from_args, ExperimentConfig, MethodSpec,
+};
 use asha_core::{Asha, AshaConfig, ScanOrder};
 use asha_sim::{ResumePolicy, SimConfig};
 use asha_surrogate::{presets, BenchmarkModel};
@@ -36,7 +38,7 @@ fn main() {
         }),
     ];
     let cfg = ExperimentConfig::new(25, 150.0, 5, 0.9);
-    let results = run_experiment(&bench, &methods, &cfg);
+    let results = run_experiment_parallel(&bench, &methods, &cfg, threads_from_args());
     print_comparison(
         "Ablation 1 — promotion scan order (benchmark 2, 25 workers)",
         &results,
@@ -52,8 +54,8 @@ fn main() {
     ckpt_cfg.sim_tweak = |c: SimConfig| c.with_resume(ResumePolicy::Checkpoint);
     let mut scratch_cfg = ExperimentConfig::new(25, 150.0, 5, 0.9);
     scratch_cfg.sim_tweak = |c: SimConfig| c.with_resume(ResumePolicy::FromScratch);
-    let ckpt = run_experiment(&bench, &methods, &ckpt_cfg);
-    let scratch = run_experiment(&bench, &methods, &scratch_cfg);
+    let ckpt = run_experiment_parallel(&bench, &methods, &ckpt_cfg, threads_from_args());
+    let scratch = run_experiment_parallel(&bench, &methods, &scratch_cfg, threads_from_args());
     println!("\n== Ablation 2 — resume policy (benchmark 2, 25 workers) ==");
     println!("{:>22} {:>14} {:>14}", "", "checkpoint", "from-scratch");
     println!(
@@ -76,7 +78,7 @@ fn main() {
             })
         })
         .collect();
-    let results = run_experiment(&bench, &methods, &cfg);
+    let results = run_experiment_parallel(&bench, &methods, &cfg, threads_from_args());
     print_comparison(
         "Ablation 3 — early-stopping rate (benchmark 2, 25 workers)",
         &results,
@@ -93,7 +95,7 @@ fn main() {
             })
         })
         .collect();
-    let results = run_experiment(&bench, &methods, &cfg);
+    let results = run_experiment_parallel(&bench, &methods, &cfg, threads_from_args());
     print_comparison(
         "Ablation 4 — reduction factor (benchmark 2, 25 workers)",
         &results,

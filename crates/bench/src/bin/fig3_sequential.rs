@@ -8,8 +8,8 @@
 
 use asha_baselines::{bohb, Pbt, PbtConfig};
 use asha_bench::{
-    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
-    MethodSpec,
+    print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
+    write_results, ExperimentConfig, MethodSpec,
 };
 use asha_core::{
     Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha,
@@ -69,7 +69,8 @@ fn methods(space: &SearchSpace) -> Vec<MethodSpec> {
 
 fn run(bench: &CurveBenchmark, default_loss: f64, threshold: f64, stem: &str) {
     let cfg = ExperimentConfig::new(1, 2500.0, 10, default_loss);
-    let results = run_experiment(bench, &methods(bench.space()), &cfg);
+    let results =
+        run_experiment_parallel(bench, &methods(bench.space()), &cfg, threads_from_args());
     print_comparison(
         &format!(
             "Figure 3 — {} (1 worker, mean of 10 trials, test error)",

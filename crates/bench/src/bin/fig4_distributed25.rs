@@ -10,8 +10,8 @@
 
 use asha_baselines::{bohb, Pbt, PbtConfig};
 use asha_bench::{
-    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
-    MethodSpec,
+    print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
+    write_results, ExperimentConfig, MethodSpec,
 };
 use asha_core::{Asha, AshaConfig, ShaConfig, SyncSha};
 use asha_space::SearchSpace;
@@ -60,7 +60,8 @@ fn methods(space: &SearchSpace) -> Vec<MethodSpec> {
 
 fn run(bench: &CurveBenchmark, default_loss: f64, threshold: f64, stem: &str) {
     let cfg = ExperimentConfig::new(25, 150.0, 5, default_loss);
-    let results = run_experiment(bench, &methods(bench.space()), &cfg);
+    let results =
+        run_experiment_parallel(bench, &methods(bench.space()), &cfg, threads_from_args());
     print_comparison(
         &format!(
             "Figure 4 — {} (25 workers, 150 min, mean of 5 trials, test error)",

@@ -9,8 +9,8 @@
 
 use asha_baselines::{Vizier, VizierConfig};
 use asha_bench::{
-    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
-    MethodSpec,
+    print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
+    write_results, ExperimentConfig, MethodSpec,
 };
 use asha_core::{Asha, AshaConfig, AsyncHyperband, HyperbandConfig};
 use asha_surrogate::{presets, BenchmarkModel};
@@ -46,7 +46,7 @@ fn main() {
     // Horizon 6 x time(R); the surrogate's time unit *is* time(R).
     let mut cfg = ExperimentConfig::new(500, 6.0, 5, 1000.0);
     cfg.grid_points = 120;
-    let results = run_experiment(&bench, &methods, &cfg);
+    let results = run_experiment_parallel(&bench, &methods, &cfg, threads_from_args());
     print_comparison(
         "Figure 5 — LSTM on PTB (500 workers, units of time(R), perplexity)",
         &results,

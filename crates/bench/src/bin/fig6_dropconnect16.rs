@@ -6,8 +6,8 @@
 
 use asha_baselines::{Pbt, PbtConfig};
 use asha_bench::{
-    print_comparison, print_time_to_reach, run_experiment, write_results, ExperimentConfig,
-    MethodSpec,
+    print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
+    write_results, ExperimentConfig, MethodSpec,
 };
 use asha_core::{Asha, AshaConfig};
 use asha_surrogate::{presets, BenchmarkModel};
@@ -29,7 +29,7 @@ fn main() {
         }),
     ];
     let cfg = ExperimentConfig::new(16, 1400.0, 5, 110.0);
-    let results = run_experiment(&bench, &methods, &cfg);
+    let results = run_experiment_parallel(&bench, &methods, &cfg, threads_from_args());
     print_comparison(
         "Figure 6 — LSTM with DropConnect on PTB (16 workers, minutes, validation perplexity)",
         &results,

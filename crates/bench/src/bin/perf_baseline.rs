@@ -1,0 +1,264 @@
+//! Perf baseline: measures the two hot paths every large-scale experiment
+//! leans on — simulator event throughput and scheduler suggest+observe
+//! throughput — plus the parallel-runner speedup on a multi-method sweep,
+//! and writes the numbers to `BENCH_sim.json` so the perf trajectory is
+//! recorded PR over PR.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asha-bench --bin perf_baseline            # full
+//! cargo run --release -p asha-bench --bin perf_baseline -- --smoke # CI-sized
+//!     [--threads N]    worker threads for the parallel sweep (0 = all cores)
+//!     [--out PATH]     output path (default BENCH_sim.json)
+//! ```
+//!
+//! Numbers are wall-clock on whatever machine runs the binary; treat them as
+//! a trajectory (same-machine ratios PR over PR), not absolute truth.
+
+use std::time::Instant;
+
+use asha_bench::{
+    run_experiment, run_experiment_parallel, threads_from_args, ExperimentConfig, MethodSpec,
+};
+use asha_core::{
+    Asha, AshaConfig, AsyncHyperband, HyperbandConfig, Observation, Scheduler, ShaConfig, SyncSha,
+};
+use asha_metrics::JsonValue;
+use asha_sim::{ClusterSim, SimConfig, TraceMode};
+use asha_space::SearchSpace;
+use asha_surrogate::{presets, BenchmarkModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const R: f64 = 256.0;
+const ETA: f64 = 4.0;
+
+struct Opts {
+    smoke: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        threads: threads_from_args(),
+        out: "BENCH_sim.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    opts.out = path;
+                }
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+/// Simulator throughput: completed jobs per wall-clock second for one ASHA
+/// run at the given scale and trace mode.
+fn sim_throughput(
+    bench: &dyn BenchmarkModel,
+    workers: usize,
+    horizon: f64,
+    mode: TraceMode,
+) -> JsonValue {
+    let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA));
+    let sim = ClusterSim::new(SimConfig::new(workers, horizon).with_trace_mode(mode));
+    let mut rng = StdRng::seed_from_u64(0);
+    let start = Instant::now();
+    let result = sim.run(asha, bench, &mut rng);
+    let secs = start.elapsed().as_secs_f64();
+    let events_per_sec = result.jobs_completed as f64 / secs.max(1e-9);
+    let mode_name = match mode {
+        TraceMode::Full => "full",
+        TraceMode::IncumbentOnly => "incumbent_only",
+        TraceMode::Aggregated => "aggregated",
+    };
+    println!(
+        "  sim {workers:>3} workers, trace {mode_name:<14}: {:>9} jobs in {secs:>7.3}s = {events_per_sec:>12.0} events/s",
+        result.jobs_completed
+    );
+    JsonValue::obj([
+        ("workers", JsonValue::Int(workers as u64)),
+        ("trace_mode", JsonValue::Str(mode_name.to_owned())),
+        ("horizon", JsonValue::Num(horizon)),
+        (
+            "jobs_completed",
+            JsonValue::Int(result.jobs_completed as u64),
+        ),
+        ("trace_events", JsonValue::Int(result.trace.len() as u64)),
+        ("wall_secs", JsonValue::Num(secs)),
+        ("events_per_sec", JsonValue::Num(events_per_sec)),
+    ])
+}
+
+/// Scheduler throughput: suggest+observe round trips per second against a
+/// synthetic loss stream (no simulator in the loop).
+fn scheduler_throughput(name: &str, mut scheduler: Box<dyn Scheduler>, rounds: usize) -> JsonValue {
+    let mut rng = StdRng::seed_from_u64(1);
+    let start = Instant::now();
+    let mut issued = 0usize;
+    for i in 0..rounds {
+        let Some(job) = scheduler.suggest(&mut rng).job() else {
+            break;
+        };
+        scheduler.observe(Observation::for_job(&job, (i % 997) as f64));
+        issued += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let per_sec = issued as f64 / secs.max(1e-9);
+    println!(
+        "  scheduler {name:<16}: {issued:>8} round trips in {secs:>7.3}s = {per_sec:>12.0} suggests/s"
+    );
+    JsonValue::obj([
+        ("name", JsonValue::Str(name.to_owned())),
+        ("round_trips", JsonValue::Int(issued as u64)),
+        ("wall_secs", JsonValue::Num(secs)),
+        ("suggests_per_sec", JsonValue::Num(per_sec)),
+    ])
+}
+
+fn sweep_methods(space: &SearchSpace) -> Vec<MethodSpec> {
+    let s1 = space.clone();
+    let s2 = space.clone();
+    let s3 = space.clone();
+    vec![
+        MethodSpec::new("ASHA", move || {
+            Asha::new(s1.clone(), AshaConfig::new(1.0, R, ETA))
+        }),
+        MethodSpec::new("SHA", move || {
+            SyncSha::new(s2.clone(), ShaConfig::new(256, 1.0, R, ETA).growing())
+        }),
+        MethodSpec::new("AsyncHB", move || {
+            AsyncHyperband::new(
+                s3.clone(),
+                HyperbandConfig::new(1.0, R, ETA).with_brackets(4),
+            )
+        }),
+    ]
+}
+
+/// Sequential vs parallel runner on a multi-method sweep, with an output
+/// equality check so a wrong-but-fast parallel path can never post a number.
+fn sweep_speedup(bench: &dyn BenchmarkModel, cfg: &ExperimentConfig, threads: usize) -> JsonValue {
+    let start = Instant::now();
+    let sequential = run_experiment(bench, &sweep_methods(bench.space()), cfg);
+    let seq_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = run_experiment_parallel(bench, &sweep_methods(bench.space()), cfg, threads);
+    let par_secs = start.elapsed().as_secs_f64();
+
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            s.aggregate.mean, p.aggregate.mean,
+            "parallel runner diverged on {}",
+            s.name
+        );
+        assert_eq!(
+            s.mean_jobs, p.mean_jobs,
+            "parallel runner diverged on {}",
+            s.name
+        );
+    }
+    let resolved = asha_bench::ParallelRunner::new(threads).threads();
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!(
+        "  sweep {} methods x {} trials, {} workers: sequential {seq_secs:.3}s, parallel({resolved} threads) {par_secs:.3}s = {speedup:.2}x",
+        sequential.len(),
+        cfg.trials,
+        cfg.workers
+    );
+    JsonValue::obj([
+        ("methods", JsonValue::Int(sequential.len() as u64)),
+        ("trials", JsonValue::Int(cfg.trials as u64)),
+        ("workers", JsonValue::Int(cfg.workers as u64)),
+        ("horizon", JsonValue::Num(cfg.horizon)),
+        ("threads", JsonValue::Int(resolved as u64)),
+        ("sequential_secs", JsonValue::Num(seq_secs)),
+        ("parallel_secs", JsonValue::Num(par_secs)),
+        ("speedup", JsonValue::Num(speedup)),
+        ("outputs_identical", JsonValue::Bool(true)),
+    ])
+}
+
+fn main() {
+    let opts = parse_opts();
+    let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+    println!(
+        "perf_baseline ({}) on {}...",
+        if opts.smoke { "smoke" } else { "full" },
+        bench.name()
+    );
+
+    // Simulator event-loop throughput at the paper's two worker regimes.
+    let horizon = if opts.smoke { 60.0 } else { 600.0 };
+    let mut sim_rows = Vec::new();
+    for &workers in &[25usize, 500] {
+        for &mode in &[TraceMode::Full, TraceMode::IncumbentOnly] {
+            sim_rows.push(sim_throughput(&bench, workers, horizon, mode));
+        }
+    }
+
+    // Scheduler round-trip throughput (the `suggest` promotion scan is the
+    // algorithmic hot path; see asha-core::rung).
+    let rounds = if opts.smoke { 20_000 } else { 200_000 };
+    let space = bench.space().clone();
+    let scheduler_rows = vec![
+        scheduler_throughput(
+            "ASHA",
+            Box::new(Asha::new(space.clone(), AshaConfig::new(1.0, R, ETA))),
+            rounds,
+        ),
+        scheduler_throughput(
+            "SyncSHA",
+            Box::new(SyncSha::new(
+                space.clone(),
+                ShaConfig::new(256, 1.0, R, ETA).growing(),
+            )),
+            rounds,
+        ),
+        scheduler_throughput(
+            "AsyncHyperband",
+            Box::new(AsyncHyperband::new(
+                space.clone(),
+                HyperbandConfig::new(1.0, R, ETA).with_brackets(4),
+            )),
+            rounds,
+        ),
+    ];
+
+    // Parallel sweep speedup.
+    let cfg = if opts.smoke {
+        ExperimentConfig::new(25, 30.0, 2, 0.65)
+    } else {
+        ExperimentConfig::new(25, 150.0, 8, 0.65)
+    };
+    let sweep = sweep_speedup(&bench, &cfg, opts.threads);
+
+    let report = JsonValue::obj([
+        ("schema", JsonValue::Str("asha-perf-baseline-v1".to_owned())),
+        (
+            "mode",
+            JsonValue::Str(if opts.smoke { "smoke" } else { "full" }.to_owned()),
+        ),
+        ("benchmark", JsonValue::Str(bench.name().to_owned())),
+        ("sim", JsonValue::Arr(sim_rows)),
+        ("scheduler", JsonValue::Arr(scheduler_rows)),
+        ("sweep", sweep),
+    ]);
+    match asha_metrics::write_json(&opts.out, &report) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

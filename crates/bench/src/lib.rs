@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use asha_core::Scheduler;
 use asha_metrics::{aggregate, uniform_grid, AggregateCurve, StepCurve};
 use asha_sim::{ClusterSim, SimConfig};
@@ -17,18 +20,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A named scheduler factory: builds a fresh scheduler per trial.
+///
+/// The factory is `Send + Sync` so the [`ParallelRunner`] can invoke it from
+/// any worker thread; factories only capture plain data (search spaces,
+/// scalar settings), so this costs callers nothing.
 pub struct MethodSpec {
     /// Display name used in tables and CSV files.
     pub name: String,
     /// Factory invoked once per trial.
-    pub factory: Box<dyn Fn() -> Box<dyn Scheduler>>,
+    pub factory: Box<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>,
 }
 
 impl MethodSpec {
     /// Convenience constructor.
     pub fn new<F, S>(name: &str, factory: F) -> Self
     where
-        F: Fn() -> S + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
         S: Scheduler + 'static,
     {
         MethodSpec {
@@ -86,7 +93,60 @@ pub struct MethodResult {
     pub mean_configs: f64,
 }
 
-/// Run every method for `cfg.trials` trials on `bench` and aggregate.
+/// Output of one (method, trial) cell — the unit of work both runners share.
+struct CellOutcome {
+    curve: StepCurve,
+    jobs: usize,
+    configs: usize,
+}
+
+/// Run trial `t` of one method: the exact recipe both the sequential and the
+/// parallel runner execute, so their outputs are identical by construction.
+fn run_cell(
+    bench: &dyn BenchmarkModel,
+    method: &MethodSpec,
+    cfg: &ExperimentConfig,
+    t: usize,
+) -> CellOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed + t as u64);
+    let scheduler = (method.factory)();
+    let sim = ClusterSim::new((cfg.sim_tweak)(SimConfig::new(cfg.workers, cfg.horizon)));
+    let result = sim.run(scheduler, bench, &mut rng);
+    CellOutcome {
+        curve: result.trace.incumbent_curve(),
+        jobs: result.jobs_completed,
+        configs: result.distinct_trials,
+    }
+}
+
+/// Fold one method's per-trial outcomes (in trial order) into a
+/// [`MethodResult`].
+fn assemble_method(
+    name: &str,
+    outcomes: Vec<CellOutcome>,
+    cfg: &ExperimentConfig,
+    grid: &[f64],
+) -> MethodResult {
+    let mut curves = Vec::with_capacity(outcomes.len());
+    let mut jobs = 0usize;
+    let mut configs = 0usize;
+    for outcome in outcomes {
+        jobs += outcome.jobs;
+        configs += outcome.configs;
+        curves.push(outcome.curve);
+    }
+    let agg = aggregate(&curves, grid, cfg.default_loss);
+    MethodResult {
+        name: name.to_owned(),
+        curves,
+        aggregate: agg,
+        mean_jobs: jobs as f64 / cfg.trials as f64,
+        mean_configs: configs as f64 / cfg.trials as f64,
+    }
+}
+
+/// Run every method for `cfg.trials` trials on `bench` and aggregate,
+/// sequentially on the calling thread.
 pub fn run_experiment(
     bench: &dyn BenchmarkModel,
     methods: &[MethodSpec],
@@ -96,29 +156,123 @@ pub fn run_experiment(
     methods
         .iter()
         .map(|m| {
-            let mut curves = Vec::with_capacity(cfg.trials);
-            let mut jobs = 0usize;
-            let mut configs = 0usize;
-            for t in 0..cfg.trials {
-                let mut rng = StdRng::seed_from_u64(cfg.base_seed + t as u64);
-                let scheduler = (m.factory)();
-                let sim =
-                    ClusterSim::new((cfg.sim_tweak)(SimConfig::new(cfg.workers, cfg.horizon)));
-                let result = sim.run(scheduler, bench, &mut rng);
-                jobs += result.jobs_completed;
-                configs += result.trace.distinct_trials();
-                curves.push(result.trace.incumbent_curve());
-            }
-            let agg = aggregate(&curves, &grid, cfg.default_loss);
-            MethodResult {
-                name: m.name.clone(),
-                curves,
-                aggregate: agg,
-                mean_jobs: jobs as f64 / cfg.trials as f64,
-                mean_configs: configs as f64 / cfg.trials as f64,
-            }
+            let outcomes = (0..cfg.trials)
+                .map(|t| run_cell(bench, m, cfg, t))
+                .collect();
+            assemble_method(&m.name, outcomes, cfg, &grid)
         })
         .collect()
+}
+
+/// A deterministic multicore experiment runner.
+///
+/// Every (method, trial) cell of an experiment is independent: trial `t` of
+/// any method always seeds its own `StdRng` with `base_seed + t`, and the
+/// simulator is deterministic given that stream. The runner therefore fans
+/// the cells across `threads` scoped worker threads with a shared atomic
+/// cursor, stores each outcome in its cell's slot (indexed by cell, never by
+/// arrival), and assembles per-method results in trial order afterwards —
+/// producing **bitwise-identical** output to [`run_experiment`] for any
+/// thread count and any completion order.
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// A runner over `threads` worker threads; `0` means one per available
+    /// hardware thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        ParallelRunner { threads }
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every method for `cfg.trials` trials on `bench` and aggregate.
+    /// Same contract and output as [`run_experiment`]; only wall-clock
+    /// differs.
+    pub fn run(
+        &self,
+        bench: &dyn BenchmarkModel,
+        methods: &[MethodSpec],
+        cfg: &ExperimentConfig,
+    ) -> Vec<MethodResult> {
+        let grid = uniform_grid(cfg.horizon, cfg.grid_points);
+        let cells = methods.len() * cfg.trials;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(cells.max(1)) {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= cells {
+                        break;
+                    }
+                    let (m, t) = (cell / cfg.trials, cell % cfg.trials);
+                    let outcome = run_cell(bench, &methods[m], cfg, t);
+                    *slots[cell].lock().expect("cell slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let mut slots = slots.into_iter();
+        methods
+            .iter()
+            .map(|m| {
+                let outcomes = (0..cfg.trials)
+                    .map(|_| {
+                        slots
+                            .next()
+                            .expect("one slot per cell")
+                            .into_inner()
+                            .expect("cell slot poisoned")
+                            .expect("every cell was computed")
+                    })
+                    .collect();
+                assemble_method(&m.name, outcomes, cfg, &grid)
+            })
+            .collect()
+    }
+}
+
+/// Run the experiment on `threads` worker threads (`0` = all hardware
+/// threads); see [`ParallelRunner`] for the determinism contract.
+pub fn run_experiment_parallel(
+    bench: &dyn BenchmarkModel,
+    methods: &[MethodSpec],
+    cfg: &ExperimentConfig,
+    threads: usize,
+) -> Vec<MethodResult> {
+    ParallelRunner::new(threads).run(bench, methods, cfg)
+}
+
+/// Thread-count knob shared by the experiment binaries: `--threads N` (or
+/// `--threads=N`) on the command line, else the `ASHA_THREADS` environment
+/// variable, else `0` (one thread per core — [`ParallelRunner::new`]
+/// resolves it).
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(rest) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = rest.parse() {
+                return n;
+            }
+        }
+    }
+    std::env::var("ASHA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Print a fixed-width comparison table: one row per sampled time, one
@@ -169,6 +323,16 @@ pub fn print_time_to_reach(results: &[MethodResult], threshold: f64) {
 
 /// Write every method's aggregate to `results/<file_stem>_<method>.csv`.
 pub fn write_results(file_stem: &str, results: &[MethodResult]) {
+    write_results_to("results", file_stem, results);
+}
+
+/// Write every method's aggregate to `<dir>/<file_stem>_<method>.csv` —
+/// same format as [`write_results`] with an explicit output directory.
+pub fn write_results_to(
+    dir: impl AsRef<std::path::Path>,
+    file_stem: &str,
+    results: &[MethodResult],
+) {
     for r in results {
         let rows: Vec<Vec<f64>> = r
             .aggregate
@@ -197,7 +361,7 @@ pub fn write_results(file_stem: &str, results: &[MethodResult]) {
                 }
             })
             .collect();
-        let path = format!("results/{file_stem}_{slug}.csv");
+        let path = dir.as_ref().join(format!("{file_stem}_{slug}.csv"));
         if let Err(e) =
             asha_metrics::write_csv(&path, &["time", "mean", "q25", "q75", "min", "max"], &rows)
         {

@@ -73,6 +73,126 @@ pub fn write_csv(
     out.flush().map_err(wrap)
 }
 
+/// A JSON value for small structured reports (perf baselines, run
+/// summaries). The vendored `serde` stub has no serializer, so exports that
+/// need machine-readable output build one of these and render it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A finite number (NaN/inf render as `null`, which JSON requires).
+    Num(f64),
+    /// An integer, rendered without a decimal point.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order is preserved for stable diffs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Int(v) => out.push_str(&format!("{v}")),
+            JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    JsonValue::Str(key.clone()).write_into(out, indent + 1);
+                    out.push_str(": ");
+                    value.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write a [`JsonValue`] to a file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] (the crate's generic export error) on I/O failure.
+pub fn write_json(path: impl AsRef<Path>, value: &JsonValue) -> Result<(), CsvError> {
+    let path = path.as_ref();
+    let wrap = |source: std::io::Error| CsvError {
+        path: path.display().to_string(),
+        source,
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(wrap)?;
+        }
+    }
+    std::fs::write(path, value.render()).map_err(wrap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +222,43 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("x.csv"), "{msg}");
         assert!(err.source().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_renders_all_value_kinds() {
+        let v = JsonValue::obj([
+            ("num", JsonValue::Num(1.5)),
+            ("int", JsonValue::Int(42)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("flag", JsonValue::Bool(true)),
+            ("text", JsonValue::Str("a\"b\n".to_owned())),
+            (
+                "arr",
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+            ("empty_arr", JsonValue::Arr(vec![])),
+            ("empty_obj", JsonValue::Obj(vec![])),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"num\": 1.5"), "{text}");
+        assert!(text.contains("\"int\": 42"), "{text}");
+        assert!(text.contains("\"nan\": null"), "{text}");
+        assert!(text.contains("\"flag\": true"), "{text}");
+        assert!(text.contains("\\\"b\\n"), "{text}");
+        assert!(text.contains("\"empty_arr\": []"), "{text}");
+        assert!(text.contains("\"empty_obj\": {}"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_file() {
+        let dir = std::env::temp_dir().join("asha-metrics-json-test");
+        let path = dir.join("report.json");
+        let v = JsonValue::obj([("a", JsonValue::Arr(vec![JsonValue::Num(0.25)]))]);
+        write_json(&path, &v).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, v.render());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,6 +14,8 @@
 //! * [`aggregate`] — mean/quantile/min/max envelopes of several curves on a
 //!   shared time grid (the shaded bands of Figures 3–6 and 9).
 //! * [`write_csv`] — plain CSV export used by the benchmark harness.
+//! * [`write_json`] / [`JsonValue`] — hand-rolled JSON export for small
+//!   structured reports (the perf-baseline trajectory `BENCH_sim.json`).
 //!
 //! # Examples
 //!
@@ -40,6 +42,6 @@ mod faults;
 mod trace;
 
 pub use curve::{aggregate, uniform_grid, AggregateCurve, StepCurve};
-pub use export::{write_csv, CsvError};
+pub use export::{write_csv, write_json, CsvError, JsonValue};
 pub use faults::FaultStats;
 pub use trace::{RunTrace, TraceEvent};

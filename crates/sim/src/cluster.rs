@@ -19,6 +19,31 @@ pub enum ResumePolicy {
     FromScratch,
 }
 
+/// How much of the completion stream a run records.
+///
+/// Long-horizon runs complete up to [`SimConfig::max_jobs`] (5M) jobs, and a
+/// [`TraceEvent`] per completion dominates memory well before the event loop
+/// dominates time. The incumbent curve — what every experiment actually
+/// plots — only changes O(incumbent-updates) times, so leaner modes keep
+/// exactly what downstream analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record every completion: O(jobs) memory. The default.
+    #[default]
+    Full,
+    /// Record only completions that improve the best validation loss so far:
+    /// O(incumbent-updates) memory. [`RunTrace::incumbent_curve`] is
+    /// identical to [`TraceMode::Full`]'s; per-job analyses (rung counts,
+    /// `configs_trained_to`) see only the incumbent subsequence.
+    ///
+    /// [`RunTrace::incumbent_curve`]: asha_metrics::RunTrace::incumbent_curve
+    IncumbentOnly,
+    /// Record no events at all: O(1) memory. Only the scalar aggregates on
+    /// [`SimResult`] (`jobs_completed`, `distinct_trials`, `best_config`,
+    /// `end_time`, faults) survive.
+    Aggregated,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -35,6 +60,8 @@ pub struct SimConfig {
     pub drop_prob: f64,
     /// Whether promoted trials resume from checkpoints or retrain.
     pub resume: ResumePolicy,
+    /// How much of the completion stream to record.
+    pub trace_mode: TraceMode,
 }
 
 impl SimConfig {
@@ -54,6 +81,7 @@ impl SimConfig {
             straggler_std: 0.0,
             drop_prob: 0.0,
             resume: ResumePolicy::Checkpoint,
+            trace_mode: TraceMode::Full,
         }
     }
 
@@ -85,17 +113,28 @@ impl SimConfig {
         self.max_jobs = max_jobs;
         self
     }
+
+    /// Select how much of the completion stream to record.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
 }
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Every job completion, in simulated-time order.
+    /// Job completions in simulated-time order; which completions are
+    /// present depends on [`SimConfig::trace_mode`].
     pub trace: RunTrace,
     /// Simulated time when the run stopped.
     pub end_time: f64,
     /// Jobs that ran to completion.
     pub jobs_completed: usize,
+    /// Distinct trials with at least one completed job. Maintained online,
+    /// so it is exact in every [`TraceMode`] (unlike
+    /// `trace.distinct_trials()`, which only sees recorded events).
+    pub distinct_trials: usize,
     /// Fault tally, using the same semantics as the real executor
     /// (`asha-exec`): every simulated drop is counted in `jobs_dropped` and,
     /// because the simulator always requeues lost work, in `jobs_retried`.
@@ -138,12 +177,28 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by (time, seq): BinaryHeap is a max-heap, so reverse.
+        // `total_cmp` keeps the ordering a total order even if a NaN time
+        // ever reaches the heap; `partial_cmp(..).unwrap_or(Equal)` would
+        // silently corrupt the heap invariant instead.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
+}
+
+/// Per-trial bookkeeping kept across a trial's jobs.
+#[derive(Debug)]
+struct TrialSlot {
+    state: TrainingState,
+    /// `bench.time_per_unit(&config)` is deterministic per config and a
+    /// trial's config never changes, so it is computed once at the trial's
+    /// first job instead of on every issue — on cheap surrogates the unit
+    /// cost is a nontrivial share of per-job simulator overhead.
+    time_per_unit: f64,
+    /// Whether any job of this trial has completed (drives the online
+    /// `distinct_trials` count).
+    completed: bool,
 }
 
 /// The discrete-event cluster simulator. See the crate docs for the model.
@@ -174,16 +229,25 @@ impl ClusterSim {
     ) -> SimResult {
         let cfg = &self.config;
         let mut trace = RunTrace::new(scheduler.name());
-        let mut states: HashMap<TrialId, TrainingState> = HashMap::new();
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut retry: VecDeque<Job> = VecDeque::new();
+        let mut states: HashMap<TrialId, TrialSlot> = HashMap::new();
+        // At most `workers` events are ever outstanding, so both the event
+        // heap and the retry queue reach their final capacity up front and
+        // never reallocate inside the loop.
+        let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(cfg.workers + 1);
+        let mut retry: VecDeque<Job> = VecDeque::with_capacity(cfg.workers.min(64));
         let mut free_workers = cfg.workers;
         let mut now = 0.0;
         let mut seq = 0u64;
         let mut jobs_completed = 0usize;
+        let mut distinct_trials = 0usize;
         let mut faults = FaultStats::none();
         let mut scheduler_finished = false;
         let mut best_config: Option<(asha_space::Config, f64, f64)> = None;
+        // Mirror of `RunTrace::incumbent_curve`'s filter, tracked online so
+        // `TraceMode::IncumbentOnly` records exactly the events that curve
+        // keeps (the conditions differ on NaN losses, so this cannot reuse
+        // the `best_config` update below).
+        let mut incumbent_val = f64::INFINITY;
 
         loop {
             // Hand work to free workers: retries first, then the scheduler.
@@ -203,20 +267,29 @@ impl ClusterSim {
                 let Some(job) = job else { break };
                 if !states.contains_key(&job.trial) {
                     // PBT-style inheritance: copy the parent's checkpoint
-                    // (curve state) if the job asks for it.
+                    // (curve state) if the job asks for it. The unit cost is
+                    // always the trial's *own* — PBT children inherit weights,
+                    // not the parent's architecture-dependent step time.
                     let state = job
                         .inherit_from
-                        .and_then(|src| states.get(&src).copied())
+                        .and_then(|src| states.get(&src).map(|s| s.state))
                         .unwrap_or_else(|| bench.init_state(&job.config, rng));
-                    states.insert(job.trial, state);
+                    states.insert(
+                        job.trial,
+                        TrialSlot {
+                            state,
+                            time_per_unit: bench.time_per_unit(&job.config),
+                            completed: false,
+                        },
+                    );
                 }
-                let state = states.get_mut(&job.trial).expect("state just ensured");
+                let slot = states.get_mut(&job.trial).expect("state just ensured");
                 let trained_from = match cfg.resume {
-                    ResumePolicy::Checkpoint => state.resource,
+                    ResumePolicy::Checkpoint => slot.state.resource,
                     ResumePolicy::FromScratch => 0.0,
                 };
                 let delta = (job.resource - trained_from).max(0.0);
-                let mut duration = delta * bench.time_per_unit(&job.config);
+                let mut duration = delta * slot.time_per_unit;
                 if cfg.straggler_std > 0.0 {
                     duration *= 1.0 + asha_math::dist::half_normal(rng, cfg.straggler_std);
                 }
@@ -269,24 +342,39 @@ impl ClusterSim {
                 Outcome::Completed => {
                     jobs_completed += 1;
                     let job = event.job;
-                    let state = states
+                    let slot = states
                         .get_mut(&job.trial)
                         .expect("state created at issue time");
-                    bench.advance(&job.config, state, job.resource, rng);
-                    let val = bench.validation_loss(&job.config, state, rng);
-                    let test = bench.test_loss(&job.config, state);
+                    bench.advance(&job.config, &mut slot.state, job.resource, rng);
+                    let val = bench.validation_loss(&job.config, &slot.state, rng);
+                    let test = bench.test_loss(&job.config, &slot.state);
+                    if !slot.completed {
+                        slot.completed = true;
+                        distinct_trials += 1;
+                    }
                     if best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
                         best_config = Some((job.config.clone(), val, job.resource));
                     }
-                    trace.push(TraceEvent {
-                        time: now,
-                        trial: job.trial.0,
-                        bracket: job.bracket,
-                        rung: job.rung,
-                        resource: job.resource,
-                        val_loss: val,
-                        test_loss: test,
-                    });
+                    let improved = val < incumbent_val;
+                    if improved {
+                        incumbent_val = val;
+                    }
+                    let record = match cfg.trace_mode {
+                        TraceMode::Full => true,
+                        TraceMode::IncumbentOnly => improved,
+                        TraceMode::Aggregated => false,
+                    };
+                    if record {
+                        trace.push(TraceEvent {
+                            time: now,
+                            trial: job.trial.0,
+                            bracket: job.bracket,
+                            rung: job.rung,
+                            resource: job.resource,
+                            val_loss: val,
+                            test_loss: test,
+                        });
+                    }
                     scheduler.observe(Observation::for_job(&job, val));
                 }
             }
@@ -300,6 +388,7 @@ impl ClusterSim {
             trace,
             end_time: now.min(cfg.max_time),
             jobs_completed,
+            distinct_trials,
             faults,
             scheduler_finished,
             best_config,
@@ -455,5 +544,71 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = SimConfig::new(0, 1.0);
+    }
+
+    #[test]
+    fn incumbent_only_matches_full_incumbent_curve() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let run = |mode| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            ClusterSim::new(SimConfig::new(25, 150.0).with_trace_mode(mode)).run(
+                asha,
+                &bench,
+                &mut rng(11),
+            )
+        };
+        let full = run(TraceMode::Full);
+        let lean = run(TraceMode::IncumbentOnly);
+        assert_eq!(
+            full.trace.incumbent_curve(),
+            lean.trace.incumbent_curve(),
+            "IncumbentOnly must preserve the incumbent curve exactly"
+        );
+        assert!(
+            lean.trace.len() < full.trace.len() / 4,
+            "IncumbentOnly should be far smaller: {} vs {}",
+            lean.trace.len(),
+            full.trace.len()
+        );
+        // Scalar aggregates are mode-independent.
+        assert_eq!(full.jobs_completed, lean.jobs_completed);
+        assert_eq!(full.distinct_trials, lean.distinct_trials);
+        assert_eq!(full.end_time, lean.end_time);
+        assert_eq!(
+            full.best_config.as_ref().map(|&(_, v, r)| (v, r)),
+            lean.best_config.as_ref().map(|&(_, v, r)| (v, r))
+        );
+    }
+
+    #[test]
+    fn aggregated_mode_keeps_scalars_but_no_events() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let run = |mode| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            ClusterSim::new(SimConfig::new(9, 100.0).with_trace_mode(mode)).run(
+                asha,
+                &bench,
+                &mut rng(12),
+            )
+        };
+        let full = run(TraceMode::Full);
+        let agg = run(TraceMode::Aggregated);
+        assert!(agg.trace.is_empty());
+        assert_eq!(agg.jobs_completed, full.jobs_completed);
+        assert_eq!(agg.distinct_trials, full.distinct_trials);
+        assert_eq!(agg.end_time, full.end_time);
+        assert_eq!(
+            agg.best_config.as_ref().map(|&(_, v, r)| (v, r)),
+            full.best_config.as_ref().map(|&(_, v, r)| (v, r))
+        );
+    }
+
+    #[test]
+    fn distinct_trials_counter_matches_full_trace() {
+        let bench = presets::cifar10_cuda_convnet(1);
+        let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+        let result = ClusterSim::new(SimConfig::new(9, 120.0)).run(asha, &bench, &mut rng(13));
+        assert_eq!(result.distinct_trials, result.trace.distinct_trials());
+        assert!(result.distinct_trials > 0);
     }
 }

@@ -19,6 +19,11 @@
 //!   resource delta since the trial's checkpoint (Section 3.2's iterative
 //!   setting); [`ResumePolicy::FromScratch`] pays the full rung resource
 //!   (the accounting of Figures 1–2 and the Appendix A.1 simulations).
+//! * **Trace modes** — [`TraceMode::Full`] records every completion;
+//!   [`TraceMode::IncumbentOnly`] keeps O(incumbent-updates) memory while
+//!   producing the identical incumbent curve; [`TraceMode::Aggregated`]
+//!   keeps only scalar aggregates. Long-horizon runs complete millions of
+//!   jobs, so the lean modes are what make 500-worker sweeps affordable.
 //!
 //! # Examples
 //!
@@ -40,4 +45,4 @@
 
 mod cluster;
 
-pub use cluster::{ClusterSim, ResumePolicy, SimConfig, SimResult};
+pub use cluster::{ClusterSim, ResumePolicy, SimConfig, SimResult, TraceMode};

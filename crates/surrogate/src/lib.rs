@@ -50,3 +50,15 @@ mod pseudo;
 pub use curve::{CurveBenchmark, CurveBenchmarkBuilder, DivergenceSpec};
 pub use model::{BenchmarkModel, TrainingState};
 pub use pseudo::SmoothPseudo;
+
+// The parallel experiment runner (asha-bench) shares one `&dyn
+// BenchmarkModel` across worker threads, so every benchmark must stay plain
+// immutable data: `Send + Sync`, no interior mutability. Enforced at compile
+// time so a Cell/RefCell sneaking into a model is caught here, not in a
+// downstream crate's type error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<CurveBenchmark>();
+    assert_send_sync::<SmoothPseudo>();
+    assert_send_sync::<dyn BenchmarkModel>();
+};

@@ -26,7 +26,7 @@ use asha_core::{
     ShaConfig, SyncSha,
 };
 use asha_metrics::{FaultStats, RunTrace};
-use asha_sim::{ClusterSim, ResumePolicy, SimConfig, SimResult};
+use asha_sim::{ClusterSim, ResumePolicy, SimConfig, SimResult, TraceMode};
 use asha_space::{Config, SearchSpace};
 use asha_surrogate::BenchmarkModel;
 use rand::SeedableRng;
@@ -244,7 +244,9 @@ pub struct TuneOutcome {
 
 impl TuneOutcome {
     fn from_sim(result: SimResult, space: &SearchSpace) -> Self {
-        let configs_evaluated = result.trace.distinct_trials();
+        // The simulator's online counter is exact in every trace mode; the
+        // trace itself may be thinned (IncumbentOnly) or empty (Aggregated).
+        let configs_evaluated = result.distinct_trials;
         let best = result.best_config.map(|(config, val_loss, resource)| {
             let summary = space
                 .display(&config)
@@ -277,6 +279,7 @@ pub struct SimTune<'a> {
     straggler_std: f64,
     drop_prob: f64,
     resume: ResumePolicy,
+    trace_mode: TraceMode,
     seed: u64,
 }
 
@@ -293,6 +296,7 @@ impl<'a> SimTune<'a> {
             straggler_std: 0.0,
             drop_prob: 0.0,
             resume: ResumePolicy::Checkpoint,
+            trace_mode: TraceMode::Full,
             seed: 0,
         }
     }
@@ -333,6 +337,15 @@ impl<'a> SimTune<'a> {
         self
     }
 
+    /// How much of the completion stream to keep. [`TraceMode::Full`] (the
+    /// default) records every job; [`TraceMode::IncumbentOnly`] keeps
+    /// O(incumbent-updates) memory on long horizons with the identical
+    /// incumbent curve; [`TraceMode::Aggregated`] keeps scalars only.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
     /// RNG seed (sampling, noise, stragglers).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -352,7 +365,8 @@ impl<'a> SimTune<'a> {
             SimConfig::new(self.workers, self.horizon)
                 .with_stragglers(self.straggler_std)
                 .with_drops(self.drop_prob)
-                .with_resume(self.resume),
+                .with_resume(self.resume)
+                .with_trace_mode(self.trace_mode),
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         TuneOutcome::from_sim(sim.run(scheduler, self.bench, &mut rng), &space)
@@ -419,6 +433,34 @@ mod tests {
         assert_eq!(best.val_loss, trace_val);
         assert!(best.resource > 0.0);
         assert!(outcome.configs_evaluated > 10);
+    }
+
+    #[test]
+    fn trace_modes_preserve_outcome_scalars() {
+        let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+        let run = |mode| {
+            SimTune::new(&bench)
+                .workers(9)
+                .horizon(80.0)
+                .seed(4)
+                .trace_mode(mode)
+                .run()
+        };
+        let full = run(TraceMode::Full);
+        let lean = run(TraceMode::IncumbentOnly);
+        let agg = run(TraceMode::Aggregated);
+        assert_eq!(full.trace.incumbent_curve(), lean.trace.incumbent_curve());
+        assert!(lean.trace.len() < full.trace.len());
+        assert!(agg.trace.is_empty());
+        for other in [&lean, &agg] {
+            assert_eq!(full.jobs_completed, other.jobs_completed);
+            assert_eq!(full.configs_evaluated, other.configs_evaluated);
+            assert_eq!(full.end_time, other.end_time);
+            assert_eq!(
+                full.best.as_ref().map(|b| b.val_loss),
+                other.best.as_ref().map(|b| b.val_loss)
+            );
+        }
     }
 
     #[test]
