@@ -86,10 +86,44 @@ fn bench_cluster_sim_events(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry cost on the simulator event loop: the same 25-worker run with
+/// the no-op recorder (the guards must fold away — this case should match
+/// `cluster_sim_events/25` within noise) and with the collecting recorder
+/// (the full price of structured telemetry).
+fn bench_sim_telemetry(c: &mut Criterion) {
+    let bench = presets::cifar10_cuda_convnet(2020);
+    let mut group = c.benchmark_group("cluster_sim_telemetry");
+    group.sample_size(10);
+    let sim = ClusterSim::new(SimConfig::new(25, 60.0).with_trace_mode(TraceMode::IncumbentOnly));
+    group.bench_function(BenchmarkId::from_parameter("off"), |b| {
+        b.iter(|| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            let mut rng = StdRng::seed_from_u64(7);
+            std::hint::black_box(sim.run_recorded(
+                asha,
+                &bench,
+                &mut rng,
+                &mut asha_obs::NoopRecorder,
+            ))
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("on"), |b| {
+        b.iter(|| {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut recorder = asha_obs::RunRecorder::new();
+            let result = sim.run_recorded(asha, &bench, &mut rng, &mut recorder);
+            std::hint::black_box((result, recorder))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rung_promotable,
     bench_ladder_find_promotable,
-    bench_cluster_sim_events
+    bench_cluster_sim_events,
+    bench_sim_telemetry
 );
 criterion_main!(benches);

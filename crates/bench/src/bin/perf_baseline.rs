@@ -125,6 +125,48 @@ fn scheduler_throughput(name: &str, mut scheduler: Box<dyn Scheduler>, rounds: u
     ])
 }
 
+/// Telemetry overhead: the same 25-worker Full-mode simulation with
+/// recording off vs on. The two runs must complete identical job counts —
+/// recording never consumes randomness — and the delta is the full price of
+/// structured telemetry (event construction + JSONL-able buffering + online
+/// metrics), reported as events logged per second and a wall-clock ratio.
+fn telemetry_overhead(bench: &dyn BenchmarkModel, workers: usize, horizon: f64) -> JsonValue {
+    let make = || Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA));
+    let sim = ClusterSim::new(SimConfig::new(workers, horizon));
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let start = Instant::now();
+    let off = sim.run(make(), bench, &mut rng);
+    let off_secs = start.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut recorder = asha_obs::RunRecorder::new();
+    let start = Instant::now();
+    let on = sim.run_recorded(make(), bench, &mut rng, &mut recorder);
+    let on_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        off.jobs_completed, on.jobs_completed,
+        "recording must not perturb the run"
+    );
+    let events_per_sec = recorder.len() as f64 / on_secs.max(1e-9);
+    let overhead = on_secs / off_secs.max(1e-9);
+    println!(
+        "  telemetry {workers:>3} workers: off {off_secs:>7.3}s, on {on_secs:>7.3}s ({overhead:>5.2}x), {:>9} events = {events_per_sec:>12.0} events logged/s",
+        recorder.len()
+    );
+    JsonValue::obj([
+        ("workers", JsonValue::Int(workers as u64)),
+        ("horizon", JsonValue::Num(horizon)),
+        ("jobs_completed", JsonValue::Int(on.jobs_completed as u64)),
+        ("events_logged", JsonValue::Int(recorder.len() as u64)),
+        ("off_secs", JsonValue::Num(off_secs)),
+        ("on_secs", JsonValue::Num(on_secs)),
+        ("events_logged_per_sec", JsonValue::Num(events_per_sec)),
+        ("overhead_ratio", JsonValue::Num(overhead)),
+    ])
+}
+
 fn sweep_methods(space: &SearchSpace) -> Vec<MethodSpec> {
     let s1 = space.clone();
     let s2 = space.clone();
@@ -235,6 +277,9 @@ fn main() {
         ),
     ];
 
+    // Telemetry on/off throughput delta at the small-cluster regime.
+    let telemetry = telemetry_overhead(&bench, 25, horizon);
+
     // Parallel sweep speedup.
     let cfg = if opts.smoke {
         ExperimentConfig::new(25, 30.0, 2, 0.65)
@@ -252,6 +297,7 @@ fn main() {
         ("benchmark", JsonValue::Str(bench.name().to_owned())),
         ("sim", JsonValue::Arr(sim_rows)),
         ("scheduler", JsonValue::Arr(scheduler_rows)),
+        ("telemetry", telemetry),
         ("sweep", sweep),
     ]);
     match asha_metrics::write_json(&opts.out, &report) {

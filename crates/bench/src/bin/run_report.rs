@@ -1,0 +1,139 @@
+//! Replay a telemetry event log (JSONL) into a human-readable run summary
+//! and, optionally, a machine-readable `report.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asha-bench --bin run_report -- events.jsonl
+//!     [--workers N]     pool size for utilization percentages
+//!     [--json PATH]     also write the JSON report document
+//!     [--demo]          generate events.jsonl first from a seeded 25-worker
+//!                       chaos simulation (stragglers + drops), then report on
+//!                       it — a self-contained worked example
+//!     [--seed N]        RNG seed for --demo (default 0)
+//! ```
+//!
+//! The report is derived entirely from the log, so it reproduces exactly the
+//! metrics the live run's recorder saw: per-rung promotion table, decision
+//! and fault counts, promotion-wait / job-latency / queue-delay quantiles,
+//! and a worker-utilization timeline.
+
+use asha_core::{Asha, AshaConfig};
+use asha_obs::{parse_jsonl, RunRecorder, RunReport};
+use asha_sim::{ClusterSim, SimConfig};
+use asha_surrogate::{presets, BenchmarkModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Worker count used by `--demo` (the paper's small-cluster regime).
+const DEMO_WORKERS: usize = 25;
+
+struct Opts {
+    log: Option<String>,
+    workers: Option<usize>,
+    json: Option<String>,
+    demo: bool,
+    seed: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        log: None,
+        workers: None,
+        json: None,
+        demo: false,
+        seed: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => opts.workers = args.next().and_then(|v| v.parse().ok()),
+            "--json" => opts.json = args.next(),
+            "--demo" => opts.demo = true,
+            "--seed" => opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--help" | "-h" => {
+                println!(
+                    "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with("--") && opts.log.is_none() => {
+                opts.log = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Run a seeded 25-worker chaos simulation (stragglers + drops) with
+/// recording on and write its event log to `path`.
+fn write_demo_log(path: &str, seed: u64) {
+    let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
+    let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+    let sim = ClusterSim::new(
+        SimConfig::new(DEMO_WORKERS, 60.0)
+            .with_stragglers(0.5)
+            .with_drops(0.01),
+    );
+    let mut recorder = RunRecorder::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = sim.run_recorded(asha, &bench, &mut rng, &mut recorder);
+    if let Err(e) = recorder.write_jsonl(path) {
+        eprintln!("error: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "demo: simulated {} jobs on {DEMO_WORKERS} workers (seed {seed}), wrote {} events to {path}\n",
+        result.jobs_completed,
+        recorder.len(),
+    );
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.demo {
+        let path = opts
+            .log
+            .clone()
+            .unwrap_or_else(|| "events.jsonl".to_owned());
+        write_demo_log(&path, opts.seed);
+        opts.log = Some(path);
+        opts.workers = opts.workers.or(Some(DEMO_WORKERS));
+    }
+    let Some(log_path) = opts.log else {
+        eprintln!("usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo]");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(&log_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {log_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let events = match parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {log_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let report = RunReport::from_events(&events, opts.workers);
+    print!("{}", report.render_text());
+
+    if let Some(json_path) = opts.json {
+        match asha_metrics::write_json(&json_path, &report.to_json()) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`RandomSearch`] — the embarrassingly parallel baseline.
 //! * [`budget`] — the closed-form promotion/budget tables of Figure 1 and
 //!   the wall-clock bounds of Section 3.2.
+//! * [`telemetry`] — the structured-event vocabulary (suggest / promote /
+//!   grow_bottom / job lifecycle / faults), the zero-cost [`Recorder`] sink
+//!   both execution layers emit into, and the [`InstrumentedScheduler`]
+//!   decorator; collection and reporting live in `asha-obs`.
 //!
 //! All schedulers implement the pull-based [`Scheduler`] trait, so the same
 //! implementation runs under the discrete-event simulator (`asha-sim`), the
@@ -54,6 +58,7 @@ mod rung;
 mod sampler;
 mod scheduler;
 mod sha;
+pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
 pub use crate::hyperband::{AsyncHyperband, Hyperband, HyperbandConfig};
@@ -62,3 +67,6 @@ pub use crate::rung::{Rung, RungLadder, ScanOrder};
 pub use crate::sampler::{ConfigSampler, RandomSampler};
 pub use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 pub use crate::sha::{ShaConfig, SyncSha};
+pub use crate::telemetry::{
+    DropCause, Event, EventKind, IdleKind, InstrumentedScheduler, NoopRecorder, Recorder,
+};

@@ -5,6 +5,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use asha_core::telemetry::{DropCause, EventKind, NoopRecorder, Recorder};
 use asha_core::{Decision, Job, Observation, Scheduler, TrialId};
 use asha_metrics::{FaultStats, RunTrace, TraceEvent};
 use rand::rngs::StdRng;
@@ -145,9 +146,13 @@ pub struct ExecResult {
     pub faults: FaultStats,
 }
 
-struct Shared<S, C> {
+struct Shared<S, C, R> {
     scheduler: S,
     rng: StdRng,
+    /// Telemetry sink. Lives under the same lock as the scheduler, and
+    /// timestamps are computed while holding it, so recorded times are
+    /// monotone even with many workers reporting concurrently.
+    recorder: R,
     checkpoints: HashMap<TrialId, C>,
     /// `(seq, event)`: `seq` is assigned under this lock, so sorting by
     /// `(time, seq)` gives a total, reproducible order even when wall-clock
@@ -227,16 +232,20 @@ enum JobOutcome<C> {
     Poisoned,
 }
 
-fn worker_loop<'scope, 'env, S, O>(
+fn worker_loop<'scope, 'env, S, O, R>(
     scope: &'scope thread::Scope<'scope, 'env>,
     cfg: &'env ExecConfig,
     start: Instant,
-    shared: &'env Mutex<Shared<S, O::Checkpoint>>,
+    shared: &'env Mutex<Shared<S, O::Checkpoint, R>>,
     wake: &'env Condvar,
     objective: &'env O,
+    // Whether the recorder collects anything, hoisted out of the lock so the
+    // fault path can skip its extra lock acquisitions when telemetry is off.
+    recording: bool,
 ) where
     S: Scheduler + Send,
     O: Objective,
+    R: Recorder + Send,
 {
     loop {
         // Acquire a job (or learn we are done).
@@ -252,7 +261,17 @@ fn worker_loop<'scope, 'env, S, O>(
                     wake.notify_all();
                     return;
                 }
-                match s.scheduler.suggest(&mut s.rng) {
+                let decision = s.scheduler.suggest(&mut s.rng);
+                if s.recorder.enabled() {
+                    // Timestamps are taken while holding the lock, so they
+                    // are monotone across all workers.
+                    let t = start.elapsed().as_secs_f64();
+                    s.recorder.record(t, EventKind::of_decision(&decision));
+                    if let Decision::Run(job) = &decision {
+                        s.recorder.record(t, EventKind::job_start(job));
+                    }
+                }
+                match decision {
                     Decision::Run(job) => break job,
                     Decision::Finished => {
                         s.finished = true;
@@ -270,6 +289,11 @@ fn worker_loop<'scope, 'env, S, O>(
                             s.idle_workers -= 1;
                             wake.notify_all();
                             return;
+                        }
+                        if s.recorder.enabled() {
+                            let t = start.elapsed().as_secs_f64();
+                            let idle = s.idle_workers;
+                            s.recorder.record(t, EventKind::WorkerIdle { idle });
                         }
                         guard = wake.wait(guard).unwrap_or_else(PoisonError::into_inner);
                         guard.idle_workers -= 1;
@@ -314,14 +338,43 @@ fn worker_loop<'scope, 'env, S, O>(
                     break JobOutcome::Poisoned;
                 }
                 Attempt::Dropped | Attempt::TimedOut => {
-                    if matches!(result, Attempt::Dropped) {
+                    let cause = if matches!(result, Attempt::Dropped) {
                         local_faults.jobs_dropped += 1;
+                        DropCause::Dropped
                     } else {
                         local_faults.jobs_timed_out += 1;
+                        DropCause::Timeout
+                    };
+                    if recording {
+                        let mut s = lock(shared);
+                        let t = start.elapsed().as_secs_f64();
+                        s.recorder.record(
+                            t,
+                            EventKind::Drop {
+                                trial: job.trial.0,
+                                rung: job.rung,
+                                cause,
+                            },
+                        );
                     }
                     if attempt <= cfg.faults.max_retries {
                         local_faults.jobs_retried += 1;
                         thread::sleep(cfg.faults.backoff_before(attempt));
+                        if recording {
+                            // The retry runs on this same worker after the
+                            // backoff: re-announce the attempt so busy-worker
+                            // accounting balances the drop above.
+                            let mut s = lock(shared);
+                            let t = start.elapsed().as_secs_f64();
+                            s.recorder.record(
+                                t,
+                                EventKind::Retry {
+                                    trial: job.trial.0,
+                                    rung: job.rung,
+                                },
+                            );
+                            s.recorder.record(t, EventKind::job_start(&job));
+                        }
                         continue;
                     }
                     break JobOutcome::Poisoned;
@@ -363,10 +416,11 @@ fn worker_loop<'scope, 'env, S, O>(
             s.best_config = Some(job.config.clone());
         }
         let seq = s.trace.len() as u64;
+        let t = start.elapsed().as_secs_f64();
         s.trace.push((
             seq,
             TraceEvent {
-                time: start.elapsed().as_secs_f64(),
+                time: t,
                 trial: job.trial.0,
                 bracket: job.bracket,
                 rung: job.rung,
@@ -375,6 +429,19 @@ fn worker_loop<'scope, 'env, S, O>(
                 test_loss,
             },
         ));
+        if s.recorder.enabled() {
+            // Same timestamp as the TraceEvent: telemetry and traces share
+            // this backend's wall-clock-seconds time base.
+            s.recorder.record(
+                t,
+                EventKind::JobEnd {
+                    trial: job.trial.0,
+                    rung: job.rung,
+                    resource: job.resource,
+                    loss: val_loss,
+                },
+            );
+        }
         s.scheduler.observe(Observation::for_job(&job, val_loss));
         wake.notify_all();
     }
@@ -406,11 +473,37 @@ impl ParallelTuner {
         S: Scheduler + Send,
         O: Objective,
     {
+        self.run_recorded(scheduler, objective, seed, &mut NoopRecorder)
+    }
+
+    /// Like [`run`](ParallelTuner::run), but emit structured telemetry into
+    /// `recorder`: decisions, job lifecycle, fault-policy firings (drops,
+    /// timeouts, retries), and idle waits.
+    ///
+    /// Timestamps are wall-clock seconds since run start — the same clock as
+    /// this backend's [`TraceEvent::time`] — and are taken while holding the
+    /// scheduler lock, so they are monotone across workers. With the default
+    /// [`NoopRecorder`] every telemetry guard folds away and this is exactly
+    /// [`run`](ParallelTuner::run).
+    pub fn run_recorded<S, O, R>(
+        &self,
+        scheduler: S,
+        objective: &O,
+        seed: u64,
+        recorder: &mut R,
+    ) -> ExecResult
+    where
+        S: Scheduler + Send,
+        O: Objective,
+        R: Recorder + Send,
+    {
         let start = Instant::now();
         let name = scheduler.name().to_owned();
+        let recording = recorder.enabled();
         let shared = Mutex::new(Shared {
             scheduler,
             rng: StdRng::seed_from_u64(seed),
+            recorder,
             checkpoints: HashMap::<TrialId, O::Checkpoint>::new(),
             trace: Vec::new(),
             jobs_completed: 0,
@@ -428,8 +521,11 @@ impl ParallelTuner {
         let wake_ref = &wake;
         thread::scope(|scope| {
             for _ in 0..cfg.workers {
-                scope
-                    .spawn(move || worker_loop(scope, cfg, start, shared_ref, wake_ref, objective));
+                scope.spawn(move || {
+                    worker_loop(
+                        scope, cfg, start, shared_ref, wake_ref, objective, recording,
+                    )
+                });
             }
         });
 

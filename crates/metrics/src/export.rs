@@ -74,10 +74,14 @@ pub fn write_csv(
 }
 
 /// A JSON value for small structured reports (perf baselines, run
-/// summaries). The vendored `serde` stub has no serializer, so exports that
-/// need machine-readable output build one of these and render it directly.
+/// summaries, telemetry event logs). The vendored `serde` stub has no
+/// serializer, so exports that need machine-readable output build one of
+/// these and render it directly; [`JsonValue::parse`] is the matching
+/// reader, used by tools that replay previously written reports and logs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
+    /// The JSON `null` literal.
+    Null,
     /// A finite number (NaN/inf render as `null`, which JSON requires).
     Num(f64),
     /// An integer, rendered without a decimal point.
@@ -106,8 +110,140 @@ impl JsonValue {
         out
     }
 
+    /// Render as compact single-line JSON (no whitespace, no trailing
+    /// newline) — the format of JSONL event logs, where one value per line
+    /// keeps logs diffable and streamable.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Num` or `Int` as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view: `Int`, or a `Num` that is exactly a non-negative
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// Accepts exactly what [`JsonValue::render`] and
+    /// [`JsonValue::render_compact`] emit (standard JSON): objects, arrays,
+    /// strings with escapes, numbers, booleans, and `null`. Non-negative
+    /// integer literals parse as [`JsonValue::Int`]; everything else numeric
+    /// parses as [`JsonValue::Num`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] (with a byte offset) on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Int(v) => out.push_str(&format!("{v}")),
+            JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            JsonValue::Str(_) => self.write_into(out, 0),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(key.clone()).write_into(out, 0);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_into(&self, out: &mut String, indent: usize) {
         match self {
+            JsonValue::Null => out.push_str("null"),
             JsonValue::Num(v) => {
                 if v.is_finite() {
                     out.push_str(&format!("{v}"));
@@ -171,6 +307,205 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Error parsing a JSON document with [`JsonValue::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure in the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let ch = s.chars().next().expect("non-empty slice");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if token.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = token.parse::<u64>() {
+                return Ok(JsonValue::Int(n));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("bad number `{token}`")))
     }
 }
 
@@ -249,6 +584,73 @@ mod tests {
         assert!(text.contains("\"empty_arr\": []"), "{text}");
         assert!(text.contains("\"empty_obj\": {}"), "{text}");
         assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn compact_render_is_single_line() {
+        let v = JsonValue::obj([
+            ("seq", JsonValue::Int(3)),
+            ("t", JsonValue::Num(1.5)),
+            ("ev", JsonValue::Str("promote".to_owned())),
+            ("null", JsonValue::Null),
+            (
+                "arr",
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+        ]);
+        assert_eq!(
+            v.render_compact(),
+            r#"{"seq":3,"t":1.5,"ev":"promote","null":null,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_and_compact() {
+        let v = JsonValue::obj([
+            ("num", JsonValue::Num(-1.25e-3)),
+            ("int", JsonValue::Int(u64::MAX)),
+            ("nothing", JsonValue::Null),
+            ("flag", JsonValue::Bool(false)),
+            ("text", JsonValue::Str("a\"b\\c\nd\tñ€".to_owned())),
+            (
+                "arr",
+                JsonValue::Arr(vec![JsonValue::Int(0), JsonValue::Str("x".to_owned())]),
+            ),
+            ("empty_arr", JsonValue::Arr(vec![])),
+            ("empty_obj", JsonValue::Obj(vec![])),
+        ]);
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.render_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(JsonValue::parse("-42").unwrap(), JsonValue::Num(-42.0));
+        assert_eq!(JsonValue::parse("0.5").unwrap(), JsonValue::Num(0.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Num(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
+            let err = JsonValue::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_accessors_navigate_objects() {
+        let v = JsonValue::parse(r#"{"a":{"b":[1,2.5,"x",null,true]}}"#).unwrap();
+        let arr = v.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = arr.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert!(items[3].is_null());
+        assert_eq!(items[4].as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
     }
 
     #[test]

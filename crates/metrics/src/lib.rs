@@ -15,7 +15,9 @@
 //!   shared time grid (the shaded bands of Figures 3–6 and 9).
 //! * [`write_csv`] — plain CSV export used by the benchmark harness.
 //! * [`write_json`] / [`JsonValue`] — hand-rolled JSON export for small
-//!   structured reports (the perf-baseline trajectory `BENCH_sim.json`).
+//!   structured reports (the perf-baseline trajectory `BENCH_sim.json`),
+//!   with [`JsonValue::parse`] as the matching reader so telemetry event
+//!   logs and reports can be replayed without a serde dependency.
 //!
 //! # Examples
 //!
@@ -42,6 +44,6 @@ mod faults;
 mod trace;
 
 pub use curve::{aggregate, uniform_grid, AggregateCurve, StepCurve};
-pub use export::{write_csv, write_json, CsvError, JsonValue};
+pub use export::{write_csv, write_json, CsvError, JsonParseError, JsonValue};
 pub use faults::FaultStats;
 pub use trace::{RunTrace, TraceEvent};

@@ -1,0 +1,115 @@
+//! The decorator must be invisible: `InstrumentedScheduler<Asha>` on a
+//! shared seed makes exactly the decisions bare `Asha` makes, and the
+//! metrics its recorder accumulates agree with the scheduler's own rung
+//! state.
+
+use asha_core::{Asha, AshaConfig, Decision, Observation, Scheduler};
+use asha_obs::{InstrumentedScheduler, RunRecorder};
+use asha_space::{Scale, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn space() -> SearchSpace {
+    SearchSpace::builder()
+        .continuous("lr", 1e-4, 1.0, Scale::Log)
+        .discrete("layers", 2, 8)
+        .build()
+        .unwrap()
+}
+
+fn asha() -> Asha {
+    Asha::new(space(), AshaConfig::new(1.0, 64.0, 4.0))
+}
+
+/// A deterministic synthetic loss: varies by trial and rung but needs no
+/// benchmark model.
+fn loss(trial: u64, rung: usize) -> f64 {
+    ((trial * 7919) % 1009) as f64 / (rung + 1) as f64
+}
+
+#[test]
+fn instrumented_asha_matches_bare_asha_decision_for_decision() {
+    let mut bare = asha();
+    let mut wrapped = InstrumentedScheduler::new(asha(), RunRecorder::new());
+    let mut bare_rng = StdRng::seed_from_u64(42);
+    let mut wrapped_rng = StdRng::seed_from_u64(42);
+
+    for step in 0..500 {
+        wrapped.set_time(step as f64);
+        let a = bare.suggest(&mut bare_rng);
+        let b = wrapped.suggest(&mut wrapped_rng);
+        match (&a, &b) {
+            (Decision::Run(ja), Decision::Run(jb)) => {
+                assert_eq!(ja.trial, jb.trial, "step {step}");
+                assert_eq!(ja.rung, jb.rung, "step {step}");
+                assert_eq!(ja.resource, jb.resource, "step {step}");
+                assert_eq!(ja.config, jb.config, "step {step}");
+                let l = loss(ja.trial.0, ja.rung);
+                bare.observe(Observation::for_job(ja, l));
+                wrapped.observe(Observation::for_job(jb, l));
+            }
+            (Decision::Wait, Decision::Wait) | (Decision::Finished, Decision::Finished) => {}
+            other => panic!("decisions diverged at step {step}: {other:?}"),
+        }
+    }
+
+    // Two events per completed round trip (decision + job_start) plus one
+    // job_end per observation.
+    let (inner, recorder) = wrapped.into_parts();
+    assert_eq!(inner.name(), bare.name());
+    assert!(!recorder.is_empty());
+}
+
+#[test]
+fn recorded_metrics_agree_with_ladder_state() {
+    let mut wrapped = InstrumentedScheduler::new(asha(), RunRecorder::new());
+    let mut rng = StdRng::seed_from_u64(7);
+    for step in 0..400 {
+        wrapped.set_time(step as f64);
+        let Some(job) = wrapped.suggest(&mut rng).job() else {
+            break;
+        };
+        let l = loss(job.trial.0, job.rung);
+        wrapped.observe(Observation::for_job(&job, l));
+    }
+
+    let (inner, recorder) = wrapped.into_parts();
+    let m = recorder.metrics();
+
+    // Every decision issued a job (this setup never waits), and the driver
+    // observed each job immediately, so starts == completions.
+    assert_eq!(m.jobs_started.get(), m.jobs_completed.get());
+    assert_eq!(m.busy_workers.value(), 0);
+    assert!(m.busy_workers.min() >= 0);
+
+    // The registry's per-rung occupancy (distinct trials with a completed
+    // job) must equal the ladder's own record counts, and promotions out of
+    // each rung must equal the ladder's promoted counts.
+    let ladder = inner.ladder();
+    for (rung_idx, rung) in ladder.rungs().iter().enumerate() {
+        let occupancy = m.rung_occupancy.get(rung_idx).map_or(0, |g| g.value());
+        assert_eq!(
+            occupancy as usize,
+            rung.len(),
+            "occupancy mismatch at rung {rung_idx}"
+        );
+        let promoted = m.promotions_per_rung.get(rung_idx).map_or(0, |c| c.get());
+        assert_eq!(
+            promoted as usize,
+            rung.promoted_count(),
+            "promotion count mismatch at rung {rung_idx}"
+        );
+        // Backlog identity: completed = promoted out + still pending.
+        let pending = m.pending_promotions.get(rung_idx).map_or(0, |g| g.value());
+        assert_eq!(occupancy, promoted as i64 + pending);
+    }
+
+    // The decision counters partition the suggest calls.
+    let d = &m.decisions;
+    assert_eq!(
+        d.promote.get() + d.grow_bottom.get(),
+        m.jobs_started.get(),
+        "every job came from a promote or grow decision"
+    );
+    assert!(d.promote.get() > 0, "expected some promotions in 400 steps");
+}

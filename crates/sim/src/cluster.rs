@@ -1,6 +1,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use asha_core::telemetry::{DropCause, EventKind, NoopRecorder, Recorder};
 use asha_core::{Decision, Job, Observation, Scheduler, TrialId};
 use asha_metrics::{FaultStats, RunTrace, TraceEvent};
 use asha_surrogate::{BenchmarkModel, TrainingState};
@@ -223,9 +224,29 @@ impl ClusterSim {
     /// the RNG state.
     pub fn run<S: Scheduler>(
         &self,
+        scheduler: S,
+        bench: &dyn BenchmarkModel,
+        rng: &mut dyn rand::RngCore,
+    ) -> SimResult {
+        self.run_recorded(scheduler, bench, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run`](ClusterSim::run), but emit structured telemetry into
+    /// `recorder`: every scheduler decision, job start/end, drop, retry, and
+    /// idle round, stamped with *simulated* time — the same clock as
+    /// [`TraceEvent::time`], so an event log and the run trace are joinable.
+    ///
+    /// Recording never consumes randomness, so a recorded run is
+    /// event-for-event identical to an unrecorded one with the same seed,
+    /// and the same seed always produces the same event stream. With the
+    /// default [`NoopRecorder`] every telemetry guard folds away and this is
+    /// exactly [`run`](ClusterSim::run).
+    pub fn run_recorded<S: Scheduler, R: Recorder>(
+        &self,
         mut scheduler: S,
         bench: &dyn BenchmarkModel,
         rng: &mut dyn rand::RngCore,
+        recorder: &mut R,
     ) -> SimResult {
         let cfg = &self.config;
         let mut trace = RunTrace::new(scheduler.name());
@@ -252,19 +273,36 @@ impl ClusterSim {
         loop {
             // Hand work to free workers: retries first, then the scheduler.
             while free_workers > 0 && !scheduler_finished {
-                let job = if let Some(job) = retry.pop_front() {
-                    Some(job)
+                let (job, is_retry) = if let Some(job) = retry.pop_front() {
+                    (Some(job), true)
                 } else {
-                    match scheduler.suggest(rng) {
+                    let decision = scheduler.suggest(rng);
+                    if recorder.enabled() {
+                        recorder.record(now, EventKind::of_decision(&decision));
+                    }
+                    let job = match decision {
                         Decision::Run(job) => Some(job),
                         Decision::Wait => None,
                         Decision::Finished => {
                             scheduler_finished = true;
                             None
                         }
-                    }
+                    };
+                    (job, false)
                 };
                 let Some(job) = job else { break };
+                if recorder.enabled() {
+                    if is_retry {
+                        recorder.record(
+                            now,
+                            EventKind::Retry {
+                                trial: job.trial.0,
+                                rung: job.rung,
+                            },
+                        );
+                    }
+                    recorder.record(now, EventKind::job_start(&job));
+                }
                 if !states.contains_key(&job.trial) {
                     // PBT-style inheritance: copy the parent's checkpoint
                     // (curve state) if the job asks for it. The unit cost is
@@ -320,6 +358,13 @@ impl ClusterSim {
                 free_workers -= 1;
             }
 
+            // A round that leaves workers idle while jobs are still in
+            // flight is the signature of a waiting scheduler (or a drained
+            // one); record it so reports can show where parallelism stalled.
+            if recorder.enabled() && free_workers > 0 && !heap.is_empty() {
+                recorder.record(now, EventKind::WorkerIdle { idle: free_workers });
+            }
+
             let Some(event) = heap.pop() else {
                 // No outstanding work: either finished, or a waiting
                 // scheduler that can never be unblocked (drained).
@@ -336,6 +381,16 @@ impl ClusterSim {
                 Outcome::Dropped => {
                     faults.jobs_dropped += 1;
                     faults.jobs_retried += 1;
+                    if recorder.enabled() {
+                        recorder.record(
+                            now,
+                            EventKind::Drop {
+                                trial: event.job.trial.0,
+                                rung: event.job.rung,
+                                cause: DropCause::Dropped,
+                            },
+                        );
+                    }
                     // Work lost; retry from the last checkpoint.
                     retry.push_back(event.job);
                 }
@@ -374,6 +429,19 @@ impl ClusterSim {
                             val_loss: val,
                             test_loss: test,
                         });
+                    }
+                    if recorder.enabled() {
+                        // Same `now` as the TraceEvent above: telemetry and
+                        // traces share the simulated clock.
+                        recorder.record(
+                            now,
+                            EventKind::JobEnd {
+                                trial: job.trial.0,
+                                rung: job.rung,
+                                resource: job.resource,
+                                loss: val,
+                            },
+                        );
                     }
                     scheduler.observe(Observation::for_job(&job, val));
                 }

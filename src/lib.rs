@@ -19,6 +19,7 @@
 //! | [`sim`] | `asha-sim` | discrete-event cluster simulator |
 //! | [`exec`] | `asha-exec` | real multi-threaded executor |
 //! | [`metrics`] | `asha-metrics` | traces, incumbent curves, aggregation |
+//! | [`obs`] | `asha-obs` | JSONL event logs, metrics registry, run reports |
 //! | [`math`] | `asha-math` | GP, KDE, distributions, stats, Cholesky |
 //! | [`ml`] | `asha-ml` | tiny MLP/SGD substrate for real tuning demos |
 //!
@@ -52,6 +53,7 @@ pub use asha_exec as exec;
 pub use asha_math as math;
 pub use asha_metrics as metrics;
 pub use asha_ml as ml;
+pub use asha_obs as obs;
 pub use asha_sim as sim;
 pub use asha_space as space;
 pub use asha_surrogate as surrogate;
