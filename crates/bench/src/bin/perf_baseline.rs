@@ -27,6 +27,10 @@ use asha_core::{
 use asha_metrics::JsonValue;
 use asha_sim::{ClusterSim, SimConfig, TraceMode};
 use asha_space::SearchSpace;
+use asha_store::{
+    read_wal, replay_scheduler, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
+    Snapshot, StoredScheduler, SyncPolicy, WalWriter,
+};
 use asha_surrogate::{presets, BenchmarkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -167,6 +171,214 @@ fn telemetry_overhead(bench: &dyn BenchmarkModel, workers: usize, horizon: f64) 
     ])
 }
 
+/// Persistence tax: the same 25-worker simulation with telemetry logged
+/// the pre-store way (in-memory recorder, one bulk JSONL write at the end
+/// — lost entirely if the process dies first) vs streamed through the
+/// durable store's WAL as each event happens. Both runs are timed to the
+/// same mid-run job checkpoint with all telemetry pushed to the OS, then
+/// finish untimed and must complete identical job counts (persistence
+/// never consumes randomness). The ratio isolates the WAL streaming tax —
+/// the budget is 1.10x at this scale; fsync cadence and snapshot costs are
+/// deliberately excluded here and measured separately below (WAL append
+/// throughput under `EveryN(64)`, snapshot write latency), since both are
+/// one-knob cadence choices whose total cost is `cadence x unit price`.
+fn persistence(
+    bench: &dyn BenchmarkModel,
+    workers: usize,
+    horizon: f64,
+    rounds: usize,
+) -> JsonValue {
+    let dir = std::env::temp_dir().join(format!("asha-perf-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("perf tmp dir");
+    let make = || Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA));
+    // The timed windows below need enough work to rise above scheduler
+    // noise, so this row never runs shorter than horizon 240 even in smoke
+    // mode (the row costs well under a second either way).
+    let horizon = horizon.max(240.0);
+    let sim_cfg = SimConfig::new(workers, horizon);
+    let opts = RunOptions {
+        sync: SyncPolicy::Never,
+        snapshot_jobs: usize::MAX / 2,
+    };
+
+    // Untimed scout run to learn the total job count, so the timed window
+    // below can stop at a checkpoint strictly inside the run (the final
+    // snapshot at completion is a separately-metered cost, not WAL tax).
+    let sim = ClusterSim::new(sim_cfg.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let total_jobs = sim.run(make(), bench, &mut rng).jobs_completed;
+    let checkpoint = total_jobs * 9 / 10;
+
+    let meta = ExperimentMeta {
+        name: "perf-baseline".to_owned(),
+        space: bench.space().clone(),
+        initial: SchedulerState::Asha(make().export_state()),
+        seed: 0,
+        sim: sim_cfg.clone(),
+        bench: BenchSpec {
+            preset: "cifar10_cuda_convnet".to_owned(),
+            seed: presets::DEFAULT_SURFACE_SEED,
+        },
+    };
+
+    // The timed windows are tens of milliseconds, so a single pair is at
+    // the mercy of scheduler noise: interleave several repetitions of each
+    // side and compare the per-side minima. Experiment creation (meta
+    // write + first snapshot, a handful of fsyncs) happens outside the
+    // timed window — it is a per-experiment constant, not part of the
+    // per-event tax.
+    let reps = 7;
+    let mut off_samples = Vec::with_capacity(reps);
+    let mut on_samples = Vec::with_capacity(reps);
+    let mut off_jobs = 0usize;
+    let mut on_jobs = 0usize;
+    for rep in 0..reps {
+        // Baseline: record in memory while the engine runs, bulk-write the
+        // JSONL log when the checkpoint is reached.
+        let mut engine =
+            asha_sim::SimEngine::new(sim_cfg.clone(), StoredScheduler::Asha(make()), bench);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut recorder = asha_obs::RunRecorder::new();
+        let start = Instant::now();
+        while engine.jobs_completed() < checkpoint && engine.step(&mut rng, &mut recorder) {}
+        recorder
+            .write_jsonl(dir.join("baseline.jsonl"))
+            .expect("baseline log write");
+        off_samples.push(start.elapsed().as_secs_f64());
+        while engine.step(&mut rng, &mut recorder) {}
+        off_jobs = engine.jobs_completed();
+
+        // Same engine, same seed, but every event streams through the
+        // durable store's WAL as it happens: kill the process anywhere in
+        // this window and the run recovers.
+        let run_dir = dir.join(format!("run-{rep}"));
+        let mut run = DurableRun::create(&run_dir, &meta, bench, opts).expect("store create");
+        let start = Instant::now();
+        let live = run.run_until_jobs(checkpoint).expect("durable run");
+        run.flush().expect("wal flush");
+        on_samples.push(start.elapsed().as_secs_f64());
+        assert!(live, "checkpoint must land strictly mid-run");
+        let on = run.run_to_completion().expect("durable finish");
+        on_jobs = on.jobs_completed;
+    }
+    assert_eq!(off_jobs, on_jobs, "persistence must not perturb the run");
+    // Minimum over repetitions: both sides are deterministic CPU-plus-
+    // page-cache work, so the fastest observation is the least-noise one.
+    let floor = |samples: &[f64]| samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let off_secs = floor(&off_samples);
+    let on_secs = floor(&on_samples);
+    let wal_overhead = on_secs / off_secs.max(1e-9);
+
+    // WAL append throughput: pre-generate an exec-style event stream by
+    // driving a scheduler (RNG consumed only in suggest), then time pure
+    // appends.
+    use asha_core::telemetry::{Event, EventKind};
+    let mut scheduler = make();
+    let mut gen_rng = StdRng::seed_from_u64(7);
+    let mut events = Vec::with_capacity(rounds * 2);
+    let mut seq = 0u64;
+    for i in 0..rounds {
+        let d = scheduler.suggest(&mut gen_rng);
+        events.push(Event {
+            seq,
+            time: i as f64,
+            kind: EventKind::of_decision(&d),
+        });
+        seq += 1;
+        if let Some(job) = d.job() {
+            let loss = (i % 997) as f64;
+            scheduler.observe(Observation::for_job(&job, loss));
+            events.push(Event {
+                seq,
+                time: i as f64,
+                kind: EventKind::JobEnd {
+                    trial: job.trial.0,
+                    rung: job.rung,
+                    resource: job.resource,
+                    loss,
+                },
+            });
+            seq += 1;
+        }
+    }
+    let wal_path = dir.join("append.jsonl");
+    let start = Instant::now();
+    let mut writer = WalWriter::create(&wal_path, SyncPolicy::EveryN(64)).expect("wal create");
+    for event in &events {
+        writer.append_telemetry(event).expect("wal append");
+    }
+    writer.sync().expect("wal sync");
+    drop(writer);
+    let append_secs = start.elapsed().as_secs_f64();
+    let append_per_sec = events.len() as f64 / append_secs.max(1e-9);
+
+    // Replay speed: a fresh scheduler + same-seed RNG re-derives every
+    // decision in the log, with match assertions on.
+    let contents = read_wal(&wal_path).expect("wal read");
+    let mut replay_sched = StoredScheduler::Asha(Asha::new(
+        bench.space().clone(),
+        AshaConfig::new(1.0, R, ETA),
+    ));
+    let mut replay_rng = StdRng::seed_from_u64(7);
+    let start = Instant::now();
+    let replayed =
+        replay_scheduler(&mut replay_sched, &mut replay_rng, &contents.records, 0).expect("replay");
+    let replay_secs = start.elapsed().as_secs_f64();
+    let replay_per_sec = replayed as f64 / replay_secs.max(1e-9);
+
+    // Snapshot write latency for the full mid-run scheduler state.
+    let snap = Snapshot {
+        seq: 0,
+        events: replayed,
+        scheduler: replay_sched.export_state(),
+        rng: replay_rng.state(),
+        sim: None,
+    };
+    let snap_dir = dir.join("snaps");
+    std::fs::create_dir_all(&snap_dir).expect("snap dir");
+    let iters = 5;
+    let start = Instant::now();
+    let mut snap_path = snap_dir.join("unwritten");
+    for _ in 0..iters {
+        snap_path = snap.write(&snap_dir).expect("snapshot write");
+    }
+    let snap_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    let snap_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "  persistence {workers:>3} workers to job {checkpoint}: log-at-end {off_secs:>7.3}s, wal-on {on_secs:>7.3}s ({wal_overhead:>5.2}x, budget 1.10x)"
+    );
+    println!(
+        "  persistence wal append: {:>8} events in {append_secs:>7.3}s = {append_per_sec:>12.0} events/s",
+        events.len()
+    );
+    println!(
+        "  persistence replay:     {replayed:>8} events in {replay_secs:>7.3}s = {replay_per_sec:>12.0} events/s"
+    );
+    println!(
+        "  persistence snapshot:   {snap_ms:>8.3} ms mean write ({snap_bytes} bytes, fsync + rename)"
+    );
+    JsonValue::obj([
+        ("workers", JsonValue::Int(workers as u64)),
+        ("horizon", JsonValue::Num(horizon)),
+        ("jobs_completed", JsonValue::Int(on_jobs as u64)),
+        ("checkpoint_jobs", JsonValue::Int(checkpoint as u64)),
+        ("overhead_sync_policy", JsonValue::Str("never".to_owned())),
+        ("log_at_end_secs", JsonValue::Num(off_secs)),
+        ("wal_on_secs", JsonValue::Num(on_secs)),
+        ("wal_overhead_ratio", JsonValue::Num(wal_overhead)),
+        ("wal_overhead_budget", JsonValue::Num(1.10)),
+        ("wal_events_appended", JsonValue::Int(events.len() as u64)),
+        ("wal_append_events_per_sec", JsonValue::Num(append_per_sec)),
+        ("replay_events", JsonValue::Int(replayed)),
+        ("replay_events_per_sec", JsonValue::Num(replay_per_sec)),
+        ("snapshot_write_ms", JsonValue::Num(snap_ms)),
+        ("snapshot_bytes", JsonValue::Int(snap_bytes)),
+    ])
+}
+
 fn sweep_methods(space: &SearchSpace) -> Vec<MethodSpec> {
     let s1 = space.clone();
     let s2 = space.clone();
@@ -280,6 +492,9 @@ fn main() {
     // Telemetry on/off throughput delta at the small-cluster regime.
     let telemetry = telemetry_overhead(&bench, 25, horizon);
 
+    // Durable-store tax at the same regime.
+    let persistence = persistence(&bench, 25, horizon, rounds);
+
     // Parallel sweep speedup.
     let cfg = if opts.smoke {
         ExperimentConfig::new(25, 30.0, 2, 0.65)
@@ -298,6 +513,7 @@ fn main() {
         ("sim", JsonValue::Arr(sim_rows)),
         ("scheduler", JsonValue::Arr(scheduler_rows)),
         ("telemetry", telemetry),
+        ("persistence", persistence),
         ("sweep", sweep),
     ]);
     match asha_metrics::write_json(&opts.out, &report) {

@@ -11,16 +11,33 @@
 //!                       chaos simulation (stragglers + drops), then report on
 //!                       it — a self-contained worked example
 //!     [--seed N]        RNG seed for --demo (default 0)
+//!     [--store DIR]     run the --demo through the durable experiment store:
+//!                       every event goes to DIR/wal.jsonl and snapshots are
+//!                       taken periodically, so the run is crash-recoverable
+//!     [--crash-after-jobs N]
+//!                       with --store: die abruptly (SIGABRT, no cleanup)
+//!                       once N jobs have completed — for exercising recovery
+//!     [--resume DIR]    recover a crashed/aborted store run from DIR, finish
+//!                       it, and report on the completed log
+//!     [--snapshot-jobs N]
+//!                       snapshot cadence for --store/--resume (default 200)
 //! ```
 //!
 //! The report is derived entirely from the log, so it reproduces exactly the
 //! metrics the live run's recorder saw: per-rung promotion table, decision
 //! and fault counts, promotion-wait / job-latency / queue-delay quantiles,
-//! and a worker-utilization timeline.
+//! and a worker-utilization timeline. A `--store` run that crashed and was
+//! `--resume`d produces the same telemetry stream — and therefore the same
+//! report — as one that never crashed.
+
+use std::path::Path;
 
 use asha_core::{Asha, AshaConfig};
-use asha_obs::{parse_jsonl, RunRecorder, RunReport};
+use asha_obs::{parse_jsonl, Event, RunRecorder, RunReport};
 use asha_sim::{ClusterSim, SimConfig};
+use asha_store::{
+    read_meta, read_wal, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
+};
 use asha_surrogate::{presets, BenchmarkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +51,10 @@ struct Opts {
     json: Option<String>,
     demo: bool,
     seed: u64,
+    store: Option<String>,
+    crash_after_jobs: Option<usize>,
+    resume: Option<String>,
+    snapshot_jobs: Option<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -43,6 +64,10 @@ fn parse_opts() -> Opts {
         json: None,
         demo: false,
         seed: 0,
+        store: None,
+        crash_after_jobs: None,
+        resume: None,
+        snapshot_jobs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,9 +76,16 @@ fn parse_opts() -> Opts {
             "--json" => opts.json = args.next(),
             "--demo" => opts.demo = true,
             "--seed" => opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--store" => opts.store = args.next(),
+            "--crash-after-jobs" => {
+                opts.crash_after_jobs = args.next().and_then(|v| v.parse().ok())
+            }
+            "--resume" => opts.resume = args.next(),
+            "--snapshot-jobs" => opts.snapshot_jobs = args.next().and_then(|v| v.parse().ok()),
             "--help" | "-h" => {
                 println!(
-                    "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] [--seed N]"
+                    "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] \
+                     [--seed N] [--store DIR] [--crash-after-jobs N] [--resume DIR]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +101,33 @@ fn parse_opts() -> Opts {
     opts
 }
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// The `--demo` experiment: the same seeded 25-worker chaos simulation the
+/// plain demo runs, described as durable-store metadata.
+fn demo_meta(seed: u64) -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "cifar10_cuda_convnet".to_owned(),
+        seed: presets::DEFAULT_SURFACE_SEED,
+    };
+    let bench = spec.build().expect("demo preset exists");
+    let space = bench.space().clone();
+    let asha = Asha::new(space.clone(), AshaConfig::new(1.0, 256.0, 4.0));
+    ExperimentMeta {
+        name: "run-report-demo".to_owned(),
+        space,
+        initial: SchedulerState::Asha(asha.export_state()),
+        seed,
+        sim: SimConfig::new(DEMO_WORKERS, 60.0)
+            .with_stragglers(0.5)
+            .with_drops(0.01),
+        bench: spec,
+    }
+}
+
 /// Run a seeded 25-worker chaos simulation (stragglers + drops) with
 /// recording on and write its event log to `path`.
 fn write_demo_log(path: &str, seed: u64) {
@@ -82,9 +141,8 @@ fn write_demo_log(path: &str, seed: u64) {
     let mut recorder = RunRecorder::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let result = sim.run_recorded(asha, &bench, &mut rng, &mut recorder);
-    if let Err(e) = recorder.write_jsonl(path) {
-        eprintln!("error: failed to write {path}: {e}");
-        std::process::exit(1);
+    if let Err(e) = recorder.write_jsonl_durable(path) {
+        fail(format!("failed to write {path}: {e}"));
     }
     println!(
         "demo: simulated {} jobs on {DEMO_WORKERS} workers (seed {seed}), wrote {} events to {path}\n",
@@ -93,8 +151,90 @@ fn write_demo_log(path: &str, seed: u64) {
     );
 }
 
+/// Run the demo through the durable store, optionally dying abruptly after
+/// `crash_after_jobs` completed jobs.
+fn run_demo_store(dir: &Path, seed: u64, crash_after_jobs: Option<usize>, opts: RunOptions) {
+    let meta = demo_meta(seed);
+    let bench = meta.bench.build().unwrap_or_else(|e| fail(e));
+    let mut run = DurableRun::create(dir, &meta, &bench, opts).unwrap_or_else(|e| fail(e));
+    if let Some(jobs) = crash_after_jobs {
+        let alive = run.run_until_jobs(jobs).unwrap_or_else(|e| fail(e));
+        if alive {
+            println!(
+                "store demo: {} jobs completed in {}, crashing now (no cleanup)",
+                run.jobs_completed(),
+                dir.display()
+            );
+            // Die like SIGKILL would: no destructors, no flushes. Recovery
+            // must work from exactly what is already on disk.
+            std::process::abort();
+        }
+        // The run finished before reaching the crash point; fall through.
+    }
+    while run.step().unwrap_or_else(|e| fail(e)) {}
+    let result = run.into_result();
+    println!(
+        "store demo: simulated {} jobs on {DEMO_WORKERS} workers (seed {seed}), store in {}\n",
+        result.jobs_completed,
+        dir.display()
+    );
+}
+
+/// Recover a store run from `dir` and drive it to completion.
+fn resume_store(dir: &Path, opts: RunOptions) {
+    let meta = read_meta(dir).unwrap_or_else(|e| fail(e));
+    let bench = meta.bench.build().unwrap_or_else(|e| fail(e));
+    let mut run = DurableRun::resume(dir, &meta, &bench, opts).unwrap_or_else(|e| fail(e));
+    let recovered_jobs = run.jobs_completed();
+    while run.step().unwrap_or_else(|e| fail(e)) {}
+    let result = run.into_result();
+    println!(
+        "resumed {:?} from {} at {recovered_jobs} jobs; finished with {} jobs\n",
+        meta.name,
+        dir.display(),
+        result.jobs_completed
+    );
+}
+
+/// The telemetry stream of a store directory's WAL (store markers skipped).
+fn wal_events(dir: &Path) -> Vec<Event> {
+    let contents = read_wal(&dir.join(asha_store::WAL_FILE)).unwrap_or_else(|e| fail(e));
+    contents.telemetry().copied().collect()
+}
+
 fn main() {
     let mut opts = parse_opts();
+
+    // Store-backed paths: the report comes from the WAL, not a loose log.
+    let mut run_opts = RunOptions::default();
+    if let Some(jobs) = opts.snapshot_jobs {
+        run_opts.snapshot_jobs = jobs.max(1);
+    }
+    let store_dir = if let Some(dir) = &opts.resume {
+        resume_store(Path::new(dir), run_opts);
+        Some(dir.clone())
+    } else if let (true, Some(dir)) = (opts.demo, opts.store.clone()) {
+        run_demo_store(Path::new(&dir), opts.seed, opts.crash_after_jobs, run_opts);
+        Some(dir)
+    } else {
+        None
+    };
+    if let Some(dir) = store_dir {
+        let dir = Path::new(&dir);
+        let events = wal_events(dir);
+        let meta = read_meta(dir).unwrap_or_else(|e| fail(e));
+        let workers = opts.workers.unwrap_or(meta.sim.workers);
+        let report = RunReport::from_events(&events, Some(workers));
+        print!("{}", report.render_text());
+        if let Some(json_path) = opts.json {
+            match asha_metrics::write_json(&json_path, &report.to_json()) {
+                Ok(()) => println!("\nwrote {json_path}"),
+                Err(e) => fail(e),
+            }
+        }
+        return;
+    }
+
     if opts.demo {
         let path = opts
             .log
@@ -105,23 +245,20 @@ fn main() {
         opts.workers = opts.workers.or(Some(DEMO_WORKERS));
     }
     let Some(log_path) = opts.log else {
-        eprintln!("usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo]");
+        eprintln!(
+            "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] \
+             [--store DIR] [--crash-after-jobs N] [--resume DIR]"
+        );
         std::process::exit(2);
     };
 
     let text = match std::fs::read_to_string(&log_path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: cannot read {log_path}: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(format!("cannot read {log_path}: {e}")),
     };
     let events = match parse_jsonl(&text) {
         Ok(events) => events,
-        Err(e) => {
-            eprintln!("error: {log_path}: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(format!("{log_path}: {e}")),
     };
 
     let report = RunReport::from_events(&events, opts.workers);
@@ -130,10 +267,7 @@ fn main() {
     if let Some(json_path) = opts.json {
         match asha_metrics::write_json(&json_path, &report.to_json()) {
             Ok(()) => println!("\nwrote {json_path}"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => fail(e),
         }
     }
 }

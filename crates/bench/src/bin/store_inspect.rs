@@ -1,0 +1,140 @@
+//! Inspect a durable experiment store on disk.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asha-bench --bin store_inspect -- DIR
+//! ```
+//!
+//! `DIR` may be a single experiment directory (contains `meta.json`) or a
+//! supervisor root (contains `manifest.json`); for a root, every listed
+//! experiment is inspected. For each experiment the tool prints the
+//! metadata summary, the snapshot chain (sequence, covered events, file
+//! size), and the WAL's shape: record counts, telemetry sequence range,
+//! store markers, and whether a torn tail was discarded.
+
+use std::path::Path;
+
+use asha_store::{
+    list_snapshots, read_manifest, read_meta, read_wal, Snapshot, StoreEvent, WalRecord,
+    MANIFEST_FILE, META_FILE, WAL_FILE,
+};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn inspect_experiment(dir: &Path) {
+    println!("experiment store: {}", dir.display());
+
+    match read_meta(dir) {
+        Ok(meta) => {
+            println!("  name:      {}", meta.name);
+            println!("  scheduler: {}", meta.initial.kind());
+            println!(
+                "  benchmark: {} (surface seed {})",
+                meta.bench.preset, meta.bench.seed
+            );
+            println!("  run seed:  {}", meta.seed);
+            println!(
+                "  sim:       {} workers, horizon {}, stragglers {}, drop prob {}",
+                meta.sim.workers, meta.sim.max_time, meta.sim.straggler_std, meta.sim.drop_prob
+            );
+        }
+        Err(e) => println!("  meta: unreadable ({e})"),
+    }
+
+    match list_snapshots(dir) {
+        Ok(snaps) if snaps.is_empty() => println!("  snapshots: none"),
+        Ok(snaps) => {
+            println!("  snapshots: {}", snaps.len());
+            for (seq, path) in &snaps {
+                let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                let events = std::fs::read_to_string(path)
+                    .ok()
+                    .and_then(|text| asha_metrics::JsonValue::parse(&text).ok())
+                    .and_then(|v| Snapshot::from_json(&v).ok())
+                    .map(|s| s.events);
+                match events {
+                    Some(events) => {
+                        println!("    snap {seq:>6}: covers {events:>7} events, {size:>9} bytes")
+                    }
+                    None => println!("    snap {seq:>6}: UNREADABLE, {size:>9} bytes"),
+                }
+            }
+        }
+        Err(e) => println!("  snapshots: unreadable ({e})"),
+    }
+
+    let wal_path = dir.join(WAL_FILE);
+    match read_wal(&wal_path) {
+        Ok(contents) => {
+            let telemetry: Vec<_> = contents.telemetry().collect();
+            let stores = contents.records.len() - telemetry.len();
+            println!(
+                "  wal:       {} records ({} telemetry + {stores} store markers)",
+                contents.records.len(),
+                telemetry.len()
+            );
+            match (telemetry.first(), telemetry.last()) {
+                (Some(first), Some(last)) => println!(
+                    "    telemetry seq {}..={} over t [{:.3}, {:.3}]",
+                    first.seq, last.seq, first.time, last.time
+                ),
+                _ => println!("    no telemetry yet"),
+            }
+            for record in &contents.records {
+                if let WalRecord::Store { time, event } = record {
+                    match event {
+                        StoreEvent::Snapshot { snap, events } => println!(
+                            "    t {time:>10.3}  snapshot marker: snap {snap} @ {events} events"
+                        ),
+                        other => println!("    t {time:>10.3}  {}", other.name()),
+                    }
+                }
+            }
+            if contents.torn_tail {
+                println!("    torn tail: one partial final line discarded (crash mid-append)");
+            }
+        }
+        Err(e) => println!("  wal: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = match args.as_slice() {
+        [dir] if dir != "--help" && dir != "-h" => Path::new(dir),
+        _ => {
+            println!("usage: store_inspect <experiment-dir | supervisor-root>");
+            std::process::exit(if args.is_empty() { 2 } else { 0 });
+        }
+    };
+
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if manifest_path.exists() {
+        let entries = read_manifest(&manifest_path).unwrap_or_else(|e| fail(e));
+        println!(
+            "supervisor root: {} ({} experiments)",
+            dir.display(),
+            entries.len()
+        );
+        for entry in &entries {
+            println!("  {:<24} {}", entry.name, entry.status.as_str());
+        }
+        for entry in &entries {
+            println!();
+            inspect_experiment(&dir.join(&entry.name));
+        }
+        return;
+    }
+
+    if !dir.join(META_FILE).exists() {
+        fail(format!(
+            "{} has neither {MANIFEST_FILE} nor {META_FILE}",
+            dir.display()
+        ));
+    }
+    inspect_experiment(dir);
+}

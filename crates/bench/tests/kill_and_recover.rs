@@ -1,0 +1,81 @@
+//! True process-death recovery: run the `run_report` demo through the
+//! durable store, kill the process abruptly mid-run (SIGABRT via
+//! `std::process::abort`, no cleanup), recover in a fresh process, and
+//! require the final report to be byte-identical to an uninterrupted run.
+//! This is the same flow the CI kill-and-recover job exercises.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_report() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_run_report"))
+}
+
+#[test]
+fn killed_store_run_recovers_to_identical_report() {
+    let root = std::env::temp_dir().join(format!("asha-bench-kill-recover-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap();
+    let ref_dir = root.join("ref");
+    let crash_dir = root.join("crash");
+    let ref_json = root.join("ref.json");
+    let rec_json = root.join("recovered.json");
+    let to = |p: &Path| p.to_str().unwrap().to_owned();
+
+    // Uninterrupted reference run.
+    let status = run_report()
+        .args([
+            "--demo",
+            "--seed",
+            "5",
+            "--store",
+            &to(&ref_dir),
+            "--snapshot-jobs",
+            "75",
+            "--json",
+            &to(&ref_json),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference run failed");
+
+    // Same run, killed abruptly after 200 jobs: abort() skips destructors,
+    // so nothing buffered is flushed — like a SIGKILL.
+    let status = run_report()
+        .args([
+            "--demo",
+            "--seed",
+            "5",
+            "--store",
+            &to(&crash_dir),
+            "--snapshot-jobs",
+            "75",
+            "--crash-after-jobs",
+            "200",
+        ])
+        .status()
+        .unwrap();
+    assert!(!status.success(), "crashed run must not exit cleanly");
+
+    // Recover in a new process and finish.
+    let status = run_report()
+        .args([
+            "--resume",
+            &to(&crash_dir),
+            "--snapshot-jobs",
+            "75",
+            "--json",
+            &to(&rec_json),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success(), "recovery run failed");
+
+    let reference = std::fs::read(&ref_json).unwrap();
+    let recovered = std::fs::read(&rec_json).unwrap();
+    assert!(
+        reference == recovered,
+        "recovered report.json differs from uninterrupted run"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -7,6 +7,7 @@ use asha_space::{Config, SearchSpace};
 use crate::rung::{RungLadder, ScanOrder};
 use crate::sampler::{ConfigSampler, RandomSampler};
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
+use crate::state::{AshaState, RungState};
 
 /// Configuration of an [`Asha`] scheduler.
 ///
@@ -195,6 +196,78 @@ impl Asha {
     /// rung (Section 3.3).
     pub fn best(&self) -> Option<(TrialId, f64)> {
         self.ladder.best_loss()
+    }
+
+    /// Capture the scheduler's full mutable state as plain data (see
+    /// [`crate::state`]). Restoring it with [`Asha::from_state`] yields a
+    /// scheduler that makes identical decisions given the same RNG stream.
+    pub fn export_state(&self) -> AshaState {
+        let mut trials: Vec<(u64, Config)> = self
+            .trial_configs
+            .iter()
+            .map(|(t, c)| (t.0, c.clone()))
+            .collect();
+        trials.sort_by_key(|&(t, _)| t);
+        let mut outstanding: Vec<(u64, usize)> =
+            self.outstanding.iter().map(|&(t, r)| (t.0, r)).collect();
+        outstanding.sort_unstable();
+        AshaState {
+            config: self.config.clone(),
+            rungs: self.ladder.rungs().iter().map(RungState::of).collect(),
+            trials,
+            outstanding,
+            next_trial: self.next_trial,
+            trials_started: self.trials_started,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Rebuild a scheduler from a state captured by [`Asha::export_state`],
+    /// with uniform random sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded config is invalid (same conditions as
+    /// [`Asha::new`]).
+    pub fn from_state(space: SearchSpace, state: AshaState) -> Self {
+        Asha::from_state_with_sampler(space, state, Box::new(RandomSampler::new()))
+    }
+
+    /// Rebuild a scheduler from a captured state with a custom sampler. The
+    /// sampler's own cursor, if any, is restored separately via
+    /// [`ConfigSampler::restore_cursor`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::from_state`].
+    pub fn from_state_with_sampler(
+        space: SearchSpace,
+        state: AshaState,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let mut asha = Asha::with_sampler(space, state.config.clone(), sampler);
+        for (k, rung) in state.rungs.iter().enumerate() {
+            rung.replay_into(&mut asha.ladder, k);
+        }
+        // Infinite-horizon ladders grow on demand; force the restored ladder
+        // to the snapshot's length even if trailing rungs are empty.
+        if state.config.infinite_horizon && !state.rungs.is_empty() {
+            asha.ladder.rung_mut(state.rungs.len() - 1);
+        }
+        asha.trial_configs = state
+            .trials
+            .into_iter()
+            .map(|(t, c)| (TrialId(t), c))
+            .collect();
+        asha.outstanding = state
+            .outstanding
+            .into_iter()
+            .map(|(t, r)| (TrialId(t), r))
+            .collect();
+        asha.next_trial = state.next_trial;
+        asha.trials_started = state.trials_started;
+        asha.name = state.name;
+        asha
     }
 
     fn promote(&mut self, trial: TrialId, from_rung: usize) -> Job {

@@ -12,6 +12,7 @@ use crate::asha::{Asha, AshaConfig};
 use crate::budget;
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 use crate::sha::{ShaConfig, SyncSha};
+use crate::state::AsyncHyperbandState;
 
 /// Trial-id stride separating the namespaces of different brackets, so that
 /// wrappers can route observations back to the bracket that issued them
@@ -247,6 +248,45 @@ impl AsyncHyperband {
     /// The early-stopping rate of the bracket currently being filled.
     pub fn current_bracket(&self) -> usize {
         self.current
+    }
+
+    /// Capture the scheduler's full mutable state as plain data (see
+    /// [`crate::state`]): one [`crate::state::AshaState`] per bracket plus
+    /// the budget cursor. Per-bracket budgets are recomputed on restore.
+    pub fn export_state(&self) -> AsyncHyperbandState {
+        AsyncHyperbandState {
+            config: self.config.clone(),
+            brackets: self.brackets.iter().map(Asha::export_state).collect(),
+            spent: self.spent,
+            current: self.current,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Rebuild a scheduler from a state captured by
+    /// [`AsyncHyperband::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded config is invalid (see
+    /// [`HyperbandConfig::new`]) or the bracket count does not match the
+    /// config.
+    pub fn from_state(space: SearchSpace, state: AsyncHyperbandState) -> Self {
+        let mut ahb = AsyncHyperband::new(space.clone(), state.config.clone());
+        assert_eq!(
+            state.brackets.len(),
+            ahb.brackets.len(),
+            "bracket count mismatch between snapshot and config"
+        );
+        ahb.brackets = state
+            .brackets
+            .into_iter()
+            .map(|b| Asha::from_state(space.clone(), b))
+            .collect();
+        ahb.spent = state.spent;
+        ahb.current = state.current;
+        ahb.name = state.name;
+        ahb
     }
 
     /// Read-only access to the per-bracket ASHA instances.

@@ -58,6 +58,7 @@ mod rung;
 mod sampler;
 mod scheduler;
 mod sha;
+pub mod state;
 pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
@@ -67,6 +68,7 @@ pub use crate::rung::{Rung, RungLadder, ScanOrder};
 pub use crate::sampler::{ConfigSampler, RandomSampler};
 pub use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 pub use crate::sha::{ShaConfig, SyncSha};
+pub use crate::state::{AshaState, AsyncHyperbandState, BracketState, RungState, SyncShaState};
 pub use crate::telemetry::{
     DropCause, Event, EventKind, IdleKind, InstrumentedScheduler, NoopRecorder, Recorder,
 };

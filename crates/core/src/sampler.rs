@@ -18,6 +18,18 @@ pub trait ConfigSampler: Send {
     fn name(&self) -> &str {
         "sampler"
     }
+
+    /// Serialize the sampler's internal cursor (model state, observation
+    /// buffer) for durable snapshots. The format is sampler-defined and
+    /// opaque to the caller; stateless samplers return `None` (the default).
+    fn export_cursor(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore a cursor previously produced by
+    /// [`ConfigSampler::export_cursor`]. Stateless samplers ignore it (the
+    /// default).
+    fn restore_cursor(&mut self, _cursor: &str) {}
 }
 
 /// Uniform random sampling over the search space — the sampler of SHA, ASHA,

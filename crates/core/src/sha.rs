@@ -8,6 +8,7 @@ use asha_space::{Config, SearchSpace};
 
 use crate::sampler::{ConfigSampler, RandomSampler};
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
+use crate::state::{BracketState, SyncShaState};
 
 /// Configuration of a [`SyncSha`] scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,6 +220,91 @@ impl SyncSha {
     /// Whether every bracket has run to completion.
     pub fn all_done(&self) -> bool {
         self.brackets.iter().all(|b| b.done)
+    }
+
+    /// Capture the scheduler's full mutable state as plain data (see
+    /// [`crate::state`]). Restoring it with [`SyncSha::from_state`] yields a
+    /// scheduler that makes identical decisions given the same RNG stream.
+    pub fn export_state(&self) -> SyncShaState {
+        let brackets = self
+            .brackets
+            .iter()
+            .map(|b| {
+                let mut issued: Vec<u64> = b.issued.iter().map(|t| t.0).collect();
+                issued.sort_unstable();
+                BracketState {
+                    remaining_to_sample: b.remaining_to_sample,
+                    queue: b.queue.iter().map(|(t, c)| (t.0, c.clone())).collect(),
+                    outstanding: b.outstanding,
+                    issued,
+                    results: b.results.iter().map(|&(t, l)| (t.0, l)).collect(),
+                    rung: b.rung,
+                    done: b.done,
+                }
+            })
+            .collect();
+        let mut trial_meta: Vec<(u64, usize, Config)> = self
+            .trial_meta
+            .iter()
+            .map(|(t, (b, c))| (t.0, *b, c.clone()))
+            .collect();
+        trial_meta.sort_by_key(|&(t, _, _)| t);
+        SyncShaState {
+            config: self.config.clone(),
+            brackets,
+            trial_meta,
+            next_trial: self.next_trial,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Rebuild a scheduler from a state captured by
+    /// [`SyncSha::export_state`], with uniform random sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded config is invalid (same conditions as
+    /// [`SyncSha::new`]).
+    pub fn from_state(space: SearchSpace, state: SyncShaState) -> Self {
+        SyncSha::from_state_with_sampler(space, state, Box::new(RandomSampler::new()))
+    }
+
+    /// Rebuild a scheduler from a captured state with a custom sampler.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SyncSha::from_state`].
+    pub fn from_state_with_sampler(
+        space: SearchSpace,
+        state: SyncShaState,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let mut sha = SyncSha::with_sampler(space, state.config.clone(), sampler);
+        sha.brackets = state
+            .brackets
+            .into_iter()
+            .map(|b| Bracket {
+                remaining_to_sample: b.remaining_to_sample,
+                queue: b.queue.into_iter().map(|(t, c)| (TrialId(t), c)).collect(),
+                outstanding: b.outstanding,
+                issued: b.issued.into_iter().map(TrialId).collect(),
+                results: b
+                    .results
+                    .into_iter()
+                    .map(|(t, l)| (TrialId(t), l))
+                    .collect(),
+                rung: b.rung,
+                done: b.done,
+            })
+            .collect();
+        sha.trial_meta = state
+            .trial_meta
+            .into_iter()
+            .map(|(t, b, c)| (TrialId(t), (b, c)))
+            .collect();
+        sha.next_trial = state.next_trial;
+        sha.name = state.name;
+        sha
     }
 
     fn issue_from(&mut self, bracket_idx: usize, rng: &mut dyn rand::RngCore) -> Job {

@@ -1,0 +1,132 @@
+//! Plain-data snapshots of scheduler state, for durable persistence.
+//!
+//! Each scheduler (`Asha`, `SyncSha`, `AsyncHyperband`) can export its full
+//! mutable state as one of these structs and be rebuilt from it so that the
+//! restored instance is *decision-for-decision identical* to the original:
+//! given the same RNG stream and the same `suggest`/`observe` call sequence,
+//! both produce the same decisions forever after. That contract is what
+//! `asha-store`'s snapshot + write-ahead-log recovery relies on.
+//!
+//! The structs deliberately contain only owned plain data (ids as raw
+//! `u64`, configurations by value, collections as sorted `Vec`s) so they can
+//! be serialized by any codec without touching scheduler internals. Sorting
+//! matters: the live schedulers keep some collections in hash maps whose
+//! iteration order is nondeterministic, and a snapshot must be byte-stable
+//! for a given logical state.
+
+use asha_space::Config;
+
+use crate::rung::{Rung, RungLadder};
+use crate::scheduler::TrialId;
+
+/// Snapshot of one [`Rung`]: every recorded `(trial, loss)` in arrival
+/// order, plus which trials have been promoted out.
+///
+/// Losses are stored post-normalization (the rung records NaN as
+/// `+inf`), so replaying `records` through [`Rung::record`] reproduces the
+/// rung exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungState {
+    /// `(trial, loss)` in arrival order.
+    pub records: Vec<(u64, f64)>,
+    /// Trials promoted out of this rung, in arrival order.
+    pub promoted: Vec<u64>,
+}
+
+impl RungState {
+    /// Capture the state of a rung.
+    pub fn of(rung: &Rung) -> Self {
+        let records: Vec<(u64, f64)> = rung.records().iter().map(|&(t, l)| (t.0, l)).collect();
+        let promoted = rung
+            .records()
+            .iter()
+            .filter(|&&(t, _)| rung.is_promoted(t))
+            .map(|&(t, _)| t.0)
+            .collect();
+        RungState { records, promoted }
+    }
+
+    /// Replay this rung's history into rung `k` of a fresh ladder.
+    pub fn replay_into(&self, ladder: &mut RungLadder, k: usize) {
+        for &(trial, loss) in &self.records {
+            ladder.record(k, TrialId(trial), loss);
+        }
+        for &trial in &self.promoted {
+            ladder.mark_promoted(k, TrialId(trial));
+        }
+    }
+}
+
+/// Snapshot of an [`Asha`](crate::Asha) scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AshaState {
+    /// The scheduler's configuration (the ladder is rebuilt from it).
+    pub config: crate::AshaConfig,
+    /// Per-rung history, bottom rung first.
+    pub rungs: Vec<RungState>,
+    /// Every trial's sampled configuration, sorted by trial id.
+    pub trials: Vec<(u64, Config)>,
+    /// Issued-but-unreported `(trial, rung)` jobs, sorted.
+    pub outstanding: Vec<(u64, usize)>,
+    /// Next trial id to assign.
+    pub next_trial: u64,
+    /// Number of distinct trials started.
+    pub trials_started: usize,
+    /// The scheduler's display name.
+    pub name: String,
+}
+
+/// Snapshot of one synchronous SHA bracket (private to `SyncSha`; exported
+/// here as plain data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BracketState {
+    /// Base-rung configurations not yet sampled.
+    pub remaining_to_sample: usize,
+    /// Survivors queued for issue at the current rung (LIFO pop order, as
+    /// stored by the live bracket).
+    pub queue: Vec<(u64, Config)>,
+    /// Jobs issued at the current rung and not yet reported.
+    pub outstanding: usize,
+    /// Trials currently issued and unreported, sorted by trial id.
+    pub issued: Vec<u64>,
+    /// Results gathered at the current rung, in arrival order.
+    pub results: Vec<(u64, f64)>,
+    /// Current rung index.
+    pub rung: usize,
+    /// Whether the bracket has run to completion.
+    pub done: bool,
+}
+
+/// Snapshot of a [`SyncSha`](crate::SyncSha) scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncShaState {
+    /// The scheduler's configuration.
+    pub config: crate::ShaConfig,
+    /// Every bracket started so far, in creation order.
+    pub brackets: Vec<BracketState>,
+    /// `(trial, bracket, config)` for every sampled trial, sorted by trial
+    /// id.
+    pub trial_meta: Vec<(u64, usize, Config)>,
+    /// Next trial id to assign.
+    pub next_trial: u64,
+    /// The scheduler's display name.
+    pub name: String,
+}
+
+/// Snapshot of an [`AsyncHyperband`](crate::AsyncHyperband) scheduler: one
+/// [`AshaState`] per bracket plus the round-robin budget cursor. Per-bracket
+/// budgets are a pure function of the configuration and are recomputed on
+/// restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncHyperbandState {
+    /// The scheduler's configuration.
+    pub config: crate::HyperbandConfig,
+    /// Per-bracket ASHA state, `s = 0` first.
+    pub brackets: Vec<AshaState>,
+    /// Resource issued in the current activation of the current bracket.
+    pub spent: f64,
+    /// Index of the bracket currently being filled.
+    pub current: usize,
+    /// The scheduler's display name.
+    pub name: String,
+}

@@ -497,12 +497,34 @@ impl ParallelTuner {
         O: Objective,
         R: Recorder + Send,
     {
+        self.run_resumed(scheduler, objective, StdRng::seed_from_u64(seed), recorder)
+    }
+
+    /// Like [`run_recorded`](ParallelTuner::run_recorded), but with an
+    /// explicit RNG instead of a fresh seed — the entry point durable-run
+    /// recovery uses: a scheduler rebuilt from a snapshot plus the RNG state
+    /// captured alongside it continues exactly where the crashed run left
+    /// off (the pool's RNG is consumed only by `Scheduler::suggest`, never
+    /// by objectives, so scheduler state + RNG state fully determine the
+    /// remaining decision stream).
+    pub fn run_resumed<S, O, R>(
+        &self,
+        scheduler: S,
+        objective: &O,
+        rng: StdRng,
+        recorder: &mut R,
+    ) -> ExecResult
+    where
+        S: Scheduler + Send,
+        O: Objective,
+        R: Recorder + Send,
+    {
         let start = Instant::now();
         let name = scheduler.name().to_owned();
         let recording = recorder.enabled();
         let shared = Mutex::new(Shared {
             scheduler,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             recorder,
             checkpoints: HashMap::<TrialId, O::Checkpoint>::new(),
             trace: Vec::new(),

@@ -119,6 +119,13 @@ impl JsonValue {
         out
     }
 
+    /// Like [`JsonValue::render_compact`], but appends to an existing
+    /// buffer — hot paths that encode many values (JSONL writers, the WAL)
+    /// reuse one allocation instead of building a `String` per value.
+    pub fn render_compact_into(&self, out: &mut String) {
+        self.write_compact(out);
+    }
+
     /// The value under `key`, if this is an object containing it.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
@@ -204,18 +211,21 @@ impl JsonValue {
     }
 
     fn write_compact(&self, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Num(v) => {
                 if v.is_finite() {
-                    out.push_str(&format!("{v}"));
+                    let _ = write!(out, "{v}");
                 } else {
                     out.push_str("null");
                 }
             }
-            JsonValue::Int(v) => out.push_str(&format!("{v}")),
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
             JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
-            JsonValue::Str(_) => self.write_into(out, 0),
+            JsonValue::Str(s) => push_escaped(out, s),
             JsonValue::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -232,7 +242,7 @@ impl JsonValue {
                     if i > 0 {
                         out.push(',');
                     }
-                    JsonValue::Str(key.clone()).write_into(out, 0);
+                    push_escaped(out, key);
                     out.push(':');
                     value.write_compact(out);
                 }
@@ -242,32 +252,21 @@ impl JsonValue {
     }
 
     fn write_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Num(v) => {
                 if v.is_finite() {
-                    out.push_str(&format!("{v}"));
+                    let _ = write!(out, "{v}");
                 } else {
                     out.push_str("null");
                 }
             }
-            JsonValue::Int(v) => out.push_str(&format!("{v}")),
-            JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
-            JsonValue::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
             }
+            JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            JsonValue::Str(s) => push_escaped(out, s),
             JsonValue::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -279,11 +278,11 @@ impl JsonValue {
                         out.push(',');
                     }
                     out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
+                    push_indent(out, indent + 1);
                     item.write_into(out, indent + 1);
                 }
                 out.push('\n');
-                out.push_str(&"  ".repeat(indent));
+                push_indent(out, indent);
                 out.push(']');
             }
             JsonValue::Obj(fields) => {
@@ -297,16 +296,44 @@ impl JsonValue {
                         out.push(',');
                     }
                     out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    JsonValue::Str(key.clone()).write_into(out, indent + 1);
+                    push_indent(out, indent + 1);
+                    push_escaped(out, key);
                     out.push_str(": ");
                     value.write_into(out, indent + 1);
                 }
                 out.push('\n');
-                out.push_str(&"  ".repeat(indent));
+                push_indent(out, indent);
                 out.push('}');
             }
         }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quoted and escaped).
+/// Shared by the compact and pretty renderers so keys and values never go
+/// through a temporary allocation.
+fn push_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
     }
 }
 

@@ -58,11 +58,15 @@ pub mod log;
 mod metrics;
 mod recorder;
 mod report;
+mod writer;
 
-pub use crate::log::{encode_event, encode_jsonl, event_to_json, parse_jsonl, LogError};
+pub use crate::log::{
+    encode_event, encode_event_into, encode_jsonl, event_to_json, parse_jsonl, LogError,
+};
 pub use crate::metrics::{Counter, DecisionCounters, Gauge, Histogram, MetricsRegistry};
 pub use crate::recorder::RunRecorder;
 pub use crate::report::{RunReport, REPORT_SCHEMA, TIMELINE_BINS};
+pub use crate::writer::{Durability, JsonlWriter};
 
 // Re-export the core vocabulary so downstream users need only this crate.
 pub use asha_core::telemetry::{

@@ -35,12 +35,19 @@ pub fn encode_event(event: &Event) -> String {
     event_to_json(event).render_compact()
 }
 
+/// Encode one event as compact JSON appended to `out` (no trailing
+/// newline). Identical bytes to [`encode_event`]; callers on hot paths use
+/// this to reuse one buffer across many events.
+pub fn encode_event_into(out: &mut String, event: &Event) {
+    event_to_json(event).render_compact_into(out);
+}
+
 /// Encode a slice of events as a JSONL document (one line per event,
 /// trailing newline after the last).
 pub fn encode_jsonl(events: &[Event]) -> String {
     let mut out = String::new();
     for event in events {
-        out.push_str(&encode_event(event));
+        encode_event_into(&mut out, event);
         out.push('\n');
     }
     out

@@ -79,6 +79,19 @@ impl RunRecorder {
         out.flush()
     }
 
+    /// Like [`RunRecorder::write_jsonl`], but also fsync the file and its
+    /// parent directory so the log survives a machine crash, not just a
+    /// process crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_jsonl_durable(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        self.write_jsonl(path)?;
+        crate::writer::sync_file_and_dir(path)
+    }
+
     /// Summarize the recorded run (see [`RunReport`]). `workers` sizes the
     /// utilization denominator when the caller knows the pool size.
     pub fn report(&self, workers: Option<usize>) -> RunReport {

@@ -243,223 +243,497 @@ impl ClusterSim {
     /// exactly [`run`](ClusterSim::run).
     pub fn run_recorded<S: Scheduler, R: Recorder>(
         &self,
-        mut scheduler: S,
+        scheduler: S,
         bench: &dyn BenchmarkModel,
         rng: &mut dyn rand::RngCore,
         recorder: &mut R,
     ) -> SimResult {
-        let cfg = &self.config;
-        let mut trace = RunTrace::new(scheduler.name());
-        let mut states: HashMap<TrialId, TrialSlot> = HashMap::new();
-        // At most `workers` events are ever outstanding, so both the event
-        // heap and the retry queue reach their final capacity up front and
-        // never reallocate inside the loop.
-        let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(cfg.workers + 1);
-        let mut retry: VecDeque<Job> = VecDeque::with_capacity(cfg.workers.min(64));
-        let mut free_workers = cfg.workers;
-        let mut now = 0.0;
-        let mut seq = 0u64;
-        let mut jobs_completed = 0usize;
-        let mut distinct_trials = 0usize;
-        let mut faults = FaultStats::none();
-        let mut scheduler_finished = false;
-        let mut best_config: Option<(asha_space::Config, f64, f64)> = None;
-        // Mirror of `RunTrace::incumbent_curve`'s filter, tracked online so
-        // `TraceMode::IncumbentOnly` records exactly the events that curve
-        // keeps (the conditions differ on NaN losses, so this cannot reuse
-        // the `best_config` update below).
-        let mut incumbent_val = f64::INFINITY;
+        let mut engine = SimEngine::new(self.config.clone(), scheduler, bench);
+        while engine.step(rng, recorder) {}
+        engine.into_result()
+    }
+}
 
-        loop {
-            // Hand work to free workers: retries first, then the scheduler.
-            while free_workers > 0 && !scheduler_finished {
-                let (job, is_retry) = if let Some(job) = retry.pop_front() {
-                    (Some(job), true)
-                } else {
-                    let decision = scheduler.suggest(rng);
-                    if recorder.enabled() {
-                        recorder.record(now, EventKind::of_decision(&decision));
-                    }
-                    let job = match decision {
-                        Decision::Run(job) => Some(job),
-                        Decision::Wait => None,
-                        Decision::Finished => {
-                            scheduler_finished = true;
-                            None
-                        }
-                    };
-                    (job, false)
-                };
-                let Some(job) = job else { break };
+/// Snapshot of one trial's per-run bookkeeping (see [`SimRunState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSlotState {
+    /// The trial this slot belongs to.
+    pub trial: u64,
+    /// The trial's training-curve state.
+    pub state: TrainingState,
+    /// Memoized `bench.time_per_unit(&config)`.
+    pub time_per_unit: f64,
+    /// Whether any job of this trial has completed.
+    pub completed: bool,
+}
+
+/// Snapshot of one in-flight job on the event heap (see [`SimRunState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// Simulated completion (or drop) time.
+    pub time: f64,
+    /// Heap tiebreaker sequence number.
+    pub seq: u64,
+    /// The job being executed.
+    pub job: Job,
+    /// Whether the job will be dropped rather than completed.
+    pub dropped: bool,
+}
+
+/// Everything a [`SimEngine`] keeps between steps, as plain serializable
+/// data — the simulator half of a durable snapshot. The scheduler and the
+/// RNG are captured separately (`asha-core::state`, `StdRng::state`);
+/// together the three reconstruct a run that continues bit-for-bit
+/// identically to one that was never interrupted.
+///
+/// Collections are sorted (slots by trial, pending jobs by `(time, seq)`)
+/// so the same logical state always snapshots to the same bytes; heap pop
+/// order depends only on the unique `(time, seq)` keys, so rebuilding the
+/// heap from the sorted list is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRunState {
+    /// Simulated clock.
+    pub now: f64,
+    /// Last issued heap sequence number.
+    pub seq: u64,
+    /// Workers currently free.
+    pub free_workers: usize,
+    /// Jobs that ran to completion so far.
+    pub jobs_completed: usize,
+    /// Distinct trials with at least one completed job.
+    pub distinct_trials: usize,
+    /// Fault tally so far.
+    pub faults: FaultStats,
+    /// Whether the scheduler reported [`Decision::Finished`].
+    pub scheduler_finished: bool,
+    /// Best validation loss recorded by the incumbent filter.
+    pub incumbent_val: f64,
+    /// Best `(config, val_loss, resource)` so far.
+    pub best_config: Option<(asha_space::Config, f64, f64)>,
+    /// Per-trial bookkeeping, sorted by trial id.
+    pub slots: Vec<TrialSlotState>,
+    /// In-flight jobs, sorted by `(time, seq)`.
+    pub pending: Vec<PendingJob>,
+    /// Dropped jobs awaiting reissue, in queue (FIFO) order.
+    pub retry: Vec<Job>,
+    /// The scheduler name the trace was started with.
+    pub searcher: String,
+    /// Completions recorded so far (per the run's [`TraceMode`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The cluster simulator's event loop as a stepwise, resumable state
+/// machine.
+///
+/// [`ClusterSim::run_recorded`] is a thin wrapper that drives an engine to
+/// completion; callers that need durability instead alternate
+/// [`SimEngine::step`] with snapshot exports ([`SimEngine::export_state`])
+/// and later rebuild the engine with [`SimEngine::restore`]. One `step` is
+/// one iteration of the event loop: issue work to every free worker, then
+/// process the single next event — so between steps the engine is always at
+/// a quiescent point where its state is fully captured by
+/// ([`SimRunState`], scheduler state, RNG state).
+pub struct SimEngine<'b, S> {
+    cfg: SimConfig,
+    scheduler: S,
+    bench: &'b dyn BenchmarkModel,
+    trace: RunTrace,
+    states: HashMap<TrialId, TrialSlot>,
+    heap: BinaryHeap<Event>,
+    retry: VecDeque<Job>,
+    free_workers: usize,
+    now: f64,
+    seq: u64,
+    jobs_completed: usize,
+    distinct_trials: usize,
+    faults: FaultStats,
+    scheduler_finished: bool,
+    best_config: Option<(asha_space::Config, f64, f64)>,
+    // Mirror of `RunTrace::incumbent_curve`'s filter, tracked online so
+    // `TraceMode::IncumbentOnly` records exactly the events that curve
+    // keeps (the conditions differ on NaN losses, so this cannot reuse
+    // the `best_config` update).
+    incumbent_val: f64,
+    done: bool,
+}
+
+impl<S> std::fmt::Debug for SimEngine<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimEngine")
+            .field("now", &self.now)
+            .field("jobs_completed", &self.jobs_completed)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'b, S: Scheduler> SimEngine<'b, S> {
+    /// A fresh engine at simulated time zero.
+    pub fn new(config: SimConfig, scheduler: S, bench: &'b dyn BenchmarkModel) -> Self {
+        let trace = RunTrace::new(scheduler.name());
+        let free_workers = config.workers;
+        SimEngine {
+            // At most `workers` events are ever outstanding, so both the
+            // event heap and the retry queue reach their final capacity up
+            // front and never reallocate inside the loop.
+            heap: BinaryHeap::with_capacity(config.workers + 1),
+            retry: VecDeque::with_capacity(config.workers.min(64)),
+            cfg: config,
+            scheduler,
+            bench,
+            trace,
+            states: HashMap::new(),
+            free_workers,
+            now: 0.0,
+            seq: 0,
+            jobs_completed: 0,
+            distinct_trials: 0,
+            faults: FaultStats::none(),
+            scheduler_finished: false,
+            best_config: None,
+            incumbent_val: f64::INFINITY,
+            done: false,
+        }
+    }
+
+    /// Whether the run has ended (horizon, job cap, or drained scheduler).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Simulated time of the last processed event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_completed(&self) -> usize {
+        self.jobs_completed
+    }
+
+    /// Read-only access to the scheduler (for state export at snapshots).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Run one iteration of the event loop: hand work to every free worker,
+    /// then process the next event. Returns `false` once the run is over
+    /// (the call that detects the end condition also returns `false`).
+    pub fn step<R: Recorder>(&mut self, rng: &mut dyn rand::RngCore, recorder: &mut R) -> bool {
+        if self.done {
+            return false;
+        }
+        let cfg = &self.cfg;
+        // Hand work to free workers: retries first, then the scheduler.
+        while self.free_workers > 0 && !self.scheduler_finished {
+            let (job, is_retry) = if let Some(job) = self.retry.pop_front() {
+                (Some(job), true)
+            } else {
+                let decision = self.scheduler.suggest(rng);
                 if recorder.enabled() {
-                    if is_retry {
-                        recorder.record(
-                            now,
-                            EventKind::Retry {
-                                trial: job.trial.0,
-                                rung: job.rung,
-                            },
-                        );
-                    }
-                    recorder.record(now, EventKind::job_start(&job));
+                    recorder.record(self.now, EventKind::of_decision(&decision));
                 }
-                if !states.contains_key(&job.trial) {
-                    // PBT-style inheritance: copy the parent's checkpoint
-                    // (curve state) if the job asks for it. The unit cost is
-                    // always the trial's *own* — PBT children inherit weights,
-                    // not the parent's architecture-dependent step time.
-                    let state = job
-                        .inherit_from
-                        .and_then(|src| states.get(&src).map(|s| s.state))
-                        .unwrap_or_else(|| bench.init_state(&job.config, rng));
-                    states.insert(
-                        job.trial,
-                        TrialSlot {
-                            state,
-                            time_per_unit: bench.time_per_unit(&job.config),
-                            completed: false,
+                let job = match decision {
+                    Decision::Run(job) => Some(job),
+                    Decision::Wait => None,
+                    Decision::Finished => {
+                        self.scheduler_finished = true;
+                        None
+                    }
+                };
+                (job, false)
+            };
+            let Some(job) = job else { break };
+            if recorder.enabled() {
+                if is_retry {
+                    recorder.record(
+                        self.now,
+                        EventKind::Retry {
+                            trial: job.trial.0,
+                            rung: job.rung,
                         },
                     );
                 }
-                let slot = states.get_mut(&job.trial).expect("state just ensured");
-                let trained_from = match cfg.resume {
-                    ResumePolicy::Checkpoint => slot.state.resource,
-                    ResumePolicy::FromScratch => 0.0,
-                };
-                let delta = (job.resource - trained_from).max(0.0);
-                let mut duration = delta * slot.time_per_unit;
-                if cfg.straggler_std > 0.0 {
-                    duration *= 1.0 + asha_math::dist::half_normal(rng, cfg.straggler_std);
-                }
-                // Zero-length jobs (already past target) still take a tick so
-                // the event loop always advances.
-                duration = duration.max(1e-9);
-                let outcome = if cfg.drop_prob > 0.0 {
-                    // Time to drop is geometric per unit time; survive the
-                    // whole duration with probability (1-p)^duration.
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    let t_drop = u.ln() / (1.0 - cfg.drop_prob).ln();
-                    if t_drop < duration {
-                        duration = t_drop.max(1e-9);
-                        Outcome::Dropped
-                    } else {
-                        Outcome::Completed
-                    }
+                recorder.record(self.now, EventKind::job_start(&job));
+            }
+            if !self.states.contains_key(&job.trial) {
+                // PBT-style inheritance: copy the parent's checkpoint
+                // (curve state) if the job asks for it. The unit cost is
+                // always the trial's *own* — PBT children inherit weights,
+                // not the parent's architecture-dependent step time.
+                let state = job
+                    .inherit_from
+                    .and_then(|src| self.states.get(&src).map(|s| s.state))
+                    .unwrap_or_else(|| self.bench.init_state(&job.config, rng));
+                self.states.insert(
+                    job.trial,
+                    TrialSlot {
+                        state,
+                        time_per_unit: self.bench.time_per_unit(&job.config),
+                        completed: false,
+                    },
+                );
+            }
+            let slot = self.states.get_mut(&job.trial).expect("state just ensured");
+            let trained_from = match cfg.resume {
+                ResumePolicy::Checkpoint => slot.state.resource,
+                ResumePolicy::FromScratch => 0.0,
+            };
+            let delta = (job.resource - trained_from).max(0.0);
+            let mut duration = delta * slot.time_per_unit;
+            if cfg.straggler_std > 0.0 {
+                duration *= 1.0 + asha_math::dist::half_normal(rng, cfg.straggler_std);
+            }
+            // Zero-length jobs (already past target) still take a tick so
+            // the event loop always advances.
+            duration = duration.max(1e-9);
+            let outcome = if cfg.drop_prob > 0.0 {
+                // Time to drop is geometric per unit time; survive the
+                // whole duration with probability (1-p)^duration.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let t_drop = u.ln() / (1.0 - cfg.drop_prob).ln();
+                if t_drop < duration {
+                    duration = t_drop.max(1e-9);
+                    Outcome::Dropped
                 } else {
                     Outcome::Completed
-                };
-                seq += 1;
-                heap.push(Event {
-                    time: now + duration,
-                    seq,
-                    job,
-                    outcome,
-                });
-                free_workers -= 1;
-            }
-
-            // A round that leaves workers idle while jobs are still in
-            // flight is the signature of a waiting scheduler (or a drained
-            // one); record it so reports can show where parallelism stalled.
-            if recorder.enabled() && free_workers > 0 && !heap.is_empty() {
-                recorder.record(now, EventKind::WorkerIdle { idle: free_workers });
-            }
-
-            let Some(event) = heap.pop() else {
-                // No outstanding work: either finished, or a waiting
-                // scheduler that can never be unblocked (drained).
-                break;
-            };
-            if event.time > cfg.max_time {
-                now = cfg.max_time;
-                break;
-            }
-            now = event.time;
-            free_workers += 1;
-
-            match event.outcome {
-                Outcome::Dropped => {
-                    faults.jobs_dropped += 1;
-                    faults.jobs_retried += 1;
-                    if recorder.enabled() {
-                        recorder.record(
-                            now,
-                            EventKind::Drop {
-                                trial: event.job.trial.0,
-                                rung: event.job.rung,
-                                cause: DropCause::Dropped,
-                            },
-                        );
-                    }
-                    // Work lost; retry from the last checkpoint.
-                    retry.push_back(event.job);
                 }
-                Outcome::Completed => {
-                    jobs_completed += 1;
-                    let job = event.job;
-                    let slot = states
-                        .get_mut(&job.trial)
-                        .expect("state created at issue time");
-                    bench.advance(&job.config, &mut slot.state, job.resource, rng);
-                    let val = bench.validation_loss(&job.config, &slot.state, rng);
-                    let test = bench.test_loss(&job.config, &slot.state);
-                    if !slot.completed {
-                        slot.completed = true;
-                        distinct_trials += 1;
-                    }
-                    if best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
-                        best_config = Some((job.config.clone(), val, job.resource));
-                    }
-                    let improved = val < incumbent_val;
-                    if improved {
-                        incumbent_val = val;
-                    }
-                    let record = match cfg.trace_mode {
-                        TraceMode::Full => true,
-                        TraceMode::IncumbentOnly => improved,
-                        TraceMode::Aggregated => false,
-                    };
-                    if record {
-                        trace.push(TraceEvent {
-                            time: now,
+            } else {
+                Outcome::Completed
+            };
+            self.seq += 1;
+            self.heap.push(Event {
+                time: self.now + duration,
+                seq: self.seq,
+                job,
+                outcome,
+            });
+            self.free_workers -= 1;
+        }
+
+        // A round that leaves workers idle while jobs are still in
+        // flight is the signature of a waiting scheduler (or a drained
+        // one); record it so reports can show where parallelism stalled.
+        if recorder.enabled() && self.free_workers > 0 && !self.heap.is_empty() {
+            recorder.record(
+                self.now,
+                EventKind::WorkerIdle {
+                    idle: self.free_workers,
+                },
+            );
+        }
+
+        let Some(event) = self.heap.pop() else {
+            // No outstanding work: either finished, or a waiting
+            // scheduler that can never be unblocked (drained).
+            self.done = true;
+            return false;
+        };
+        if event.time > cfg.max_time {
+            self.now = cfg.max_time;
+            self.done = true;
+            return false;
+        }
+        self.now = event.time;
+        self.free_workers += 1;
+
+        match event.outcome {
+            Outcome::Dropped => {
+                self.faults.jobs_dropped += 1;
+                self.faults.jobs_retried += 1;
+                if recorder.enabled() {
+                    recorder.record(
+                        self.now,
+                        EventKind::Drop {
+                            trial: event.job.trial.0,
+                            rung: event.job.rung,
+                            cause: DropCause::Dropped,
+                        },
+                    );
+                }
+                // Work lost; retry from the last checkpoint.
+                self.retry.push_back(event.job);
+            }
+            Outcome::Completed => {
+                self.jobs_completed += 1;
+                let job = event.job;
+                let slot = self
+                    .states
+                    .get_mut(&job.trial)
+                    .expect("state created at issue time");
+                self.bench
+                    .advance(&job.config, &mut slot.state, job.resource, rng);
+                let val = self.bench.validation_loss(&job.config, &slot.state, rng);
+                let test = self.bench.test_loss(&job.config, &slot.state);
+                if !slot.completed {
+                    slot.completed = true;
+                    self.distinct_trials += 1;
+                }
+                if self.best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
+                    self.best_config = Some((job.config.clone(), val, job.resource));
+                }
+                let improved = val < self.incumbent_val;
+                if improved {
+                    self.incumbent_val = val;
+                }
+                let record = match cfg.trace_mode {
+                    TraceMode::Full => true,
+                    TraceMode::IncumbentOnly => improved,
+                    TraceMode::Aggregated => false,
+                };
+                if record {
+                    self.trace.push(TraceEvent {
+                        time: self.now,
+                        trial: job.trial.0,
+                        bracket: job.bracket,
+                        rung: job.rung,
+                        resource: job.resource,
+                        val_loss: val,
+                        test_loss: test,
+                    });
+                }
+                if recorder.enabled() {
+                    // Same `now` as the TraceEvent above: telemetry and
+                    // traces share the simulated clock.
+                    recorder.record(
+                        self.now,
+                        EventKind::JobEnd {
                             trial: job.trial.0,
-                            bracket: job.bracket,
                             rung: job.rung,
                             resource: job.resource,
-                            val_loss: val,
-                            test_loss: test,
-                        });
-                    }
-                    if recorder.enabled() {
-                        // Same `now` as the TraceEvent above: telemetry and
-                        // traces share the simulated clock.
-                        recorder.record(
-                            now,
-                            EventKind::JobEnd {
-                                trial: job.trial.0,
-                                rung: job.rung,
-                                resource: job.resource,
-                                loss: val,
-                            },
-                        );
-                    }
-                    scheduler.observe(Observation::for_job(&job, val));
+                            loss: val,
+                        },
+                    );
                 }
-            }
-
-            if jobs_completed >= cfg.max_jobs {
-                break;
+                self.scheduler.observe(Observation::for_job(&job, val));
             }
         }
 
-        SimResult {
+        if self.jobs_completed >= cfg.max_jobs {
+            self.done = true;
+            return false;
+        }
+        true
+    }
+
+    /// Capture the engine's loop state as plain data. Must be called between
+    /// steps (any time the caller holds the engine, by construction).
+    pub fn export_state(&self) -> SimRunState {
+        let mut slots: Vec<TrialSlotState> = self
+            .states
+            .iter()
+            .map(|(t, s)| TrialSlotState {
+                trial: t.0,
+                state: s.state,
+                time_per_unit: s.time_per_unit,
+                completed: s.completed,
+            })
+            .collect();
+        slots.sort_by_key(|s| s.trial);
+        let mut pending: Vec<PendingJob> = self
+            .heap
+            .iter()
+            .map(|e| PendingJob {
+                time: e.time,
+                seq: e.seq,
+                job: e.job.clone(),
+                dropped: matches!(e.outcome, Outcome::Dropped),
+            })
+            .collect();
+        pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        SimRunState {
+            now: self.now,
+            seq: self.seq,
+            free_workers: self.free_workers,
+            jobs_completed: self.jobs_completed,
+            distinct_trials: self.distinct_trials,
+            faults: self.faults,
+            scheduler_finished: self.scheduler_finished,
+            incumbent_val: self.incumbent_val,
+            best_config: self.best_config.clone(),
+            slots,
+            pending,
+            retry: self.retry.iter().cloned().collect(),
+            searcher: self.trace.searcher().to_owned(),
+            trace: self.trace.events().to_vec(),
+        }
+    }
+
+    /// Rebuild an engine from a state captured by
+    /// [`SimEngine::export_state`], with the scheduler restored separately.
+    /// Continuing the restored engine with the original RNG state produces
+    /// exactly the events the uninterrupted run would have produced.
+    pub fn restore(
+        config: SimConfig,
+        scheduler: S,
+        bench: &'b dyn BenchmarkModel,
+        state: SimRunState,
+    ) -> Self {
+        let mut trace = RunTrace::new(&state.searcher);
+        for event in &state.trace {
+            trace.push(*event);
+        }
+        let mut heap: BinaryHeap<Event> =
+            BinaryHeap::with_capacity(config.workers.max(state.pending.len()) + 1);
+        for p in state.pending {
+            heap.push(Event {
+                time: p.time,
+                seq: p.seq,
+                job: p.job,
+                outcome: if p.dropped {
+                    Outcome::Dropped
+                } else {
+                    Outcome::Completed
+                },
+            });
+        }
+        let mut retry: VecDeque<Job> =
+            VecDeque::with_capacity(config.workers.min(64).max(state.retry.len()));
+        retry.extend(state.retry);
+        SimEngine {
+            cfg: config,
+            scheduler,
+            bench,
             trace,
-            end_time: now.min(cfg.max_time),
-            jobs_completed,
-            distinct_trials,
-            faults,
-            scheduler_finished,
-            best_config,
+            states: state
+                .slots
+                .into_iter()
+                .map(|s| {
+                    (
+                        TrialId(s.trial),
+                        TrialSlot {
+                            state: s.state,
+                            time_per_unit: s.time_per_unit,
+                            completed: s.completed,
+                        },
+                    )
+                })
+                .collect(),
+            heap,
+            retry,
+            free_workers: state.free_workers,
+            now: state.now,
+            seq: state.seq,
+            jobs_completed: state.jobs_completed,
+            distinct_trials: state.distinct_trials,
+            faults: state.faults,
+            scheduler_finished: state.scheduler_finished,
+            best_config: state.best_config,
+            incumbent_val: state.incumbent_val,
+            done: false,
+        }
+    }
+
+    /// Finish the run and produce its [`SimResult`].
+    pub fn into_result(self) -> SimResult {
+        SimResult {
+            trace: self.trace,
+            end_time: self.now.min(self.cfg.max_time),
+            jobs_completed: self.jobs_completed,
+            distinct_trials: self.distinct_trials,
+            faults: self.faults,
+            scheduler_finished: self.scheduler_finished,
+            best_config: self.best_config,
         }
     }
 }
@@ -524,6 +798,53 @@ mod tests {
         let c = run(8);
         assert_eq!(a.trace, b.trace);
         assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_is_bitwise_identical() {
+        use asha_core::NoopRecorder;
+
+        let bench = presets::cifar10_cuda_convnet(1);
+        let cfg = SimConfig::new(5, 50.0)
+            .with_stragglers(0.3)
+            .with_drops(0.02);
+
+        // Reference: uninterrupted run.
+        let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+        let reference =
+            ClusterSim::new(cfg.clone()).run_recorded(asha, &bench, &mut rng(9), &mut NoopRecorder);
+
+        // Same run, but snapshot (sim + scheduler + RNG state) after every
+        // step, restore fresh objects from each snapshot, and continue from
+        // there — as crash recovery would.
+        for kill_after in [1usize, 5, 17, 43, 101] {
+            let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+            let mut engine = SimEngine::new(cfg.clone(), asha, &bench);
+            let mut rng9 = rng(9);
+            let mut steps = 0usize;
+            while steps < kill_after && engine.step(&mut rng9, &mut NoopRecorder) {
+                steps += 1;
+            }
+            let sim_state = engine.export_state();
+            let sched_state = engine.scheduler().export_state();
+            let rng_state = rng9.state();
+            drop(engine);
+
+            let restored_sched = Asha::from_state(bench.space().clone(), sched_state);
+            let mut restored =
+                SimEngine::restore(cfg.clone(), restored_sched, &bench, sim_state.clone());
+            assert_eq!(restored.export_state(), sim_state, "restore round-trips");
+            let mut rng_restored = rand::rngs::StdRng::from_state(rng_state);
+            while restored.step(&mut rng_restored, &mut NoopRecorder) {}
+            let result = restored.into_result();
+            assert_eq!(
+                result.trace, reference.trace,
+                "trace diverged after restore at step {kill_after}"
+            );
+            assert_eq!(result.jobs_completed, reference.jobs_completed);
+            assert_eq!(result.faults, reference.faults);
+            assert_eq!(result.best_config, reference.best_config);
+        }
     }
 
     #[test]

@@ -45,4 +45,7 @@
 
 mod cluster;
 
-pub use cluster::{ClusterSim, ResumePolicy, SimConfig, SimResult, TraceMode};
+pub use cluster::{
+    ClusterSim, PendingJob, ResumePolicy, SimConfig, SimEngine, SimResult, SimRunState, TraceMode,
+    TrialSlotState,
+};

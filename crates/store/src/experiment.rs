@@ -1,0 +1,601 @@
+//! One experiment's on-disk store and the durable run driver on top of it.
+//!
+//! Directory layout (one directory per experiment):
+//!
+//! ```text
+//! <dir>/meta.json         immutable: space, scheduler, seed, sim, benchmark
+//! <dir>/wal.jsonl         write-ahead log: telemetry + store events
+//! <dir>/snap-<seq>.json   full-state snapshots (scheduler + RNG + sim loop)
+//! ```
+//!
+//! The recovery protocol pivots on the WAL's snapshot *markers*: a snapshot
+//! file is fsynced **before** its marker is appended, so the newest marker
+//! in the WAL always names a durable snapshot. Recovery loads that
+//! snapshot, discards the WAL suffix past the marker (the resumed engine
+//! deterministically regenerates the identical events), and continues —
+//! producing a final log and result bit-for-bit equal to a run that never
+//! crashed.
+
+use std::path::{Path, PathBuf};
+
+use asha_core::telemetry::{Event, EventKind, IdleKind, Recorder};
+use asha_core::{Decision, Observation, Scheduler, TrialId};
+use asha_metrics::JsonValue;
+use asha_sim::{SimConfig, SimEngine, SimResult};
+use asha_space::SearchSpace;
+use asha_surrogate::CurveBenchmark;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::codec;
+use crate::error::StoreError;
+use crate::snapshot::{self, SchedulerState, Snapshot, StoredScheduler};
+use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};
+
+/// Schema tag written into every `meta.json`.
+pub const META_SCHEMA: &str = "asha-store-meta-v1";
+/// File name of the experiment metadata.
+pub const META_FILE: &str = "meta.json";
+/// File name of the write-ahead log.
+pub const WAL_FILE: &str = "wal.jsonl";
+
+/// Which surrogate benchmark an experiment runs against, by preset name —
+/// benchmarks are code, so the store records how to rebuild one rather
+/// than trying to serialize it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSpec {
+    /// An `asha_surrogate::presets` constructor name.
+    pub preset: String,
+    /// The surrogate's surface seed.
+    pub seed: u64,
+}
+
+impl BenchSpec {
+    /// Rebuild the benchmark. Fails on an unknown preset name (e.g. a store
+    /// written by a newer version).
+    pub fn build(&self) -> Result<CurveBenchmark, String> {
+        use asha_surrogate::presets;
+        Ok(match self.preset.as_str() {
+            "cifar10_cuda_convnet" => presets::cifar10_cuda_convnet(self.seed),
+            "cifar10_small_cnn" => presets::cifar10_small_cnn(self.seed),
+            "svhn_small_cnn" => presets::svhn_small_cnn(self.seed),
+            "ptb_lstm" => presets::ptb_lstm(self.seed),
+            "ptb_dropconnect_lstm" => presets::ptb_dropconnect_lstm(self.seed),
+            "svm_vehicle" => presets::svm_vehicle(self.seed),
+            "svm_mnist" => presets::svm_mnist(self.seed),
+            other => return Err(format!("unknown benchmark preset {other:?}")),
+        })
+    }
+}
+
+/// Everything needed to start (or restart from nothing) one experiment.
+///
+/// `initial` is the scheduler's exported state *before any call* — storing
+/// a state rather than a config means recovery has a single path: rebuild
+/// from a [`SchedulerState`], whether that state came from `meta.json` or
+/// from a snapshot.
+#[derive(Debug, Clone)]
+pub struct ExperimentMeta {
+    /// The experiment's name (unique within a supervisor).
+    pub name: String,
+    /// The search space.
+    pub space: SearchSpace,
+    /// The scheduler's initial exported state.
+    pub initial: SchedulerState,
+    /// Seed of the run's RNG.
+    pub seed: u64,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+    /// The surrogate benchmark to run against.
+    pub bench: BenchSpec,
+}
+
+impl ExperimentMeta {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::Str(META_SCHEMA.to_owned())),
+            ("name", JsonValue::Str(self.name.clone())),
+            ("space", codec::space_to_json(&self.space)),
+            ("scheduler", self.initial.to_json()),
+            ("seed", JsonValue::Int(self.seed)),
+            ("sim", codec::sim_config_to_json(&self.sim)),
+            (
+                "bench",
+                JsonValue::obj([
+                    ("preset", JsonValue::Str(self.bench.preset.clone())),
+                    ("seed", JsonValue::Int(self.bench.seed)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decode, verifying the schema tag.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("meta missing schema")?;
+        if schema != META_SCHEMA {
+            return Err(format!(
+                "unsupported meta schema {schema:?} (expected {META_SCHEMA:?})"
+            ));
+        }
+        let bench = v.get("bench").ok_or("meta missing bench")?;
+        Ok(ExperimentMeta {
+            name: v
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or("meta missing name")?
+                .to_owned(),
+            space: codec::space_from_json(v.get("space").ok_or("meta missing space")?)?,
+            initial: SchedulerState::from_json(
+                v.get("scheduler").ok_or("meta missing scheduler")?,
+            )?,
+            seed: v
+                .get("seed")
+                .and_then(|s| s.as_u64())
+                .ok_or("meta missing seed")?,
+            sim: codec::sim_config_from_json(v.get("sim").ok_or("meta missing sim")?)?,
+            bench: BenchSpec {
+                preset: bench
+                    .get("preset")
+                    .and_then(|p| p.as_str())
+                    .ok_or("bench missing preset")?
+                    .to_owned(),
+                seed: bench
+                    .get("seed")
+                    .and_then(|s| s.as_u64())
+                    .ok_or("bench missing seed")?,
+            },
+        })
+    }
+}
+
+/// Write `meta.json` crash-safely (temp file + fsync + rename).
+pub fn write_meta(dir: &Path, meta: &ExperimentMeta) -> Result<(), StoreError> {
+    let path = dir.join(META_FILE);
+    let tmp = dir.join(format!("{META_FILE}.tmp"));
+    std::fs::write(&tmp, meta.to_json().render()).map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+    snapshot::fsync_dir(dir)
+}
+
+/// Read and decode `<dir>/meta.json`.
+pub fn read_meta(dir: &Path) -> Result<ExperimentMeta, StoreError> {
+    let path = dir.join(META_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| StoreError::io(&path, e))?;
+    JsonValue::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| ExperimentMeta::from_json(&v))
+        .map_err(|msg| StoreError::corrupt(&path, msg))
+}
+
+/// A [`Recorder`] that appends every telemetry event to the WAL, stamping
+/// gap-free sequence numbers. `Recorder::record` is infallible by trait, so
+/// I/O errors are stashed and surfaced by [`WalRecorder::take_error`] after
+/// each step.
+#[derive(Debug)]
+pub struct WalRecorder {
+    writer: WalWriter,
+    next_seq: u64,
+    error: Option<StoreError>,
+}
+
+impl WalRecorder {
+    /// Wrap a WAL writer; `next_seq` is the next telemetry sequence number
+    /// (0 for a fresh run, the snapshot's event count after recovery).
+    pub fn new(writer: WalWriter, next_seq: u64) -> Self {
+        WalRecorder {
+            writer,
+            next_seq,
+            error: None,
+        }
+    }
+
+    /// The next telemetry sequence number (== events written so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Access the underlying writer (for store events and syncs).
+    pub fn writer(&mut self) -> &mut WalWriter {
+        &mut self.writer
+    }
+
+    /// Surface any I/O error that occurred inside `record`.
+    pub fn take_error(&mut self) -> Result<(), StoreError> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Recorder for WalRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, now: f64, kind: EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        let event = Event {
+            seq: self.next_seq,
+            time: now,
+            kind,
+        };
+        match self.writer.append_telemetry(&event) {
+            Ok(()) => self.next_seq += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Durability knobs for a [`DurableRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// WAL fsync cadence.
+    pub sync: SyncPolicy,
+    /// Take a snapshot every `snapshot_jobs` completed jobs.
+    pub snapshot_jobs: usize,
+}
+
+impl Default for RunOptions {
+    /// Fsync every 64 WAL records, snapshot every 200 completed jobs.
+    fn default() -> Self {
+        RunOptions {
+            sync: SyncPolicy::default(),
+            snapshot_jobs: 200,
+        }
+    }
+}
+
+/// A simulated tuning run with durable state: every telemetry event goes to
+/// the WAL and full snapshots are taken on a job cadence, so the run can be
+/// killed at any instant and [resumed](DurableRun::resume) to the identical
+/// final result.
+pub struct DurableRun<'b> {
+    dir: PathBuf,
+    engine: SimEngine<'b, StoredScheduler>,
+    rng: StdRng,
+    recorder: WalRecorder,
+    next_snap: u64,
+    last_snapshot_jobs: usize,
+    opts: RunOptions,
+    finished_recorded: bool,
+}
+
+impl<'b> DurableRun<'b> {
+    /// Initialize a fresh experiment directory and the run driving it.
+    /// Writes `meta.json`, starts the WAL, and takes snapshot 0 (the
+    /// pristine state), so the directory is recoverable from the first
+    /// instant.
+    pub fn create(
+        dir: &Path,
+        meta: &ExperimentMeta,
+        bench: &'b dyn asha_surrogate::BenchmarkModel,
+        opts: RunOptions,
+    ) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        write_meta(dir, meta)?;
+        let scheduler = StoredScheduler::from_state(meta.space.clone(), meta.initial.clone());
+        let mut wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
+        wal.append_store(
+            0.0,
+            &StoreEvent::ExperimentCreated {
+                name: meta.name.clone(),
+            },
+        )?;
+        let engine = SimEngine::new(meta.sim.clone(), scheduler, bench);
+        let rng = StdRng::seed_from_u64(meta.seed);
+        let mut run = DurableRun {
+            dir: dir.to_owned(),
+            engine,
+            rng,
+            recorder: WalRecorder::new(wal, 0),
+            next_snap: 0,
+            last_snapshot_jobs: 0,
+            opts,
+            finished_recorded: false,
+        };
+        run.write_snapshot()?;
+        Ok(run)
+    }
+
+    /// Recover a run from its experiment directory: load the snapshot named
+    /// by the newest durable WAL marker, discard the WAL suffix past it
+    /// (the resumed engine regenerates those events identically), and
+    /// continue.
+    ///
+    /// The caller owns the benchmark; rebuild it from
+    /// [`ExperimentMeta::bench`] (via [`read_meta`]) or pass the original.
+    pub fn resume(
+        dir: &Path,
+        meta: &ExperimentMeta,
+        bench: &'b dyn asha_surrogate::BenchmarkModel,
+        opts: RunOptions,
+    ) -> Result<Self, StoreError> {
+        let wal_path = dir.join(WAL_FILE);
+        let contents = read_wal(&wal_path)?;
+        let (snap_seq, events) = contents.last_snapshot_marker().ok_or_else(|| {
+            StoreError::corrupt(
+                &wal_path,
+                "no snapshot marker in WAL (store never initialized?)",
+            )
+        })?;
+        let snap_path = dir.join(Snapshot::file_name(snap_seq));
+        let text =
+            std::fs::read_to_string(&snap_path).map_err(|e| StoreError::io(&snap_path, e))?;
+        let snap = JsonValue::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Snapshot::from_json(&v))
+            .map_err(|msg| StoreError::corrupt(&snap_path, msg))?;
+        if snap.events != events {
+            return Err(StoreError::corrupt(
+                &snap_path,
+                format!(
+                    "snapshot covers {} events but its WAL marker says {events}",
+                    snap.events
+                ),
+            ));
+        }
+        truncate_after_marker(&wal_path, &contents, snap_seq)?;
+        let sim_state = snap.sim.ok_or_else(|| {
+            StoreError::corrupt(&snap_path, "snapshot has no simulator state to resume")
+        })?;
+        let scheduler = StoredScheduler::from_state(meta.space.clone(), snap.scheduler);
+        let engine = SimEngine::restore(meta.sim.clone(), scheduler, bench, sim_state);
+        let rng = StdRng::from_state(snap.rng);
+        let mut wal = WalWriter::open_append(&wal_path, opts.sync, events)?;
+        wal.append_store(engine.now(), &StoreEvent::Resumed)?;
+        let jobs = engine.jobs_completed();
+        Ok(DurableRun {
+            dir: dir.to_owned(),
+            engine,
+            rng,
+            recorder: WalRecorder::new(wal, events),
+            next_snap: snap.seq + 1,
+            last_snapshot_jobs: jobs,
+            opts,
+            finished_recorded: false,
+        })
+    }
+
+    /// The experiment directory this run persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_completed(&self) -> usize {
+        self.engine.jobs_completed()
+    }
+
+    /// Whether the run has ended.
+    pub fn is_done(&self) -> bool {
+        self.engine.is_done()
+    }
+
+    /// Push any WAL records still buffered in userspace to the OS (no
+    /// fsync). Crash durability still follows the configured
+    /// [`SyncPolicy`]; this only narrows the loss window for buffered
+    /// records, e.g. before a long idle stretch.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.recorder.writer().flush()
+    }
+
+    /// Advance the run by one event-loop step, persisting telemetry and
+    /// snapshotting on the configured cadence. Returns `false` when the run
+    /// is over (and its final snapshot + `experiment_finished` marker are
+    /// durable).
+    pub fn step(&mut self) -> Result<bool, StoreError> {
+        let alive = self.engine.step(&mut self.rng, &mut self.recorder);
+        self.recorder.take_error()?;
+        if alive {
+            if self.engine.jobs_completed() - self.last_snapshot_jobs >= self.opts.snapshot_jobs {
+                self.write_snapshot()?;
+            }
+        } else if !self.finished_recorded {
+            self.finished_recorded = true;
+            self.recorder
+                .writer()
+                .append_store(self.engine.now(), &StoreEvent::ExperimentFinished)?;
+            self.write_snapshot()?;
+        }
+        Ok(alive)
+    }
+
+    /// Drive the run to completion and return its result.
+    pub fn run_to_completion(mut self) -> Result<SimResult, StoreError> {
+        while self.step()? {}
+        Ok(self.into_result())
+    }
+
+    /// Step until at least `jobs` jobs have completed (or the run ends).
+    /// Returns whether the run is still live — the hook crash-injection
+    /// tests use to die at a controlled point.
+    pub fn run_until_jobs(&mut self, jobs: usize) -> Result<bool, StoreError> {
+        while self.engine.jobs_completed() < jobs {
+            if !self.step()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Persist a pause point: snapshot the full state, then append a
+    /// `paused` marker and sync. After this the process can idle (or exit)
+    /// and the run resumes from exactly here.
+    pub fn mark_paused(&mut self) -> Result<(), StoreError> {
+        self.write_snapshot()?;
+        self.recorder
+            .writer()
+            .append_store(self.engine.now(), &StoreEvent::Paused)?;
+        self.recorder.writer().sync()
+    }
+
+    /// Append a `resumed` marker after a pause.
+    pub fn mark_resumed(&mut self) -> Result<(), StoreError> {
+        self.recorder
+            .writer()
+            .append_store(self.engine.now(), &StoreEvent::Resumed)?;
+        self.recorder.writer().sync()
+    }
+
+    /// Take a snapshot now (also called automatically on the job cadence
+    /// and at the end of the run).
+    pub fn write_snapshot(&mut self) -> Result<(), StoreError> {
+        let seq = self.next_snap;
+        let events = self.recorder.next_seq();
+        let snap = Snapshot {
+            seq,
+            events,
+            scheduler: self.engine.scheduler().export_state(),
+            rng: self.rng.state(),
+            sim: Some(self.engine.export_state()),
+        };
+        snap.write(&self.dir)?;
+        // Marker only after the snapshot file is durable: the newest marker
+        // in the WAL must always name a loadable snapshot.
+        self.recorder.writer().append_store(
+            self.engine.now(),
+            &StoreEvent::Snapshot { snap: seq, events },
+        )?;
+        self.recorder.writer().sync()?;
+        self.next_snap = seq + 1;
+        self.last_snapshot_jobs = self.engine.jobs_completed();
+        Ok(())
+    }
+
+    /// Finish and produce the run's [`SimResult`].
+    pub fn into_result(self) -> SimResult {
+        self.engine.into_result()
+    }
+}
+
+/// Rewrite the WAL to end exactly at the marker for snapshot `snap`
+/// (crash-safe: temp + rename). No-op when the marker is already the final
+/// record and the tail is clean.
+fn truncate_after_marker(
+    wal_path: &Path,
+    contents: &WalContents,
+    snap: u64,
+) -> Result<(), StoreError> {
+    let marker_idx = contents
+        .records
+        .iter()
+        .rposition(|r| {
+            matches!(
+                r,
+                WalRecord::Store {
+                    event: StoreEvent::Snapshot { snap: s, .. },
+                    ..
+                } if *s == snap
+            )
+        })
+        .ok_or_else(|| StoreError::corrupt(wal_path, "snapshot marker vanished"))?;
+    if marker_idx + 1 == contents.records.len() && !contents.torn_tail {
+        return Ok(());
+    }
+    let mut text = String::new();
+    for record in &contents.records[..=marker_idx] {
+        match record {
+            WalRecord::Telemetry(e) => text.push_str(&asha_obs::encode_event(e)),
+            WalRecord::Store { time, event } => {
+                text.push_str(&crate::wal::encode_store_line(*time, event))
+            }
+        }
+        text.push('\n');
+    }
+    let tmp = wal_path.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::rename(&tmp, wal_path).map_err(|e| StoreError::io(wal_path, e))?;
+    if let Some(dir) = wal_path.parent() {
+        snapshot::fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Replay a WAL telemetry suffix into a snapshot-restored scheduler,
+/// reconstructing a scheduler (and RNG) decision-for-decision identical to
+/// the one that emitted the log.
+///
+/// For every logged decision event (`suggest`/`promote`/`grow_bottom`) the
+/// scheduler's `suggest` is re-invoked with `rng` and the produced decision
+/// is checked against the log — a mismatch means the snapshot, the log, and
+/// the code disagree, and recovery must not silently continue. `job_end`
+/// events are fed to `observe`; worker-side events (`job_start`, `drop`,
+/// `retry`, `worker_idle`) carry no scheduler state and are skipped.
+///
+/// This is sound whenever the scheduler is the only RNG consumer — true
+/// for `asha-exec` (objectives get no RNG), not for `asha-sim` (the
+/// benchmark model shares the stream), which is why simulated runs resume
+/// from full snapshots instead.
+///
+/// Returns the number of telemetry events replayed.
+pub fn replay_scheduler(
+    scheduler: &mut dyn Scheduler,
+    rng: &mut dyn rand::RngCore,
+    records: &[WalRecord],
+    skip_telemetry: u64,
+) -> Result<u64, String> {
+    let mut seen = 0u64;
+    let mut replayed = 0u64;
+    for record in records {
+        let event = match record {
+            WalRecord::Telemetry(e) => e,
+            WalRecord::Store { .. } => continue,
+        };
+        seen += 1;
+        if seen <= skip_telemetry {
+            continue;
+        }
+        match event.kind {
+            EventKind::Suggest { decision } => {
+                let d = scheduler.suggest(rng);
+                let matches = matches!(
+                    (&d, decision),
+                    (Decision::Wait, IdleKind::Wait) | (Decision::Finished, IdleKind::Finished)
+                );
+                if !matches {
+                    return Err(format!(
+                        "replay mismatch at event {}: log says idle {:?}, scheduler said {d:?}",
+                        event.seq, decision
+                    ));
+                }
+            }
+            EventKind::Promote { .. } | EventKind::GrowBottom { .. } => {
+                let d = scheduler.suggest(rng);
+                let got = EventKind::of_decision(&d);
+                if got != event.kind {
+                    return Err(format!(
+                        "replay mismatch at event {}: log says {:?}, scheduler said {got:?}",
+                        event.seq, event.kind
+                    ));
+                }
+            }
+            EventKind::JobEnd {
+                trial,
+                rung,
+                resource,
+                loss,
+            } => {
+                scheduler.observe(Observation::new(TrialId(trial), rung, resource, loss));
+            }
+            EventKind::JobStart { .. }
+            | EventKind::Drop { .. }
+            | EventKind::Retry { .. }
+            | EventKind::WorkerIdle { .. } => {}
+        }
+        replayed += 1;
+    }
+    Ok(replayed)
+}

@@ -1,0 +1,92 @@
+//! Durable experiment store for ASHA runs: write-ahead event log, periodic
+//! full-state snapshots, crash recovery, and a multi-experiment supervisor.
+//!
+//! The store makes a tuning run a *recoverable* object. Every telemetry
+//! event the run emits is appended to a JSONL write-ahead log with an
+//! explicit fsync discipline ([`SyncPolicy`]), and on a job cadence the full
+//! run state — scheduler rungs/brackets, sampler cursors, raw RNG words,
+//! and the simulator's event loop — is written to a versioned snapshot
+//! file. Because every component of the system is deterministic given its
+//! state and the RNG stream, recovery after a crash (load the newest durable
+//! snapshot, discard the WAL suffix past its marker, continue) produces a
+//! run whose decisions, telemetry, and final result are bit-for-bit
+//! identical to one that never crashed.
+//!
+//! Layers, bottom up:
+//!
+//! - [`codec`]: hand-rolled JSON codecs for every persisted type (the
+//!   vendored `serde` is a stub), including exact `f64` round-trips and
+//!   non-finite loss encoding.
+//! - [`wal`]: the append-only log — telemetry lines in the exact `asha-obs`
+//!   schema plus store markers (`snapshot`, `paused`, `resumed`, ...), with
+//!   torn-tail-tolerant reading.
+//! - [`snapshot`]: crash-safe snapshot files and the [`StoredScheduler`]
+//!   wrapper that restores any supported scheduler kind from data.
+//! - [`experiment`]: one experiment directory (`meta.json` + WAL +
+//!   snapshots) and [`DurableRun`], the persisting sim driver with
+//!   [`DurableRun::create`] / [`DurableRun::resume`]; plus
+//!   [`replay_scheduler`] for scheduler-level WAL-suffix replay in
+//!   executor-driven runs.
+//! - [`supervisor`]: many named experiments in one process, each on a
+//!   worker thread with independent pause/resume/abort, under a crash-safe
+//!   manifest.
+//!
+//! # Example: kill-and-recover
+//!
+//! ```
+//! use asha_store::{BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState};
+//! use asha_core::{Asha, AshaConfig};
+//! use asha_sim::SimConfig;
+//! use asha_surrogate::BenchmarkModel;
+//!
+//! let spec = BenchSpec { preset: "svm_vehicle".into(), seed: 1 };
+//! let bench = spec.build().unwrap();
+//! // The scheduler samples from the benchmark's own search space.
+//! let space = bench.space().clone();
+//! let scheduler = Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0));
+//! let meta = ExperimentMeta {
+//!     name: "demo".into(),
+//!     space,
+//!     initial: SchedulerState::Asha(scheduler.export_state()),
+//!     seed: 7,
+//!     sim: SimConfig::new(4, 40.0),
+//!     bench: spec,
+//! };
+//! let dir = std::env::temp_dir().join(format!("asha-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // Run a while, then "crash" (drop without finishing).
+//! let mut run = DurableRun::create(&dir, &meta, &bench, RunOptions::default()).unwrap();
+//! run.run_until_jobs(10).unwrap();
+//! drop(run);
+//!
+//! // Recover and finish: same result as a run that never stopped.
+//! let resumed = DurableRun::resume(&dir, &meta, &bench, RunOptions::default()).unwrap();
+//! let result = resumed.run_to_completion().unwrap();
+//! assert!(result.jobs_completed >= 10);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod error;
+pub mod experiment;
+pub mod snapshot;
+pub mod supervisor;
+pub mod wal;
+
+pub use crate::error::StoreError;
+pub use crate::experiment::{
+    read_meta, replay_scheduler, write_meta, BenchSpec, DurableRun, ExperimentMeta, RunOptions,
+    WalRecorder, META_FILE, META_SCHEMA, WAL_FILE,
+};
+pub use crate::snapshot::{
+    list_snapshots, load_latest, SchedulerState, Snapshot, StoredScheduler, SNAPSHOT_SCHEMA,
+};
+pub use crate::supervisor::{
+    read_manifest, ExperimentStatus, ExperimentSupervisor, ManifestEntry, MANIFEST_FILE,
+    MANIFEST_SCHEMA,
+};
+pub use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};

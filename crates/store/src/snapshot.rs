@@ -1,0 +1,296 @@
+//! Versioned full-state snapshots and the scheduler wrapper they restore.
+//!
+//! A snapshot is everything needed to continue a run bit-for-bit: the
+//! scheduler's exported state, the raw RNG state words, and (for simulated
+//! runs) the simulator's [`SimRunState`]. Snapshots are written
+//! crash-safely — rendered to a temp file, fsynced, renamed into place,
+//! directory fsynced — so a crash mid-write never damages the previous
+//! snapshot, and recovery can always fall back along the snapshot chain.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use asha_core::{Asha, AsyncHyperband, Decision, Observation, Scheduler, SyncSha};
+use asha_metrics::JsonValue;
+use asha_sim::SimRunState;
+use asha_space::SearchSpace;
+
+use crate::codec;
+use crate::error::StoreError;
+
+/// Schema tag written into every snapshot file.
+pub const SNAPSHOT_SCHEMA: &str = "asha-store-snapshot-v1";
+
+/// Exported state of any supported scheduler, tagged by kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerState {
+    /// An [`Asha`] scheduler.
+    Asha(asha_core::AshaState),
+    /// A [`SyncSha`] scheduler.
+    SyncSha(asha_core::SyncShaState),
+    /// An [`AsyncHyperband`] scheduler.
+    AsyncHyperband(asha_core::AsyncHyperbandState),
+}
+
+impl SchedulerState {
+    /// Stable kind tag used in snapshot files and experiment metadata.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedulerState::Asha(_) => "asha",
+            SchedulerState::SyncSha(_) => "sync_sha",
+            SchedulerState::AsyncHyperband(_) => "async_hyperband",
+        }
+    }
+
+    /// Encode as tagged JSON.
+    pub fn to_json(&self) -> JsonValue {
+        let state = match self {
+            SchedulerState::Asha(s) => codec::asha_state_to_json(s),
+            SchedulerState::SyncSha(s) => codec::sync_sha_state_to_json(s),
+            SchedulerState::AsyncHyperband(s) => codec::hyperband_state_to_json(s),
+        };
+        JsonValue::obj([
+            ("kind", JsonValue::Str(self.kind().to_owned())),
+            ("state", state),
+        ])
+    }
+
+    /// Decode from tagged JSON written by [`SchedulerState::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or("scheduler state missing kind")?;
+        let state = v.get("state").ok_or("scheduler state missing state")?;
+        match kind {
+            "asha" => Ok(SchedulerState::Asha(codec::asha_state_from_json(state)?)),
+            "sync_sha" => Ok(SchedulerState::SyncSha(codec::sync_sha_state_from_json(
+                state,
+            )?)),
+            "async_hyperband" => Ok(SchedulerState::AsyncHyperband(
+                codec::hyperband_state_from_json(state)?,
+            )),
+            other => Err(format!("unknown scheduler kind {other:?}")),
+        }
+    }
+}
+
+/// A scheduler of any supported kind, restorable from a [`SchedulerState`].
+///
+/// The store cannot be generic over the scheduler type (the kind is data,
+/// read from a file), so this enum dispatches the [`Scheduler`] trait over
+/// the three durable kinds.
+#[derive(Debug)]
+pub enum StoredScheduler {
+    /// Algorithm 2 (ASHA).
+    Asha(Asha),
+    /// Algorithm 1 (synchronous SHA).
+    SyncSha(SyncSha),
+    /// Asynchronous Hyperband (looping ASHA brackets).
+    AsyncHyperband(AsyncHyperband),
+}
+
+impl StoredScheduler {
+    /// Export the wrapped scheduler's full state.
+    pub fn export_state(&self) -> SchedulerState {
+        match self {
+            StoredScheduler::Asha(s) => SchedulerState::Asha(s.export_state()),
+            StoredScheduler::SyncSha(s) => SchedulerState::SyncSha(s.export_state()),
+            StoredScheduler::AsyncHyperband(s) => SchedulerState::AsyncHyperband(s.export_state()),
+        }
+    }
+
+    /// Rebuild a scheduler from an exported state.
+    pub fn from_state(space: SearchSpace, state: SchedulerState) -> Self {
+        match state {
+            SchedulerState::Asha(s) => StoredScheduler::Asha(Asha::from_state(space, s)),
+            SchedulerState::SyncSha(s) => StoredScheduler::SyncSha(SyncSha::from_state(space, s)),
+            SchedulerState::AsyncHyperband(s) => {
+                StoredScheduler::AsyncHyperband(AsyncHyperband::from_state(space, s))
+            }
+        }
+    }
+
+    /// Stable kind tag (matches [`SchedulerState::kind`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoredScheduler::Asha(_) => "asha",
+            StoredScheduler::SyncSha(_) => "sync_sha",
+            StoredScheduler::AsyncHyperband(_) => "async_hyperband",
+        }
+    }
+}
+
+impl Scheduler for StoredScheduler {
+    fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
+        match self {
+            StoredScheduler::Asha(s) => s.suggest(rng),
+            StoredScheduler::SyncSha(s) => s.suggest(rng),
+            StoredScheduler::AsyncHyperband(s) => s.suggest(rng),
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        match self {
+            StoredScheduler::Asha(s) => s.observe(obs),
+            StoredScheduler::SyncSha(s) => s.observe(obs),
+            StoredScheduler::AsyncHyperband(s) => s.observe(obs),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            StoredScheduler::Asha(s) => s.name(),
+            StoredScheduler::SyncSha(s) => s.name(),
+            StoredScheduler::AsyncHyperband(s) => s.name(),
+        }
+    }
+}
+
+/// A full durable checkpoint of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The snapshot's sequence number (monotone per experiment).
+    pub seq: u64,
+    /// Number of telemetry events the WAL held when this snapshot was
+    /// taken; recovery replays the WAL from this position.
+    pub events: u64,
+    /// The scheduler's exported state.
+    pub scheduler: SchedulerState,
+    /// Raw xoshiro256++ state words of the run's RNG.
+    pub rng: [u64; 4],
+    /// The simulator's loop state (absent for executor-driven runs).
+    pub sim: Option<SimRunState>,
+}
+
+impl Snapshot {
+    /// The file name for snapshot `seq` (zero-padded so lexicographic and
+    /// numeric order agree).
+    pub fn file_name(seq: u64) -> String {
+        format!("snap-{seq:08}.json")
+    }
+
+    /// Encode as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::Str(SNAPSHOT_SCHEMA.to_owned())),
+            ("seq", JsonValue::Int(self.seq)),
+            ("events", JsonValue::Int(self.events)),
+            ("scheduler", self.scheduler.to_json()),
+            ("rng", codec::rng_state_to_json(self.rng)),
+            (
+                "sim",
+                match &self.sim {
+                    Some(s) => codec::sim_run_state_to_json(s),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decode a snapshot, verifying the schema tag.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("snapshot missing schema")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported snapshot schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"
+            ));
+        }
+        let sim = {
+            let s = v.get("sim").ok_or("snapshot missing sim")?;
+            if s.is_null() {
+                None
+            } else {
+                Some(codec::sim_run_state_from_json(s)?)
+            }
+        };
+        Ok(Snapshot {
+            seq: v
+                .get("seq")
+                .and_then(|s| s.as_u64())
+                .ok_or("snapshot missing seq")?,
+            events: v
+                .get("events")
+                .and_then(|s| s.as_u64())
+                .ok_or("snapshot missing events")?,
+            scheduler: SchedulerState::from_json(
+                v.get("scheduler").ok_or("snapshot missing scheduler")?,
+            )?,
+            rng: codec::rng_state_from_json(v.get("rng").ok_or("snapshot missing rng")?)?,
+            sim,
+        })
+    }
+
+    /// Write the snapshot crash-safely into `dir`: temp file, fsync,
+    /// rename, directory fsync. Returns the final path.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, StoreError> {
+        let final_path = dir.join(Self::file_name(self.seq));
+        let tmp_path = dir.join(format!("{}.tmp", Self::file_name(self.seq)));
+        // Compact rendering: snapshots are machine-read only and can reach
+        // megabytes mid-run, so the pretty renderer's indentation roughly
+        // doubles both the bytes fsynced and the render time for nothing.
+        let mut text = self.to_json().render_compact();
+        text.push('\n');
+        std::fs::write(&tmp_path, &text).map_err(|e| StoreError::io(&tmp_path, e))?;
+        File::open(&tmp_path)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| StoreError::io(&tmp_path, e))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| StoreError::io(&final_path, e))?;
+        fsync_dir(dir)?;
+        Ok(final_path)
+    }
+}
+
+/// Fsync a directory so a just-renamed file's entry is durable (POSIX
+/// requires syncing the containing directory, not just the file).
+pub fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    // Opening a directory read-only for fsync works on Linux; on platforms
+    // where it does not, durability degrades gracefully to writeback.
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
+    }
+    Ok(())
+}
+
+/// Every snapshot in `dir`, sorted by sequence number.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut snaps = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            snaps.push((seq, entry.path()));
+        }
+    }
+    snaps.sort_by_key(|&(seq, _)| seq);
+    Ok(snaps)
+}
+
+/// Load the newest parseable snapshot in `dir`, walking the chain backwards
+/// past any unreadable file (a crash can only damage the newest one, and
+/// only on filesystems that reorder the rename).
+pub fn load_latest(dir: &Path) -> Result<Option<(Snapshot, PathBuf)>, StoreError> {
+    let snaps = list_snapshots(dir)?;
+    for (_, path) in snaps.iter().rev() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(_) => continue,
+        };
+        let parsed = JsonValue::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Snapshot::from_json(&v));
+        if let Ok(snapshot) = parsed {
+            return Ok(Some((snapshot, path.clone())));
+        }
+    }
+    Ok(None)
+}

@@ -1,0 +1,434 @@
+//! A multi-experiment supervisor: many named durable experiments in one
+//! process, each on its own worker thread, with independent pause / resume /
+//! abort and a crash-safe manifest.
+//!
+//! On-disk layout under the supervisor's root:
+//!
+//! ```text
+//! <root>/manifest.json      crash-safe registry: name + status per experiment
+//! <root>/<name>/            one experiment store (see [`crate::experiment`])
+//! ```
+//!
+//! The manifest is advisory metadata — each experiment directory is
+//! self-contained and recoverable on its own — so a crash between a status
+//! change and the manifest rewrite loses nothing: reopening the supervisor
+//! downgrades any `running` entry to `interrupted`, and resuming it goes
+//! through the same WAL/snapshot recovery as any other restart.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use asha_metrics::JsonValue;
+use asha_sim::SimResult;
+
+use crate::error::StoreError;
+use crate::experiment::{read_meta, DurableRun, ExperimentMeta, RunOptions};
+use crate::snapshot::fsync_dir;
+
+/// Schema tag written into every `manifest.json`.
+pub const MANIFEST_SCHEMA: &str = "asha-store-manifest-v1";
+/// File name of the supervisor manifest.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Lifecycle state of one supervised experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentStatus {
+    /// Directory initialized, never started.
+    Created,
+    /// A worker thread is driving the run.
+    Running,
+    /// Paused at a durable snapshot; resumable in-process or after restart.
+    Paused,
+    /// Ran to completion.
+    Finished,
+    /// Deliberately stopped before completion (still resumable from disk).
+    Aborted,
+    /// Was `running` when the supervising process died; resumable via
+    /// crash recovery.
+    Interrupted,
+}
+
+impl ExperimentStatus {
+    /// Stable lowercase name used in the manifest.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExperimentStatus::Created => "created",
+            ExperimentStatus::Running => "running",
+            ExperimentStatus::Paused => "paused",
+            ExperimentStatus::Finished => "finished",
+            ExperimentStatus::Aborted => "aborted",
+            ExperimentStatus::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parse a manifest status name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "created" => ExperimentStatus::Created,
+            "running" => ExperimentStatus::Running,
+            "paused" => ExperimentStatus::Paused,
+            "finished" => ExperimentStatus::Finished,
+            "aborted" => ExperimentStatus::Aborted,
+            "interrupted" => ExperimentStatus::Interrupted,
+            other => return Err(format!("unknown experiment status {other:?}")),
+        })
+    }
+}
+
+/// One manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The experiment's name (also its directory name under the root).
+    pub name: String,
+    /// Last durably recorded status.
+    pub status: ExperimentStatus,
+}
+
+/// Commands a worker thread obeys at its next step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Run,
+    Pause,
+    Abort,
+}
+
+/// Shared control cell between the supervisor and one worker thread.
+#[derive(Debug)]
+struct Control {
+    command: Mutex<Command>,
+    signal: Condvar,
+}
+
+impl Control {
+    fn new() -> Arc<Self> {
+        Arc::new(Control {
+            command: Mutex::new(Command::Run),
+            signal: Condvar::new(),
+        })
+    }
+
+    fn set(&self, cmd: Command) {
+        *self.command.lock().unwrap() = cmd;
+        self.signal.notify_all();
+    }
+
+    fn current(&self) -> Command {
+        *self.command.lock().unwrap()
+    }
+
+    /// Block until the command is no longer `Pause`; returns the new one.
+    fn wait_while_paused(&self) -> Command {
+        let mut guard = self.command.lock().unwrap();
+        while *guard == Command::Pause {
+            guard = self.signal.wait(guard).unwrap();
+        }
+        *guard
+    }
+}
+
+/// The outcome a worker thread reports: the run's result, or `None` when it
+/// was aborted before finishing.
+type WorkerOutcome = Result<Option<SimResult>, StoreError>;
+
+struct Worker {
+    control: Arc<Control>,
+    thread: JoinHandle<WorkerOutcome>,
+}
+
+/// Manages many named durable experiments under one root directory.
+///
+/// Each started experiment runs on its own thread stepping a
+/// [`DurableRun`]; the supervisor can pause, resume, or abort any of them
+/// independently while the others keep running. All state transitions are
+/// recorded in the crash-safe manifest, and every experiment directory
+/// remains independently recoverable.
+pub struct ExperimentSupervisor {
+    root: PathBuf,
+    entries: Vec<ManifestEntry>,
+    workers: HashMap<String, Worker>,
+}
+
+impl std::fmt::Debug for ExperimentSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentSupervisor")
+            .field("root", &self.root)
+            .field("entries", &self.entries)
+            .field("active_workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ExperimentSupervisor {
+    /// Open (creating if needed) a supervisor root. Any experiment the
+    /// manifest still marks `running` was interrupted by a crash and is
+    /// downgraded to [`ExperimentStatus::Interrupted`].
+    pub fn open(root: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(root).map_err(|e| StoreError::io(root, e))?;
+        let manifest_path = root.join(MANIFEST_FILE);
+        let mut entries = if manifest_path.exists() {
+            read_manifest(&manifest_path)?
+        } else {
+            Vec::new()
+        };
+        let mut interrupted = false;
+        for entry in &mut entries {
+            if entry.status == ExperimentStatus::Running {
+                entry.status = ExperimentStatus::Interrupted;
+                interrupted = true;
+            }
+        }
+        let sup = ExperimentSupervisor {
+            root: root.to_owned(),
+            entries,
+            workers: HashMap::new(),
+        };
+        if interrupted {
+            sup.write_manifest()?;
+        }
+        Ok(sup)
+    }
+
+    /// The supervisor's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of the named experiment.
+    pub fn experiment_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Current manifest rows.
+    pub fn experiments(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Status of one experiment, if it exists.
+    pub fn status(&self, name: &str) -> Option<ExperimentStatus> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.status)
+    }
+
+    /// Initialize a new experiment directory (meta, WAL, snapshot 0) and
+    /// register it in the manifest. Does not start it.
+    pub fn create(&mut self, meta: &ExperimentMeta, opts: RunOptions) -> Result<(), StoreError> {
+        if self.entries.iter().any(|e| e.name == meta.name) {
+            return Err(StoreError::Invalid {
+                msg: format!("experiment {:?} already exists", meta.name),
+            });
+        }
+        let dir = self.experiment_dir(&meta.name);
+        let bench = meta.bench.build().map_err(|msg| StoreError::Invalid {
+            msg: format!("benchmark for {:?}: {msg}", meta.name),
+        })?;
+        // Creating and immediately dropping the run leaves a fully
+        // recoverable directory: meta.json, WAL with the created event, and
+        // snapshot 0 of the pristine state.
+        drop(DurableRun::create(&dir, meta, &bench, opts)?);
+        self.entries.push(ManifestEntry {
+            name: meta.name.clone(),
+            status: ExperimentStatus::Created,
+        });
+        self.write_manifest()
+    }
+
+    /// Start (or restart after a pause/abort/crash) the named experiment on
+    /// a worker thread. The thread recovers from the experiment directory,
+    /// so this is the same code path for a fresh start and a post-crash
+    /// resume.
+    pub fn start(&mut self, name: &str, opts: RunOptions) -> Result<(), StoreError> {
+        if self.workers.contains_key(name) {
+            return Err(StoreError::Invalid {
+                msg: format!("experiment {name:?} is already running"),
+            });
+        }
+        self.set_status(name, ExperimentStatus::Running)?;
+        let dir = self.experiment_dir(name);
+        let control = Control::new();
+        let thread_control = Arc::clone(&control);
+        let thread = std::thread::spawn(move || worker_main(dir, opts, thread_control));
+        self.workers
+            .insert(name.to_owned(), Worker { control, thread });
+        Ok(())
+    }
+
+    /// Ask the named experiment to pause at its next step boundary. The
+    /// worker persists a snapshot and a `paused` WAL marker, then idles.
+    pub fn pause(&mut self, name: &str) -> Result<(), StoreError> {
+        let worker = self.workers.get(name).ok_or_else(|| StoreError::Missing {
+            what: format!("running worker for experiment {name:?}"),
+        })?;
+        worker.control.set(Command::Pause);
+        self.set_status(name, ExperimentStatus::Paused)
+    }
+
+    /// Resume a paused experiment in place (the worker thread wakes and
+    /// continues; no recovery needed).
+    pub fn resume(&mut self, name: &str) -> Result<(), StoreError> {
+        let worker = self.workers.get(name).ok_or_else(|| StoreError::Missing {
+            what: format!("running worker for experiment {name:?}"),
+        })?;
+        worker.control.set(Command::Run);
+        self.set_status(name, ExperimentStatus::Running)
+    }
+
+    /// Abort the named experiment: the worker snapshots and exits at its
+    /// next step boundary. The directory remains resumable via
+    /// [`ExperimentSupervisor::start`].
+    pub fn abort(&mut self, name: &str) -> Result<(), StoreError> {
+        let worker = self
+            .workers
+            .remove(name)
+            .ok_or_else(|| StoreError::Missing {
+                what: format!("running worker for experiment {name:?}"),
+            })?;
+        worker.control.set(Command::Abort);
+        let outcome = worker.thread.join().map_err(|_| StoreError::Invalid {
+            msg: format!("worker thread for {name:?} panicked"),
+        })?;
+        outcome?;
+        self.set_status(name, ExperimentStatus::Aborted)
+    }
+
+    /// Wait for the named experiment's worker to finish and return its
+    /// result (`None` if it was aborted before completing).
+    pub fn join(&mut self, name: &str) -> Result<Option<SimResult>, StoreError> {
+        let worker = self
+            .workers
+            .remove(name)
+            .ok_or_else(|| StoreError::Missing {
+                what: format!("running worker for experiment {name:?}"),
+            })?;
+        // Make sure a paused worker can actually finish being joined.
+        worker.control.set(Command::Run);
+        let outcome = worker.thread.join().map_err(|_| StoreError::Invalid {
+            msg: format!("worker thread for {name:?} panicked"),
+        })?;
+        let result = outcome?;
+        let status = if result.is_some() {
+            ExperimentStatus::Finished
+        } else {
+            ExperimentStatus::Aborted
+        };
+        self.set_status(name, status)?;
+        Ok(result)
+    }
+
+    /// Names of experiments with a live worker thread.
+    pub fn active(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.workers.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn set_status(&mut self, name: &str, status: ExperimentStatus) -> Result<(), StoreError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name)
+            .ok_or_else(|| StoreError::Missing {
+                what: format!("experiment {name:?} in the manifest"),
+            })?;
+        entry.status = status;
+        self.write_manifest()
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let rows: Vec<JsonValue> = self
+            .entries
+            .iter()
+            .map(|e| {
+                JsonValue::obj([
+                    ("name", JsonValue::Str(e.name.clone())),
+                    ("status", JsonValue::Str(e.status.as_str().to_owned())),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::obj([
+            ("schema", JsonValue::Str(MANIFEST_SCHEMA.to_owned())),
+            ("experiments", JsonValue::Arr(rows)),
+        ]);
+        let path = self.root.join(MANIFEST_FILE);
+        let tmp = self.root.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, doc.render()).map_err(|e| StoreError::io(&tmp, e))?;
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        fsync_dir(&self.root)
+    }
+}
+
+/// Read and decode a manifest file.
+pub fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>, StoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, e))?;
+    let parse = || -> Result<Vec<ManifestEntry>, String> {
+        let v = JsonValue::parse(&text).map_err(|e| e.to_string())?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("manifest missing schema")?;
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "unsupported manifest schema {schema:?} (expected {MANIFEST_SCHEMA:?})"
+            ));
+        }
+        let rows = v
+            .get("experiments")
+            .and_then(|e| e.as_array())
+            .ok_or("manifest missing experiments array")?;
+        rows.iter()
+            .map(|row| {
+                Ok(ManifestEntry {
+                    name: row
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .ok_or("manifest row missing name")?
+                        .to_owned(),
+                    status: ExperimentStatus::parse(
+                        row.get("status")
+                            .and_then(|s| s.as_str())
+                            .ok_or("manifest row missing status")?,
+                    )?,
+                })
+            })
+            .collect()
+    };
+    parse().map_err(|msg| StoreError::corrupt(path, msg))
+}
+
+/// The body of one experiment's worker thread: recover the run from its
+/// directory and step it until it finishes, obeying pause/abort commands at
+/// step boundaries.
+fn worker_main(dir: PathBuf, opts: RunOptions, control: Arc<Control>) -> WorkerOutcome {
+    let meta = read_meta(&dir)?;
+    let bench = meta.bench.build().map_err(|msg| StoreError::Invalid {
+        msg: format!("benchmark for {:?}: {msg}", meta.name),
+    })?;
+    let mut run = DurableRun::resume(&dir, &meta, &bench, opts)?;
+    loop {
+        match control.current() {
+            Command::Abort => {
+                run.write_snapshot()?;
+                return Ok(None);
+            }
+            Command::Pause => {
+                run.mark_paused()?;
+                if control.wait_while_paused() == Command::Abort {
+                    run.write_snapshot()?;
+                    return Ok(None);
+                }
+                run.mark_resumed()?;
+            }
+            Command::Run => {
+                if !run.step()? {
+                    return Ok(Some(run.into_result()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Crash-recovery integration tests: a durable run killed at an arbitrary
+//! point and recovered must finish with a result bitwise-identical to an
+//! uninterrupted run of the same seed — the store's core guarantee.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+use asha_core::{Asha, AshaConfig, Decision, Observation, Scheduler};
+use asha_sim::{SimConfig, SimResult};
+use asha_store::{
+    read_meta, read_wal, replay_scheduler, BenchSpec, DurableRun, ExperimentMeta, ExperimentStatus,
+    ExperimentSupervisor, RunOptions, SchedulerState, StoredScheduler, SyncPolicy, WAL_FILE,
+};
+use asha_surrogate::BenchmarkModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asha-store-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small chaos experiment (stragglers + drops) over a real surrogate.
+fn chaos_meta(name: &str, seed: u64) -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let asha = Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0));
+    ExperimentMeta {
+        name: name.to_owned(),
+        space,
+        initial: SchedulerState::Asha(asha.export_state()),
+        seed,
+        sim: SimConfig::new(6, 50.0)
+            .with_stragglers(0.4)
+            .with_drops(0.02),
+        bench: spec,
+    }
+}
+
+fn opts(snapshot_jobs: usize) -> RunOptions {
+    RunOptions {
+        sync: SyncPolicy::EveryN(16),
+        snapshot_jobs,
+    }
+}
+
+fn assert_results_identical(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.jobs_completed, b.jobs_completed);
+    assert_eq!(a.distinct_trials, b.distinct_trials);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.scheduler_finished, b.scheduler_finished);
+    assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+    assert_eq!(
+        a.trace, b.trace,
+        "completion traces must match event-for-event"
+    );
+    match (&a.best_config, &b.best_config) {
+        (Some((ca, la, ra)), Some((cb, lb, rb))) => {
+            assert_eq!(ca, cb);
+            assert_eq!(
+                la.to_bits(),
+                lb.to_bits(),
+                "incumbent loss must be bitwise equal"
+            );
+            assert_eq!(ra.to_bits(), rb.to_bits());
+        }
+        (None, None) => {}
+        other => panic!("incumbent mismatch: {other:?}"),
+    }
+}
+
+fn uninterrupted_result(meta: &ExperimentMeta, dir: &Path, o: RunOptions) -> SimResult {
+    let bench = meta.bench.build().unwrap();
+    DurableRun::create(dir, meta, &bench, o)
+        .unwrap()
+        .run_to_completion()
+        .unwrap()
+}
+
+#[test]
+fn recovery_after_hard_kill_matches_uninterrupted_run() {
+    let root = tmpdir("kill");
+    let o = opts(30);
+    let meta = chaos_meta("kill", 42);
+    let reference = uninterrupted_result(&meta, &root.join("ref"), o);
+
+    // Kill at several points: before the first snapshot-after-0, right
+    // around cadence boundaries, and deep into the run.
+    for &kill_after in &[1usize, 17, 30, 31, 95, 200] {
+        let dir = root.join(format!("kill-{kill_after}"));
+        let bench = meta.bench.build().unwrap();
+        let mut run = DurableRun::create(&dir, &meta, &bench, o).unwrap();
+        let alive = run.run_until_jobs(kill_after).unwrap();
+        if alive {
+            // Die without destructors: buffered WAL lines are lost, exactly
+            // as in a SIGKILL. (The leaked file handle closes at process
+            // exit without flushing the BufWriter.)
+            std::mem::forget(run);
+        } else {
+            drop(run);
+        }
+
+        let recovered_meta = read_meta(&dir).unwrap();
+        let bench2 = recovered_meta.bench.build().unwrap();
+        let resumed = DurableRun::resume(&dir, &recovered_meta, &bench2, o).unwrap();
+        let result = resumed.run_to_completion().unwrap();
+        assert_results_identical(&reference, &result);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn recovery_tolerates_torn_wal_tail() {
+    let root = tmpdir("torn");
+    let o = opts(25);
+    let meta = chaos_meta("torn", 7);
+    let reference = uninterrupted_result(&meta, &root.join("ref"), o);
+
+    let dir = root.join("torn");
+    let bench = meta.bench.build().unwrap();
+    let mut run = DurableRun::create(&dir, &meta, &bench, o).unwrap();
+    run.run_until_jobs(60).unwrap();
+    std::mem::forget(run);
+
+    // Simulate a crash mid-append: a partial final line on top of whatever
+    // the kill already left.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join(WAL_FILE))
+        .unwrap();
+    f.write_all(b"{\"seq\":999999,\"t\":3.2,\"ev\":\"job_en")
+        .unwrap();
+    drop(f);
+
+    let resumed = DurableRun::resume(&dir, &meta, &bench, o).unwrap();
+    let result = resumed.run_to_completion().unwrap();
+    assert_results_identical(&reference, &result);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn double_crash_during_recovery_still_recovers() {
+    let root = tmpdir("double");
+    let o = opts(20);
+    let meta = chaos_meta("double", 13);
+    let reference = uninterrupted_result(&meta, &root.join("ref"), o);
+
+    let dir = root.join("exp");
+    let bench = meta.bench.build().unwrap();
+    let mut run = DurableRun::create(&dir, &meta, &bench, o).unwrap();
+    run.run_until_jobs(50).unwrap();
+    std::mem::forget(run);
+
+    // First recovery crashes again almost immediately.
+    let mut resumed = DurableRun::resume(&dir, &meta, &bench, o).unwrap();
+    resumed
+        .run_until_jobs(resumed.jobs_completed() + 5)
+        .unwrap();
+    std::mem::forget(resumed);
+
+    // Second recovery runs to the end.
+    let resumed = DurableRun::resume(&dir, &meta, &bench, o).unwrap();
+    let result = resumed.run_to_completion().unwrap();
+    assert_results_identical(&reference, &result);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Scheduler-level WAL replay (the executor's recovery path): restore a
+/// scheduler from an earlier state, replay the WAL suffix into it, and its
+/// next decisions must match a scheduler that never stopped.
+#[test]
+fn wal_suffix_replay_reconstructs_scheduler_decisions() {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let mut live = StoredScheduler::Asha(Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0)));
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut pending: VecDeque<asha_core::Job> = VecDeque::new();
+    let mut records = Vec::new();
+    let mut seq = 0u64;
+    let mut snapshot: Option<(SchedulerState, [u64; 4], u64)> = None;
+
+    use asha_core::telemetry::{Event, EventKind};
+    use asha_store::WalRecord;
+    for step in 0..300 {
+        if step == 120 {
+            snapshot = Some((live.export_state(), rng.state(), seq));
+        }
+        if step % 3 == 2 {
+            if let Some(job) = pending.pop_front() {
+                let loss = (job.trial.0 as f64 * 0.29).cos();
+                live.observe(Observation::for_job(&job, loss));
+                records.push(WalRecord::Telemetry(Event {
+                    seq,
+                    time: step as f64,
+                    kind: EventKind::JobEnd {
+                        trial: job.trial.0,
+                        rung: job.rung,
+                        resource: job.resource,
+                        loss,
+                    },
+                }));
+                seq += 1;
+            }
+        }
+        let d = live.suggest(&mut rng);
+        records.push(WalRecord::Telemetry(Event {
+            seq,
+            time: step as f64,
+            kind: EventKind::of_decision(&d),
+        }));
+        seq += 1;
+        if let Decision::Run(job) = d {
+            pending.push_back(job);
+        }
+    }
+
+    let (state, rng_words, skip) = snapshot.expect("snapshot point reached");
+    let mut restored = StoredScheduler::from_state(space, state);
+    let mut replay_rng = StdRng::from_state(rng_words);
+    let replayed = replay_scheduler(&mut restored, &mut replay_rng, &records, skip).unwrap();
+    assert!(replayed > 0, "suffix must contain events to replay");
+
+    // Both schedulers (and RNGs) must now agree on the future.
+    let words = rng.state();
+    let mut rng_a = StdRng::from_state(words);
+    let mut rng_b = StdRng::from_state(words);
+    let mut pending_b = pending.clone();
+    for step in 0..80 {
+        if step % 3 == 2 {
+            if let (Some(ja), Some(jb)) = (pending.pop_front(), pending_b.pop_front()) {
+                assert_eq!(ja, jb);
+                let loss = (ja.trial.0 as f64 * 0.29).cos();
+                live.observe(Observation::for_job(&ja, loss));
+                restored.observe(Observation::for_job(&jb, loss));
+            }
+        }
+        let da = live.suggest(&mut rng_a);
+        let db = restored.suggest(&mut rng_b);
+        assert_eq!(da, db, "post-replay decisions diverged at step {step}");
+        if let Decision::Run(job) = da {
+            pending.push_back(job.clone());
+            pending_b.push_back(job);
+        }
+    }
+}
+
+#[test]
+fn replay_detects_log_state_mismatch() {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let mut scheduler =
+        StoredScheduler::Asha(Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0)));
+    let mut rng = StdRng::seed_from_u64(5);
+    let d = scheduler.suggest(&mut rng);
+    let trial = match &d {
+        Decision::Run(job) => job.trial.0,
+        other => panic!("fresh ASHA must issue work, got {other:?}"),
+    };
+
+    // A log claiming a different trial was grown must be rejected.
+    use asha_core::telemetry::{Event, EventKind};
+    use asha_store::WalRecord;
+    let bogus = vec![WalRecord::Telemetry(Event {
+        seq: 0,
+        time: 0.0,
+        kind: EventKind::GrowBottom {
+            trial: trial + 1000,
+            bracket: 0,
+            resource: 1.0,
+        },
+    })];
+    let mut fresh = StoredScheduler::Asha(Asha::new(space, AshaConfig::new(1.0, 27.0, 3.0)));
+    let mut rng2 = StdRng::seed_from_u64(5);
+    let err = replay_scheduler(&mut fresh, &mut rng2, &bogus, 0).unwrap_err();
+    assert!(err.contains("mismatch"), "got: {err}");
+}
+
+#[test]
+fn supervisor_runs_concurrent_experiments_with_independent_pause() {
+    let root = tmpdir("supervisor");
+    let o = opts(40);
+    let meta_a = chaos_meta("exp-a", 1);
+    let meta_b = chaos_meta("exp-b", 2);
+    let ref_a = uninterrupted_result(&meta_a, &root.join("ref-a"), o);
+    let ref_b = uninterrupted_result(&meta_b, &root.join("ref-b"), o);
+
+    let sup_root = root.join("sup");
+    let mut sup = ExperimentSupervisor::open(&sup_root).unwrap();
+    sup.create(&meta_a, o).unwrap();
+    sup.create(&meta_b, o).unwrap();
+    assert_eq!(sup.status("exp-a"), Some(ExperimentStatus::Created));
+
+    sup.start("exp-a", o).unwrap();
+    sup.start("exp-b", o).unwrap();
+    assert_eq!(sup.active(), vec!["exp-a".to_owned(), "exp-b".to_owned()]);
+
+    // Pause A; B keeps running to completion regardless.
+    sup.pause("exp-a").unwrap();
+    assert_eq!(sup.status("exp-a"), Some(ExperimentStatus::Paused));
+    let result_b = sup.join("exp-b").unwrap().expect("B ran to completion");
+    assert_results_identical(&ref_b, &result_b);
+    assert_eq!(sup.status("exp-b"), Some(ExperimentStatus::Finished));
+
+    // Resume A in place and let it finish: the pause must not change its
+    // trajectory.
+    sup.resume("exp-a").unwrap();
+    let result_a = sup.join("exp-a").unwrap().expect("A ran to completion");
+    assert_results_identical(&ref_a, &result_a);
+    assert_eq!(sup.status("exp-a"), Some(ExperimentStatus::Finished));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn supervisor_abort_leaves_resumable_store_and_manifest_survives_reopen() {
+    let root = tmpdir("abort");
+    let o = opts(25);
+    let meta = chaos_meta("exp", 3);
+    let reference = uninterrupted_result(&meta, &root.join("ref"), o);
+
+    let sup_root = root.join("sup");
+    {
+        let mut sup = ExperimentSupervisor::open(&sup_root).unwrap();
+        sup.create(&meta, o).unwrap();
+        sup.start("exp", o).unwrap();
+        sup.abort("exp").unwrap();
+        assert_eq!(sup.status("exp"), Some(ExperimentStatus::Aborted));
+    }
+
+    // A new supervisor (fresh process, conceptually) sees the manifest and
+    // can restart the aborted experiment; the result is unchanged.
+    let mut sup = ExperimentSupervisor::open(&sup_root).unwrap();
+    assert_eq!(sup.status("exp"), Some(ExperimentStatus::Aborted));
+    sup.start("exp", o).unwrap();
+    let result = sup.join("exp").unwrap().expect("ran to completion");
+    assert_results_identical(&reference, &result);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn wal_of_recovered_run_equals_uninterrupted_telemetry() {
+    let root = tmpdir("wal-eq");
+    let o = opts(20);
+    let meta = chaos_meta("wal", 21);
+    let ref_dir = root.join("ref");
+    uninterrupted_result(&meta, &ref_dir, o);
+
+    let dir = root.join("crashed");
+    let bench = meta.bench.build().unwrap();
+    let mut run = DurableRun::create(&dir, &meta, &bench, o).unwrap();
+    run.run_until_jobs(45).unwrap();
+    std::mem::forget(run);
+    DurableRun::resume(&dir, &meta, &bench, o)
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+
+    // The telemetry stream (store markers aside) must be identical — the
+    // recovered run regenerated exactly the events the crash destroyed.
+    let tele = |d: &Path| -> Vec<_> {
+        read_wal(&d.join(WAL_FILE))
+            .unwrap()
+            .telemetry()
+            .copied()
+            .collect()
+    };
+    assert_eq!(tele(&ref_dir), tele(&dir));
+    std::fs::remove_dir_all(&root).ok();
+}
