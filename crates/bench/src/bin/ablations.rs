@@ -10,12 +10,12 @@
 //!    2018); this sweeps `s = 0..=3` on benchmark 2.
 //! 4. **Reduction factor `eta`** — 2 vs 4 vs 8 on the same budget.
 
+use asha::core::{Asha, AshaConfig, ScanOrder};
+use asha::sim::{ResumePolicy, SimConfig};
+use asha::surrogate::{presets, BenchmarkModel};
 use asha_bench::{
     print_comparison, run_experiment_parallel, threads_from_args, ExperimentConfig, MethodSpec,
 };
-use asha_core::{Asha, AshaConfig, ScanOrder};
-use asha_sim::{ResumePolicy, SimConfig};
-use asha_surrogate::{presets, BenchmarkModel};
 
 const R: f64 = 256.0;
 
@@ -105,9 +105,9 @@ fn main() {
     // 5. Incumbent accounting (Section 3.3): intermediate losses vs
     //    final-rung-only outputs.
     {
-        use asha_core::Scheduler as _;
-        use asha_sim::ClusterSim;
-        let asha = asha_core::Asha::new(space.clone(), AshaConfig::new(1.0, R, 4.0));
+        use asha::core::Scheduler as _;
+        use asha::sim::ClusterSim;
+        let asha = asha::core::Asha::new(space.clone(), AshaConfig::new(1.0, R, 4.0));
         let _ = asha.name();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         use rand::SeedableRng as _;

@@ -1,0 +1,337 @@
+//! `asha-ctl` — command-line client for the `asha-serve` daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! asha-ctl (--unix PATH | --tcp ADDR) COMMAND [ARGS]
+//!
+//! Commands:
+//!   ping                              liveness probe
+//!   create NAME --preset P [opts]     create an experiment (not started)
+//!   start NAME [--sync S] [--snapshot-jobs N]
+//!   pause NAME | resume NAME | abort NAME
+//!   status NAME | list | stats
+//!   tail NAME [--from SEQ]            print the live WAL stream
+//!   watch NAME [--from SEQ] [--out FILE] [--workers N]
+//!                                     follow to completion, then emit the
+//!                                     run report (text + JSON)
+//!   shutdown                          gracefully stop the daemon
+//! ```
+//!
+//! `create` options: `--preset P --bench-seed N --seed N --workers N
+//! --max-time T --straggler-std S --drop-prob Q --min-r R --max-r R
+//! --eta E --sync (never|always|N) --snapshot-jobs N`.
+//!
+//! `watch` doubles as *attach*: subscribing replays the experiment's WAL
+//! from the requested sequence, so re-running `watch` after a daemon
+//! restart (even one recovering from SIGKILL) rebuilds the identical run
+//! report from the recovered log.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use asha::core::{Asha, AshaConfig};
+use asha::obs::{parse_jsonl, Event, RunReport};
+use asha::service::{Client, Push};
+use asha::sim::SimConfig;
+use asha::store::{BenchSpec, ExperimentMeta, RunOptions, SchedulerState, SyncPolicy};
+use asha::surrogate::BenchmarkModel as _;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("asha-ctl: error: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asha-ctl (--unix PATH | --tcp ADDR) COMMAND [ARGS]\n\
+         commands: ping, create, start, pause, resume, abort, status, list,\n\
+         \x20         stats, tail, watch, shutdown   (see source header for flags)"
+    );
+    std::process::exit(2);
+}
+
+/// Flag parser over the remaining arguments: positionals in order plus
+/// `--flag value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| fail(format!("--{name} needs a value")));
+                flags.insert(name.to_owned(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn positional(&self, idx: usize, what: &str) -> &str {
+        self.positional
+            .get(idx)
+            .unwrap_or_else(|| fail(format!("missing {what}")))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| fail(format!("--{name}: {e}"))),
+            None => default,
+        }
+    }
+}
+
+fn run_options(args: &Args) -> RunOptions {
+    let sync = match args.get("sync") {
+        None => SyncPolicy::default(),
+        Some("never") => SyncPolicy::Never,
+        Some("always") => SyncPolicy::Always,
+        Some(n) => SyncPolicy::EveryN(
+            n.parse()
+                .unwrap_or_else(|e| fail(format!("--sync: expected never/always/N: {e}"))),
+        ),
+    };
+    RunOptions {
+        sync,
+        snapshot_jobs: args.num("snapshot-jobs", RunOptions::default().snapshot_jobs),
+    }
+}
+
+fn connect(unix: Option<&str>, tcp: Option<&str>) -> Client {
+    match (unix, tcp) {
+        (Some(path), _) => Client::connect_unix(path).unwrap_or_else(|e| fail(e)),
+        (None, Some(addr)) => Client::connect_tcp(addr).unwrap_or_else(|e| fail(e)),
+        (None, None) => fail("need --unix PATH or --tcp ADDR before the command"),
+    }
+}
+
+fn cmd_create(client: &mut Client, args: &Args) {
+    let name = args.positional(0, "experiment name");
+    let preset = args
+        .get("preset")
+        .unwrap_or_else(|| fail("--preset is required"));
+    let spec = BenchSpec {
+        preset: preset.to_owned(),
+        seed: args.num("bench-seed", 0u64),
+    };
+    let bench = spec.build().unwrap_or_else(|e| fail(e));
+    let space = bench.space().clone();
+    let min_r = args.num("min-r", 1.0f64);
+    let max_r = args.num("max-r", 27.0f64);
+    let eta = args.num("eta", 3.0f64);
+    let scheduler = Asha::new(space.clone(), AshaConfig::new(min_r, max_r, eta));
+
+    let sim = SimConfig::builder()
+        .workers(args.num("workers", 4usize))
+        .max_time(args.num("max-time", 100.0f64))
+        .straggler_std(args.num("straggler-std", 0.0f64))
+        .drop_prob(args.num("drop-prob", 0.0f64))
+        .build()
+        .unwrap_or_else(|e| fail(e));
+
+    let meta = ExperimentMeta {
+        name: name.to_owned(),
+        space,
+        initial: SchedulerState::Asha(scheduler.export_state()),
+        seed: args.num("seed", 0u64),
+        sim,
+        bench: spec,
+    };
+    client
+        .create(&meta, run_options(args))
+        .unwrap_or_else(|e| fail(e));
+    println!("created {name}");
+}
+
+/// Follow a subscription; returns the accumulated telemetry when the
+/// stream ends (`print_lines` echoes every frame for `tail`).
+///
+/// A `lag` push means the daemon dropped frames rather than stall the run;
+/// this consumer needs a gap-free stream, so it resubscribes from the last
+/// telemetry sequence it saw (the protocol's prescribed recovery). Pushes
+/// from the abandoned subscription are discarded by id.
+fn follow(client: &mut Client, name: &str, from_seq: u64, print_lines: bool) -> Vec<Event> {
+    let mut sub = client.subscribe(name, from_seq).unwrap_or_else(|e| fail(e));
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_note = 0usize;
+    loop {
+        match client.next_push(Some(Duration::from_secs(3600))) {
+            Ok(Some(push)) => {
+                if push.sub() != sub {
+                    continue;
+                }
+                match push {
+                    Push::Event { data, .. } => {
+                        let line = data.render_compact();
+                        if print_lines {
+                            println!("{line}");
+                        }
+                        if data.get("seq").is_some() {
+                            match parse_jsonl(&line) {
+                                Ok(parsed) => events.extend(parsed),
+                                Err(e) => eprintln!("asha-ctl: bad telemetry line: {e}"),
+                            }
+                            if !print_lines && events.len() >= last_note + 500 {
+                                last_note = events.len();
+                                let t = events.last().map(|e| e.time).unwrap_or(0.0);
+                                eprintln!("asha-ctl: {} events, sim t {t:.1}", events.len());
+                            }
+                        } else if !print_lines {
+                            let ev = data.get("ev").and_then(|e| e.as_str()).unwrap_or("?");
+                            eprintln!("asha-ctl: store marker: {ev}");
+                        }
+                    }
+                    Push::Lag { dropped, .. } => {
+                        let next_seq = events.last().map(|e| e.seq + 1).unwrap_or(from_seq);
+                        eprintln!(
+                            "asha-ctl: lagged ({dropped} frames dropped); resubscribing from seq {next_seq}"
+                        );
+                        let _ = client.unsubscribe(sub);
+                        sub = client.subscribe(name, next_seq).unwrap_or_else(|e| fail(e));
+                    }
+                    Push::Status { state, .. } => {
+                        eprintln!(
+                            "asha-ctl: status: {} -> {}",
+                            state.name,
+                            state.status.as_str()
+                        );
+                    }
+                    Push::Rewind { .. } => {
+                        // The WAL was rewritten shorter; restart clean from
+                        // the original offset so a prior lag-resubscribe
+                        // filter can't hide the rewritten prefix.
+                        eprintln!("asha-ctl: log rewound (crash recovery); resetting");
+                        events.clear();
+                        last_note = 0;
+                        let _ = client.unsubscribe(sub);
+                        sub = client.subscribe(name, from_seq).unwrap_or_else(|e| fail(e));
+                    }
+                    Push::End { .. } => break,
+                }
+            }
+            Ok(None) => fail("subscription timed out or connection closed"),
+            Err(e) => fail(e),
+        }
+    }
+    events
+}
+
+fn cmd_watch(client: &mut Client, args: &Args) {
+    let name = args.positional(0, "experiment name");
+    let from_seq = args.num("from", 0u64);
+    let events = follow(client, name, from_seq, false);
+    let workers = args.get("workers").map(|_| args.num("workers", 0usize));
+    let report = RunReport::from_events(&events, workers);
+    println!("{}", report.render_text());
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_json().render())
+            .unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+        eprintln!("asha-ctl: report written to {path}");
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Connection flags come before the command; everything after belongs
+    // to the subcommand.
+    let mut unix = None;
+    let mut tcp = None;
+    let mut idx = 0;
+    while idx < raw.len() {
+        match raw[idx].as_str() {
+            "--unix" => {
+                unix = Some(
+                    raw.get(idx + 1)
+                        .cloned()
+                        .unwrap_or_else(|| fail("--unix needs a value")),
+                );
+                idx += 2;
+            }
+            "--tcp" => {
+                tcp = Some(
+                    raw.get(idx + 1)
+                        .cloned()
+                        .unwrap_or_else(|| fail("--tcp needs a value")),
+                );
+                idx += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => break,
+        }
+    }
+    let Some(command) = raw.get(idx) else { usage() };
+    let args = Args::parse(&raw[idx + 1..]);
+    let mut client = connect(unix.as_deref(), tcp.as_deref());
+
+    match command.as_str() {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        "create" => cmd_create(&mut client, &args),
+        "start" => {
+            let name = args.positional(0, "experiment name");
+            client
+                .start(name, run_options(&args))
+                .unwrap_or_else(|e| fail(e));
+            println!("started {name}");
+        }
+        "pause" | "resume" | "abort" => {
+            let name = args.positional(0, "experiment name");
+            let result = match command.as_str() {
+                "pause" => client.pause(name),
+                "resume" => client.resume(name),
+                _ => client.abort(name),
+            };
+            result.unwrap_or_else(|e| fail(e));
+            println!("{command} {name}: ok");
+        }
+        "status" => {
+            let name = args.positional(0, "experiment name");
+            let status = client.status(name).unwrap_or_else(|e| fail(e));
+            println!("{} {}", status.name, status.status.as_str());
+        }
+        "list" => {
+            for row in client.list().unwrap_or_else(|e| fail(e)) {
+                println!("{:<24} {}", row.name, row.status.as_str());
+            }
+        }
+        "stats" => {
+            let s = client.stats().unwrap_or_else(|e| fail(e));
+            println!("connections_total   {}", s.connections_total);
+            println!("connections_open    {}", s.connections_open);
+            println!("requests            {}", s.requests);
+            println!("subscriptions_open  {}", s.subscriptions_open);
+            println!("events_sent         {}", s.events_sent);
+            println!("events_lagged       {}", s.events_lagged);
+        }
+        "tail" => {
+            let name = args.positional(0, "experiment name");
+            follow(&mut client, name, args.num("from", 0u64), true);
+        }
+        "watch" => cmd_watch(&mut client, &args),
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("shutdown requested");
+        }
+        other => fail(format!("unknown command {other:?}")),
+    }
+}

@@ -2,7 +2,7 @@
 //! η = 3, for brackets s = 0, 1, 2 — plus the Section 3.1/3.2 wall-clock
 //! facts and the paper-experiment-scale table (n = 256, η = 4).
 
-use asha_core::budget;
+use asha::core::budget;
 
 fn print_bracket(n: usize, r: f64, max_r: f64, eta: f64, s: usize) {
     let rows = budget::promotion_table(n, r, max_r, eta, s);

@@ -3,8 +3,8 @@
 //! worker with deterministic losses (configuration `i` has loss `i`; lower
 //! is better, so configurations 0, 1, 2 are the promotion-worthy ones).
 
-use asha_core::{Asha, AshaConfig, Decision, Observation, Scheduler, ShaConfig, SyncSha};
-use asha_space::{Scale, SearchSpace};
+use asha::core::{Asha, AshaConfig, Decision, Observation, Scheduler, ShaConfig, SyncSha};
+use asha::space::{Scale, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -6,16 +6,16 @@
 //! R = 30k SGD iterations (our surrogates use R = 256 resource units); PBT
 //! population 25 with explore/exploit every 1000 iterations (≈ R/30).
 
-use asha_baselines::{bohb, Pbt, PbtConfig};
+use asha::baselines::{bohb, Pbt, PbtConfig};
+use asha::core::{
+    Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha,
+};
+use asha::space::SearchSpace;
+use asha::surrogate::{presets, BenchmarkModel, CurveBenchmark};
 use asha_bench::{
     print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
     write_results, ExperimentConfig, MethodSpec,
 };
-use asha_core::{
-    Asha, AshaConfig, AsyncHyperband, Hyperband, HyperbandConfig, RandomSearch, ShaConfig, SyncSha,
-};
-use asha_space::SearchSpace;
-use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
 
 const R: f64 = 256.0;
 const ETA: f64 = 4.0;

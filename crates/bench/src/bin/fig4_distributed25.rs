@@ -8,14 +8,14 @@
 //! config-dependent training costs (mean ≈ 30 min, std ≈ 27 min) starve the
 //! synchronous methods behind stragglers.
 
-use asha_baselines::{bohb, Pbt, PbtConfig};
+use asha::baselines::{bohb, Pbt, PbtConfig};
+use asha::core::{Asha, AshaConfig, ShaConfig, SyncSha};
+use asha::space::SearchSpace;
+use asha::surrogate::{presets, BenchmarkModel, CurveBenchmark};
 use asha_bench::{
     print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
     write_results, ExperimentConfig, MethodSpec,
 };
-use asha_core::{Asha, AshaConfig, ShaConfig, SyncSha};
-use asha_space::SearchSpace;
-use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
 
 const R: f64 = 256.0;
 const ETA: f64 = 4.0;

@@ -7,13 +7,13 @@
 //! perplexities are capped at 1000 (the paper's own mitigation), and the
 //! benchmark's divergent tail is what hurts the model-based baseline.
 
-use asha_baselines::{Vizier, VizierConfig};
+use asha::baselines::{Vizier, VizierConfig};
+use asha::core::{Asha, AshaConfig, AsyncHyperband, HyperbandConfig};
+use asha::surrogate::{presets, BenchmarkModel};
 use asha_bench::{
     print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
     write_results, ExperimentConfig, MethodSpec,
 };
-use asha_core::{Asha, AshaConfig, AsyncHyperband, HyperbandConfig};
-use asha_surrogate::{presets, BenchmarkModel};
 
 const R: f64 = 64.0; // r = R/64 = 1
 const ETA: f64 = 4.0;

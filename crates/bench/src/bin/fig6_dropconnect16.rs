@@ -4,13 +4,13 @@
 //! Paper settings: ASHA with η = 4, r = 1 epoch, R = 256 epochs, s = 0;
 //! PBT with population 20 and explore/exploit every 8 epochs.
 
-use asha_baselines::{Pbt, PbtConfig};
+use asha::baselines::{Pbt, PbtConfig};
+use asha::core::{Asha, AshaConfig};
+use asha::surrogate::{presets, BenchmarkModel};
 use asha_bench::{
     print_comparison, print_time_to_reach, run_experiment_parallel, threads_from_args,
     write_results, ExperimentConfig, MethodSpec,
 };
-use asha_core::{Asha, AshaConfig};
-use asha_surrogate::{presets, BenchmarkModel};
 
 const R: f64 = 256.0;
 const ETA: f64 = 4.0;

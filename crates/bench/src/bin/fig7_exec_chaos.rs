@@ -1,6 +1,6 @@
 //! Figure 7's robustness story on the *real* executor: ASHA vs synchronous
 //! SHA as fault rates grow, with faults injected deterministically by
-//! [`asha_exec::ChaosObjective`] instead of simulated drops.
+//! [`asha::exec::ChaosObjective`] instead of simulated drops.
 //!
 //! Each cell runs the multi-threaded [`ParallelTuner`] over a cheap
 //! closed-form objective wrapped in chaos: jobs panic (poisoning the trial),
@@ -9,13 +9,13 @@
 //! A.1: configurations trained to the full resource R, plus the fault tally
 //! the executor survived.
 
-use asha_core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
-use asha_exec::{
+use asha::core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
+use asha::exec::{
     install_quiet_panic_hook, ChaosConfig, ChaosObjective, Evaluation, ExecConfig, FaultPolicy,
     FnObjective, ParallelTuner,
 };
-use asha_metrics::{write_csv, FaultStats};
-use asha_space::{Config, ParamValue, Scale, SearchSpace};
+use asha::metrics::{write_csv, FaultStats};
+use asha::space::{Config, ParamValue, Scale, SearchSpace};
 
 const R: f64 = 256.0;
 const ETA: f64 = 4.0;
@@ -32,7 +32,7 @@ fn space() -> SearchSpace {
 
 /// Closed-form objective: instant to evaluate, improves with resource, so
 /// the sweep measures fault handling rather than training time.
-fn objective() -> impl asha_exec::Objective<Checkpoint = f64> {
+fn objective() -> impl asha::exec::Objective<Checkpoint = f64> {
     FnObjective::new(|config: &Config, resource: f64, _ckpt: Option<f64>| {
         let x = match config.values()[0] {
             ParamValue::Float(v) => v,

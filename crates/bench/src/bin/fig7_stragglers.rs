@@ -8,12 +8,12 @@
 //! unit); stragglers multiply expected time by `1 + |z|`,
 //! `z ~ N(0, std)`; jobs drop with probability `p` per time unit.
 
-use asha_core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
-use asha_metrics::write_csv;
-use asha_sim::{ClusterSim, ResumePolicy, SimConfig};
-use asha_space::{Scale, SearchSpace};
-use asha_surrogate::BenchmarkModel;
-use asha_surrogate::CurveBenchmark;
+use asha::core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
+use asha::metrics::write_csv;
+use asha::sim::{ClusterSim, ResumePolicy, SimConfig};
+use asha::space::{Scale, SearchSpace};
+use asha::surrogate::BenchmarkModel;
+use asha::surrogate::CurveBenchmark;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

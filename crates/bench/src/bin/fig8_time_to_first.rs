@@ -6,11 +6,11 @@
 //! time-unit horizon are reported at the horizon (matching the flat-topped
 //! curves of the paper's plot).
 
-use asha_core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
-use asha_metrics::write_csv;
-use asha_sim::{ClusterSim, ResumePolicy, SimConfig};
-use asha_space::{Scale, SearchSpace};
-use asha_surrogate::{BenchmarkModel, CurveBenchmark};
+use asha::core::{Asha, AshaConfig, Scheduler, ShaConfig, SyncSha};
+use asha::metrics::write_csv;
+use asha::sim::{ClusterSim, ResumePolicy, SimConfig};
+use asha::space::{Scale, SearchSpace};
+use asha::surrogate::{BenchmarkModel, CurveBenchmark};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

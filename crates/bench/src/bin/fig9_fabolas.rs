@@ -4,11 +4,11 @@
 //! accountings: "by rung" (using intermediate losses, as ASHA does) and "by
 //! bracket" (only at bracket completions, as Klein et al. evaluated it).
 
-use asha_baselines::{Fabolas, FabolasConfig};
-use asha_core::{Hyperband, HyperbandConfig, RandomSearch};
-use asha_metrics::{aggregate, uniform_grid, write_csv, AggregateCurve, StepCurve};
-use asha_sim::{ClusterSim, SimConfig};
-use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
+use asha::baselines::{Fabolas, FabolasConfig};
+use asha::core::{Hyperband, HyperbandConfig, RandomSearch};
+use asha::metrics::{aggregate, uniform_grid, write_csv, AggregateCurve, StepCurve};
+use asha::sim::{ClusterSim, SimConfig};
+use asha::surrogate::{presets, BenchmarkModel, CurveBenchmark};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

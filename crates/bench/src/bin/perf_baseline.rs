@@ -18,20 +18,20 @@
 
 use std::time::Instant;
 
-use asha_bench::{
-    run_experiment, run_experiment_parallel, threads_from_args, ExperimentConfig, MethodSpec,
-};
-use asha_core::{
+use asha::core::{
     Asha, AshaConfig, AsyncHyperband, HyperbandConfig, Observation, Scheduler, ShaConfig, SyncSha,
 };
-use asha_metrics::JsonValue;
-use asha_sim::{ClusterSim, SimConfig, TraceMode};
-use asha_space::SearchSpace;
-use asha_store::{
+use asha::metrics::JsonValue;
+use asha::sim::{ClusterSim, SimConfig, TraceMode};
+use asha::space::SearchSpace;
+use asha::store::{
     read_wal, replay_scheduler, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
     Snapshot, StoredScheduler, SyncPolicy, WalWriter,
 };
-use asha_surrogate::{presets, BenchmarkModel};
+use asha::surrogate::{presets, BenchmarkModel};
+use asha_bench::{
+    run_experiment, run_experiment_parallel, threads_from_args, ExperimentConfig, MethodSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -144,7 +144,7 @@ fn telemetry_overhead(bench: &dyn BenchmarkModel, workers: usize, horizon: f64) 
     let off_secs = start.elapsed().as_secs_f64();
 
     let mut rng = StdRng::seed_from_u64(0);
-    let mut recorder = asha_obs::RunRecorder::new();
+    let mut recorder = asha::obs::RunRecorder::new();
     let start = Instant::now();
     let on = sim.run_recorded(make(), bench, &mut rng, &mut recorder);
     let on_secs = start.elapsed().as_secs_f64();
@@ -237,9 +237,9 @@ fn persistence(
         // Baseline: record in memory while the engine runs, bulk-write the
         // JSONL log when the checkpoint is reached.
         let mut engine =
-            asha_sim::SimEngine::new(sim_cfg.clone(), StoredScheduler::Asha(make()), bench);
+            asha::sim::SimEngine::new(sim_cfg.clone(), StoredScheduler::Asha(make()), bench);
         let mut rng = StdRng::seed_from_u64(0);
-        let mut recorder = asha_obs::RunRecorder::new();
+        let mut recorder = asha::obs::RunRecorder::new();
         let start = Instant::now();
         while engine.jobs_completed() < checkpoint && engine.step(&mut rng, &mut recorder) {}
         recorder
@@ -273,7 +273,7 @@ fn persistence(
     // WAL append throughput: pre-generate an exec-style event stream by
     // driving a scheduler (RNG consumed only in suggest), then time pure
     // appends.
-    use asha_core::telemetry::{Event, EventKind};
+    use asha::core::telemetry::{Event, EventKind};
     let mut scheduler = make();
     let mut gen_rng = StdRng::seed_from_u64(7);
     let mut events = Vec::with_capacity(rounds * 2);
@@ -516,7 +516,7 @@ fn main() {
         ("persistence", persistence),
         ("sweep", sweep),
     ]);
-    match asha_metrics::write_json(&opts.out, &report) {
+    match asha::metrics::write_json(&opts.out, &report) {
         Ok(()) => println!("wrote {}", opts.out),
         Err(e) => {
             eprintln!("error: {e}");

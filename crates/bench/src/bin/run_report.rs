@@ -32,13 +32,13 @@
 
 use std::path::Path;
 
-use asha_core::{Asha, AshaConfig};
-use asha_obs::{parse_jsonl, Event, RunRecorder, RunReport};
-use asha_sim::{ClusterSim, SimConfig};
-use asha_store::{
+use asha::core::{Asha, AshaConfig};
+use asha::obs::{parse_jsonl, Event, RunRecorder, RunReport};
+use asha::sim::{ClusterSim, SimConfig};
+use asha::store::{
     read_meta, read_wal, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
 };
-use asha_surrogate::{presets, BenchmarkModel};
+use asha::surrogate::{presets, BenchmarkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -198,7 +198,7 @@ fn resume_store(dir: &Path, opts: RunOptions) {
 
 /// The telemetry stream of a store directory's WAL (store markers skipped).
 fn wal_events(dir: &Path) -> Vec<Event> {
-    let contents = read_wal(&dir.join(asha_store::WAL_FILE)).unwrap_or_else(|e| fail(e));
+    let contents = read_wal(&dir.join(asha::store::WAL_FILE)).unwrap_or_else(|e| fail(e));
     contents.telemetry().copied().collect()
 }
 
@@ -227,7 +227,7 @@ fn main() {
         let report = RunReport::from_events(&events, Some(workers));
         print!("{}", report.render_text());
         if let Some(json_path) = opts.json {
-            match asha_metrics::write_json(&json_path, &report.to_json()) {
+            match asha::metrics::write_json(&json_path, &report.to_json()) {
                 Ok(()) => println!("\nwrote {json_path}"),
                 Err(e) => fail(e),
             }
@@ -265,7 +265,7 @@ fn main() {
     print!("{}", report.render_text());
 
     if let Some(json_path) = opts.json {
-        match asha_metrics::write_json(&json_path, &report.to_json()) {
+        match asha::metrics::write_json(&json_path, &report.to_json()) {
             Ok(()) => println!("\nwrote {json_path}"),
             Err(e) => fail(e),
         }

@@ -15,7 +15,7 @@
 
 use std::path::Path;
 
-use asha_store::{
+use asha::store::{
     list_snapshots, read_manifest, read_meta, read_wal, Snapshot, StoreEvent, WalRecord,
     MANIFEST_FILE, META_FILE, WAL_FILE,
 };
@@ -53,7 +53,7 @@ fn inspect_experiment(dir: &Path) {
                 let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
                 let events = std::fs::read_to_string(path)
                     .ok()
-                    .and_then(|text| asha_metrics::JsonValue::parse(&text).ok())
+                    .and_then(|text| asha::metrics::JsonValue::parse(&text).ok())
                     .and_then(|v| Snapshot::from_json(&v).ok())
                     .map(|s| s.events);
                 match events {

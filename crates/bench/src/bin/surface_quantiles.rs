@@ -4,8 +4,8 @@
 //! "best of ~2k random full evaluations" vs "best of ~50k early-stopped
 //! ones" for Figure 5).
 
-use asha_math::stats::{mean, quantile, std_dev};
-use asha_surrogate::{presets, BenchmarkModel};
+use asha::math::stats::{mean, quantile, std_dev};
+use asha::surrogate::{presets, BenchmarkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,7 +1,7 @@
 //! Tables 1–3 (and the remaining benchmark spaces): the hyperparameter
-//! search spaces of the paper, as encoded in `asha_space::presets`.
+//! search spaces of the paper, as encoded in `asha::space::presets`.
 
-use asha_space::presets;
+use asha::space::presets;
 
 fn main() {
     println!("Table 1: hyperparameters for the small CNN architecture tuning task");

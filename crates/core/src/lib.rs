@@ -17,6 +17,8 @@
 //!   grow_bottom / job lifecycle / faults), the zero-cost [`Recorder`] sink
 //!   both execution layers emit into, and the [`InstrumentedScheduler`]
 //!   decorator; collection and reporting live in `asha-obs`.
+//! * [`error`] — the unified [`Error`] type (kind + context chain) every
+//!   fallible surface in the workspace converges on.
 //!
 //! All schedulers implement the pull-based [`Scheduler`] trait, so the same
 //! implementation runs under the discrete-event simulator (`asha-sim`), the
@@ -52,6 +54,7 @@
 
 mod asha;
 pub mod budget;
+pub mod error;
 mod hyperband;
 mod random;
 mod rung;
@@ -62,6 +65,7 @@ pub mod state;
 pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
+pub use crate::error::{Error, ErrorKind, ResultContext};
 pub use crate::hyperband::{AsyncHyperband, Hyperband, HyperbandConfig};
 pub use crate::random::RandomSearch;
 pub use crate::rung::{Rung, RungLadder, ScanOrder};

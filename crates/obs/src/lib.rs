@@ -21,6 +21,9 @@
 //! * [`RunReport`] — replays an event stream into a per-rung promotion
 //!   table, latency quantiles, and a worker-utilization timeline, as text
 //!   or JSON (consumed by the `run_report` binary in `asha-bench`).
+//! * [`LogTail`] — follows a live JSONL log across appends, torn tails,
+//!   and crash-recovery rewrites (the service layer's streaming
+//!   subscriptions are built on it).
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod log;
 mod metrics;
 mod recorder;
 mod report;
+mod tail;
 mod writer;
 
 pub use crate::log::{
@@ -66,6 +70,7 @@ pub use crate::log::{
 pub use crate::metrics::{Counter, DecisionCounters, Gauge, Histogram, MetricsRegistry};
 pub use crate::recorder::RunRecorder;
 pub use crate::report::{RunReport, REPORT_SCHEMA, TIMELINE_BINS};
+pub use crate::tail::{LogTail, TailChunk};
 pub use crate::writer::{Durability, JsonlWriter};
 
 // Re-export the core vocabulary so downstream users need only this crate.

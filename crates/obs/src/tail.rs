@@ -1,0 +1,174 @@
+//! Incremental tailing of a live JSONL log.
+//!
+//! A [`LogTail`] follows a JSONL file that another process (or thread) is
+//! appending to — an experiment's WAL, a streamed event log — and yields
+//! each *complete* line exactly once. Two realities of live logs shape the
+//! API:
+//!
+//! * **Torn tails.** The writer may be mid-append when we poll, leaving a
+//!   final partial line. The tail never yields a line until its trailing
+//!   newline has landed, so a torn tail is simply "not yet".
+//! * **Truncation / rewrite.** Crash recovery rewrites a WAL in place
+//!   (temp file + rename), discarding a suffix. The tail detects the file
+//!   shrinking below its read offset, rewinds to the start, and reports the
+//!   rewind so the consumer can reset any derived state.
+//!
+//! The tail re-opens the file on every poll, so it also survives the
+//! rename-over-inode pattern used by crash-safe rewriters.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// What one [`LogTail::poll`] observed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TailChunk {
+    /// Complete lines (without their trailing newline), in file order.
+    pub lines: Vec<String>,
+    /// True when the file shrank below the previous offset (it was
+    /// truncated or rewritten) and the tail rewound to the start: `lines`
+    /// begins at byte 0 again and the consumer should reset derived state.
+    pub rewound: bool,
+}
+
+/// Follows a JSONL file across appends, truncations, and rewrites.
+#[derive(Debug)]
+pub struct LogTail {
+    path: PathBuf,
+    /// Byte offset of the first byte not yet consumed as a complete line.
+    offset: u64,
+    /// Bytes read past `offset` that do not yet end in a newline.
+    partial: Vec<u8>,
+}
+
+impl LogTail {
+    /// Tail `path` from the beginning (the first poll yields every complete
+    /// line already in the file).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        LogTail {
+            path: path.into(),
+            offset: 0,
+            partial: Vec::new(),
+        }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of the next unconsumed line start.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read any new complete lines. A missing file is not an error — the
+    /// writer may not have created it yet — and yields an empty chunk.
+    pub fn poll(&mut self) -> std::io::Result<TailChunk> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TailChunk::default()),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        let mut chunk = TailChunk::default();
+        if len < self.offset {
+            // The file was truncated or rewritten shorter: start over.
+            self.offset = 0;
+            self.partial.clear();
+            chunk.rewound = true;
+        }
+        if len == self.offset {
+            return Ok(chunk);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut buf)?;
+
+        // Consume complete lines; anything after the last newline is a torn
+        // tail that stays pending until a later poll completes it.
+        let mut start = 0usize;
+        for (i, &b) in buf.iter().enumerate() {
+            if b == b'\n' {
+                let mut line = std::mem::take(&mut self.partial);
+                line.extend_from_slice(&buf[start..i]);
+                self.offset += (i + 1 - start) as u64;
+                start = i + 1;
+                let text = String::from_utf8_lossy(&line).into_owned();
+                if !text.trim().is_empty() {
+                    chunk.lines.push(text);
+                }
+            }
+        }
+        if start < buf.len() {
+            // A torn tail was read but not consumed: remember the bytes and
+            // advance the offset past them so the next poll reads only what
+            // the writer appends after this point.
+            self.partial.extend_from_slice(&buf[start..]);
+            self.offset += (buf.len() - start) as u64;
+        }
+        Ok(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("asha-obs-tail-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.jsonl")
+    }
+
+    #[test]
+    fn yields_lines_incrementally_and_holds_torn_tail() {
+        let path = tmpfile("incremental");
+        let mut tail = LogTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), TailChunk::default(), "missing file");
+
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"torn").unwrap();
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert!(!chunk.rewound);
+        assert!(tail.poll().unwrap().lines.is_empty(), "torn tail pending");
+
+        // Completing the torn line releases it in one piece.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"\":3}\n").unwrap();
+        drop(f);
+        assert_eq!(tail.poll().unwrap().lines, vec!["{\"torn\":3}"]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn rewinds_after_truncating_rewrite() {
+        let path = tmpfile("rewind");
+        let mut tail = LogTail::new(&path);
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n").unwrap();
+        assert_eq!(tail.poll().unwrap().lines.len(), 3);
+
+        // Crash recovery rewrites the log shorter (rename-over pattern).
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "{\"a\":1}\n").unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
+        let chunk = tail.poll().unwrap();
+        assert!(chunk.rewound);
+        assert_eq!(chunk.lines, vec!["{\"a\":1}"]);
+
+        // Appends after the rewind flow normally again.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"d\":4}\n").unwrap();
+        drop(f);
+        let chunk = tail.poll().unwrap();
+        assert!(!chunk.rewound);
+        assert_eq!(chunk.lines, vec!["{\"d\":4}"]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

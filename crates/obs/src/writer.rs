@@ -82,6 +82,18 @@ impl JsonlWriter {
         Ok(())
     }
 
+    /// Append one pre-encoded JSONL line (no trailing newline expected).
+    ///
+    /// For logs that are JSONL but not telemetry events — the service
+    /// daemon's request/response trace streams through this, keeping every
+    /// durability property of [`JsonlWriter::append`].
+    pub fn append_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
     /// Make everything appended so far durable at the configured level:
     /// flush to the OS, plus `fsync` under [`Durability::Sync`].
     pub fn commit(&mut self) -> std::io::Result<()> {

@@ -1,0 +1,236 @@
+//! Client library for the `asha-serve` protocol.
+//!
+//! [`Client`] wraps one connection (Unix or TCP), correlates replies by
+//! request id, and buffers any push frames that arrive interleaved with
+//! replies so nothing is lost while a call is in flight. The `asha-ctl`
+//! binary is a thin shell around this type.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use asha_core::Error;
+use asha_store::{ExperimentMeta, RunOptions};
+
+use crate::codec::{encode_frame, Frame, FrameReader};
+use crate::conn::Conn;
+use crate::proto::{DaemonStats, Push, Reply, Request, WireStatus};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: FrameReader<Conn>,
+    writer: Conn,
+    next_id: u64,
+    /// Push frames received while waiting for a reply, in arrival order.
+    pending: VecDeque<Push>,
+}
+
+impl Client {
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, Error> {
+        let path = path.as_ref();
+        let stream = UnixStream::connect(path)
+            .map_err(|e| Error::io(path, e).context("connecting to daemon"))?;
+        Client::from_conn(Conn::Unix(stream))
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Client, Error> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::from(e).context(format!("connecting to daemon at {addr}")))?;
+        Client::from_conn(Conn::Tcp(stream))
+    }
+
+    fn from_conn(conn: Conn) -> Result<Client, Error> {
+        let writer = conn
+            .try_clone()
+            .map_err(|e| Error::from(e).context("cloning connection"))?;
+        Ok(Client {
+            reader: FrameReader::new(conn),
+            writer,
+            next_id: 1,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Send one request and block for its reply. Push frames that arrive
+    /// first are buffered for [`Client::next_push`].
+    pub fn call(&mut self, request: &Request) -> Result<Reply, Error> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = encode_frame(&request.to_frame(id));
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| Error::from(e).context("sending request"))?;
+        let op = request.op();
+        loop {
+            match self.reader.read_frame()? {
+                Frame::Eof => {
+                    return Err(Error::protocol("connection closed while awaiting reply"))
+                }
+                Frame::TimedOut => continue,
+                Frame::Value(frame) => {
+                    if Push::is_push_frame(&frame) {
+                        self.pending.push_back(Push::from_frame(&frame)?);
+                        continue;
+                    }
+                    let (got_id, reply) = Reply::from_frame(&frame, op)?;
+                    if got_id != id {
+                        return Err(Error::protocol(format!(
+                            "reply id {got_id} does not match request id {id}"
+                        )));
+                    }
+                    return reply;
+                }
+            }
+        }
+    }
+
+    /// Next push frame: buffered ones first, then the wire. `timeout`
+    /// bounds the wait (`None` blocks until a frame or EOF). Returns
+    /// `Ok(None)` on timeout or a cleanly closed connection.
+    pub fn next_push(&mut self, timeout: Option<Duration>) -> Result<Option<Push>, Error> {
+        if let Some(push) = self.pending.pop_front() {
+            return Ok(Some(push));
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Poll in short slices so a bounded wait stays responsive without
+        // reconfiguring the socket per call.
+        self.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let result = loop {
+            match self.reader.read_frame() {
+                Ok(Frame::Eof) => break Ok(None),
+                Ok(Frame::TimedOut) => {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            break Ok(None);
+                        }
+                    }
+                }
+                Ok(Frame::Value(frame)) => {
+                    if Push::is_push_frame(&frame) {
+                        break Push::from_frame(&frame).map(Some);
+                    }
+                    // A reply with no in-flight call is a protocol breach.
+                    break Err(Error::protocol("unsolicited reply frame"));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.set_read_timeout(None)?;
+        result
+    }
+
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> Result<(), Error> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(dur)
+            .map_err(|e| Error::from(e).context("setting read timeout"))
+    }
+
+    // ---- Convenience wrappers over the request vocabulary ----
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), Error> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Create an experiment (does not start it).
+    pub fn create(&mut self, meta: &ExperimentMeta, opts: RunOptions) -> Result<(), Error> {
+        self.call(&Request::Create {
+            meta: meta.clone(),
+            opts,
+        })
+        .map(|_| ())
+    }
+
+    /// Start (or restart) an experiment.
+    pub fn start(&mut self, name: &str, opts: RunOptions) -> Result<(), Error> {
+        self.call(&Request::Start {
+            name: name.to_owned(),
+            opts,
+        })
+        .map(|_| ())
+    }
+
+    /// Pause at the next step boundary.
+    pub fn pause(&mut self, name: &str) -> Result<(), Error> {
+        self.call(&Request::Pause {
+            name: name.to_owned(),
+        })
+        .map(|_| ())
+    }
+
+    /// Resume a paused experiment.
+    pub fn resume(&mut self, name: &str) -> Result<(), Error> {
+        self.call(&Request::Resume {
+            name: name.to_owned(),
+        })
+        .map(|_| ())
+    }
+
+    /// Abort (snapshot and stop; resumable later).
+    pub fn abort(&mut self, name: &str) -> Result<(), Error> {
+        self.call(&Request::Abort {
+            name: name.to_owned(),
+        })
+        .map(|_| ())
+    }
+
+    /// One experiment's current status.
+    pub fn status(&mut self, name: &str) -> Result<WireStatus, Error> {
+        match self.call(&Request::Status {
+            name: name.to_owned(),
+        })? {
+            Reply::Status(s) => Ok(s),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// All manifest rows.
+    pub fn list(&mut self) -> Result<Vec<WireStatus>, Error> {
+        match self.call(&Request::List)? {
+            Reply::List(rows) => Ok(rows),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Daemon counters.
+    pub fn stats(&mut self) -> Result<DaemonStats, Error> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Subscribe to an experiment's live WAL stream from telemetry
+    /// sequence `from_seq`; returns the subscription id.
+    pub fn subscribe(&mut self, name: &str, from_seq: u64) -> Result<u64, Error> {
+        match self.call(&Request::Subscribe {
+            name: name.to_owned(),
+            from_seq,
+        })? {
+            Reply::Subscribed { sub } => Ok(sub),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Cancel a subscription.
+    pub fn unsubscribe(&mut self, sub: u64) -> Result<(), Error> {
+        self.call(&Request::Unsubscribe { sub }).map(|_| ())
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+}

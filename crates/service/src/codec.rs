@@ -1,0 +1,185 @@
+//! Newline-delimited frame reader with size limits and torn-frame handling.
+//!
+//! Both sides of the protocol read frames through [`FrameReader`]: it
+//! accumulates bytes from the underlying stream, yields one parsed
+//! [`JsonValue`] per newline-terminated line, enforces a maximum frame
+//! size, and distinguishes a clean EOF (at a line boundary) from a torn
+//! frame (EOF mid-line) and from a read timeout (the server polls its
+//! shutdown flag between timeouts).
+
+use std::io::Read;
+
+use asha_core::Error;
+use asha_metrics::JsonValue;
+
+use crate::proto::DEFAULT_MAX_FRAME;
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete, parsed frame.
+    Value(JsonValue),
+    /// The peer closed the stream at a frame boundary.
+    Eof,
+    /// The read timed out (or would block) with no complete frame buffered;
+    /// call again. Only seen when the stream has a read timeout set.
+    TimedOut,
+}
+
+/// Incremental frame reader over any byte stream.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted between reads).
+    start: usize,
+    max_frame: usize,
+    chunk: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a stream with the default frame-size limit.
+    pub fn new(inner: R) -> Self {
+        FrameReader::with_max_frame(inner, DEFAULT_MAX_FRAME)
+    }
+
+    /// Wrap a stream with an explicit frame-size limit (bytes, excluding
+    /// the newline).
+    pub fn with_max_frame(inner: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+            chunk: vec![0u8; 8 * 1024],
+        }
+    }
+
+    /// The configured frame-size limit.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Shared access to the underlying stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    fn take_line(&mut self) -> Option<Result<JsonValue, Error>> {
+        let pending = &self.buf[self.start..];
+        let nl = pending.iter().position(|&b| b == b'\n')?;
+        if nl > self.max_frame {
+            // Consume the oversized line so the error is not sticky, then
+            // report it.
+            self.start += nl + 1;
+            return Some(Err(Error::protocol(format!(
+                "frame of {nl} bytes exceeds limit of {} bytes",
+                self.max_frame
+            ))));
+        }
+        let line = String::from_utf8_lossy(&pending[..nl]).into_owned();
+        self.start += nl + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            // Blank lines are ignored (keepalive-friendly).
+            return self.take_line();
+        }
+        Some(
+            JsonValue::parse(trimmed).map_err(|e| Error::protocol(format!("malformed frame: {e}"))),
+        )
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Read until one complete frame (or EOF / timeout) is available.
+    ///
+    /// A buffered partial line longer than the frame limit fails
+    /// immediately; a partial line at EOF is a torn frame and fails with a
+    /// `protocol` error.
+    pub fn read_frame(&mut self) -> Result<Frame, Error> {
+        loop {
+            if let Some(line) = self.take_line() {
+                return line.map(Frame::Value);
+            }
+            self.compact();
+            if self.buf.len() > self.max_frame {
+                self.buf.clear();
+                return Err(Error::protocol(format!(
+                    "frame exceeds limit of {} bytes without a newline",
+                    self.max_frame
+                )));
+            }
+            let n = match self.inner.read(&mut self.chunk) {
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Frame::TimedOut);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::from(e).context("reading frame")),
+            };
+            if n == 0 {
+                if self.buf.is_empty() {
+                    return Ok(Frame::Eof);
+                }
+                self.buf.clear();
+                return Err(Error::protocol("torn frame: stream ended mid-line"));
+            }
+            self.buf.extend_from_slice(&self.chunk[..n]);
+        }
+    }
+}
+
+/// Encode one frame as its wire bytes (compact JSON + newline).
+pub fn encode_frame(frame: &JsonValue) -> String {
+    let mut line = frame.render_compact();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn splits_frames_and_handles_eof() {
+        let bytes = b"{\"a\":1}\n\n{\"b\":2}\n".to_vec();
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        match r.read_frame().unwrap() {
+            Frame::Value(v) => assert_eq!(v.get("a").and_then(|x| x.as_u64()), Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.read_frame().unwrap() {
+            Frame::Value(v) => assert_eq!(v.get("b").and_then(|x| x.as_u64()), Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn torn_frame_at_eof_is_an_error() {
+        let mut r = FrameReader::new(Cursor::new(b"{\"a\":1}\n{\"b\":".to_vec()));
+        assert!(matches!(r.read_frame().unwrap(), Frame::Value(_)));
+        let err = r.read_frame().unwrap_err();
+        assert!(err.to_string().contains("torn frame"), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_sticking() {
+        let big = format!("{{\"pad\":\"{}\"}}\n{{\"ok\":1}}\n", "x".repeat(64));
+        let mut r = FrameReader::with_max_frame(Cursor::new(big.into_bytes()), 32);
+        assert!(r.read_frame().unwrap_err().to_string().contains("exceeds"));
+        match r.read_frame().unwrap() {
+            Frame::Value(v) => assert_eq!(v.get("ok").and_then(|x| x.as_u64()), Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Tuning-as-a-service for asha: a long-running experiment daemon and its
+//! client library.
+//!
+//! The durable store ([`asha_store`]) made a tuning run a recoverable
+//! object; this crate makes it a *shared* one. A single daemon process
+//! (`asha-serve`) owns an [`asha_store::ExperimentSupervisor`] root and
+//! exposes it to many concurrent clients over Unix-domain and TCP sockets,
+//! speaking a versioned newline-delimited JSON protocol built on the same
+//! hand-rolled [`asha_metrics::JsonValue`] used everywhere else (the
+//! vendored `serde` is a stub).
+//!
+//! * [`proto`] — the frame vocabulary: requests
+//!   (create/start/pause/resume/abort/status/list/stats/subscribe/…),
+//!   replies, typed errors on the wire, and push frames for streaming
+//!   subscriptions.
+//! * [`codec`] — the newline-delimited frame reader: size limits,
+//!   torn-frame detection, timeout-aware reads.
+//! * [`server`] — [`Daemon`]: accept loops, per-connection reader/writer
+//!   threads, bounded per-client queues with explicit lag accounting (a
+//!   slow subscriber never stalls a run), WAL-tailing subscription
+//!   threads, graceful drain on shutdown.
+//! * [`client`] — [`Client`]: blocking request/reply with push buffering;
+//!   the `asha-ctl` binary in `asha-bench` is a thin shell over it.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use asha_service::{Client, Daemon, ServeOptions};
+//!
+//! let mut opts = ServeOptions::new("/tmp/asha-root");
+//! opts.unix = Some("/tmp/asha.sock".into());
+//! let daemon = Daemon::start(opts).unwrap();
+//!
+//! let mut client = Client::connect_unix("/tmp/asha.sock").unwrap();
+//! client.ping().unwrap();
+//! for row in client.list().unwrap() {
+//!     println!("{} {}", row.name, row.status.as_str());
+//! }
+//! client.shutdown().unwrap();
+//! daemon.wait().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod conn;
+pub mod proto;
+pub mod server;
+
+pub use crate::client::Client;
+pub use crate::codec::{encode_frame, Frame, FrameReader};
+pub use crate::conn::Conn;
+pub use crate::proto::{
+    DaemonStats, Push, Reply, Request, WireStatus, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use crate::server::{Daemon, ServeOptions};

@@ -1,0 +1,201 @@
+//! Property tests of the frame decoder: arbitrary valid frame streams must
+//! decode losslessly under arbitrary read-chunking, and hostile byte
+//! streams (garbage, oversized lines, torn tails) must produce typed
+//! protocol errors without wedging the reader.
+
+use std::io::Read;
+
+use asha_metrics::JsonValue;
+use asha_service::{encode_frame, Frame, FrameReader};
+use proptest::prelude::*;
+
+/// A reader that hands out at most a few bytes per `read` call, following a
+/// schedule of chunk sizes — simulates arbitrary TCP segmentation.
+struct Dribble {
+    bytes: Vec<u8>,
+    pos: usize,
+    schedule: Vec<usize>,
+    turn: usize,
+}
+
+impl Dribble {
+    fn new(bytes: Vec<u8>, schedule: Vec<usize>) -> Self {
+        Dribble {
+            bytes,
+            pos: 0,
+            schedule,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for Dribble {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() {
+            return Ok(0);
+        }
+        let step = self.schedule[self.turn % self.schedule.len()].max(1);
+        self.turn += 1;
+        let n = step.min(out.len()).min(self.bytes.len() - self.pos);
+        out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A short lowercase identifier, built from digit draws (the vendored
+/// proptest has no string strategies).
+fn arb_key() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..8)
+        .prop_map(|digits| digits.iter().map(|d| (b'a' + d) as char).collect())
+}
+
+/// A printable ASCII string, including JSON-hostile characters like
+/// quotes and backslashes (the encoder must escape them).
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..95, 0..16)
+        .prop_map(|chars| chars.iter().map(|c| (b' ' + c) as char).collect())
+}
+
+/// An arbitrary flat JSON object, rendered the way the protocol would.
+fn arb_frame() -> impl Strategy<Value = JsonValue> {
+    prop::collection::vec(
+        (
+            arb_key(),
+            prop_oneof![
+                (0u64..1_000_000).prop_map(JsonValue::Int).boxed(),
+                any::<bool>().prop_map(JsonValue::Bool).boxed(),
+                arb_text().prop_map(JsonValue::Str).boxed(),
+            ],
+        ),
+        0..6,
+    )
+    .prop_map(|fields| {
+        // Duplicate keys would make encode/decode comparison ambiguous.
+        let mut seen = std::collections::HashSet::new();
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whatever the segmentation, a stream of N encoded frames decodes to
+    /// exactly those N frames followed by a clean EOF.
+    #[test]
+    fn chunking_never_tears_or_reorders_frames(
+        frames in prop::collection::vec(arb_frame(), 0..12),
+        schedule in prop::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            bytes.extend_from_slice(encode_frame(frame).as_bytes());
+        }
+        let mut reader = FrameReader::new(Dribble::new(bytes, schedule));
+        for expected in &frames {
+            match reader.read_frame().unwrap() {
+                Frame::Value(got) => prop_assert_eq!(
+                    got.render_compact(),
+                    expected.render_compact()
+                ),
+                other => return Err(format!("unexpected {other:?}")),
+            }
+        }
+        prop_assert_eq!(reader.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// A malformed line errors but never wedges the reader: the next valid
+    /// frame still decodes.
+    #[test]
+    fn garbage_lines_error_without_sticking(
+        junk in arb_text(),
+        frame in arb_frame(),
+        schedule in prop::collection::vec(1usize..40, 1..8),
+    ) {
+        // A '!' prefix can never begin valid JSON, whatever follows.
+        let garbage = format!("!{junk}");
+        prop_assert!(JsonValue::parse(garbage.trim()).is_err());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(garbage.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(encode_frame(&frame).as_bytes());
+        let mut reader = FrameReader::new(Dribble::new(bytes, schedule));
+        let err = reader.read_frame().unwrap_err();
+        prop_assert_eq!(err.kind(), asha_core::ErrorKind::Protocol);
+        match reader.read_frame().unwrap() {
+            Frame::Value(got) => prop_assert_eq!(got.render_compact(), frame.render_compact()),
+            other => return Err(format!("unexpected {other:?}")),
+        }
+        prop_assert_eq!(reader.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// Lines beyond the size limit are rejected (whether or not the
+    /// newline has arrived yet) and the reader still terminates cleanly.
+    #[test]
+    fn oversized_lines_are_rejected_and_consumed(
+        pad_len in 64usize..4096,
+        frame in arb_frame(),
+        schedule in prop::collection::vec(1usize..512, 1..6),
+    ) {
+        let limit = 48usize;
+        let mut bytes = format!("{{\"pad\":\"{}\"}}\n", "x".repeat(pad_len)).into_bytes();
+        bytes.extend_from_slice(encode_frame(&frame).as_bytes());
+        let mut reader = FrameReader::with_max_frame(Dribble::new(bytes, schedule), limit);
+        let err = reader.read_frame().unwrap_err();
+        prop_assert!(err.to_string().contains("exceeds limit"), "{}", err);
+        // The reader may have discarded buffered bytes to bound memory (an
+        // un-newlined line is cleared in limit-sized slices, each reported
+        // as its own error); it must still terminate cleanly rather than
+        // loop forever or panic.
+        let mut done = false;
+        for _ in 0..500 {
+            match reader.read_frame() {
+                Ok(Frame::Eof) => {
+                    done = true;
+                    break;
+                }
+                Ok(Frame::Value(_)) | Err(_) => continue,
+                Ok(Frame::TimedOut) => return Err("unexpected timeout".to_owned()),
+            }
+        }
+        prop_assert!(done, "reader did not reach EOF");
+    }
+
+    /// EOF mid-line is a torn frame: a typed protocol error, after every
+    /// complete preceding frame was delivered.
+    #[test]
+    fn torn_tails_fail_after_delivering_complete_frames(
+        frames in prop::collection::vec(arb_frame(), 0..6),
+        cut in 1usize..20,
+        schedule in prop::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            bytes.extend_from_slice(encode_frame(frame).as_bytes());
+        }
+        // Append a frame and cut it before its newline.
+        let tail = encode_frame(&JsonValue::obj([(
+            "torn",
+            JsonValue::Str("x".repeat(24)),
+        )]));
+        let keep = cut.min(tail.len() - 1);
+        bytes.extend_from_slice(&tail.as_bytes()[..keep]);
+        let mut reader = FrameReader::new(Dribble::new(bytes, schedule));
+        for expected in &frames {
+            match reader.read_frame().unwrap() {
+                Frame::Value(got) => prop_assert_eq!(
+                    got.render_compact(),
+                    expected.render_compact()
+                ),
+                other => return Err(format!("unexpected {other:?}")),
+            }
+        }
+        let err = reader.read_frame().unwrap_err();
+        prop_assert!(err.to_string().contains("torn frame"), "{}", err);
+    }
+}

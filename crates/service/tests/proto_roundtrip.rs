@@ -1,0 +1,278 @@
+//! Wire-protocol round-trip tests: every request, reply, and push variant
+//! must survive encode → render → parse → decode unchanged, and version /
+//! error handling must follow the documented rules.
+
+use asha_core::{Asha, AshaConfig, Error, ErrorKind};
+use asha_metrics::JsonValue;
+use asha_service::proto::{run_options_from_json, run_options_to_json};
+use asha_service::{encode_frame, DaemonStats, Push, Reply, Request, WireStatus, PROTOCOL_VERSION};
+use asha_store::{
+    BenchSpec, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState, SyncPolicy,
+};
+use asha_surrogate::BenchmarkModel;
+
+fn sample_meta() -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let asha = Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0));
+    ExperimentMeta {
+        name: "proto-roundtrip".to_owned(),
+        space,
+        initial: SchedulerState::Asha(asha.export_state()),
+        seed: 7,
+        sim: asha_sim::SimConfig::new(4, 60.0),
+        bench: spec,
+    }
+}
+
+/// Encode on the wire and parse back, as the peer would see it.
+fn wire_trip(frame: &JsonValue) -> JsonValue {
+    let line = encode_frame(frame);
+    assert!(line.ends_with('\n'));
+    JsonValue::parse(line.trim_end()).expect("encoded frame must parse")
+}
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Create {
+            meta: sample_meta(),
+            opts: RunOptions {
+                sync: SyncPolicy::EveryN(16),
+                snapshot_jobs: 50,
+            },
+        },
+        Request::Start {
+            name: "exp-a".to_owned(),
+            opts: RunOptions::default(),
+        },
+        Request::Pause {
+            name: "exp-a".to_owned(),
+        },
+        Request::Resume {
+            name: "exp-a".to_owned(),
+        },
+        Request::Abort {
+            name: "exp-a".to_owned(),
+        },
+        Request::Status {
+            name: "exp-a".to_owned(),
+        },
+        Request::List,
+        Request::Stats,
+        Request::Subscribe {
+            name: "exp-a".to_owned(),
+            from_seq: 42,
+        },
+        Request::Unsubscribe { sub: 9 },
+        Request::Shutdown,
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    // `Request` has no `PartialEq` (ExperimentMeta is not comparable), so
+    // equality is judged on the canonical encoding: decode(encode(r)) must
+    // re-encode to the identical frame.
+    for (i, request) in all_requests().into_iter().enumerate() {
+        let id = 100 + i as u64;
+        let frame = request.to_frame(id);
+        let parsed = wire_trip(&frame);
+        let (got_id, decoded) =
+            Request::from_frame(&parsed).unwrap_or_else(|e| panic!("{}: {e}", request.op()));
+        assert_eq!(got_id, id, "{}", request.op());
+        assert_eq!(decoded.op(), request.op());
+        assert_eq!(
+            decoded.to_frame(id).render_compact(),
+            frame.render_compact(),
+            "{} re-encoding differs",
+            request.op()
+        );
+    }
+}
+
+#[test]
+fn every_reply_round_trips() {
+    let status = WireStatus {
+        name: "exp-a".to_owned(),
+        status: ExperimentStatus::Running,
+    };
+    let stats = DaemonStats {
+        connections_total: 10,
+        connections_open: 3,
+        requests: 99,
+        subscriptions_open: 2,
+        events_sent: 12345,
+        events_lagged: 6,
+    };
+    let cases: Vec<(Reply, &str)> = vec![
+        (Reply::Ack, "start"),
+        (Reply::Pong, "ping"),
+        (Reply::Status(status.clone()), "status"),
+        (
+            Reply::List(vec![
+                status.clone(),
+                WireStatus {
+                    name: "exp-b".to_owned(),
+                    status: ExperimentStatus::Interrupted,
+                },
+            ]),
+            "list",
+        ),
+        (Reply::List(Vec::new()), "list"),
+        (Reply::Stats(stats), "stats"),
+        (Reply::Subscribed { sub: 4 }, "subscribe"),
+    ];
+    for (i, (reply, op)) in cases.into_iter().enumerate() {
+        let id = 7 + i as u64;
+        let parsed = wire_trip(&reply.to_frame(id));
+        let (got_id, decoded) = Reply::from_frame(&parsed, op).unwrap();
+        assert_eq!(got_id, id);
+        assert_eq!(decoded.unwrap(), reply, "op {op}");
+    }
+}
+
+#[test]
+fn every_status_value_round_trips_in_a_reply() {
+    for status in [
+        ExperimentStatus::Created,
+        ExperimentStatus::Running,
+        ExperimentStatus::Paused,
+        ExperimentStatus::Finished,
+        ExperimentStatus::Aborted,
+        ExperimentStatus::Interrupted,
+    ] {
+        let reply = Reply::Status(WireStatus {
+            name: "x".to_owned(),
+            status,
+        });
+        let parsed = wire_trip(&reply.to_frame(1));
+        let (_, decoded) = Reply::from_frame(&parsed, "status").unwrap();
+        assert_eq!(decoded.unwrap(), reply);
+    }
+}
+
+#[test]
+fn error_frames_carry_kind_and_message() {
+    for err in [
+        Error::protocol("bad frame"),
+        Error::missing("no such experiment"),
+        Error::config("workers must be positive"),
+        Error::codec("mangled snapshot"),
+    ] {
+        let parsed = wire_trip(&Reply::error_frame(3, &err));
+        let (id, decoded) = Reply::from_frame(&parsed, "start").unwrap();
+        assert_eq!(id, 3);
+        let back = decoded.unwrap_err();
+        assert_eq!(back.kind(), err.kind(), "{err}");
+        assert!(
+            back.to_string().contains(&err.to_string()),
+            "{back} should carry {err}"
+        );
+    }
+}
+
+#[test]
+fn every_push_round_trips() {
+    let pushes = vec![
+        Push::Event {
+            sub: 1,
+            data: JsonValue::obj([
+                ("seq", JsonValue::Int(12)),
+                ("ev", JsonValue::Str("job_end".to_owned())),
+            ]),
+        },
+        Push::Lag {
+            sub: 2,
+            dropped: 40,
+        },
+        Push::Status {
+            sub: 3,
+            state: WireStatus {
+                name: "exp-a".to_owned(),
+                status: ExperimentStatus::Paused,
+            },
+        },
+        Push::Rewind { sub: 4 },
+        Push::End { sub: 5 },
+    ];
+    for push in pushes {
+        let frame = push.to_frame();
+        assert!(Push::is_push_frame(&frame), "{}", push.name());
+        let parsed = wire_trip(&frame);
+        let decoded = Push::from_frame(&parsed).unwrap();
+        assert_eq!(decoded, push);
+        assert_eq!(decoded.sub(), push.sub());
+    }
+}
+
+#[test]
+fn run_options_round_trip_all_sync_policies() {
+    for sync in [
+        SyncPolicy::Never,
+        SyncPolicy::Always,
+        SyncPolicy::EveryN(1),
+        SyncPolicy::EveryN(64),
+    ] {
+        let opts = RunOptions {
+            sync,
+            snapshot_jobs: 123,
+        };
+        let back = run_options_from_json(&run_options_to_json(&opts)).unwrap();
+        assert_eq!(back, opts);
+    }
+}
+
+#[test]
+fn unsupported_version_is_a_protocol_error_not_a_parse_failure() {
+    let frame = JsonValue::parse(&format!(
+        "{{\"v\":{},\"id\":1,\"op\":\"ping\"}}",
+        PROTOCOL_VERSION + 1
+    ))
+    .unwrap();
+    let err = Request::from_frame(&frame).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Protocol);
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn unknown_fields_are_ignored_for_additive_evolution() {
+    let frame = JsonValue::parse(
+        "{\"v\":1,\"id\":8,\"op\":\"subscribe\",\"name\":\"e\",\"from_seq\":3,\"future_field\":true}",
+    )
+    .unwrap();
+    let (id, request) = Request::from_frame(&frame).unwrap();
+    assert_eq!(id, 8);
+    match request {
+        Request::Subscribe { name, from_seq } => {
+            assert_eq!(name, "e");
+            assert_eq!(from_seq, 3);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_op_and_unknown_push_are_protocol_errors() {
+    let bad_op = JsonValue::parse("{\"v\":1,\"id\":1,\"op\":\"frobnicate\"}").unwrap();
+    assert_eq!(
+        Request::from_frame(&bad_op).unwrap_err().kind(),
+        ErrorKind::Protocol
+    );
+    let bad_push = JsonValue::parse("{\"v\":1,\"sub\":1,\"push\":\"mystery\"}").unwrap();
+    assert_eq!(
+        Push::from_frame(&bad_push).unwrap_err().kind(),
+        ErrorKind::Protocol
+    );
+}
+
+#[test]
+fn reply_with_neither_ok_nor_err_is_rejected() {
+    let frame = JsonValue::parse("{\"v\":1,\"id\":1}").unwrap();
+    let err = Reply::from_frame(&frame, "ping").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Protocol);
+}

@@ -16,9 +16,10 @@
 //!   always encodes to the same bytes.
 //!
 //! All decoders return `Err(String)` describing the first mismatch; callers
-//! wrap that into [`StoreError::Corrupt`](crate::StoreError::Corrupt) with
+//! wrap that into an [`ErrorKind::Corrupt`](asha_core::ErrorKind::Corrupt) error with
 //! the offending path.
 
+use crate::error::Error;
 use asha_core::{
     AshaConfig, AshaState, AsyncHyperbandState, BracketState, HyperbandConfig, Job, RungState,
     ScanOrder, ShaConfig, SyncShaState, TrialId,
@@ -44,55 +45,58 @@ pub fn float_to_json(v: f64) -> JsonValue {
 
 /// Decode an `f64` written by [`float_to_json`]. `null` decodes to `+inf`
 /// (the telemetry log's convention for a poisoned loss).
-pub fn float_from_json(v: &JsonValue) -> Result<f64, String> {
+pub fn float_from_json(v: &JsonValue) -> Result<f64, Error> {
     match v {
         JsonValue::Null => Ok(f64::INFINITY),
         JsonValue::Str(s) => match s.as_str() {
             "inf" => Ok(f64::INFINITY),
             "-inf" => Ok(f64::NEG_INFINITY),
             "nan" => Ok(f64::NAN),
-            other => Err(format!("expected a float, got string {other:?}")),
+            other => Err(Error::codec(format!(
+                "expected a float, got string {other:?}"
+            ))),
         },
         other => other
             .as_f64()
-            .ok_or_else(|| format!("expected a float, got {other:?}")),
+            .ok_or_else(|| Error::codec(format!("expected a float, got {other:?}"))),
     }
 }
 
-fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
-    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, Error> {
+    v.get(key)
+        .ok_or_else(|| Error::codec(format!("missing field {key:?}")))
 }
 
-fn get_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
-    float_from_json(get(v, key)?).map_err(|e| format!("field {key:?}: {e}"))
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, Error> {
+    float_from_json(get(v, key)?).map_err(|e| e.context(format!("field {key:?}")))
 }
 
-fn get_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, Error> {
     get(v, key)?
         .as_u64()
-        .ok_or_else(|| format!("field {key:?}: expected an unsigned integer"))
+        .ok_or_else(|| Error::codec(format!("field {key:?}: expected an unsigned integer")))
 }
 
-fn get_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, Error> {
     Ok(get_u64(v, key)? as usize)
 }
 
-fn get_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, Error> {
     get(v, key)?
         .as_bool()
-        .ok_or_else(|| format!("field {key:?}: expected a bool"))
+        .ok_or_else(|| Error::codec(format!("field {key:?}: expected a bool")))
 }
 
-fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, Error> {
     get(v, key)?
         .as_str()
-        .ok_or_else(|| format!("field {key:?}: expected a string"))
+        .ok_or_else(|| Error::codec(format!("field {key:?}: expected a string")))
 }
 
-fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], Error> {
     get(v, key)?
         .as_array()
-        .ok_or_else(|| format!("field {key:?}: expected an array"))
+        .ok_or_else(|| Error::codec(format!("field {key:?}: expected an array")))
 }
 
 fn i64_to_json(v: i64) -> JsonValue {
@@ -105,13 +109,15 @@ fn i64_to_json(v: i64) -> JsonValue {
     }
 }
 
-fn i64_from_json(v: &JsonValue) -> Result<i64, String> {
+fn i64_from_json(v: &JsonValue) -> Result<i64, Error> {
     match v {
-        JsonValue::Int(n) => i64::try_from(*n).map_err(|_| format!("integer {n} overflows i64")),
+        JsonValue::Int(n) => {
+            i64::try_from(*n).map_err(|_| Error::codec(format!("integer {n} overflows i64")))
+        }
         JsonValue::Str(s) => s
             .parse::<i64>()
-            .map_err(|_| format!("expected an integer, got string {s:?}")),
-        other => Err(format!("expected an integer, got {other:?}")),
+            .map_err(|_| Error::codec(format!("expected an integer, got string {s:?}"))),
+        other => Err(Error::codec(format!("expected an integer, got {other:?}"))),
     }
 }
 
@@ -170,7 +176,7 @@ pub fn space_to_json(space: &SearchSpace) -> JsonValue {
 }
 
 /// Decode a search space written by [`space_to_json`].
-pub fn space_from_json(v: &JsonValue) -> Result<SearchSpace, String> {
+pub fn space_from_json(v: &JsonValue) -> Result<SearchSpace, Error> {
     let params = v.as_array().ok_or("search space: expected an array")?;
     let mut builder = SearchSpace::builder();
     for p in params {
@@ -180,7 +186,7 @@ pub fn space_from_json(v: &JsonValue) -> Result<SearchSpace, String> {
                 let scale = match get_str(p, "scale")? {
                     "linear" => Scale::Linear,
                     "log" => Scale::Log,
-                    other => return Err(format!("unknown scale {other:?}")),
+                    other => return Err(Error::codec(format!("unknown scale {other:?}"))),
                 };
                 builder = builder.continuous(name, get_f64(p, "low")?, get_f64(p, "high")?, scale);
             }
@@ -208,10 +214,10 @@ pub fn space_from_json(v: &JsonValue) -> Result<SearchSpace, String> {
                 let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 builder = builder.categorical(name, &refs);
             }
-            other => return Err(format!("unknown parameter kind {other:?}")),
+            other => return Err(Error::codec(format!("unknown parameter kind {other:?}"))),
         }
     }
-    builder.build().map_err(|e| e.to_string())
+    builder.build().map_err(|e| Error::codec(e.to_string()))
 }
 
 /// Encode a sampled configuration as an array of tagged values.
@@ -230,7 +236,7 @@ pub fn config_to_json(config: &Config) -> JsonValue {
 }
 
 /// Decode a configuration written by [`config_to_json`].
-pub fn config_from_json(v: &JsonValue) -> Result<Config, String> {
+pub fn config_from_json(v: &JsonValue) -> Result<Config, Error> {
     let arr = v.as_array().ok_or("config: expected an array")?;
     let values = arr
         .iter()
@@ -244,10 +250,10 @@ pub fn config_from_json(v: &JsonValue) -> Result<Config, String> {
                     x.as_u64().ok_or("index must be an unsigned integer")? as usize,
                 ))
             } else {
-                Err("config value must be tagged float/int/index".to_owned())
+                Err(Error::codec("config value must be tagged float/int/index"))
             }
         })
-        .collect::<Result<Vec<_>, String>>()?;
+        .collect::<Result<Vec<_>, Error>>()?;
     Ok(Config::new(values))
 }
 
@@ -262,11 +268,11 @@ fn scan_order_name(order: ScanOrder) -> &'static str {
     }
 }
 
-fn scan_order_from(name: &str) -> Result<ScanOrder, String> {
+fn scan_order_from(name: &str) -> Result<ScanOrder, Error> {
     match name {
         "top_down" => Ok(ScanOrder::TopDown),
         "bottom_up" => Ok(ScanOrder::BottomUp),
-        other => Err(format!("unknown scan order {other:?}")),
+        other => Err(Error::codec(format!("unknown scan order {other:?}"))),
     }
 }
 
@@ -293,7 +299,7 @@ pub fn asha_config_to_json(c: &AshaConfig) -> JsonValue {
 }
 
 /// Decode an [`AshaConfig`].
-pub fn asha_config_from_json(v: &JsonValue) -> Result<AshaConfig, String> {
+pub fn asha_config_from_json(v: &JsonValue) -> Result<AshaConfig, Error> {
     let mut c = AshaConfig::new(
         get_f64(v, "min_resource")?,
         get_f64(v, "max_resource")?,
@@ -323,7 +329,7 @@ pub fn sha_config_to_json(c: &ShaConfig) -> JsonValue {
 }
 
 /// Decode a [`ShaConfig`].
-pub fn sha_config_from_json(v: &JsonValue) -> Result<ShaConfig, String> {
+pub fn sha_config_from_json(v: &JsonValue) -> Result<ShaConfig, Error> {
     let mut c = ShaConfig::new(
         get_usize(v, "num_configs")?,
         get_f64(v, "min_resource")?,
@@ -346,7 +352,7 @@ pub fn hyperband_config_to_json(c: &HyperbandConfig) -> JsonValue {
 }
 
 /// Decode a [`HyperbandConfig`].
-pub fn hyperband_config_from_json(v: &JsonValue) -> Result<HyperbandConfig, String> {
+pub fn hyperband_config_from_json(v: &JsonValue) -> Result<HyperbandConfig, Error> {
     let mut c = HyperbandConfig::new(
         get_f64(v, "min_resource")?,
         get_f64(v, "max_resource")?,
@@ -365,18 +371,18 @@ fn trial_loss_pairs_to_json(pairs: &[(u64, f64)]) -> JsonValue {
     )
 }
 
-fn trial_loss_pairs_from_json(v: &JsonValue, what: &str) -> Result<Vec<(u64, f64)>, String> {
+fn trial_loss_pairs_from_json(v: &JsonValue, what: &str) -> Result<Vec<(u64, f64)>, Error> {
     v.as_array()
-        .ok_or_else(|| format!("{what}: expected an array"))?
+        .ok_or_else(|| Error::codec(format!("{what}: expected an array")))?
         .iter()
         .map(|pair| {
             let pair = pair
                 .as_array()
                 .filter(|p| p.len() == 2)
-                .ok_or_else(|| format!("{what}: expected [trial, loss] pairs"))?;
-            let t = pair[0]
-                .as_u64()
-                .ok_or_else(|| format!("{what}: trial must be an unsigned integer"))?;
+                .ok_or_else(|| Error::codec(format!("{what}: expected [trial, loss] pairs")))?;
+            let t = pair[0].as_u64().ok_or_else(|| {
+                Error::codec(format!("{what}: trial must be an unsigned integer"))
+            })?;
             Ok((t, float_from_json(&pair[1])?))
         })
         .collect()
@@ -386,13 +392,13 @@ fn u64s_to_json(ids: &[u64]) -> JsonValue {
     JsonValue::Arr(ids.iter().map(|&t| JsonValue::Int(t)).collect())
 }
 
-fn u64s_from_json(v: &JsonValue, what: &str) -> Result<Vec<u64>, String> {
+fn u64s_from_json(v: &JsonValue, what: &str) -> Result<Vec<u64>, Error> {
     v.as_array()
-        .ok_or_else(|| format!("{what}: expected an array"))?
+        .ok_or_else(|| Error::codec(format!("{what}: expected an array")))?
         .iter()
         .map(|t| {
             t.as_u64()
-                .ok_or_else(|| format!("{what}: expected unsigned integers"))
+                .ok_or_else(|| Error::codec(format!("{what}: expected unsigned integers")))
         })
         .collect()
 }
@@ -406,18 +412,18 @@ fn trial_configs_to_json(trials: &[(u64, Config)]) -> JsonValue {
     )
 }
 
-fn trial_configs_from_json(v: &JsonValue, what: &str) -> Result<Vec<(u64, Config)>, String> {
+fn trial_configs_from_json(v: &JsonValue, what: &str) -> Result<Vec<(u64, Config)>, Error> {
     v.as_array()
-        .ok_or_else(|| format!("{what}: expected an array"))?
+        .ok_or_else(|| Error::codec(format!("{what}: expected an array")))?
         .iter()
         .map(|pair| {
             let pair = pair
                 .as_array()
                 .filter(|p| p.len() == 2)
-                .ok_or_else(|| format!("{what}: expected [trial, config] pairs"))?;
-            let t = pair[0]
-                .as_u64()
-                .ok_or_else(|| format!("{what}: trial must be an unsigned integer"))?;
+                .ok_or_else(|| Error::codec(format!("{what}: expected [trial, config] pairs")))?;
+            let t = pair[0].as_u64().ok_or_else(|| {
+                Error::codec(format!("{what}: trial must be an unsigned integer"))
+            })?;
             Ok((t, config_from_json(&pair[1])?))
         })
         .collect()
@@ -430,7 +436,7 @@ fn rung_state_to_json(r: &RungState) -> JsonValue {
     ])
 }
 
-fn rung_state_from_json(v: &JsonValue) -> Result<RungState, String> {
+fn rung_state_from_json(v: &JsonValue) -> Result<RungState, Error> {
     Ok(RungState {
         records: trial_loss_pairs_from_json(get(v, "records")?, "rung records")?,
         promoted: u64s_from_json(get(v, "promoted")?, "rung promoted")?,
@@ -464,7 +470,7 @@ pub fn asha_state_to_json(s: &AshaState) -> JsonValue {
 }
 
 /// Decode an [`AshaState`].
-pub fn asha_state_from_json(v: &JsonValue) -> Result<AshaState, String> {
+pub fn asha_state_from_json(v: &JsonValue) -> Result<AshaState, Error> {
     let outstanding = get_arr(v, "outstanding")?
         .iter()
         .map(|pair| {
@@ -474,10 +480,10 @@ pub fn asha_state_from_json(v: &JsonValue) -> Result<AshaState, String> {
                 .ok_or("outstanding: expected [trial, rung] pairs")?;
             match (pair[0].as_u64(), pair[1].as_u64()) {
                 (Some(t), Some(k)) => Ok((t, k as usize)),
-                _ => Err("outstanding: expected unsigned integers".to_owned()),
+                _ => Err(Error::codec("outstanding: expected unsigned integers")),
             }
         })
-        .collect::<Result<Vec<_>, String>>()?;
+        .collect::<Result<Vec<_>, Error>>()?;
     Ok(AshaState {
         config: asha_config_from_json(get(v, "config")?)?,
         rungs: get_arr(v, "rungs")?
@@ -507,7 +513,7 @@ fn bracket_state_to_json(b: &BracketState) -> JsonValue {
     ])
 }
 
-fn bracket_state_from_json(v: &JsonValue) -> Result<BracketState, String> {
+fn bracket_state_from_json(v: &JsonValue) -> Result<BracketState, Error> {
     Ok(BracketState {
         remaining_to_sample: get_usize(v, "remaining_to_sample")?,
         queue: trial_configs_from_json(get(v, "queue")?, "bracket queue")?,
@@ -548,7 +554,7 @@ pub fn sync_sha_state_to_json(s: &SyncShaState) -> JsonValue {
 }
 
 /// Decode a [`SyncShaState`].
-pub fn sync_sha_state_from_json(v: &JsonValue) -> Result<SyncShaState, String> {
+pub fn sync_sha_state_from_json(v: &JsonValue) -> Result<SyncShaState, Error> {
     let trial_meta = get_arr(v, "trial_meta")?
         .iter()
         .map(|triple| {
@@ -558,10 +564,10 @@ pub fn sync_sha_state_from_json(v: &JsonValue) -> Result<SyncShaState, String> {
                 .ok_or("trial_meta: expected [trial, bracket, config] triples")?;
             match (triple[0].as_u64(), triple[1].as_u64()) {
                 (Some(t), Some(b)) => Ok((t, b as usize, config_from_json(&triple[2])?)),
-                _ => Err("trial_meta: expected unsigned integers".to_owned()),
+                _ => Err(Error::codec("trial_meta: expected unsigned integers")),
             }
         })
-        .collect::<Result<Vec<_>, String>>()?;
+        .collect::<Result<Vec<_>, Error>>()?;
     Ok(SyncShaState {
         config: sha_config_from_json(get(v, "config")?)?,
         brackets: get_arr(v, "brackets")?
@@ -589,7 +595,7 @@ pub fn hyperband_state_to_json(s: &AsyncHyperbandState) -> JsonValue {
 }
 
 /// Decode an [`AsyncHyperbandState`].
-pub fn hyperband_state_from_json(v: &JsonValue) -> Result<AsyncHyperbandState, String> {
+pub fn hyperband_state_from_json(v: &JsonValue) -> Result<AsyncHyperbandState, Error> {
     Ok(AsyncHyperbandState {
         config: hyperband_config_from_json(get(v, "config")?)?,
         brackets: get_arr(v, "brackets")?
@@ -625,7 +631,7 @@ pub fn job_to_json(j: &Job) -> JsonValue {
 }
 
 /// Decode a [`Job`].
-pub fn job_from_json(v: &JsonValue) -> Result<Job, String> {
+pub fn job_from_json(v: &JsonValue) -> Result<Job, Error> {
     Ok(Job {
         trial: TrialId(get_u64(v, "trial")?),
         config: config_from_json(get(v, "config")?)?,
@@ -651,7 +657,7 @@ fn training_state_to_json(s: &TrainingState) -> JsonValue {
     ])
 }
 
-fn training_state_from_json(v: &JsonValue) -> Result<TrainingState, String> {
+fn training_state_from_json(v: &JsonValue) -> Result<TrainingState, Error> {
     Ok(TrainingState {
         resource: get_f64(v, "resource")?,
         loss: get_f64(v, "loss")?,
@@ -672,7 +678,7 @@ fn fault_stats_to_json(f: &FaultStats) -> JsonValue {
     ])
 }
 
-fn fault_stats_from_json(v: &JsonValue) -> Result<FaultStats, String> {
+fn fault_stats_from_json(v: &JsonValue) -> Result<FaultStats, Error> {
     Ok(FaultStats {
         jobs_dropped: get_usize(v, "dropped")?,
         jobs_retried: get_usize(v, "retried")?,
@@ -694,7 +700,7 @@ fn trace_event_to_json(e: &TraceEvent) -> JsonValue {
     ])
 }
 
-fn trace_event_from_json(v: &JsonValue) -> Result<TraceEvent, String> {
+fn trace_event_from_json(v: &JsonValue) -> Result<TraceEvent, Error> {
     Ok(TraceEvent {
         time: get_f64(v, "time")?,
         trial: get_u64(v, "trial")?,
@@ -739,7 +745,7 @@ pub fn sim_config_to_json(c: &SimConfig) -> JsonValue {
 }
 
 /// Decode a [`SimConfig`].
-pub fn sim_config_from_json(v: &JsonValue) -> Result<SimConfig, String> {
+pub fn sim_config_from_json(v: &JsonValue) -> Result<SimConfig, Error> {
     let mut c = SimConfig::new(get_usize(v, "workers")?, get_f64(v, "max_time")?);
     c.max_jobs = get_usize(v, "max_jobs")?;
     c.straggler_std = get_f64(v, "straggler_std")?;
@@ -747,13 +753,13 @@ pub fn sim_config_from_json(v: &JsonValue) -> Result<SimConfig, String> {
     c.resume = match get_str(v, "resume")? {
         "checkpoint" => ResumePolicy::Checkpoint,
         "from_scratch" => ResumePolicy::FromScratch,
-        other => return Err(format!("unknown resume policy {other:?}")),
+        other => return Err(Error::codec(format!("unknown resume policy {other:?}"))),
     };
     c.trace_mode = match get_str(v, "trace_mode")? {
         "full" => TraceMode::Full,
         "incumbent_only" => TraceMode::IncumbentOnly,
         "aggregated" => TraceMode::Aggregated,
-        other => return Err(format!("unknown trace mode {other:?}")),
+        other => return Err(Error::codec(format!("unknown trace mode {other:?}"))),
     };
     Ok(c)
 }
@@ -825,7 +831,7 @@ pub fn sim_run_state_to_json(s: &SimRunState) -> JsonValue {
 }
 
 /// Decode a [`SimRunState`].
-pub fn sim_run_state_from_json(v: &JsonValue) -> Result<SimRunState, String> {
+pub fn sim_run_state_from_json(v: &JsonValue) -> Result<SimRunState, Error> {
     let best_config = {
         let b = get(v, "best_config")?;
         if b.is_null() {
@@ -858,7 +864,7 @@ pub fn sim_run_state_from_json(v: &JsonValue) -> Result<SimRunState, String> {
                     completed: get_bool(slot, "completed")?,
                 })
             })
-            .collect::<Result<_, String>>()?,
+            .collect::<Result<_, Error>>()?,
         pending: get_arr(v, "pending")?
             .iter()
             .map(|p| {
@@ -869,7 +875,7 @@ pub fn sim_run_state_from_json(v: &JsonValue) -> Result<SimRunState, String> {
                     dropped: get_bool(p, "dropped")?,
                 })
             })
-            .collect::<Result<_, String>>()?,
+            .collect::<Result<_, Error>>()?,
         retry: get_arr(v, "retry")?
             .iter()
             .map(job_from_json)
@@ -888,7 +894,7 @@ pub fn rng_state_to_json(s: [u64; 4]) -> JsonValue {
 }
 
 /// Decode RNG state words written by [`rng_state_to_json`].
-pub fn rng_state_from_json(v: &JsonValue) -> Result<[u64; 4], String> {
+pub fn rng_state_from_json(v: &JsonValue) -> Result<[u64; 4], Error> {
     let words = u64s_from_json(v, "rng state")?;
     let arr: [u64; 4] = words
         .try_into()

@@ -1,65 +1,11 @@
-use std::fmt;
-use std::path::{Path, PathBuf};
+//! Store errors are the unified [`asha_core::Error`].
+//!
+//! Earlier revisions had a crate-local `StoreError` enum; it converged on
+//! the workspace-wide error hierarchy (`asha_core::error`) so `?` works
+//! across the store / service / obs boundaries. The old name remains as an
+//! alias for downstream code.
 
-/// Why a store operation failed.
-#[derive(Debug)]
-pub enum StoreError {
-    /// An underlying filesystem operation failed.
-    Io {
-        /// The file or directory involved.
-        path: PathBuf,
-        /// The OS error message.
-        msg: String,
-    },
-    /// A store file exists but its contents are not what the schema
-    /// requires (excluding a torn WAL tail, which is tolerated).
-    Corrupt {
-        /// The offending file.
-        path: PathBuf,
-        /// What was wrong.
-        msg: String,
-    },
-    /// A required store file or experiment is absent.
-    Missing {
-        /// What was looked for.
-        what: String,
-    },
-    /// An operation does not apply to the store's current state (e.g.
-    /// creating a duplicate experiment, or pausing one that is not
-    /// running).
-    Invalid {
-        /// What was wrong.
-        msg: String,
-    },
-}
+pub use asha_core::{Error, ErrorKind};
 
-impl StoreError {
-    pub(crate) fn io(path: &Path, err: std::io::Error) -> Self {
-        StoreError::Io {
-            path: path.to_owned(),
-            msg: err.to_string(),
-        }
-    }
-
-    pub(crate) fn corrupt(path: &Path, msg: impl Into<String>) -> Self {
-        StoreError::Corrupt {
-            path: path.to_owned(),
-            msg: msg.into(),
-        }
-    }
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::Io { path, msg } => write!(f, "{}: {msg}", path.display()),
-            StoreError::Corrupt { path, msg } => {
-                write!(f, "{}: corrupt store file: {msg}", path.display())
-            }
-            StoreError::Missing { what } => write!(f, "not found: {what}"),
-            StoreError::Invalid { msg } => write!(f, "invalid store operation: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
+/// Legacy name for the unified error type.
+pub type StoreError = Error;

@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::codec;
-use crate::error::StoreError;
+use crate::error::{Error, StoreError};
 use crate::snapshot::{self, SchedulerState, Snapshot, StoredScheduler};
 use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};
 
@@ -53,7 +53,7 @@ pub struct BenchSpec {
 impl BenchSpec {
     /// Rebuild the benchmark. Fails on an unknown preset name (e.g. a store
     /// written by a newer version).
-    pub fn build(&self) -> Result<CurveBenchmark, String> {
+    pub fn build(&self) -> Result<CurveBenchmark, Error> {
         use asha_surrogate::presets;
         Ok(match self.preset.as_str() {
             "cifar10_cuda_convnet" => presets::cifar10_cuda_convnet(self.seed),
@@ -63,7 +63,7 @@ impl BenchSpec {
             "ptb_dropconnect_lstm" => presets::ptb_dropconnect_lstm(self.seed),
             "svm_vehicle" => presets::svm_vehicle(self.seed),
             "svm_mnist" => presets::svm_mnist(self.seed),
-            other => return Err(format!("unknown benchmark preset {other:?}")),
+            other => return Err(Error::codec(format!("unknown benchmark preset {other:?}"))),
         })
     }
 }
@@ -111,15 +111,15 @@ impl ExperimentMeta {
     }
 
     /// Decode, verifying the schema tag.
-    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+    pub fn from_json(v: &JsonValue) -> Result<Self, Error> {
         let schema = v
             .get("schema")
             .and_then(|s| s.as_str())
             .ok_or("meta missing schema")?;
         if schema != META_SCHEMA {
-            return Err(format!(
+            return Err(Error::codec(format!(
                 "unsupported meta schema {schema:?} (expected {META_SCHEMA:?})"
-            ));
+            )));
         }
         let bench = v.get("bench").ok_or("meta missing bench")?;
         Ok(ExperimentMeta {
@@ -169,9 +169,9 @@ pub fn read_meta(dir: &Path) -> Result<ExperimentMeta, StoreError> {
     let path = dir.join(META_FILE);
     let text = std::fs::read_to_string(&path).map_err(|e| StoreError::io(&path, e))?;
     JsonValue::parse(&text)
-        .map_err(|e| e.to_string())
+        .map_err(|e| Error::codec(e.to_string()))
         .and_then(|v| ExperimentMeta::from_json(&v))
-        .map_err(|msg| StoreError::corrupt(&path, msg))
+        .map_err(|e| e.corrupt_at(&path))
 }
 
 /// A [`Recorder`] that appends every telemetry event to the WAL, stamping
@@ -255,6 +255,63 @@ impl Default for RunOptions {
     }
 }
 
+impl RunOptions {
+    /// A validating builder: [`RunOptionsBuilder::build`] returns a typed
+    /// [`asha_core::Error`] (kind `Config`) instead of panicking. Defaults
+    /// match [`RunOptions::default`].
+    pub fn builder() -> RunOptionsBuilder {
+        RunOptionsBuilder {
+            opts: RunOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`RunOptions`]; see [`RunOptions::builder`].
+///
+/// ```
+/// use asha_store::{RunOptions, SyncPolicy};
+///
+/// let opts = RunOptions::builder()
+///     .sync(SyncPolicy::Always)
+///     .snapshot_jobs(50)
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.snapshot_jobs, 50);
+/// assert!(RunOptions::builder().snapshot_jobs(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunOptionsBuilder {
+    opts: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// WAL fsync cadence.
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.opts.sync = sync;
+        self
+    }
+
+    /// Take a snapshot every `snapshot_jobs` completed jobs (must end up
+    /// > 0).
+    pub fn snapshot_jobs(mut self, snapshot_jobs: usize) -> Self {
+        self.opts.snapshot_jobs = snapshot_jobs;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<RunOptions, asha_core::Error> {
+        if self.opts.snapshot_jobs == 0 {
+            return Err(asha_core::Error::config("snapshot_jobs must be positive"));
+        }
+        if let SyncPolicy::EveryN(0) = self.opts.sync {
+            return Err(asha_core::Error::config(
+                "sync EveryN cadence must be positive",
+            ));
+        }
+        Ok(self.opts)
+    }
+}
+
 /// A simulated tuning run with durable state: every telemetry event goes to
 /// the WAL and full snapshots are taken on a job cadence, so the run can be
 /// killed at any instant and [resumed](DurableRun::resume) to the identical
@@ -332,9 +389,9 @@ impl<'b> DurableRun<'b> {
         let text =
             std::fs::read_to_string(&snap_path).map_err(|e| StoreError::io(&snap_path, e))?;
         let snap = JsonValue::parse(&text)
-            .map_err(|e| e.to_string())
+            .map_err(|e| Error::codec(e.to_string()))
             .and_then(|v| Snapshot::from_json(&v))
-            .map_err(|msg| StoreError::corrupt(&snap_path, msg))?;
+            .map_err(|e| e.corrupt_at(&snap_path))?;
         if snap.events != events {
             return Err(StoreError::corrupt(
                 &snap_path,
@@ -546,7 +603,7 @@ pub fn replay_scheduler(
     rng: &mut dyn rand::RngCore,
     records: &[WalRecord],
     skip_telemetry: u64,
-) -> Result<u64, String> {
+) -> Result<u64, Error> {
     let mut seen = 0u64;
     let mut replayed = 0u64;
     for record in records {
@@ -566,20 +623,20 @@ pub fn replay_scheduler(
                     (Decision::Wait, IdleKind::Wait) | (Decision::Finished, IdleKind::Finished)
                 );
                 if !matches {
-                    return Err(format!(
+                    return Err(Error::codec(format!(
                         "replay mismatch at event {}: log says idle {:?}, scheduler said {d:?}",
                         event.seq, decision
-                    ));
+                    )));
                 }
             }
             EventKind::Promote { .. } | EventKind::GrowBottom { .. } => {
                 let d = scheduler.suggest(rng);
                 let got = EventKind::of_decision(&d);
                 if got != event.kind {
-                    return Err(format!(
+                    return Err(Error::codec(format!(
                         "replay mismatch at event {}: log says {:?}, scheduler said {got:?}",
                         event.seq, event.kind
-                    ));
+                    )));
                 }
             }
             EventKind::JobEnd {

@@ -77,16 +77,16 @@ pub mod snapshot;
 pub mod supervisor;
 pub mod wal;
 
-pub use crate::error::StoreError;
+pub use crate::error::{Error, ErrorKind, StoreError};
 pub use crate::experiment::{
     read_meta, replay_scheduler, write_meta, BenchSpec, DurableRun, ExperimentMeta, RunOptions,
-    WalRecorder, META_FILE, META_SCHEMA, WAL_FILE,
+    RunOptionsBuilder, WalRecorder, META_FILE, META_SCHEMA, WAL_FILE,
 };
 pub use crate::snapshot::{
     list_snapshots, load_latest, SchedulerState, Snapshot, StoredScheduler, SNAPSHOT_SCHEMA,
 };
 pub use crate::supervisor::{
-    read_manifest, ExperimentStatus, ExperimentSupervisor, ManifestEntry, MANIFEST_FILE,
-    MANIFEST_SCHEMA,
+    read_manifest, ExperimentStatus, ExperimentSupervisor, ManifestEntry, StatusListener,
+    MANIFEST_FILE, MANIFEST_SCHEMA,
 };
 pub use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};

@@ -16,7 +16,7 @@ use asha_sim::SimRunState;
 use asha_space::SearchSpace;
 
 use crate::codec;
-use crate::error::StoreError;
+use crate::error::{Error, StoreError};
 
 /// Schema tag written into every snapshot file.
 pub const SNAPSHOT_SCHEMA: &str = "asha-store-snapshot-v1";
@@ -56,7 +56,7 @@ impl SchedulerState {
     }
 
     /// Decode from tagged JSON written by [`SchedulerState::to_json`].
-    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+    pub fn from_json(v: &JsonValue) -> Result<Self, Error> {
         let kind = v
             .get("kind")
             .and_then(|k| k.as_str())
@@ -70,7 +70,7 @@ impl SchedulerState {
             "async_hyperband" => Ok(SchedulerState::AsyncHyperband(
                 codec::hyperband_state_from_json(state)?,
             )),
-            other => Err(format!("unknown scheduler kind {other:?}")),
+            other => Err(Error::codec(format!("unknown scheduler kind {other:?}"))),
         }
     }
 }
@@ -189,15 +189,15 @@ impl Snapshot {
     }
 
     /// Decode a snapshot, verifying the schema tag.
-    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+    pub fn from_json(v: &JsonValue) -> Result<Self, Error> {
         let schema = v
             .get("schema")
             .and_then(|s| s.as_str())
             .ok_or("snapshot missing schema")?;
         if schema != SNAPSHOT_SCHEMA {
-            return Err(format!(
+            return Err(Error::codec(format!(
                 "unsupported snapshot schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"
-            ));
+            )));
         }
         let sim = {
             let s = v.get("sim").ok_or("snapshot missing sim")?;
@@ -286,7 +286,7 @@ pub fn load_latest(dir: &Path) -> Result<Option<(Snapshot, PathBuf)>, StoreError
             Err(_) => continue,
         };
         let parsed = JsonValue::parse(&text)
-            .map_err(|e| e.to_string())
+            .map_err(|e| Error::codec(e.to_string()))
             .and_then(|v| Snapshot::from_json(&v));
         if let Ok(snapshot) = parsed {
             return Ok(Some((snapshot, path.clone())));

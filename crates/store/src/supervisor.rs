@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use asha_metrics::JsonValue;
 use asha_sim::SimResult;
 
-use crate::error::StoreError;
+use crate::error::{Error, StoreError};
 use crate::experiment::{read_meta, DurableRun, ExperimentMeta, RunOptions};
 use crate::snapshot::fsync_dir;
 
@@ -64,7 +64,7 @@ impl ExperimentStatus {
     }
 
     /// Parse a manifest status name.
-    pub fn parse(s: &str) -> Result<Self, String> {
+    pub fn parse(s: &str) -> Result<Self, Error> {
         Ok(match s {
             "created" => ExperimentStatus::Created,
             "running" => ExperimentStatus::Running,
@@ -72,7 +72,7 @@ impl ExperimentStatus {
             "finished" => ExperimentStatus::Finished,
             "aborted" => ExperimentStatus::Aborted,
             "interrupted" => ExperimentStatus::Interrupted,
-            other => return Err(format!("unknown experiment status {other:?}")),
+            other => return Err(Error::codec(format!("unknown experiment status {other:?}"))),
         })
     }
 }
@@ -137,6 +137,12 @@ struct Worker {
     thread: JoinHandle<WorkerOutcome>,
 }
 
+/// A callback the supervisor invokes after every durable status change
+/// (create, start, pause, resume, abort, finish, reap). The service layer
+/// hangs live status subscriptions off this hook; it is called *after* the
+/// manifest rewrite, so observers never see a status the disk does not.
+pub type StatusListener = Arc<dyn Fn(&str, ExperimentStatus) + Send + Sync>;
+
 /// Manages many named durable experiments under one root directory.
 ///
 /// Each started experiment runs on its own thread stepping a
@@ -148,6 +154,7 @@ pub struct ExperimentSupervisor {
     root: PathBuf,
     entries: Vec<ManifestEntry>,
     workers: HashMap<String, Worker>,
+    listener: Option<StatusListener>,
 }
 
 impl std::fmt::Debug for ExperimentSupervisor {
@@ -183,6 +190,7 @@ impl ExperimentSupervisor {
             root: root.to_owned(),
             entries,
             workers: HashMap::new(),
+            listener: None,
         };
         if interrupted {
             sup.write_manifest()?;
@@ -193,6 +201,43 @@ impl ExperimentSupervisor {
     /// The supervisor's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Install a [`StatusListener`] notified after every durable status
+    /// change. Replaces any previous listener.
+    pub fn set_status_listener(&mut self, listener: StatusListener) {
+        self.listener = Some(listener);
+    }
+
+    /// Join any worker threads that have finished on their own, recording
+    /// their terminal status. Non-blocking: running workers are untouched.
+    /// Returns `(name, status)` for each reaped experiment.
+    ///
+    /// The blocking [`ExperimentSupervisor::join`] needs the caller to know
+    /// which experiment to wait on; a daemon serving many clients instead
+    /// polls this from a housekeeping loop.
+    pub fn reap_finished(&mut self) -> Result<Vec<(String, ExperimentStatus)>, StoreError> {
+        let done: Vec<String> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.thread.is_finished())
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut reaped = Vec::with_capacity(done.len());
+        for name in done {
+            let worker = self.workers.remove(&name).expect("listed above");
+            let outcome = worker
+                .thread
+                .join()
+                .map_err(|_| Error::invalid(format!("worker thread for {name:?} panicked")))?;
+            let status = match outcome? {
+                Some(_) => ExperimentStatus::Finished,
+                None => ExperimentStatus::Aborted,
+            };
+            self.set_status(&name, status)?;
+            reaped.push((name, status));
+        }
+        Ok(reaped)
     }
 
     /// The directory of the named experiment.
@@ -217,14 +262,16 @@ impl ExperimentSupervisor {
     /// register it in the manifest. Does not start it.
     pub fn create(&mut self, meta: &ExperimentMeta, opts: RunOptions) -> Result<(), StoreError> {
         if self.entries.iter().any(|e| e.name == meta.name) {
-            return Err(StoreError::Invalid {
-                msg: format!("experiment {:?} already exists", meta.name),
-            });
+            return Err(Error::invalid(format!(
+                "experiment {:?} already exists",
+                meta.name
+            )));
         }
         let dir = self.experiment_dir(&meta.name);
-        let bench = meta.bench.build().map_err(|msg| StoreError::Invalid {
-            msg: format!("benchmark for {:?}: {msg}", meta.name),
-        })?;
+        let bench = meta
+            .bench
+            .build()
+            .map_err(|e| e.context(format!("benchmark for {:?}", meta.name)))?;
         // Creating and immediately dropping the run leaves a fully
         // recoverable directory: meta.json, WAL with the created event, and
         // snapshot 0 of the pristine state.
@@ -233,7 +280,11 @@ impl ExperimentSupervisor {
             name: meta.name.clone(),
             status: ExperimentStatus::Created,
         });
-        self.write_manifest()
+        self.write_manifest()?;
+        if let Some(listener) = &self.listener {
+            listener(&meta.name, ExperimentStatus::Created);
+        }
+        Ok(())
     }
 
     /// Start (or restart after a pause/abort/crash) the named experiment on
@@ -242,9 +293,9 @@ impl ExperimentSupervisor {
     /// resume.
     pub fn start(&mut self, name: &str, opts: RunOptions) -> Result<(), StoreError> {
         if self.workers.contains_key(name) {
-            return Err(StoreError::Invalid {
-                msg: format!("experiment {name:?} is already running"),
-            });
+            return Err(Error::invalid(format!(
+                "experiment {name:?} is already running"
+            )));
         }
         self.set_status(name, ExperimentStatus::Running)?;
         let dir = self.experiment_dir(name);
@@ -259,9 +310,10 @@ impl ExperimentSupervisor {
     /// Ask the named experiment to pause at its next step boundary. The
     /// worker persists a snapshot and a `paused` WAL marker, then idles.
     pub fn pause(&mut self, name: &str) -> Result<(), StoreError> {
-        let worker = self.workers.get(name).ok_or_else(|| StoreError::Missing {
-            what: format!("running worker for experiment {name:?}"),
-        })?;
+        let worker = self
+            .workers
+            .get(name)
+            .ok_or_else(|| Error::missing(format!("running worker for experiment {name:?}")))?;
         worker.control.set(Command::Pause);
         self.set_status(name, ExperimentStatus::Paused)
     }
@@ -269,9 +321,10 @@ impl ExperimentSupervisor {
     /// Resume a paused experiment in place (the worker thread wakes and
     /// continues; no recovery needed).
     pub fn resume(&mut self, name: &str) -> Result<(), StoreError> {
-        let worker = self.workers.get(name).ok_or_else(|| StoreError::Missing {
-            what: format!("running worker for experiment {name:?}"),
-        })?;
+        let worker = self
+            .workers
+            .get(name)
+            .ok_or_else(|| Error::missing(format!("running worker for experiment {name:?}")))?;
         worker.control.set(Command::Run);
         self.set_status(name, ExperimentStatus::Running)
     }
@@ -283,13 +336,12 @@ impl ExperimentSupervisor {
         let worker = self
             .workers
             .remove(name)
-            .ok_or_else(|| StoreError::Missing {
-                what: format!("running worker for experiment {name:?}"),
-            })?;
+            .ok_or_else(|| Error::missing(format!("running worker for experiment {name:?}")))?;
         worker.control.set(Command::Abort);
-        let outcome = worker.thread.join().map_err(|_| StoreError::Invalid {
-            msg: format!("worker thread for {name:?} panicked"),
-        })?;
+        let outcome = worker
+            .thread
+            .join()
+            .map_err(|_| Error::invalid(format!("worker thread for {name:?} panicked")))?;
         outcome?;
         self.set_status(name, ExperimentStatus::Aborted)
     }
@@ -300,14 +352,13 @@ impl ExperimentSupervisor {
         let worker = self
             .workers
             .remove(name)
-            .ok_or_else(|| StoreError::Missing {
-                what: format!("running worker for experiment {name:?}"),
-            })?;
+            .ok_or_else(|| Error::missing(format!("running worker for experiment {name:?}")))?;
         // Make sure a paused worker can actually finish being joined.
         worker.control.set(Command::Run);
-        let outcome = worker.thread.join().map_err(|_| StoreError::Invalid {
-            msg: format!("worker thread for {name:?} panicked"),
-        })?;
+        let outcome = worker
+            .thread
+            .join()
+            .map_err(|_| Error::invalid(format!("worker thread for {name:?} panicked")))?;
         let result = outcome?;
         let status = if result.is_some() {
             ExperimentStatus::Finished
@@ -330,11 +381,13 @@ impl ExperimentSupervisor {
             .entries
             .iter_mut()
             .find(|e| e.name == name)
-            .ok_or_else(|| StoreError::Missing {
-                what: format!("experiment {name:?} in the manifest"),
-            })?;
+            .ok_or_else(|| Error::missing(format!("experiment {name:?} in the manifest")))?;
         entry.status = status;
-        self.write_manifest()
+        self.write_manifest()?;
+        if let Some(listener) = &self.listener {
+            listener(name, status);
+        }
+        Ok(())
     }
 
     fn write_manifest(&self) -> Result<(), StoreError> {
@@ -366,16 +419,16 @@ impl ExperimentSupervisor {
 /// Read and decode a manifest file.
 pub fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>, StoreError> {
     let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, e))?;
-    let parse = || -> Result<Vec<ManifestEntry>, String> {
+    let parse = || -> Result<Vec<ManifestEntry>, Error> {
         let v = JsonValue::parse(&text).map_err(|e| e.to_string())?;
         let schema = v
             .get("schema")
             .and_then(|s| s.as_str())
             .ok_or("manifest missing schema")?;
         if schema != MANIFEST_SCHEMA {
-            return Err(format!(
+            return Err(Error::codec(format!(
                 "unsupported manifest schema {schema:?} (expected {MANIFEST_SCHEMA:?})"
-            ));
+            )));
         }
         let rows = v
             .get("experiments")
@@ -398,7 +451,7 @@ pub fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>, StoreError> {
             })
             .collect()
     };
-    parse().map_err(|msg| StoreError::corrupt(path, msg))
+    parse().map_err(|e| e.corrupt_at(path))
 }
 
 /// The body of one experiment's worker thread: recover the run from its
@@ -406,9 +459,10 @@ pub fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>, StoreError> {
 /// step boundaries.
 fn worker_main(dir: PathBuf, opts: RunOptions, control: Arc<Control>) -> WorkerOutcome {
     let meta = read_meta(&dir)?;
-    let bench = meta.bench.build().map_err(|msg| StoreError::Invalid {
-        msg: format!("benchmark for {:?}: {msg}", meta.name),
-    })?;
+    let bench = meta
+        .bench
+        .build()
+        .map_err(|e| e.context(format!("benchmark for {:?}", meta.name)))?;
     let mut run = DurableRun::resume(&dir, &meta, &bench, opts)?;
     loop {
         match control.current() {

@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 
 use asha_obs::Event;
 
-use crate::error::StoreError;
+use crate::error::{Error, StoreError};
 
 /// How often the WAL issues `fsync` after an append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,7 +113,7 @@ pub(crate) fn encode_store_line(time: f64, event: &StoreEvent) -> String {
 fn decode_store_line(
     v: &asha_metrics::JsonValue,
     ev: &str,
-) -> Result<Option<(f64, StoreEvent)>, String> {
+) -> Result<Option<(f64, StoreEvent)>, Error> {
     let time = v
         .get("t")
         .and_then(|t| t.as_f64())
@@ -328,7 +328,7 @@ pub fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
     Ok(WalContents { records, torn_tail })
 }
 
-fn parse_wal_line(line: &str) -> Result<WalRecord, String> {
+fn parse_wal_line(line: &str) -> Result<WalRecord, Error> {
     let value = asha_metrics::JsonValue::parse(line).map_err(|e| e.to_string())?;
     let ev = value
         .get("ev")
@@ -341,7 +341,7 @@ fn parse_wal_line(line: &str) -> Result<WalRecord, String> {
     let events = asha_obs::parse_jsonl(line).map_err(|e| e.to_string())?;
     match events.into_iter().next() {
         Some(event) => Ok(WalRecord::Telemetry(event)),
-        None => Err("empty telemetry line".to_owned()),
+        None => Err(Error::codec("empty telemetry line")),
     }
 }
 
@@ -426,7 +426,10 @@ mod tests {
             "{\"seq\":0,\"t\":0.0,\"ev\":\"job_e\n{\"seq\":1,\"t\":0.5,\"ev\":\"retry\",\"trial\":1,\"rung\":0}\n",
         )
         .unwrap();
-        assert!(matches!(read_wal(&path), Err(StoreError::Corrupt { .. })));
+        assert_eq!(
+            read_wal(&path).unwrap_err().kind(),
+            crate::error::ErrorKind::Corrupt
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

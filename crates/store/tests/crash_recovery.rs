@@ -287,7 +287,7 @@ fn replay_detects_log_state_mismatch() {
     let mut fresh = StoredScheduler::Asha(Asha::new(space, AshaConfig::new(1.0, 27.0, 3.0)));
     let mut rng2 = StdRng::seed_from_u64(5);
     let err = replay_scheduler(&mut fresh, &mut rng2, &bogus, 0).unwrap_err();
-    assert!(err.contains("mismatch"), "got: {err}");
+    assert!(err.to_string().contains("mismatch"), "got: {err}");
 }
 
 #[test]

@@ -78,7 +78,9 @@ fn check_roundtrip(
     // file would store it.
     let state = original.export_state();
     let text = state.to_json().render();
-    let parsed = SchedulerState::from_json(&JsonValue::parse(&text).map_err(|e| e.to_string())?)?;
+    let parsed = JsonValue::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| SchedulerState::from_json(&v).map_err(|e| e.to_string()))?;
     // State equality is checked via re-rendered JSON (NaN losses make the
     // structural PartialEq vacuously false).
     prop_assert_eq!(&text, &parsed.to_json().render());

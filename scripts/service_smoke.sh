@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Service-layer smoke test: boot asha-serve, drive a chaos experiment
+# through asha-ctl, SIGKILL the daemon mid-run, restart it, re-attach, and
+# require the recovered run report to be byte-identical to an
+# uninterrupted reference run.
+#
+# Usage: scripts/service_smoke.sh
+#   BIN_DIR  (default target/release)  where asha-serve / asha-ctl live
+#   WORK_DIR (default mktemp -d)       scratch directory, kept on failure
+set -euo pipefail
+
+BIN="${BIN_DIR:-target/release}"
+WORK="${WORK_DIR:-$(mktemp -d)}"
+mkdir -p "$WORK"
+CTL="$BIN/asha-ctl"
+CREATE_ARGS=(--preset svm_mnist --bench-seed 11 --seed 11 --workers 16
+             --max-time 8000 --straggler-std 0.3 --drop-prob 0.05)
+SERVE_PID=
+
+start_serve() { # root sock log
+  "$BIN/asha-serve" --root "$1" --unix "$2" >"$3" 2>&1 &
+  SERVE_PID=$!
+}
+
+wait_sock() { # sock
+  for _ in $(seq 1 100); do
+    if [ -S "$1" ] && "$CTL" --unix "$1" ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "daemon did not come up on $1" >&2
+  return 1
+}
+
+echo "== reference run (uninterrupted) =="
+REF_SOCK="$WORK/ref.sock"
+start_serve "$WORK/root-ref" "$REF_SOCK" "$WORK/serve-ref.log"
+wait_sock "$REF_SOCK"
+"$CTL" --unix "$REF_SOCK" create exp "${CREATE_ARGS[@]}"
+"$CTL" --unix "$REF_SOCK" start exp
+"$CTL" --unix "$REF_SOCK" watch exp --workers 16 --out "$WORK/report-ref.json" >/dev/null
+"$CTL" --unix "$REF_SOCK" stats
+"$CTL" --unix "$REF_SOCK" shutdown
+wait "$SERVE_PID"
+
+echo "== victim run (SIGKILL mid-run) =="
+VIC_ROOT="$WORK/root-victim"
+VIC_SOCK="$WORK/victim.sock"
+start_serve "$VIC_ROOT" "$VIC_SOCK" "$WORK/serve-victim-1.log"
+wait_sock "$VIC_SOCK"
+"$CTL" --unix "$VIC_SOCK" create exp "${CREATE_ARGS[@]}"
+"$CTL" --unix "$VIC_SOCK" start exp
+sleep 1.2
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "killed daemon with $(wc -l <"$VIC_ROOT/exp/wal.jsonl") WAL lines written"
+
+echo "== restart, recover, re-attach =="
+start_serve "$VIC_ROOT" "$VIC_SOCK" "$WORK/serve-victim-2.log"
+wait_sock "$VIC_SOCK"
+STATUS=$("$CTL" --unix "$VIC_SOCK" status exp)
+echo "status after restart: $STATUS"
+case "$STATUS" in
+  *interrupted*) ;;
+  *) echo "expected interrupted status after SIGKILL, got: $STATUS" >&2; exit 1 ;;
+esac
+"$CTL" --unix "$VIC_SOCK" start exp # re-runs through store recovery
+"$CTL" --unix "$VIC_SOCK" watch exp --workers 16 --out "$WORK/report-victim.json" >/dev/null
+"$CTL" --unix "$VIC_SOCK" shutdown
+wait "$SERVE_PID"
+
+cmp "$WORK/report-ref.json" "$WORK/report-victim.json"
+echo "OK: recovered report byte-identical to uninterrupted reference"
+echo "workdir: $WORK"

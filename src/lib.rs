@@ -22,6 +22,13 @@
 //! | [`obs`] | `asha-obs` | JSONL event logs, metrics registry, run reports |
 //! | [`math`] | `asha-math` | GP, KDE, distributions, stats, Cholesky |
 //! | [`ml`] | `asha-ml` | tiny MLP/SGD substrate for real tuning demos |
+//! | [`store`] | `asha-store` | durable WAL + snapshots, crash recovery, supervisor |
+//! | [`service`] | `asha-service` | `asha-serve` daemon, wire protocol, client |
+//!
+//! The blessed, stability-tracked surface is this facade plus
+//! [`prelude`]; paths *inside* the re-exported crates (e.g.
+//! `asha::core::rung::...`) are implementation detail and may move
+//! between minor versions.
 //!
 //! # Quickstart
 //!
@@ -54,6 +61,40 @@ pub use asha_math as math;
 pub use asha_metrics as metrics;
 pub use asha_ml as ml;
 pub use asha_obs as obs;
+pub use asha_service as service;
 pub use asha_sim as sim;
 pub use asha_space as space;
+pub use asha_store as store;
 pub use asha_surrogate as surrogate;
+
+/// The curated import surface: everything a typical tuning program needs,
+/// one `use` away.
+///
+/// ```
+/// use asha::prelude::*;
+/// use rand::SeedableRng;
+///
+/// let bench = presets::svm_vehicle(7);
+/// let tuner = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 27.0, 3.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let result = ClusterSim::new(SimConfig::new(4, 40.0)).run(tuner, &bench, &mut rng);
+/// assert!(result.jobs_completed > 0);
+/// ```
+pub mod prelude {
+    pub use asha_core::{
+        Asha, AshaConfig, AsyncHyperband, Decision, Error, ErrorKind, Hyperband, HyperbandConfig,
+        Job, Observation, RandomSearch, ResultContext, Scheduler, ShaConfig, SyncSha, TrialId,
+    };
+    pub use asha_exec::{ExecConfig, FnObjective, Objective, ParallelTuner};
+    pub use asha_obs::{RunRecorder, RunReport};
+    pub use asha_service::{Client, Daemon, ServeOptions};
+    pub use asha_sim::{ClusterSim, SimConfig};
+    pub use asha_space::SearchSpace;
+    pub use asha_store::{
+        BenchSpec, DurableRun, ExperimentMeta, ExperimentSupervisor, RunOptions, SchedulerState,
+        SyncPolicy,
+    };
+    pub use asha_surrogate::{presets, BenchmarkModel, CurveBenchmark};
+
+    pub use crate::tune::{BestConfig, SimTune, TuneOutcome};
+}
