@@ -9,7 +9,8 @@
 //! ```text
 //! cargo run --release -p asha-bench --bin perf_baseline            # full
 //! cargo run --release -p asha-bench --bin perf_baseline -- --smoke # CI-sized
-//!     [--threads N]    worker threads for the parallel sweep (0 = all cores)
+//!     --quick          alias for --smoke
+//!     [--threads N]    extra thread count for the parallel sweep rows
 //!     [--out PATH]     output path (default BENCH_sim.json)
 //! ```
 //!
@@ -53,7 +54,7 @@ fn parse_opts() -> Opts {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => opts.smoke = true,
+            "--smoke" | "--quick" => opts.smoke = true,
             "--out" => {
                 if let Some(path) = args.next() {
                     opts.out = path;
@@ -460,6 +461,16 @@ fn main() {
             sim_rows.push(sim_throughput(&bench, workers, horizon, mode));
         }
     }
+    // The paper's extreme-scale regime (Section 4.4 tunes with thousands of
+    // workers): incumbent-only tracing, since nobody keeps a full per-job
+    // trace at this size. Long full-mode horizons hit the 5M job cap, which
+    // is fine — events/s is computed over completed jobs either way.
+    sim_rows.push(sim_throughput(
+        &bench,
+        5000,
+        horizon,
+        TraceMode::IncumbentOnly,
+    ));
 
     // Scheduler round-trip throughput (the `suggest` promotion scan is the
     // algorithmic hot path; see asha-core::rung).
@@ -495,16 +506,25 @@ fn main() {
     // Durable-store tax at the same regime.
     let persistence = persistence(&bench, 25, horizon, rounds);
 
-    // Parallel sweep speedup.
+    // Parallel sweep speedup at 1 thread (the no-parallelism sanity row)
+    // and at a multi-core count, so the report always shows both ends of
+    // the runner's scaling. `--threads` adds a third, user-chosen row.
     let cfg = if opts.smoke {
         ExperimentConfig::new(25, 30.0, 2, 0.65)
     } else {
         ExperimentConfig::new(25, 150.0, 8, 0.65)
     };
-    let sweep = sweep_speedup(&bench, &cfg, opts.threads);
+    let mut thread_counts = vec![1usize, 4];
+    if opts.threads > 0 && !thread_counts.contains(&opts.threads) {
+        thread_counts.push(opts.threads);
+    }
+    let sweep_rows: Vec<JsonValue> = thread_counts
+        .iter()
+        .map(|&threads| sweep_speedup(&bench, &cfg, threads))
+        .collect();
 
     let report = JsonValue::obj([
-        ("schema", JsonValue::Str("asha-perf-baseline-v1".to_owned())),
+        ("schema", JsonValue::Str("asha-perf-baseline-v2".to_owned())),
         (
             "mode",
             JsonValue::Str(if opts.smoke { "smoke" } else { "full" }.to_owned()),
@@ -514,7 +534,7 @@ fn main() {
         ("scheduler", JsonValue::Arr(scheduler_rows)),
         ("telemetry", telemetry),
         ("persistence", persistence),
-        ("sweep", sweep),
+        ("sweep", JsonValue::Arr(sweep_rows)),
     ]);
     match asha::metrics::write_json(&opts.out, &report) {
         Ok(()) => println!("wrote {}", opts.out),

@@ -1,8 +1,8 @@
 //! The Asynchronous Successive Halving Algorithm (Algorithm 2 of the paper).
 
-use std::collections::{HashMap, HashSet};
-
 use asha_space::{Config, SearchSpace};
+
+use crate::fx::{FxHashMap, FxHashSet};
 
 use crate::rung::{RungLadder, ScanOrder};
 use crate::sampler::{ConfigSampler, RandomSampler};
@@ -91,8 +91,8 @@ pub struct Asha {
     config: AshaConfig,
     ladder: RungLadder,
     sampler: Box<dyn ConfigSampler>,
-    trial_configs: HashMap<TrialId, Config>,
-    outstanding: HashSet<(TrialId, usize)>,
+    trial_configs: FxHashMap<TrialId, Config>,
+    outstanding: FxHashSet<(TrialId, usize)>,
     next_trial: u64,
     trials_started: usize,
     name: String,
@@ -154,8 +154,8 @@ impl Asha {
             config,
             ladder,
             sampler,
-            trial_configs: HashMap::new(),
-            outstanding: HashSet::new(),
+            trial_configs: FxHashMap::default(),
+            outstanding: FxHashSet::default(),
             next_trial: 0,
             trials_started: 0,
             name,
@@ -333,14 +333,25 @@ impl Scheduler for Asha {
             return;
         }
         self.ladder.record(obs.rung, obs.trial, obs.loss);
-        if let Some(config) = self.trial_configs.get(&obs.trial) {
-            self.sampler
-                .record(config, obs.rung, obs.resource, obs.loss);
+        // Skip the per-trial config lookup entirely for samplers that do not
+        // consume reports (the random sampler) — this is the observe hot path.
+        if self.sampler.wants_reports() {
+            if let Some(config) = self.trial_configs.get(&obs.trial) {
+                self.sampler
+                    .record(config, obs.rung, obs.resource, obs.loss);
+            }
         }
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn wait_is_stable(&self) -> bool {
+        // `suggest` only returns `Wait` on the trial-cap path, which consumes
+        // no RNG and mutates nothing: re-asking without an intervening
+        // `observe` always yields `Wait` again.
+        true
     }
 }
 

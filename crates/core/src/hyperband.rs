@@ -178,6 +178,12 @@ impl Scheduler for Hyperband {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn wait_is_stable(&self) -> bool {
+        // A `Wait` comes straight from the current (stable) SyncSha bracket
+        // without advancing generations, so re-asking is a pure re-read.
+        true
+    }
 }
 
 /// Asynchronous Hyperband (Section 3.2): one ASHA instance per bracket,
@@ -341,6 +347,13 @@ impl Scheduler for AsyncHyperband {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn wait_is_stable(&self) -> bool {
+        // A `Wait` can only come from a bracket whose own `Wait` is stable,
+        // after any budget rotation already happened on the first call;
+        // re-asking repeats the same rotation-free, RNG-free path.
+        true
     }
 }
 

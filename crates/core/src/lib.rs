@@ -55,8 +55,11 @@
 mod asha;
 pub mod budget;
 pub mod error;
+pub mod fx;
 mod hyperband;
 mod random;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 mod rung;
 mod sampler;
 mod scheduler;
@@ -66,6 +69,7 @@ pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
 pub use crate::error::{Error, ErrorKind, ResultContext};
+pub use crate::fx::{FxHashMap, FxHashSet};
 pub use crate::hyperband::{AsyncHyperband, Hyperband, HyperbandConfig};
 pub use crate::random::RandomSearch;
 pub use crate::rung::{Rung, RungLadder, ScanOrder};

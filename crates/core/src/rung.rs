@@ -7,19 +7,40 @@
 //! The promotion query (`top_k(rung, |rung|/eta)` minus already-promoted,
 //! line 14–15 of Algorithm 2) is the hot path of ASHA — it runs once per
 //! `suggest`, and large-scale runs issue hundreds of thousands of jobs. The
-//! implementation keeps the unpromoted and promoted populations in ordered
-//! sets so the common case is `O(log n)`:
+//! implementation keeps an incremental promotion-candidate index per rung so
+//! the common case is O(1):
 //!
-//! * if `promoted < k`, the best unpromoted trial is *always* within the top
-//!   `k` (every trial better than it is promoted, so its rank is at most
-//!   `promoted`), and can be returned immediately;
-//! * otherwise an early-exit rank count runs, memoized on
-//!   `(len, promoted)` — that state pair fully determines the answer, so a
-//!   failed check never recomputes until the rung actually changes.
+//! * a *candidate cache* memoizes the full answer of the last promotability
+//!   check, keyed on `(len, promoted, eta)`. Rungs only ever mutate by
+//!   appending a record (`len` grows) or promoting a trial (`promoted`
+//!   grows), so that key uniquely identifies the rung's decision-relevant
+//!   state and the cache never needs explicit invalidation — both "yes,
+//!   this trial" and "no" answers are served without touching any ordered
+//!   structure until the rung actually changes;
+//! * the unpromoted population lives in a lazy-deletion min-heap ordered by
+//!   `(loss, trial)`: `record` is an O(1) amortized push, and promotions
+//!   leave stale entries behind that are popped (each at most once) the
+//!   next time the heap minimum is consulted;
+//! * the promoted population stays in an ordered set so the exact rank
+//!   check — is the best unpromoted trial within the top `k`? — remains
+//!   available: if `promoted < k` the best unpromoted trial is *always*
+//!   within the top `k` (every trial better than it is promoted, so its
+//!   rank is at most `promoted`); otherwise an early-exit rank count runs,
+//!   bounded by `promoted - k + 1` steps — a handful in practice because
+//!   the rank gate keeps the promoted population tracking `k`.
+//!
+//! None of these indexes is serialized: [`crate::state::RungState`] stores
+//! only the arrival-ordered records and the promoted set, and
+//! `replay_into` rebuilds the indexes by replaying them — which is also
+//! what makes old snapshots (written before the indexes existed) load
+//! unchanged.
 
-use std::cell::Cell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, BinaryHeap};
 
+use crate::fx::FxHashMap;
 use crate::scheduler::TrialId;
 
 /// Which direction [`RungLadder::find_promotable_ordered`] visits rungs.
@@ -53,39 +74,61 @@ fn key_loss(key: u64) -> f64 {
     }
 }
 
+/// Memoized answer of the last promotability check. The `(len, promoted,
+/// eta_bits)` triple fully determines the answer because rungs mutate only
+/// by appending records or promoting trials, each of which changes the
+/// triple.
+#[derive(Debug, Clone, Copy)]
+struct PromoCache {
+    len: usize,
+    promoted: usize,
+    eta_bits: u64,
+    result: Option<(u64, TrialId)>,
+}
+
 /// One rung: the trials evaluated at this resource level, their losses, and
 /// which of them have already been promoted.
 #[derive(Debug, Clone, Default)]
 pub struct Rung {
     /// `(trial, loss)` in arrival order, for traces and analysis.
     records: Vec<(TrialId, f64)>,
-    members: HashSet<TrialId>,
-    loss_of: HashMap<TrialId, u64>,
-    unpromoted: BTreeSet<(u64, TrialId)>,
+    /// `(loss key, promoted)` per member; doubles as the membership set.
+    /// Keeping the promoted flag here makes the lazy-heap cleanup a single
+    /// hash probe instead of an ordered-set seek.
+    loss_of: FxHashMap<TrialId, (u64, bool)>,
+    /// Lazy-deletion min-heap of `(loss_key, trial)` candidates: promoted
+    /// entries are left in place and skipped (popped) at the next peek.
+    /// `RefCell` because the cleanup happens inside `&self` queries.
+    unpromoted: RefCell<BinaryHeap<Reverse<(u64, TrialId)>>>,
+    /// Promoted trials ordered by `(loss_key, trial)`, for the exact rank
+    /// check.
     promoted_sorted: BTreeSet<(u64, TrialId)>,
-    /// `(len, promoted)` of the last failed promotability check.
-    fail_cache: Cell<(usize, usize)>,
+    /// The worst and second-worst promoted entries (`promoted_top[0]` is the
+    /// worst). Promotions only ever insert, so these are maintained with two
+    /// compares and answer the rank check without touching the ordered set
+    /// whenever `promoted - k <= 1` — the common case by far, since the rank
+    /// gate keeps the promoted population tracking `k`.
+    promoted_top: [(u64, TrialId); 2],
+    /// Candidate cache: the last promotability answer, success or failure.
+    cache: Cell<Option<PromoCache>>,
 }
 
 impl Rung {
     /// Create an empty rung.
     pub fn new() -> Self {
-        let rung = Rung::default();
-        rung.fail_cache.set((usize::MAX, usize::MAX));
-        rung
+        Rung::default()
     }
 
     /// Record a trial's loss at this rung. Re-reports of the same trial are
     /// ignored (first result wins), which makes executors free to retry jobs.
     pub fn record(&mut self, trial: TrialId, loss: f64) {
-        if self.members.insert(trial) {
-            // Treat NaN losses as worst-possible rather than corrupting sorts.
-            let loss = if loss.is_nan() { f64::INFINITY } else { loss };
+        // Treat NaN losses as worst-possible rather than corrupting sorts.
+        let loss = if loss.is_nan() { f64::INFINITY } else { loss };
+        let key = loss_key(loss);
+        if let Entry::Vacant(slot) = self.loss_of.entry(trial) {
+            slot.insert((key, false));
             self.records.push((trial, loss));
-            let key = loss_key(loss);
-            self.loss_of.insert(trial, key);
-            self.unpromoted.insert((key, trial));
-            self.fail_cache.set((usize::MAX, usize::MAX));
+            self.unpromoted.get_mut().push(Reverse((key, trial)));
         }
     }
 
@@ -101,14 +144,12 @@ impl Rung {
 
     /// Whether the given trial has a recorded result here.
     pub fn contains(&self, trial: TrialId) -> bool {
-        self.members.contains(&trial)
+        self.loss_of.contains_key(&trial)
     }
 
     /// Whether the given trial has already been promoted out of this rung.
     pub fn is_promoted(&self, trial: TrialId) -> bool {
-        self.loss_of
-            .get(&trial)
-            .is_some_and(|&key| self.promoted_sorted.contains(&(key, trial)))
+        self.loss_of.get(&trial).is_some_and(|&(_, p)| p)
     }
 
     /// Number of trials promoted out of this rung so far.
@@ -121,12 +162,36 @@ impl Rung {
         &self.records
     }
 
+    /// The best (lowest `(loss, trial)`) not-yet-promoted entry, discarding
+    /// stale heap entries along the way. Each promoted trial is discarded at
+    /// most once over the rung's lifetime, so this is O(1) amortized.
+    fn best_unpromoted(&self) -> Option<(u64, TrialId)> {
+        let mut heap = self.unpromoted.borrow_mut();
+        while let Some(&Reverse(entry)) = heap.peek() {
+            if self.is_promoted(entry.1) {
+                heap.pop();
+            } else {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
     /// The `top_k` operator of Algorithms 1–2: the `k` best (lowest-loss)
     /// trials at this rung, best first. Ties break by trial id, which keeps
-    /// promotion deterministic.
+    /// promotion deterministic. This is an analysis/test path and pays an
+    /// O(n log n) sort of the unpromoted population; the scheduler's hot
+    /// path never calls it.
     pub fn top_k(&self, k: usize) -> Vec<(TrialId, f64)> {
+        let heap = self.unpromoted.borrow();
+        let mut unpromoted: Vec<(u64, TrialId)> = heap
+            .iter()
+            .map(|&Reverse(entry)| entry)
+            .filter(|&(_, trial)| !self.is_promoted(trial))
+            .collect();
+        unpromoted.sort_unstable();
         // Merge the two ordered populations, taking the first k.
-        let mut a = self.unpromoted.iter().peekable();
+        let mut a = unpromoted.iter().peekable();
         let mut b = self.promoted_sorted.iter().peekable();
         let mut out = Vec::with_capacity(k.min(self.records.len()));
         while out.len() < k {
@@ -147,13 +212,38 @@ impl Rung {
     }
 
     /// The best not-yet-promoted trial among the top `1/eta` fraction of this
-    /// rung (line 14–17 of Algorithm 2), if any.
+    /// rung (line 14–17 of Algorithm 2), if any. O(1) when the rung is
+    /// unchanged since the last call (candidate cache hit, either answer).
     pub fn promotable(&self, eta: f64) -> Option<(TrialId, f64)> {
-        let k = (self.records.len() as f64 / eta).floor() as usize;
-        if k == 0 {
-            return None;
+        let len = self.records.len();
+        let p = self.promoted_sorted.len();
+        let eta_bits = eta.to_bits();
+        // The cache is consulted before `k` is even computed: the hit path —
+        // several times per `suggest`, since the ladder scan revisits every
+        // rung — is three integer compares and a `Cell` copy.
+        if let Some(cached) = self.cache.get() {
+            if (cached.len, cached.promoted, cached.eta_bits) == (len, p, eta_bits) {
+                return cached.result.map(|(key, trial)| (trial, key_loss(key)));
+            }
         }
-        let &(best_key, best_trial) = self.unpromoted.first()?;
+        let k = (len as f64 / eta).floor() as usize;
+        let result = if k == 0 {
+            None
+        } else {
+            self.compute_promotable(k, p)
+        };
+        self.cache.set(Some(PromoCache {
+            len,
+            promoted: p,
+            eta_bits,
+            result,
+        }));
+        result.map(|(key, trial)| (trial, key_loss(key)))
+    }
+
+    /// The uncached promotability check (runs once per rung mutation).
+    fn compute_promotable(&self, k: usize, p: usize) -> Option<(u64, TrialId)> {
+        let (best_key, best_trial) = self.best_unpromoted()?;
         // Poisoned or diverged trials (infinite loss, NaN recorded as such)
         // are never promoted, even when the rung is small enough that they
         // would rank in the top `1/eta`: promoting them would spend higher
@@ -161,54 +251,63 @@ impl Rung {
         if !key_loss(best_key).is_finite() {
             return None;
         }
-        let p = self.promoted_sorted.len();
         // Fast path: every trial better than the best unpromoted one is
         // promoted, so its rank is at most p.
         if p < k {
-            return Some((best_trial, key_loss(best_key)));
-        }
-        if self.fail_cache.get() == (self.records.len(), p) {
-            return None;
+            return Some((best_key, best_trial));
         }
         // Exact rank check: the best unpromoted trial is in the top k iff
         // fewer than k promoted trials are strictly better, i.e. iff more
-        // than `p - k` promoted trials are at or beyond it. Counting from
-        // that side is O(p - k + 1), and promotions keep `p <= k + 1`, so
-        // this is effectively constant time.
+        // than `p - k` promoted trials are at or beyond it.
         let threshold = p - k;
+        let candidate = (best_key, best_trial);
+        // For `threshold <= 1` the incrementally maintained worst and
+        // second-worst promoted entries decide this with one compare (the
+        // (threshold+1)-th worst promoted entry must sit at or beyond the
+        // candidate); `p` tracks `k` closely because promotions are gated on
+        // this very check, so the ordered-set walk below almost never runs.
+        if threshold <= 1 {
+            return if self.promoted_top[threshold] >= candidate {
+                Some(candidate)
+            } else {
+                None
+            };
+        }
+        // General case: early-exit count, O(min(w, p - k + 1)) where `w` is
+        // the number of promoted entries at or beyond the candidate.
         let mut count = 0usize;
-        let mut promotable = false;
-        for _ in self.promoted_sorted.range((best_key, best_trial)..) {
+        for _ in self.promoted_sorted.range(candidate..) {
             count += 1;
             if count > threshold {
-                promotable = true;
-                break;
+                return Some(candidate);
             }
         }
-        if promotable {
-            Some((best_trial, key_loss(best_key)))
-        } else {
-            self.fail_cache.set((self.records.len(), p));
-            None
-        }
+        None
     }
 
     /// Mark a trial as promoted out of this rung. Unknown trials are
-    /// ignored.
+    /// ignored. The stale heap entry is *not* removed here (lazy deletion);
+    /// the candidate cache self-invalidates because `promoted_count` grew.
     pub fn mark_promoted(&mut self, trial: TrialId) {
-        if let Some(&key) = self.loss_of.get(&trial) {
-            if self.unpromoted.remove(&(key, trial)) {
-                self.promoted_sorted.insert((key, trial));
-                self.fail_cache.set((usize::MAX, usize::MAX));
+        if let Some(slot) = self.loss_of.get_mut(&trial) {
+            slot.1 = true;
+            let entry = (slot.0, trial);
+            if self.promoted_sorted.insert(entry) {
+                if entry > self.promoted_top[0] {
+                    self.promoted_top[1] = self.promoted_top[0];
+                    self.promoted_top[0] = entry;
+                } else if entry > self.promoted_top[1] {
+                    self.promoted_top[1] = entry;
+                }
             }
         }
     }
 
     /// Best (lowest) loss at this rung, if any trial has completed.
     pub fn best(&self) -> Option<(TrialId, f64)> {
-        let a = self.unpromoted.first();
-        let b = self.promoted_sorted.first();
-        let &(key, trial) = match (a, b) {
+        let a = self.best_unpromoted();
+        let b = self.promoted_sorted.first().copied();
+        let (key, trial) = match (a, b) {
             (Some(x), Some(y)) => x.min(y),
             (Some(x), None) => x,
             (None, Some(y)) => y,
@@ -337,7 +436,8 @@ impl RungLadder {
     /// The promotion scan with an explicit rung visiting order. Algorithm 2
     /// prescribes [`ScanOrder::TopDown`] (line 13 iterates `K-1, ..., 1, 0`);
     /// [`ScanOrder::BottomUp`] is provided for the ablation study of that
-    /// design choice.
+    /// design choice. With the per-rung candidate caches, an unchanged
+    /// ladder answers this scan in a handful of integer compares.
     pub fn find_promotable_ordered(&self, order: ScanOrder) -> Option<(TrialId, f64, usize)> {
         let top = match self.max_rung {
             // Finite horizon: scan K-1 .. 0 (trials at rung K are done).
@@ -485,7 +585,7 @@ mod tests {
     }
 
     #[test]
-    fn fail_cache_invalidates_on_change() {
+    fn candidate_cache_invalidates_on_change() {
         let mut rung = Rung::new();
         for (i, loss) in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6].iter().enumerate() {
             rung.record(TrialId(i as u64), *loss);
@@ -499,6 +599,34 @@ mod tests {
             rung.record(TrialId(i), 0.9);
         }
         assert_eq!(rung.promotable(3.0), Some((TrialId(2), 0.3)));
+    }
+
+    #[test]
+    fn candidate_cache_serves_success_repeatedly() {
+        // A cached *success* must also survive repeated queries (analysis
+        // code may probe without promoting) and must change the moment the
+        // caller promotes.
+        let mut rung = Rung::new();
+        for (i, loss) in [0.3, 0.1, 0.2].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        assert_eq!(rung.promotable(3.0), Some((TrialId(1), 0.1)));
+        assert_eq!(rung.promotable(3.0), Some((TrialId(1), 0.1))); // cache hit
+        rung.mark_promoted(TrialId(1));
+        assert_eq!(rung.promotable(3.0), None);
+    }
+
+    #[test]
+    fn candidate_cache_distinguishes_eta() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.4, 0.1, 0.2, 0.3].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        rung.mark_promoted(TrialId(1));
+        // k = floor(4/4) = 1 and the only top-1 trial is promoted.
+        assert_eq!(rung.promotable(4.0), None);
+        // A different eta must not reuse that answer: k = floor(4/2) = 2.
+        assert_eq!(rung.promotable(2.0), Some((TrialId(2), 0.2)));
     }
 
     #[test]
@@ -534,11 +662,39 @@ mod tests {
     }
 
     #[test]
+    fn best_is_stable_after_promotions() {
+        // best() consults the lazy heap; stale entries must not resurface.
+        let mut rung = Rung::new();
+        for (i, loss) in [0.2, 0.1, 0.3].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        assert_eq!(rung.best(), Some((TrialId(1), 0.1)));
+        rung.mark_promoted(TrialId(1));
+        // Trial 1 is promoted but still the rung's best loss.
+        assert_eq!(rung.best(), Some((TrialId(1), 0.1)));
+        rung.mark_promoted(TrialId(0));
+        assert_eq!(rung.best(), Some((TrialId(1), 0.1)));
+        assert_eq!(rung.promoted_count(), 2);
+    }
+
+    #[test]
     fn mark_promoted_unknown_trial_is_ignored() {
         let mut rung = Rung::new();
         rung.record(TrialId(0), 0.5);
         rung.mark_promoted(TrialId(42));
         assert_eq!(rung.promoted_count(), 0);
+    }
+
+    #[test]
+    fn mark_promoted_is_idempotent() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.1, 0.2, 0.3].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        rung.mark_promoted(TrialId(0));
+        rung.mark_promoted(TrialId(0));
+        assert_eq!(rung.promoted_count(), 1);
+        assert_eq!(rung.promotable(3.0), None);
     }
 
     #[test]

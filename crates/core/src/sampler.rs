@@ -14,6 +14,13 @@ pub trait ConfigSampler: Send {
     /// model. `rung` and `resource` identify the fidelity of the loss.
     fn record(&mut self, config: &Config, rung: usize, resource: f64, loss: f64);
 
+    /// Whether this sampler consumes [`ConfigSampler::record`] calls at all.
+    /// Schedulers use this to skip the per-observation config lookup on the
+    /// hot path; samplers whose `record` is a no-op return `false`.
+    fn wants_reports(&self) -> bool {
+        true
+    }
+
     /// Name used to label experiment output (e.g. `"random"`, `"tpe"`).
     fn name(&self) -> &str {
         "sampler"
@@ -50,6 +57,10 @@ impl ConfigSampler for RandomSampler {
     }
 
     fn record(&mut self, _config: &Config, _rung: usize, _resource: f64, _loss: f64) {}
+
+    fn wants_reports(&self) -> bool {
+        false
+    }
 
     fn name(&self) -> &str {
         "random"

@@ -159,6 +159,20 @@ pub trait Scheduler {
 
     /// Human-readable name used in experiment output (e.g. `"ASHA"`).
     fn name(&self) -> &str;
+
+    /// Whether a [`Decision::Wait`] from this scheduler is *stable*: once
+    /// `suggest` returns `Wait`, every further `suggest` before the next
+    /// [`Scheduler::observe`] is guaranteed to also return `Wait`, consume
+    /// no RNG, and mutate nothing.
+    ///
+    /// Execution layers use this to batch idle workers: instead of re-asking
+    /// once per free worker per event, a stable `Wait` is remembered until
+    /// an observation arrives. The conservative default is `false` (always
+    /// re-ask); only return `true` when the guarantee genuinely holds, or
+    /// restored runs may diverge from uninterrupted ones.
+    fn wait_is_stable(&self) -> bool {
+        false
+    }
 }
 
 // Allow `Box<dyn Scheduler>` to be used wherever `impl Scheduler` is.
@@ -173,6 +187,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn wait_is_stable(&self) -> bool {
+        (**self).wait_is_stable()
     }
 }
 

@@ -2,10 +2,11 @@
 //! bracket-growing parallelization scheme of Falkner et al. (2018) that the
 //! paper's distributed experiments compare against.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use asha_space::{Config, SearchSpace};
 
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::sampler::{ConfigSampler, RandomSampler};
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 use crate::state::{BracketState, SyncShaState};
@@ -109,7 +110,7 @@ struct Bracket {
     /// report is accepted only for trials in this set, which makes duplicate
     /// reports (executor retries) and reports for never-issued trials
     /// harmless rather than barrier-corrupting.
-    issued: HashSet<TrialId>,
+    issued: FxHashSet<TrialId>,
     /// Results gathered at the current rung.
     results: Vec<(TrialId, f64)>,
     /// Current rung index.
@@ -123,7 +124,7 @@ impl Bracket {
             remaining_to_sample: num_configs,
             queue: Vec::new(),
             outstanding: 0,
-            issued: HashSet::new(),
+            issued: FxHashSet::default(),
             results: Vec::new(),
             rung: 0,
             done: false,
@@ -148,7 +149,12 @@ pub struct SyncSha {
     config: ShaConfig,
     sampler: Box<dyn ConfigSampler>,
     brackets: Vec<Bracket>,
-    trial_meta: HashMap<TrialId, (usize, Config)>,
+    /// Work index: exactly the bracket indices whose `has_work()` is true,
+    /// kept in sync after every mutation so `suggest` finds the first
+    /// issuable bracket in O(1) instead of scanning every bracket. Derived
+    /// data — rebuilt by `from_state`, never serialized.
+    active: BTreeSet<usize>,
+    trial_meta: FxHashMap<TrialId, (usize, Config)>,
     next_trial: u64,
     name: String,
 }
@@ -191,12 +197,17 @@ impl SyncSha {
             format!("SHA+{}", sampler.name())
         };
         let first = Bracket::fresh(config.num_configs);
+        let mut active = BTreeSet::new();
+        if first.has_work() {
+            active.insert(0);
+        }
         SyncSha {
             space,
             config,
             sampler,
             brackets: vec![first],
-            trial_meta: HashMap::new(),
+            active,
+            trial_meta: FxHashMap::default(),
             next_trial: 0,
             name,
         }
@@ -297,6 +308,11 @@ impl SyncSha {
                 done: b.done,
             })
             .collect();
+        // The work index is derived data: rebuild it from the restored
+        // brackets (old snapshots carry no index fields and need none).
+        sha.active = (0..sha.brackets.len())
+            .filter(|&i| sha.brackets[i].has_work())
+            .collect();
         sha.trial_meta = state
             .trial_meta
             .into_iter()
@@ -305,6 +321,16 @@ impl SyncSha {
         sha.next_trial = state.next_trial;
         sha.name = state.name;
         sha
+    }
+
+    /// Re-derive one bracket's membership in the work index after a
+    /// mutation.
+    fn sync_active(&mut self, bracket_idx: usize) {
+        if self.brackets[bracket_idx].has_work() {
+            self.active.insert(bracket_idx);
+        } else {
+            self.active.remove(&bracket_idx);
+        }
     }
 
     fn issue_from(&mut self, bracket_idx: usize, rng: &mut dyn rand::RngCore) -> Job {
@@ -324,6 +350,7 @@ impl SyncSha {
         };
         self.brackets[bracket_idx].outstanding += 1;
         self.brackets[bracket_idx].issued.insert(trial);
+        self.sync_active(bracket_idx);
         Job {
             trial,
             config,
@@ -342,6 +369,7 @@ impl SyncSha {
         if bracket.rung + 1 >= num_rungs || k == 0 {
             bracket.done = true;
             bracket.results.clear();
+            self.sync_active(bracket_idx);
             return;
         }
         let mut sorted = std::mem::take(&mut bracket.results);
@@ -354,6 +382,7 @@ impl SyncSha {
             // Every survivor candidate was poisoned: the bracket cannot
             // continue meaningfully.
             bracket.done = true;
+            self.sync_active(bracket_idx);
             return;
         }
         bracket.rung += 1;
@@ -364,12 +393,16 @@ impl SyncSha {
             .rev()
             .map(|(t, _)| (t, meta[&t].1.clone()))
             .collect();
+        self.sync_active(bracket_idx);
     }
 }
 
 impl Scheduler for SyncSha {
     fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
-        if let Some(idx) = (0..self.brackets.len()).find(|&i| self.brackets[i].has_work()) {
+        // The work index holds exactly the brackets with issuable work, so
+        // the lowest-index preference of the original linear scan is a
+        // single ordered-set lookup.
+        if let Some(&idx) = self.active.first() {
             return Decision::Run(self.issue_from(idx, rng));
         }
         if self.config.grow_brackets {
@@ -377,6 +410,7 @@ impl Scheduler for SyncSha {
             // like the Falkner et al. scheme.
             self.brackets.push(Bracket::fresh(self.config.num_configs));
             let idx = self.brackets.len() - 1;
+            self.sync_active(idx);
             return Decision::Run(self.issue_from(idx, rng));
         }
         if self.all_done() {
@@ -411,6 +445,13 @@ impl Scheduler for SyncSha {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn wait_is_stable(&self) -> bool {
+        // `suggest` returns `Wait` only when no bracket has work and
+        // growing is off; that check consumes no RNG and mutates nothing,
+        // so the answer cannot change until an `observe` lands.
+        true
     }
 }
 

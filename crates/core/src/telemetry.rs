@@ -364,6 +364,13 @@ impl<S: Scheduler, R: Recorder> Scheduler for InstrumentedScheduler<S, R> {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn wait_is_stable(&self) -> bool {
+        // With an active recorder every `suggest` emits a wait event — an
+        // observable effect — so batching may only elide re-asks when the
+        // recorder is off and the inner scheduler's `Wait` is stable.
+        !self.recorder.enabled() && self.inner.wait_is_stable()
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use asha_core::telemetry::{DropCause, EventKind, NoopRecorder, Recorder};
-use asha_core::{Decision, Job, Observation, Scheduler, TrialId};
+use asha_core::{Decision, FxHashMap, Job, Observation, Scheduler, TrialId};
 use asha_metrics::{FaultStats, RunTrace, TraceEvent};
-use asha_surrogate::{BenchmarkModel, TrainingState};
+use asha_surrogate::{BenchmarkModel, ConfigProfile, TrainingState};
 use rand::Rng;
 
 /// How promotions pay for training already performed.
@@ -254,18 +254,18 @@ pub struct SimResult {
     pub best_config: Option<(asha_space::Config, f64, f64)>,
 }
 
-#[derive(Debug)]
-enum Outcome {
-    Completed,
-    Dropped,
-}
-
-#[derive(Debug)]
+/// One in-flight job on the event heap. Plain old data: the job itself
+/// (with its heap-allocated [`Config`]) lives in the engine's job slab and
+/// is referenced by `slot`, so heap sift operations move 24-byte entries
+/// instead of whole [`Job`] structs.
+///
+/// [`Config`]: asha_space::Config
+#[derive(Debug, Clone, Copy)]
 struct Event {
     time: f64,
     seq: u64,
-    job: Job,
-    outcome: Outcome,
+    slot: u32,
+    dropped: bool,
 }
 
 impl PartialEq for Event {
@@ -307,6 +307,12 @@ struct TrialSlot {
     /// Whether any job of this trial has completed (drives the online
     /// `distinct_trials` count).
     completed: bool,
+    /// Memoized [`BenchmarkModel::profile`] of the trial's config, when the
+    /// model supports profiles. Derived data: never serialized; restored
+    /// slots refill it lazily at their next completion. Profiles are
+    /// bitwise-identical to the per-call model methods, so the memo is
+    /// unobservable.
+    profile: Option<ConfigProfile>,
 }
 
 /// The discrete-event cluster simulator. See the crate docs for the model.
@@ -445,9 +451,18 @@ pub struct SimEngine<'b, S> {
     scheduler: S,
     bench: &'b dyn BenchmarkModel,
     trace: RunTrace,
-    states: HashMap<TrialId, TrialSlot>,
+    states: FxHashMap<TrialId, TrialSlot>,
     heap: BinaryHeap<Event>,
+    // Slab backing the heap's `slot` references plus its free list; at most
+    // `workers` jobs are in flight, so both stabilize at that size.
+    jobs: Vec<Option<Job>>,
+    free_slots: Vec<u32>,
     retry: VecDeque<Job>,
+    // The scheduler answered `Wait` and guarantees (`wait_is_stable`) that
+    // re-asking before its next observation would answer `Wait` again with
+    // no side effects — so don't re-ask. Cleared on every observation.
+    // Derived data: not serialized; a restored engine re-asks once.
+    waiting: bool,
     free_workers: usize,
     now: f64,
     seq: u64,
@@ -480,16 +495,19 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
         let trace = RunTrace::new(scheduler.name());
         let free_workers = config.workers;
         SimEngine {
-            // At most `workers` events are ever outstanding, so both the
-            // event heap and the retry queue reach their final capacity up
-            // front and never reallocate inside the loop.
+            // At most `workers` events are ever outstanding, so the event
+            // heap, the job slab, and the retry queue reach their final
+            // capacity up front and never reallocate inside the loop.
             heap: BinaryHeap::with_capacity(config.workers + 1),
+            jobs: Vec::with_capacity(config.workers + 1),
+            free_slots: Vec::with_capacity(config.workers + 1),
             retry: VecDeque::with_capacity(config.workers.min(64)),
             cfg: config,
             scheduler,
             bench,
             trace,
-            states: HashMap::new(),
+            states: FxHashMap::default(),
+            waiting: false,
             free_workers,
             now: 0.0,
             seq: 0,
@@ -532,25 +550,35 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
         }
         let cfg = &self.cfg;
         // Hand work to free workers: retries first, then the scheduler.
-        while self.free_workers > 0 && !self.scheduler_finished {
+        while self.free_workers > 0 {
             let (job, is_retry) = if let Some(job) = self.retry.pop_front() {
-                (Some(job), true)
+                (job, true)
+            } else if self.scheduler_finished || self.waiting {
+                break;
             } else {
                 let decision = self.scheduler.suggest(rng);
                 if recorder.enabled() {
                     recorder.record(self.now, EventKind::of_decision(&decision));
                 }
-                let job = match decision {
-                    Decision::Run(job) => Some(job),
-                    Decision::Wait => None,
+                match decision {
+                    Decision::Run(job) => (job, false),
+                    Decision::Wait => {
+                        // A stable Wait stays a Wait until the next
+                        // observation, so skip the redundant re-asks on
+                        // every round until then. Recorded runs keep
+                        // re-asking: each Wait decision is a telemetry
+                        // event, and eliding it would change the stream.
+                        if !recorder.enabled() && self.scheduler.wait_is_stable() {
+                            self.waiting = true;
+                        }
+                        break;
+                    }
                     Decision::Finished => {
                         self.scheduler_finished = true;
-                        None
+                        break;
                     }
-                };
-                (job, false)
+                }
             };
-            let Some(job) = job else { break };
             if recorder.enabled() {
                 if is_retry {
                     recorder.record(
@@ -572,12 +600,18 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
                     .inherit_from
                     .and_then(|src| self.states.get(&src).map(|s| s.state))
                     .unwrap_or_else(|| self.bench.init_state(&job.config, rng));
+                let profile = self.bench.profile(&job.config);
+                let time_per_unit = profile.as_ref().map_or_else(
+                    || self.bench.time_per_unit(&job.config),
+                    |p| p.time_per_unit,
+                );
                 self.states.insert(
                     job.trial,
                     TrialSlot {
                         state,
-                        time_per_unit: self.bench.time_per_unit(&job.config),
+                        time_per_unit,
                         completed: false,
+                        profile,
                     },
                 );
             }
@@ -594,26 +628,36 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
             // Zero-length jobs (already past target) still take a tick so
             // the event loop always advances.
             duration = duration.max(1e-9);
-            let outcome = if cfg.drop_prob > 0.0 {
+            let dropped = if cfg.drop_prob > 0.0 {
                 // Time to drop is geometric per unit time; survive the
                 // whole duration with probability (1-p)^duration.
                 let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                 let t_drop = u.ln() / (1.0 - cfg.drop_prob).ln();
                 if t_drop < duration {
                     duration = t_drop.max(1e-9);
-                    Outcome::Dropped
+                    true
                 } else {
-                    Outcome::Completed
+                    false
                 }
             } else {
-                Outcome::Completed
+                false
             };
             self.seq += 1;
+            let slot = match self.free_slots.pop() {
+                Some(slot) => {
+                    self.jobs[slot as usize] = Some(job);
+                    slot
+                }
+                None => {
+                    self.jobs.push(Some(job));
+                    (self.jobs.len() - 1) as u32
+                }
+            };
             self.heap.push(Event {
                 time: self.now + duration,
                 seq: self.seq,
-                job,
-                outcome,
+                slot,
+                dropped,
             });
             self.free_workers -= 1;
         }
@@ -643,77 +687,98 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
         }
         self.now = event.time;
         self.free_workers += 1;
+        let job = self.jobs[event.slot as usize]
+            .take()
+            .expect("heap entries reference live slab jobs");
+        self.free_slots.push(event.slot);
 
-        match event.outcome {
-            Outcome::Dropped => {
-                self.faults.jobs_dropped += 1;
-                self.faults.jobs_retried += 1;
-                if recorder.enabled() {
-                    recorder.record(
-                        self.now,
-                        EventKind::Drop {
-                            trial: event.job.trial.0,
-                            rung: event.job.rung,
-                            cause: DropCause::Dropped,
-                        },
-                    );
-                }
-                // Work lost; retry from the last checkpoint.
-                self.retry.push_back(event.job);
-            }
-            Outcome::Completed => {
-                self.jobs_completed += 1;
-                let job = event.job;
-                let slot = self
-                    .states
-                    .get_mut(&job.trial)
-                    .expect("state created at issue time");
-                self.bench
-                    .advance(&job.config, &mut slot.state, job.resource, rng);
-                let val = self.bench.validation_loss(&job.config, &slot.state, rng);
-                let test = self.bench.test_loss(&job.config, &slot.state);
-                if !slot.completed {
-                    slot.completed = true;
-                    self.distinct_trials += 1;
-                }
-                if self.best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
-                    self.best_config = Some((job.config.clone(), val, job.resource));
-                }
-                let improved = val < self.incumbent_val;
-                if improved {
-                    self.incumbent_val = val;
-                }
-                let record = match cfg.trace_mode {
-                    TraceMode::Full => true,
-                    TraceMode::IncumbentOnly => improved,
-                    TraceMode::Aggregated => false,
-                };
-                if record {
-                    self.trace.push(TraceEvent {
-                        time: self.now,
+        if event.dropped {
+            self.faults.jobs_dropped += 1;
+            self.faults.jobs_retried += 1;
+            if recorder.enabled() {
+                recorder.record(
+                    self.now,
+                    EventKind::Drop {
                         trial: job.trial.0,
-                        bracket: job.bracket,
+                        rung: job.rung,
+                        cause: DropCause::Dropped,
+                    },
+                );
+            }
+            // Work lost; retry from the last checkpoint.
+            self.retry.push_back(job);
+        } else {
+            self.jobs_completed += 1;
+            let slot = self
+                .states
+                .get_mut(&job.trial)
+                .expect("state created at issue time");
+            if slot.profile.is_none() {
+                // A restored slot: profiles are derived data and not
+                // serialized, so refill the memo on first use.
+                slot.profile = self.bench.profile(&job.config);
+            }
+            let (val, test) = match &slot.profile {
+                Some(p) => {
+                    p.advance(&mut slot.state, job.resource);
+                    (
+                        p.validation_loss(&slot.state, rng),
+                        p.test_loss(&slot.state),
+                    )
+                }
+                None => {
+                    self.bench
+                        .advance(&job.config, &mut slot.state, job.resource, rng);
+                    (
+                        self.bench.validation_loss(&job.config, &slot.state, rng),
+                        self.bench.test_loss(&job.config, &slot.state),
+                    )
+                }
+            };
+            if !slot.completed {
+                slot.completed = true;
+                self.distinct_trials += 1;
+            }
+            if self.best_config.as_ref().is_none_or(|&(_, l, _)| val < l) {
+                self.best_config = Some((job.config.clone(), val, job.resource));
+            }
+            let improved = val < self.incumbent_val;
+            if improved {
+                self.incumbent_val = val;
+            }
+            let record = match cfg.trace_mode {
+                TraceMode::Full => true,
+                TraceMode::IncumbentOnly => improved,
+                TraceMode::Aggregated => false,
+            };
+            if record {
+                self.trace.push(TraceEvent {
+                    time: self.now,
+                    trial: job.trial.0,
+                    bracket: job.bracket,
+                    rung: job.rung,
+                    resource: job.resource,
+                    val_loss: val,
+                    test_loss: test,
+                });
+            }
+            if recorder.enabled() {
+                // Same `now` as the TraceEvent above: telemetry and
+                // traces share the simulated clock.
+                recorder.record(
+                    self.now,
+                    EventKind::JobEnd {
+                        trial: job.trial.0,
                         rung: job.rung,
                         resource: job.resource,
-                        val_loss: val,
-                        test_loss: test,
-                    });
-                }
-                if recorder.enabled() {
-                    // Same `now` as the TraceEvent above: telemetry and
-                    // traces share the simulated clock.
-                    recorder.record(
-                        self.now,
-                        EventKind::JobEnd {
-                            trial: job.trial.0,
-                            rung: job.rung,
-                            resource: job.resource,
-                            loss: val,
-                        },
-                    );
-                }
-                self.scheduler.observe(Observation::for_job(&job, val));
+                        loss: val,
+                    },
+                );
             }
+            self.scheduler.observe(Observation::for_job(&job, val));
+            // The scheduler saw new information; a sticky Wait (if any)
+            // may now be resolvable.
+            self.waiting = false;
         }
 
         if self.jobs_completed >= cfg.max_jobs {
@@ -743,8 +808,10 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
             .map(|e| PendingJob {
                 time: e.time,
                 seq: e.seq,
-                job: e.job.clone(),
-                dropped: matches!(e.outcome, Outcome::Dropped),
+                job: self.jobs[e.slot as usize]
+                    .clone()
+                    .expect("heap entries reference live slab jobs"),
+                dropped: e.dropped,
             })
             .collect();
         pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
@@ -780,23 +847,22 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
         for event in &state.trace {
             trace.push(*event);
         }
-        let mut heap: BinaryHeap<Event> =
-            BinaryHeap::with_capacity(config.workers.max(state.pending.len()) + 1);
+        let capacity = config.workers.max(state.pending.len()) + 1;
+        let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(capacity);
+        let mut jobs: Vec<Option<Job>> = Vec::with_capacity(capacity);
         for p in state.pending {
             heap.push(Event {
                 time: p.time,
                 seq: p.seq,
-                job: p.job,
-                outcome: if p.dropped {
-                    Outcome::Dropped
-                } else {
-                    Outcome::Completed
-                },
+                slot: jobs.len() as u32,
+                dropped: p.dropped,
             });
+            jobs.push(Some(p.job));
         }
         let mut retry: VecDeque<Job> =
             VecDeque::with_capacity(config.workers.min(64).max(state.retry.len()));
         retry.extend(state.retry);
+        let free_slots = Vec::with_capacity(config.workers + 1);
         SimEngine {
             cfg: config,
             scheduler,
@@ -812,12 +878,18 @@ impl<'b, S: Scheduler> SimEngine<'b, S> {
                             state: s.state,
                             time_per_unit: s.time_per_unit,
                             completed: s.completed,
+                            // Refilled lazily at the trial's next completion
+                            // (the config lives in jobs, not slots).
+                            profile: None,
                         },
                     )
                 })
                 .collect(),
             heap,
+            jobs,
+            free_slots,
             retry,
+            waiting: false,
             free_workers: state.free_workers,
             now: state.now,
             seq: state.seq,

@@ -145,6 +145,14 @@ impl Scheduler for StoredScheduler {
             StoredScheduler::AsyncHyperband(s) => s.name(),
         }
     }
+
+    fn wait_is_stable(&self) -> bool {
+        match self {
+            StoredScheduler::Asha(s) => s.wait_is_stable(),
+            StoredScheduler::SyncSha(s) => s.wait_is_stable(),
+            StoredScheduler::AsyncHyperband(s) => s.wait_is_stable(),
+        }
+    }
 }
 
 /// A full durable checkpoint of a run.

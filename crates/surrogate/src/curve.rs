@@ -5,7 +5,7 @@ use asha_math::dist::normal;
 use asha_space::{Config, SearchSpace};
 use rand::{Rng, SeedableRng};
 
-use crate::model::{BenchmarkModel, TrainingState};
+use crate::model::{BenchmarkModel, ConfigProfile, TrainingState};
 use crate::pseudo::SmoothPseudo;
 
 /// Divergence behaviour: configurations whose `dim`-th unit coordinate
@@ -242,6 +242,28 @@ impl BenchmarkModel for CurveBenchmark {
             exponent += self.cost_weights.get(i).copied().unwrap_or(0.0) * (ui - 0.5);
         }
         (self.cost_base / self.max_resource) * exponent.exp()
+    }
+
+    fn profile(&self, config: &Config) -> Option<ConfigProfile> {
+        let u = self
+            .space
+            .to_unit(config)
+            .expect("config must come from this benchmark's space");
+        // Each expression mirrors the corresponding per-call method exactly
+        // (same operations in the same order) so profiled evaluation is
+        // bitwise-identical to unprofiled evaluation.
+        Some(ConfigProfile {
+            max_resource: self.max_resource,
+            asym_base: self.floor + self.range * self.quality(&u),
+            asym_floor: self.floor * 0.5,
+            rate: self.rate_of(&u),
+            noise_std: self.noise_std,
+            gap: self.gap_frac * self.range * self.gap_field.eval(&u),
+            loss_cap: self.loss_cap,
+            diverge_p: self.divergence_probability(config),
+            diverge_magnitude: self.divergence.map_or(0.0, |s| s.magnitude),
+            time_per_unit: self.time_per_unit(config),
+        })
     }
 
     fn name(&self) -> &str {
@@ -653,6 +675,48 @@ mod tests {
             over > under,
             "overshoot {over} must exceed undershoot {under}"
         );
+    }
+
+    #[test]
+    fn profile_is_bitwise_identical_to_per_call_methods() {
+        let space = SearchSpace::builder()
+            .continuous("lr", 1e-4, 1.0, Scale::Log)
+            .continuous("reg", 1e-5, 1.0, Scale::Log)
+            .build()
+            .unwrap();
+        let b = CurveBenchmark::builder("prof", space, 100.0, 17)
+            .losses(0.05, 0.5, 0.9, 2.0)
+            .divergence(DivergenceSpec {
+                dim: 0,
+                threshold: 0.6,
+                magnitude: 1.5,
+            })
+            .build();
+        let mut r = rng();
+        for _ in 0..200 {
+            let c = b.space().sample(&mut r);
+            let profile = b.profile(&c).expect("curve benchmarks are profilable");
+            assert_eq!(profile.time_per_unit, b.time_per_unit(&c));
+            let mut direct = b.init_state(&c, &mut r);
+            let mut via = direct;
+            // Twin RNGs so the noise draws see identical streams.
+            let mut ra = StdRng::seed_from_u64(direct.loss.to_bits());
+            let mut rb = ra.clone();
+            for step in 1..=6 {
+                let target = step as f64 * 20.0; // overshoots R on purpose
+                b.advance(&c, &mut direct, target, &mut ra);
+                profile.advance(&mut via, target);
+                assert_eq!(direct, via, "state diverged at target {target}");
+                assert_eq!(
+                    b.validation_loss(&c, &direct, &mut ra).to_bits(),
+                    profile.validation_loss(&via, &mut rb).to_bits()
+                );
+                assert_eq!(
+                    b.test_loss(&c, &direct).to_bits(),
+                    profile.test_loss(&via).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod presets;
 mod pseudo;
 
 pub use curve::{CurveBenchmark, CurveBenchmarkBuilder, DivergenceSpec};
-pub use model::{BenchmarkModel, TrainingState};
+pub use model::{BenchmarkModel, ConfigProfile, TrainingState};
 pub use pseudo::SmoothPseudo;
 
 // The parallel experiment runner (asha-bench) shares one `&dyn

@@ -9,6 +9,7 @@ use asha::core::{
     ShaConfig, SyncSha, TrialId,
 };
 use asha::space::{Scale, SearchSpace};
+use asha_core::reference::{RefAsha, RefAsyncHyperband, RefSyncSha};
 use proptest::prelude::*;
 
 fn space() -> SearchSpace {
@@ -103,6 +104,86 @@ fn drive_hostile<S: Scheduler>(
     (issued, first_loss)
 }
 
+/// Drive an indexed scheduler and its linear-scan reference twin through the
+/// same hostile event stream (the exact action/loss encoding of
+/// [`drive_hostile`]), asserting identical decisions at every `suggest` and
+/// identical exported state after every event. The reference implementations
+/// (`asha_core::reference`) are the specification: any divergence is a bug
+/// in the promotion-index maintenance.
+///
+/// States are compared by their `Debug` rendering rather than `PartialEq`:
+/// f64's Debug output is round-trip exact, and — unlike `PartialEq` — it
+/// equates the NaN losses that SyncSHA legitimately holds in a bracket's
+/// result buffer until rung completion filters them.
+fn assert_differential<A, B, T>(
+    mut fast: A,
+    mut reference: B,
+    steps: &[(u8, u8, u16)],
+    workers: usize,
+    export_fast: impl Fn(&A) -> T,
+    export_ref: impl Fn(&B) -> T,
+) -> Result<(), String>
+where
+    A: Scheduler,
+    B: Scheduler,
+    T: std::fmt::Debug,
+{
+    use rand::SeedableRng as _;
+    // Twin RNGs with the same seed: both schedulers must consume the stream
+    // at exactly the same points, or configs (and thus states) diverge.
+    let mut rng_fast = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng_ref = rand::rngs::StdRng::seed_from_u64(21);
+    let mut outstanding: VecDeque<Job> = VecDeque::new();
+    for (step, &(action, pick, raw)) in steps.iter().enumerate() {
+        let action = action % 8;
+        if action < 3 && outstanding.len() < workers {
+            let fast_decision = fast.suggest(&mut rng_fast);
+            let ref_decision = reference.suggest(&mut rng_ref);
+            prop_assert_eq!(
+                &fast_decision,
+                &ref_decision,
+                "decision diverged at step {}",
+                step
+            );
+            if let Decision::Run(job) = fast_decision {
+                outstanding.push_back(job);
+            }
+        } else if action == 3 {
+            // A report for a trial that was never issued.
+            let obs = Observation::new(
+                TrialId(1_000_000_000 + raw as u64),
+                (pick % 4) as usize,
+                1.0,
+                raw as f64,
+            );
+            fast.observe(obs);
+            reference.observe(obs);
+        } else if !outstanding.is_empty() {
+            let idx = pick as usize % outstanding.len();
+            let job = if action == 4 {
+                outstanding[idx].clone()
+            } else {
+                outstanding.remove(idx).expect("index in range")
+            };
+            let loss = match raw % 8 {
+                0 => f64::INFINITY,
+                1 => f64::NAN,
+                2 => f64::NEG_INFINITY,
+                _ => raw as f64 / 16.0,
+            };
+            fast.observe(Observation::for_job(&job, loss));
+            reference.observe(Observation::for_job(&job, loss));
+        }
+        prop_assert_eq!(
+            format!("{:?}", export_fast(&fast)),
+            format!("{:?}", export_ref(&reference)),
+            "exported state diverged after step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
 /// Trials promoted past a rung where their accepted loss was non-finite.
 fn poisoned_promotions(issued: &[Job], first_loss: &HashMap<(u64, usize), f64>) -> Vec<u64> {
     issued
@@ -166,6 +247,47 @@ proptest! {
         let (issued, first_loss) = drive_hostile(hb, &steps, workers);
         let bad = poisoned_promotions(&issued, &first_loss);
         prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+    }
+
+    #[test]
+    fn indexed_asha_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        let fast = Asha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let reference = RefAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        assert_differential(
+            fast, reference, &steps, workers,
+            Asha::export_state, RefAsha::export_state,
+        )?;
+    }
+
+    #[test]
+    fn indexed_sync_sha_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        let config = ShaConfig::new(9, 1.0, 9.0, 3.0).growing();
+        let fast = SyncSha::new(space(), config.clone());
+        let reference = RefSyncSha::new(space(), config);
+        assert_differential(
+            fast, reference, &steps, workers,
+            SyncSha::export_state, RefSyncSha::export_state,
+        )?;
+    }
+
+    #[test]
+    fn indexed_async_hyperband_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        let config = HyperbandConfig::new(1.0, 27.0, 3.0);
+        let fast = AsyncHyperband::new(space(), config.clone());
+        let reference = RefAsyncHyperband::new(space(), config);
+        assert_differential(
+            fast, reference, &steps, workers,
+            AsyncHyperband::export_state, RefAsyncHyperband::export_state,
+        )?;
     }
 
     #[test]
