@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! asha-ctl (--unix PATH | --tcp ADDR) COMMAND [ARGS]
+//! asha-ctl (--unix PATH | --tcp ADDR)
+//!          [--connect-timeout SECS] [--timeout SECS] COMMAND [ARGS]
 //!
 //! Commands:
 //!   ping                              liveness probe
@@ -21,6 +22,12 @@
 //! `create` options: `--preset P --bench-seed N --seed N --workers N
 //! --max-time T --straggler-std S --drop-prob Q --min-r R --max-r R
 //! --eta E --sync (never|always|N) --snapshot-jobs N`.
+//!
+//! `--connect-timeout` (default 10) bounds TCP connection establishment;
+//! `--timeout` (default 30, `0` disables) bounds each request's wait for a
+//! reply, so a dead or wedged daemon fails the command instead of hanging
+//! the terminal forever. Streaming waits in `tail`/`watch` are separate
+//! and remain generous (an idle experiment is not a dead daemon).
 //!
 //! `watch` doubles as *attach*: subscribing replays the experiment's WAL
 //! from the requested sequence, so re-running `watch` after a daemon
@@ -44,7 +51,8 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asha-ctl (--unix PATH | --tcp ADDR) COMMAND [ARGS]\n\
+        "usage: asha-ctl (--unix PATH | --tcp ADDR)\n\
+         \x20              [--connect-timeout SECS] [--timeout SECS] COMMAND [ARGS]\n\
          commands: ping, create, start, pause, resume, abort, status, list,\n\
          \x20         stats, tail, watch, shutdown   (see source header for flags)"
     );
@@ -115,12 +123,21 @@ fn run_options(args: &Args) -> RunOptions {
     }
 }
 
-fn connect(unix: Option<&str>, tcp: Option<&str>) -> Client {
-    match (unix, tcp) {
+fn connect(
+    unix: Option<&str>,
+    tcp: Option<&str>,
+    connect_timeout: Duration,
+    call_timeout: Option<Duration>,
+) -> Client {
+    let mut client = match (unix, tcp) {
         (Some(path), _) => Client::connect_unix(path).unwrap_or_else(|e| fail(e)),
-        (None, Some(addr)) => Client::connect_tcp(addr).unwrap_or_else(|e| fail(e)),
+        (None, Some(addr)) => {
+            Client::connect_tcp_timeout(addr, connect_timeout).unwrap_or_else(|e| fail(e))
+        }
         (None, None) => fail("need --unix PATH or --tcp ADDR before the command"),
-    }
+    };
+    client.set_call_timeout(call_timeout);
+    client
 }
 
 fn cmd_create(client: &mut Client, args: &Args) {
@@ -254,23 +271,40 @@ fn main() {
     // to the subcommand.
     let mut unix = None;
     let mut tcp = None;
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut call_timeout = Some(Duration::from_secs(30));
     let mut idx = 0;
+    let take_value = |raw: &[String], idx: usize, name: &str| -> String {
+        raw.get(idx + 1)
+            .cloned()
+            .unwrap_or_else(|| fail(format!("{name} needs a value")))
+    };
     while idx < raw.len() {
         match raw[idx].as_str() {
             "--unix" => {
-                unix = Some(
-                    raw.get(idx + 1)
-                        .cloned()
-                        .unwrap_or_else(|| fail("--unix needs a value")),
-                );
+                unix = Some(take_value(&raw, idx, "--unix"));
                 idx += 2;
             }
             "--tcp" => {
-                tcp = Some(
-                    raw.get(idx + 1)
-                        .cloned()
-                        .unwrap_or_else(|| fail("--tcp needs a value")),
-                );
+                tcp = Some(take_value(&raw, idx, "--tcp"));
+                idx += 2;
+            }
+            "--connect-timeout" => {
+                let secs: f64 = take_value(&raw, idx, "--connect-timeout")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--connect-timeout: {e}")));
+                if secs <= 0.0 {
+                    fail("--connect-timeout must be positive");
+                }
+                connect_timeout = Duration::from_secs_f64(secs);
+                idx += 2;
+            }
+            "--timeout" => {
+                let secs: f64 = take_value(&raw, idx, "--timeout")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--timeout: {e}")));
+                // 0 disables the bound (block forever, the old behavior).
+                call_timeout = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
                 idx += 2;
             }
             "--help" | "-h" => usage(),
@@ -279,7 +313,12 @@ fn main() {
     }
     let Some(command) = raw.get(idx) else { usage() };
     let args = Args::parse(&raw[idx + 1..]);
-    let mut client = connect(unix.as_deref(), tcp.as_deref());
+    let mut client = connect(
+        unix.as_deref(),
+        tcp.as_deref(),
+        connect_timeout,
+        call_timeout,
+    );
 
     match command.as_str() {
         "ping" => {

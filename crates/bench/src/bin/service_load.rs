@@ -1,0 +1,564 @@
+//! `service_load` — load benchmark for the `asha-serve` reactor.
+//!
+//! Measures the service layer the way the paper's Section 4.4 regime would
+//! stress it: request/reply throughput and latency, connection churn,
+//! subscriber fan-out scaling, and the headline row — ten thousand
+//! concurrent connections (mixed requests and subscriptions) against one
+//! daemon on its fixed thread pool. Results land in `BENCH_service.json`
+//! so the perf trajectory is recorded PR over PR.
+//!
+//! The daemon runs in a *child process* (re-exec of this binary with
+//! `--serve-child`), so its thread and fd inventory can be read from
+//! `/proc/<pid>/status` without the load driver polluting the numbers, and
+//! so driver and daemon each stay under the open-file limit at 10k sockets.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asha-bench --bin service_load            # full
+//! cargo run --release -p asha-bench --bin service_load -- --quick # CI-sized
+//!     [--out PATH]    output path (default BENCH_service.json)
+//! ```
+//!
+//! Numbers are wall-clock on whatever machine runs the binary; treat them
+//! as a trajectory (same-machine ratios PR over PR), not absolute truth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use asha::core::{Asha, AshaConfig};
+use asha::metrics::JsonValue;
+use asha::service::{Client, Daemon, Push, ServeOptions};
+use asha::store::{
+    BenchSpec, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState, SyncPolicy,
+};
+use asha::surrogate::BenchmarkModel;
+
+const EXPERIMENT: &str = "load";
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+const CALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+fn parse_opts() -> (Opts, Option<(String, String)>) {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_service.json".to_owned(),
+    };
+    let mut child: Option<(String, String)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "--smoke" => opts.quick = true,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    opts.out = path;
+                }
+            }
+            "--serve-child" => {
+                let root = args.next().expect("--serve-child needs ROOT ADDRFILE");
+                let addrfile = args.next().expect("--serve-child needs ROOT ADDRFILE");
+                child = Some((root, addrfile));
+            }
+            _ => {}
+        }
+    }
+    (opts, child)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("service_load: error: {msg}");
+    std::process::exit(1);
+}
+
+/// Child mode: run the daemon until a client asks it to shut down,
+/// publishing the bound TCP address through `addrfile` (atomic rename so
+/// the parent never reads a half-written line).
+fn serve_child(root: &str, addrfile: &str) -> ! {
+    let mut serve = ServeOptions::new(root);
+    serve.tcp = Some("127.0.0.1:0".to_owned());
+    let daemon = match Daemon::start(serve) {
+        Ok(d) => d,
+        Err(e) => fail(e),
+    };
+    let addr = daemon.tcp_addr().expect("daemon has a TCP listener");
+    let tmp = format!("{addrfile}.tmp");
+    std::fs::write(&tmp, format!("{addr}\n")).unwrap_or_else(|e| fail(e));
+    std::fs::rename(&tmp, addrfile).unwrap_or_else(|e| fail(e));
+    match daemon.wait() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => fail(e),
+    }
+}
+
+/// Spawn the daemon child and wait for it to publish its address.
+///
+/// The returned `Child` is reaped by `main` after the shutdown request;
+/// the lint cannot see ownership escaping through the return value.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(root: &std::path::Path) -> (std::process::Child, String) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let addrfile = root.join("addr.txt");
+    let mut child = std::process::Command::new(exe)
+        .arg("--serve-child")
+        .arg(root)
+        .arg(&addrfile)
+        .spawn()
+        .expect("spawning daemon child");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(&addrfile) {
+            let addr = contents.trim().to_owned();
+            if !addr.is_empty() {
+                return (child, addr);
+            }
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            fail("daemon child never published its address");
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    let mut client = Client::connect_tcp_timeout(addr, CONNECT_TIMEOUT).unwrap_or_else(|e| fail(e));
+    client.set_call_timeout(Some(CALL_TIMEOUT));
+    client
+}
+
+fn small_meta() -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().expect("bench preset");
+    let space = bench.space().clone();
+    let asha = Asha::new(space.clone(), AshaConfig::new(1.0, 27.0, 3.0));
+    ExperimentMeta {
+        name: EXPERIMENT.to_owned(),
+        space,
+        initial: SchedulerState::Asha(asha.export_state()),
+        seed: 5,
+        sim: asha::sim::SimConfig::new(4, 40.0),
+        bench: spec,
+    }
+}
+
+fn run_opts() -> RunOptions {
+    RunOptions {
+        sync: SyncPolicy::EveryN(32),
+        snapshot_jobs: 200,
+    }
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Thread count of a process from `/proc/<pid>/status` (Linux only).
+fn process_threads(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Soft open-file limit of this process, from `/proc/self/limits`.
+fn open_file_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Request/reply throughput: `threads` concurrent clients each issuing
+/// `per_thread` pings; reports aggregate req/s and latency percentiles.
+fn requests_row(addr: &str, threads: usize, per_thread: usize) -> JsonValue {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.to_owned();
+            thread::spawn(move || {
+                let mut client = connect(&addr);
+                let mut lat = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    client.ping().unwrap_or_else(|e| fail(e));
+                    lat.push(t0.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    for handle in handles {
+        lat.extend(handle.join().expect("request thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let total = threads * per_thread;
+    let per_sec = total as f64 / secs.max(1e-9);
+    let (p50, p99) = (percentile_us(&lat, 0.50), percentile_us(&lat, 0.99));
+    println!(
+        "  requests {threads:>3} clients x {per_thread}: {total:>7} pings in {secs:>6.3}s = {per_sec:>9.0} req/s (p50 {p50} us, p99 {p99} us)"
+    );
+    JsonValue::obj([
+        ("clients", JsonValue::Int(threads as u64)),
+        ("requests", JsonValue::Int(total as u64)),
+        ("wall_secs", JsonValue::Num(secs)),
+        ("req_per_sec", JsonValue::Num(per_sec)),
+        ("p50_us", JsonValue::Int(p50)),
+        ("p99_us", JsonValue::Int(p99)),
+    ])
+}
+
+/// Connection churn: connect + ping + disconnect cycles; the reactor must
+/// absorb accept/close storms without latency spikes.
+fn churn_row(addr: &str, threads: usize, per_thread: usize) -> JsonValue {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.to_owned();
+            thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    let mut client = connect(&addr);
+                    client.ping().unwrap_or_else(|e| fail(e));
+                    drop(client);
+                    lat.push(t0.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    for handle in handles {
+        lat.extend(handle.join().expect("churn thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let total = threads * per_thread;
+    let per_sec = total as f64 / secs.max(1e-9);
+    let (p50, p99) = (percentile_us(&lat, 0.50), percentile_us(&lat, 0.99));
+    println!(
+        "  churn    {threads:>3} threads x {per_thread}: {total:>7} cycles in {secs:>6.3}s = {per_sec:>9.0} conn/s (p50 {p50} us, p99 {p99} us)"
+    );
+    JsonValue::obj([
+        ("threads", JsonValue::Int(threads as u64)),
+        ("cycles", JsonValue::Int(total as u64)),
+        ("wall_secs", JsonValue::Num(secs)),
+        ("cycles_per_sec", JsonValue::Num(per_sec)),
+        ("p50_us", JsonValue::Int(p50)),
+        ("p99_us", JsonValue::Int(p99)),
+    ])
+}
+
+/// Subscriber fan-out: `subs` concurrent subscribers each replaying the
+/// finished experiment's WAL to `End`; one tailer reads the log once and
+/// fans frames to every queue, so aggregate events/s should scale with the
+/// subscriber count until the wire saturates.
+fn fanout_row(addr: &str, subs: usize) -> JsonValue {
+    let delivered = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..subs)
+        .map(|_| {
+            let addr = addr.to_owned();
+            let delivered = Arc::clone(&delivered);
+            thread::spawn(move || {
+                let mut client = connect(&addr);
+                let sub = client.subscribe(EXPERIMENT, 0).unwrap_or_else(|e| fail(e));
+                let mut events = 0u64;
+                loop {
+                    match client.next_push(Some(CALL_TIMEOUT)) {
+                        Ok(Some(push)) if push.sub() == sub => match push {
+                            Push::Event { .. } => {
+                                events += 1;
+                                delivered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Push::End { .. } => break,
+                            _ => {}
+                        },
+                        Ok(Some(_)) => {}
+                        Ok(None) => fail("subscriber stream stalled"),
+                        Err(e) => fail(e),
+                    }
+                }
+                events
+            })
+        })
+        .collect();
+    let mut per_sub: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("fanout thread"))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    let total = delivered.load(Ordering::Relaxed);
+    per_sub.sort_unstable();
+    let identical = per_sub.first() == per_sub.last();
+    if !identical {
+        fail(format!(
+            "subscribers saw unequal streams: {:?}..{:?}",
+            per_sub.first(),
+            per_sub.last()
+        ));
+    }
+    let per_sec = total as f64 / secs.max(1e-9);
+    println!(
+        "  fanout   {subs:>3} subscribers: {total:>8} events in {secs:>6.3}s = {per_sec:>9.0} events/s ({} per stream)",
+        per_sub.first().copied().unwrap_or(0)
+    );
+    JsonValue::obj([
+        ("subscribers", JsonValue::Int(subs as u64)),
+        (
+            "events_per_stream",
+            JsonValue::Int(per_sub.first().copied().unwrap_or(0)),
+        ),
+        ("events_total", JsonValue::Int(total)),
+        ("wall_secs", JsonValue::Num(secs)),
+        ("events_per_sec", JsonValue::Num(per_sec)),
+        ("streams_identical", JsonValue::Bool(identical)),
+    ])
+}
+
+/// A single-fd load-driver connection. [`Client`] duplicates its socket
+/// (reader + writer), which would double the fd bill at 10k connections;
+/// the fleet instead speaks the newline-delimited protocol over one raw
+/// stream, wrk-style.
+struct RawConn {
+    stream: std::net::TcpStream,
+    carry: Vec<u8>,
+}
+
+impl RawConn {
+    fn connect(addr: &std::net::SocketAddr) -> std::io::Result<RawConn> {
+        let stream = std::net::TcpStream::connect_timeout(addr, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(CALL_TIMEOUT))?;
+        Ok(RawConn {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Read one reply line (the request half never receives pushes, so the
+    /// next line is always the pending reply).
+    fn read_line(&mut self) -> std::io::Result<String> {
+        use std::io::Read;
+        let mut chunk = [0u8; 256];
+        loop {
+            if let Some(nl) = self.carry.iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.carry[..nl]).into_owned();
+                self.carry.drain(..=nl);
+                return Ok(line);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// The headline row: `target` concurrent connections held open at once —
+/// half subscribed to the experiment's WAL stream, half issuing requests —
+/// with reply latency measured by a ping sweep while every socket stays
+/// registered, and the daemon's thread count read from /proc to prove the
+/// pool stayed fixed.
+fn concurrent_row(addr: &str, admin: &mut Client, daemon_pid: u32, target: usize) -> JsonValue {
+    use std::net::ToSocketAddrs;
+    // Stay under the fd soft limit with headroom for stdio/WAL/listeners.
+    let target = match open_file_limit() {
+        Some(limit) => target.min((limit.saturating_sub(256)) as usize),
+        None => target,
+    };
+    let sockaddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| fail("daemon address unresolvable"));
+    let before = admin.stats().unwrap_or_else(|e| fail(e));
+
+    let connect_start = Instant::now();
+    let mut fleet: Vec<RawConn> = Vec::with_capacity(target);
+    for i in 0..target {
+        fleet.push(RawConn::connect(&sockaddr).unwrap_or_else(|e| fail(e)));
+        if (i + 1) % 2000 == 0 {
+            println!("    ... {} connections open", i + 1);
+        }
+    }
+    let connect_secs = connect_start.elapsed().as_secs_f64();
+
+    // Half the fleet subscribes (replaying the finished WAL into its
+    // socket); the other half is the request side of the mix. Replies and
+    // pushes accumulate in each subscriber's receive buffer — the driver
+    // deliberately leaves them unread, like a slow consumer would.
+    let mut subscribed = 0u64;
+    let sub_line = format!(
+        "{{\"v\":1,\"id\":1,\"op\":\"subscribe\",\"name\":\"{EXPERIMENT}\",\"from_seq\":0}}"
+    );
+    for (i, conn) in fleet.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            conn.send_line(&sub_line).unwrap_or_else(|e| fail(e));
+            subscribed += 1;
+        }
+    }
+
+    // Let the fan-out drain: events_sent must stop moving before we call
+    // the subscription traffic delivered.
+    let mut last = before.events_sent;
+    let settle_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        thread::sleep(Duration::from_millis(200));
+        let now = admin.stats().unwrap_or_else(|e| fail(e)).events_sent;
+        if now == last || Instant::now() > settle_deadline {
+            last = now;
+            break;
+        }
+        last = now;
+    }
+
+    // Ping sweep across the request half while every connection is live.
+    let mut lat = Vec::new();
+    let sweep_start = Instant::now();
+    for (i, conn) in fleet.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            let t0 = Instant::now();
+            conn.send_line("{\"v\":1,\"id\":1,\"op\":\"ping\"}")
+                .unwrap_or_else(|e| fail(e));
+            let reply = conn.read_line().unwrap_or_else(|e| fail(e));
+            if !reply.contains("\"ok\"") {
+                fail(format!("unexpected ping reply: {reply}"));
+            }
+            lat.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let (p50, p99) = (percentile_us(&lat, 0.50), percentile_us(&lat, 0.99));
+
+    let stats = admin.stats().unwrap_or_else(|e| fail(e));
+    let threads = process_threads(daemon_pid);
+    let events_delivered = last.saturating_sub(before.events_sent);
+    println!(
+        "  concurrent {target:>6} connections ({subscribed} subscribed): connect {connect_secs:>6.2}s, {} pings in {sweep_secs:>6.3}s (p50 {p50} us, p99 {p99} us), {} events fanned out, daemon threads {}",
+        lat.len(),
+        events_delivered,
+        threads.map_or("n/a".to_owned(), |t| t.to_string()),
+    );
+    drop(fleet);
+    JsonValue::obj([
+        ("connections", JsonValue::Int(target as u64)),
+        ("subscribed", JsonValue::Int(subscribed)),
+        ("connect_secs", JsonValue::Num(connect_secs)),
+        ("pings", JsonValue::Int(lat.len() as u64)),
+        ("ping_sweep_secs", JsonValue::Num(sweep_secs)),
+        ("ping_p50_us", JsonValue::Int(p50)),
+        ("ping_p99_us", JsonValue::Int(p99)),
+        ("events_delivered", JsonValue::Int(events_delivered)),
+        ("connections_open", JsonValue::Int(stats.connections_open)),
+        (
+            "daemon_threads",
+            threads.map_or(JsonValue::Null, JsonValue::Int),
+        ),
+    ])
+}
+
+fn main() {
+    let (opts, child) = parse_opts();
+    if let Some((root, addrfile)) = child {
+        serve_child(&root, &addrfile);
+    }
+
+    let root = std::env::temp_dir().join(format!("asha-service-load-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap_or_else(|e| fail(e));
+    println!(
+        "service_load ({}) ...",
+        if opts.quick { "quick" } else { "full" }
+    );
+
+    let (mut daemon, addr) = spawn_daemon(&root);
+    let daemon_pid = daemon.id();
+    let mut admin = connect(&addr);
+
+    // Request/reply throughput and connection churn against an idle root.
+    let (req_threads, req_each) = if opts.quick { (4, 1500) } else { (8, 5000) };
+    let requests = requests_row(&addr, req_threads, req_each);
+    let (churn_threads, churn_each) = if opts.quick { (4, 150) } else { (4, 500) };
+    let churn = churn_row(&addr, churn_threads, churn_each);
+
+    // One small experiment, run to completion; every subscription row
+    // below replays its WAL.
+    admin
+        .create(&small_meta(), run_opts())
+        .unwrap_or_else(|e| fail(e));
+    admin
+        .start(EXPERIMENT, run_opts())
+        .unwrap_or_else(|e| fail(e));
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = admin.status(EXPERIMENT).unwrap_or_else(|e| fail(e));
+        if status.status == ExperimentStatus::Finished {
+            break;
+        }
+        if Instant::now() > deadline {
+            fail("experiment did not finish in 300s");
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // Subscriber fan-out scaling.
+    let fanout_sizes: &[usize] = if opts.quick { &[4, 32] } else { &[8, 64, 256] };
+    let fanout: Vec<JsonValue> = fanout_sizes.iter().map(|&n| fanout_row(&addr, n)).collect();
+
+    // The 10k-connection headline (1k in quick mode).
+    let target = if opts.quick { 1000 } else { 10_000 };
+    let concurrent = concurrent_row(&addr, &mut admin, daemon_pid, target);
+
+    admin.shutdown().unwrap_or_else(|e| fail(e));
+    let status = daemon.wait().expect("daemon child wait");
+    if !status.success() {
+        fail(format!("daemon exited abnormally: {status}"));
+    }
+
+    let report = JsonValue::obj([
+        ("schema", JsonValue::Str("asha-service-load-v1".to_owned())),
+        (
+            "mode",
+            JsonValue::Str(if opts.quick { "quick" } else { "full" }.to_owned()),
+        ),
+        ("requests", requests),
+        ("churn", churn),
+        ("fanout", JsonValue::Arr(fanout)),
+        ("concurrent", concurrent),
+    ]);
+    match asha::metrics::write_json(&opts.out, &report) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => fail(e),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -64,20 +64,32 @@ impl LogTail {
     /// Read any new complete lines. A missing file is not an error — the
     /// writer may not have created it yet — and yields an empty chunk.
     pub fn poll(&mut self) -> std::io::Result<TailChunk> {
+        self.poll_to(u64::MAX)
+    }
+
+    /// Like [`LogTail::poll`], but never reads past byte offset `limit`.
+    ///
+    /// Used when several tails follow one file and a lagging reader must
+    /// not overtake the lead reader's offset (e.g. a subscriber catching up
+    /// to a shared cursor). Rewind detection still compares against the
+    /// file's *real* length, so a truncating rewrite is noticed even when
+    /// it happens beyond the limit.
+    pub fn poll_to(&mut self, limit: u64) -> std::io::Result<TailChunk> {
         let mut file = match std::fs::File::open(&self.path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TailChunk::default()),
             Err(e) => return Err(e),
         };
-        let len = file.metadata()?.len();
+        let real_len = file.metadata()?.len();
+        let len = real_len.min(limit);
         let mut chunk = TailChunk::default();
-        if len < self.offset {
+        if real_len < self.offset {
             // The file was truncated or rewritten shorter: start over.
             self.offset = 0;
             self.partial.clear();
             chunk.rewound = true;
         }
-        if len == self.offset {
+        if len <= self.offset {
             return Ok(chunk);
         }
         file.seek(SeekFrom::Start(self.offset))?;
@@ -141,6 +153,22 @@ mod tests {
         f.write_all(b"\":3}\n").unwrap();
         drop(f);
         assert_eq!(tail.poll().unwrap().lines, vec!["{\"torn\":3}"]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn bounded_poll_stops_at_the_limit() {
+        let path = tmpfile("bounded");
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n").unwrap();
+        let mut tail = LogTail::new(&path);
+        // The limit cuts mid-line: only the complete lines before it yield,
+        // and the cut prefix stays pending as a torn tail.
+        let chunk = tail.poll_to(10).unwrap();
+        assert_eq!(chunk.lines, vec!["{\"a\":1}"]);
+        assert_eq!(tail.offset(), 10);
+        // Raising the limit releases the rest, including the held prefix.
+        let chunk = tail.poll_to(u64::MAX).unwrap();
+        assert_eq!(chunk.lines, vec!["{\"b\":2}", "{\"c\":3}"]);
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

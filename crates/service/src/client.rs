@@ -27,6 +27,9 @@ pub struct Client {
     next_id: u64,
     /// Push frames received while waiting for a reply, in arrival order.
     pending: VecDeque<Push>,
+    /// Bound on how long [`Client::call`] waits for its reply (`None`
+    /// blocks forever — a dead daemon then hangs the caller).
+    call_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -46,6 +49,25 @@ impl Client {
         Client::from_conn(Conn::Tcp(stream))
     }
 
+    /// Connect over TCP with a bound on connection establishment, so an
+    /// unreachable daemon fails fast instead of hanging in the kernel's
+    /// connect retry. (Unix-domain connects are local and resolve
+    /// immediately; use [`Client::set_call_timeout`] for dead-daemon
+    /// protection there.)
+    pub fn connect_tcp_timeout(addr: &str, timeout: Duration) -> Result<Client, Error> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr
+            .to_socket_addrs()
+            .map_err(|e| Error::from(e).context(format!("resolving daemon address {addr}")))?
+            .next()
+            .ok_or_else(|| {
+                Error::invalid(format!("daemon address {addr:?} resolved to nothing"))
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
+            .map_err(|e| Error::from(e).context(format!("connecting to daemon at {addr}")))?;
+        Client::from_conn(Conn::Tcp(stream))
+    }
+
     fn from_conn(conn: Conn) -> Result<Client, Error> {
         let writer = conn
             .try_clone()
@@ -55,10 +77,23 @@ impl Client {
             writer,
             next_id: 1,
             pending: VecDeque::new(),
+            call_timeout: None,
         })
     }
 
-    /// Send one request and block for its reply. Push frames that arrive
+    /// Bound how long [`Client::call`] (and every convenience wrapper)
+    /// waits for a reply. `None` restores the default: block forever.
+    pub fn set_call_timeout(&mut self, timeout: Option<Duration>) {
+        self.call_timeout = timeout;
+    }
+
+    /// The current reply-wait bound, if any.
+    pub fn call_timeout(&self) -> Option<Duration> {
+        self.call_timeout
+    }
+
+    /// Send one request and block for its reply (bounded by
+    /// [`Client::set_call_timeout`], if set). Push frames that arrive
     /// first are buffered for [`Client::next_push`].
     pub fn call(&mut self, request: &Request) -> Result<Reply, Error> {
         let id = self.next_id;
@@ -69,27 +104,57 @@ impl Client {
             .and_then(|()| self.writer.flush())
             .map_err(|e| Error::from(e).context("sending request"))?;
         let op = request.op();
-        loop {
-            match self.reader.read_frame()? {
-                Frame::Eof => {
-                    return Err(Error::protocol("connection closed while awaiting reply"))
+        let deadline = self.call_timeout.map(|t| Instant::now() + t);
+        if deadline.is_some() {
+            // Poll in short slices so the deadline is honored even when the
+            // daemon never writes a byte.
+            self.set_read_timeout(Some(Duration::from_millis(50)))?;
+        }
+        let result = loop {
+            match self.reader.read_frame() {
+                Err(e) => break Err(e),
+                Ok(Frame::Eof) => {
+                    break Err(Error::protocol("connection closed while awaiting reply"))
                 }
-                Frame::TimedOut => continue,
-                Frame::Value(frame) => {
+                Ok(Frame::TimedOut) => {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            break Err(Error::from(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                format!(
+                                    "no reply to {op:?} within {:?}",
+                                    self.call_timeout.unwrap()
+                                ),
+                            ))
+                            .context("daemon unresponsive"));
+                        }
+                    }
+                }
+                Ok(Frame::Value(frame)) => {
                     if Push::is_push_frame(&frame) {
-                        self.pending.push_back(Push::from_frame(&frame)?);
+                        match Push::from_frame(&frame) {
+                            Ok(push) => self.pending.push_back(push),
+                            Err(e) => break Err(e),
+                        }
                         continue;
                     }
-                    let (got_id, reply) = Reply::from_frame(&frame, op)?;
-                    if got_id != id {
-                        return Err(Error::protocol(format!(
-                            "reply id {got_id} does not match request id {id}"
-                        )));
-                    }
-                    return reply;
+                    break Reply::from_frame(&frame, op).and_then(|(got_id, reply)| {
+                        if got_id != id {
+                            return Err(Error::protocol(format!(
+                                "reply id {got_id} does not match request id {id}"
+                            )));
+                        }
+                        reply
+                    });
                 }
             }
+        };
+        if deadline.is_some() {
+            // Best-effort restore; if the socket died the result already
+            // carries the interesting error.
+            let _ = self.set_read_timeout(None);
         }
+        result
     }
 
     /// Next push frame: buffered ones first, then the wire. `timeout`

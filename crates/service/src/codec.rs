@@ -1,11 +1,17 @@
-//! Newline-delimited frame reader with size limits and torn-frame handling.
+//! Newline-delimited frame decoding with size limits and torn-frame
+//! handling.
 //!
-//! Both sides of the protocol read frames through [`FrameReader`]: it
-//! accumulates bytes from the underlying stream, yields one parsed
-//! [`JsonValue`] per newline-terminated line, enforces a maximum frame
-//! size, and distinguishes a clean EOF (at a line boundary) from a torn
-//! frame (EOF mid-line) and from a read timeout (the server polls its
-//! shutdown flag between timeouts).
+//! Two layers share one implementation:
+//!
+//! * [`FrameBuf`] is the sans-io core: an incremental byte accumulator fed
+//!   explicitly (e.g. from reactor readiness events) that yields one parsed
+//!   [`JsonValue`] per newline-terminated line. Frames are parsed directly
+//!   from the accumulation buffer — no per-frame `String` allocation on the
+//!   hot path.
+//! * [`FrameReader`] wraps a blocking (or timeout-bearing) byte stream
+//!   around a [`FrameBuf`] for the client library and tests: it pulls bytes
+//!   itself and distinguishes a clean EOF (at a line boundary) from a torn
+//!   frame (EOF mid-line) and from a read timeout.
 
 use std::io::Read;
 
@@ -22,18 +28,147 @@ pub enum Frame {
     /// The peer closed the stream at a frame boundary.
     Eof,
     /// The read timed out (or would block) with no complete frame buffered;
-    /// call again. Only seen when the stream has a read timeout set.
+    /// call again. Only seen when the stream has a read timeout set (or is
+    /// non-blocking).
     TimedOut,
 }
 
-/// Incremental frame reader over any byte stream.
+/// Incremental, sans-io frame decoder: feed bytes in, take frames out.
+///
+/// The reactor feeds it from a shared read scratch buffer on readiness
+/// events; [`FrameReader`] feeds it from its own stream. Between frames the
+/// consumed prefix is compacted away, so steady-state memory is one partial
+/// line, not the connection's history.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted by [`FrameBuf::compact`]).
+    start: usize,
+    max_frame: usize,
+}
+
+impl FrameBuf {
+    /// An empty decoder with an explicit frame-size limit (bytes, excluding
+    /// the newline).
+    pub fn new(max_frame: usize) -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// The configured frame-size limit.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a partial (newline-less) line is buffered — at EOF this
+    /// means the peer tore a frame.
+    pub fn has_partial(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Enforce the size limit on a still-incomplete line: a buffered
+    /// partial longer than the limit can never become a legal frame, so it
+    /// is discarded and reported immediately rather than growing without
+    /// bound. Call after [`FrameBuf::next_frame`] returns `None`.
+    pub fn check_overflow(&mut self) -> Result<(), Error> {
+        if self.pending_len() > self.max_frame {
+            self.buf.clear();
+            self.start = 0;
+            return Err(Error::protocol(format!(
+                "frame exceeds limit of {} bytes without a newline",
+                self.max_frame
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drop everything buffered (used when abandoning a poisoned stream).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Take the next complete frame, if one is buffered.
+    ///
+    /// Blank lines are skipped (keepalive-friendly); an oversized or
+    /// malformed line is consumed (so the error is not sticky) and returned
+    /// as `Some(Err(_))`.
+    pub fn next_frame(&mut self) -> Option<Result<JsonValue, Error>> {
+        loop {
+            let pending = &self.buf[self.start..];
+            let nl = pending.iter().position(|&b| b == b'\n')?;
+            if nl > self.max_frame {
+                let limit = self.max_frame;
+                self.start += nl + 1;
+                return Some(Err(Error::protocol(format!(
+                    "frame of {nl} bytes exceeds limit of {limit} bytes"
+                ))));
+            }
+            let line = trim_ascii(&pending[..nl]);
+            if line.is_empty() {
+                self.start += nl + 1;
+                continue;
+            }
+            // Parse straight out of the accumulation buffer; only invalid
+            // UTF-8 (which cannot be legal JSON anyway) takes the lossy
+            // allocating path so its error message matches what a text
+            // parser would report.
+            let parsed = match std::str::from_utf8(line) {
+                Ok(text) => JsonValue::parse(text),
+                Err(_) => JsonValue::parse(&String::from_utf8_lossy(line)),
+            };
+            let result = parsed.map_err(|e| Error::protocol(format!("malformed frame: {e}")));
+            self.start += nl + 1;
+            return Some(result);
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+fn trim_ascii(mut bytes: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = bytes {
+        if first.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = bytes {
+        if last.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
+}
+
+/// Blocking frame reader over any byte stream: a [`FrameBuf`] plus a read
+/// scratch buffer and the stream itself.
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
-    buf: Vec<u8>,
-    /// Consumed prefix of `buf` (compacted between reads).
-    start: usize,
-    max_frame: usize,
+    frames: FrameBuf,
     chunk: Vec<u8>,
 }
 
@@ -48,52 +183,19 @@ impl<R: Read> FrameReader<R> {
     pub fn with_max_frame(inner: R, max_frame: usize) -> Self {
         FrameReader {
             inner,
-            buf: Vec::new(),
-            start: 0,
-            max_frame,
+            frames: FrameBuf::new(max_frame),
             chunk: vec![0u8; 8 * 1024],
         }
     }
 
     /// The configured frame-size limit.
     pub fn max_frame(&self) -> usize {
-        self.max_frame
+        self.frames.max_frame()
     }
 
     /// Shared access to the underlying stream.
     pub fn get_ref(&self) -> &R {
         &self.inner
-    }
-
-    fn take_line(&mut self) -> Option<Result<JsonValue, Error>> {
-        let pending = &self.buf[self.start..];
-        let nl = pending.iter().position(|&b| b == b'\n')?;
-        if nl > self.max_frame {
-            // Consume the oversized line so the error is not sticky, then
-            // report it.
-            self.start += nl + 1;
-            return Some(Err(Error::protocol(format!(
-                "frame of {nl} bytes exceeds limit of {} bytes",
-                self.max_frame
-            ))));
-        }
-        let line = String::from_utf8_lossy(&pending[..nl]).into_owned();
-        self.start += nl + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            // Blank lines are ignored (keepalive-friendly).
-            return self.take_line();
-        }
-        Some(
-            JsonValue::parse(trimmed).map_err(|e| Error::protocol(format!("malformed frame: {e}"))),
-        )
-    }
-
-    fn compact(&mut self) {
-        if self.start > 0 {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
     }
 
     /// Read until one complete frame (or EOF / timeout) is available.
@@ -103,17 +205,10 @@ impl<R: Read> FrameReader<R> {
     /// `protocol` error.
     pub fn read_frame(&mut self) -> Result<Frame, Error> {
         loop {
-            if let Some(line) = self.take_line() {
-                return line.map(Frame::Value);
+            if let Some(frame) = self.frames.next_frame() {
+                return frame.map(Frame::Value);
             }
-            self.compact();
-            if self.buf.len() > self.max_frame {
-                self.buf.clear();
-                return Err(Error::protocol(format!(
-                    "frame exceeds limit of {} bytes without a newline",
-                    self.max_frame
-                )));
-            }
+            self.frames.check_overflow()?;
             let n = match self.inner.read(&mut self.chunk) {
                 Ok(n) => n,
                 Err(e)
@@ -126,13 +221,13 @@ impl<R: Read> FrameReader<R> {
                 Err(e) => return Err(Error::from(e).context("reading frame")),
             };
             if n == 0 {
-                if self.buf.is_empty() {
+                if !self.frames.has_partial() {
                     return Ok(Frame::Eof);
                 }
-                self.buf.clear();
+                self.frames.clear();
                 return Err(Error::protocol("torn frame: stream ended mid-line"));
             }
-            self.buf.extend_from_slice(&self.chunk[..n]);
+            self.frames.feed(&self.chunk[..n]);
         }
     }
 }
@@ -181,5 +276,31 @@ mod tests {
             Frame::Value(v) => assert_eq!(v.get("ok").and_then(|x| x.as_u64()), Some(1)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn framebuf_yields_frames_across_arbitrary_feeds() {
+        let wire = b"{\"a\":1}\n{\"b\":2}\n";
+        let mut fb = FrameBuf::new(DEFAULT_MAX_FRAME);
+        let mut seen = Vec::new();
+        for &byte in wire.iter() {
+            fb.feed(&[byte]);
+            while let Some(frame) = fb.next_frame() {
+                seen.push(frame.unwrap());
+            }
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].get("a").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(seen[1].get("b").and_then(|x| x.as_u64()), Some(2));
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn framebuf_overflow_clears_and_reports() {
+        let mut fb = FrameBuf::new(16);
+        fb.feed(&[b'x'; 64]);
+        assert!(fb.next_frame().is_none());
+        assert!(fb.check_overflow().is_err());
+        assert_eq!(fb.pending_len(), 0);
     }
 }

@@ -39,6 +39,27 @@ impl Conn {
         }
     }
 
+    /// Switch the socket between blocking and non-blocking mode. The
+    /// daemon's reactor runs every accepted socket non-blocking; the client
+    /// library keeps its sockets blocking with read timeouts.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw file descriptor, for readiness registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            Conn::Unix(s) => s.as_raw_fd(),
+            Conn::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
     /// Shut down both directions, unblocking any reader on the peer or on
     /// a cloned handle.
     pub fn shutdown(&self) -> std::io::Result<()> {

@@ -13,14 +13,20 @@
 //!   (create/start/pause/resume/abort/status/list/stats/subscribe/…),
 //!   replies, typed errors on the wire, and push frames for streaming
 //!   subscriptions.
-//! * [`codec`] — the newline-delimited frame reader: size limits,
-//!   torn-frame detection, timeout-aware reads.
-//! * [`server`] — [`Daemon`]: accept loops, per-connection reader/writer
-//!   threads, bounded per-client queues with explicit lag accounting (a
-//!   slow subscriber never stalls a run), WAL-tailing subscription
-//!   threads, graceful drain on shutdown.
-//! * [`client`] — [`Client`]: blocking request/reply with push buffering;
-//!   the `asha-ctl` binary in `asha-bench` is a thin shell over it.
+//! * [`codec`] — newline-delimited framing: the sans-io [`FrameBuf`]
+//!   decoder (fed from readiness events) and the blocking [`FrameReader`]
+//!   built on it; size limits, torn-frame detection, timeout-aware reads.
+//! * [`reactor`] — the event-driven connection engine (Unix only): one
+//!   readiness loop (epoll/`poll`) over every non-blocking socket, driving
+//!   a fixed worker pool; per-connection outgoing queues with
+//!   partial-write resumption and interest re-arming.
+//! * [`server`] — [`Daemon`]: the reactor plus one WAL tailer per
+//!   *experiment* fanning frames out to all of its subscribers, bounded
+//!   per-client queues with explicit lag accounting (a slow subscriber
+//!   never stalls a run), graceful drain on shutdown.
+//! * [`client`] — [`Client`]: blocking request/reply with push buffering
+//!   and connect/call timeouts; the `asha-ctl` binary in `asha-bench` is a
+//!   thin shell over it.
 //!
 //! # Quick start
 //!
@@ -40,19 +46,28 @@
 //! daemon.wait().unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
+// The reactor's poller speaks to epoll/poll through hand-declared FFI; the
+// `unsafe` needed for those calls is confined to `reactor::poller`'s sys
+// modules and explicitly allowed there. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod codec;
 pub mod conn;
 pub mod proto;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
+#[cfg(unix)]
+pub(crate) mod tailer;
 
 pub use crate::client::Client;
-pub use crate::codec::{encode_frame, Frame, FrameReader};
+pub use crate::codec::{encode_frame, Frame, FrameBuf, FrameReader};
 pub use crate::conn::Conn;
 pub use crate::proto::{
     DaemonStats, Push, Reply, Request, WireStatus, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+#[cfg(unix)]
+pub use crate::reactor::{Offer, OutBuf};
 pub use crate::server::{Daemon, ServeOptions};

@@ -1,0 +1,204 @@
+//! Per-connection outgoing frame buffer with partial-write resumption.
+//!
+//! Producers (worker threads, experiment tailers, status listeners) append
+//! whole encoded frames; the reactor drains bytes into the socket whenever
+//! it is writable. A write syscall may consume any byte count — including
+//! one that ends mid-frame — so the buffer tracks an offset into its front
+//! frame and [`OutBuf::consume`] advances across frame boundaries exactly
+//! as far as the kernel accepted.
+
+use std::collections::VecDeque;
+
+/// Outcome of one capacity-checked append attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The frame was queued.
+    Sent,
+    /// The queue is at capacity; the caller keeps the frame.
+    Full,
+    /// The connection is closed; the frame can never be delivered.
+    Closed,
+}
+
+/// Bounded queue of encoded frames awaiting the socket.
+#[derive(Debug)]
+pub struct OutBuf {
+    frames: VecDeque<String>,
+    /// Bytes of the front frame already written to the socket.
+    front_written: usize,
+    /// Soft capacity (frames) enforced for subscription traffic only;
+    /// replies bypass it because request dispatch is paused upstream when
+    /// the buffer backs up.
+    cap: usize,
+    /// No more appends; drain what remains, then the reactor closes the
+    /// socket.
+    closing: bool,
+    /// The socket is gone; everything is discarded.
+    closed: bool,
+}
+
+impl OutBuf {
+    /// An empty buffer with the given soft frame capacity.
+    pub fn new(cap: usize) -> Self {
+        OutBuf {
+            frames: VecDeque::new(),
+            front_written: 0,
+            cap,
+            closing: false,
+            closed: false,
+        }
+    }
+
+    /// Queued frame count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the buffer refuses new frames forever.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Whether the buffer is draining towards a close.
+    pub fn is_closing(&self) -> bool {
+        self.closing
+    }
+
+    /// Mark the connection as drain-then-close: no new frames, but queued
+    /// ones still go out.
+    pub fn begin_close(&mut self) {
+        self.closing = true;
+    }
+
+    /// Mark the connection dead and drop everything queued.
+    pub fn close(&mut self) {
+        self.closed = true;
+        self.closing = true;
+        self.frames.clear();
+        self.front_written = 0;
+    }
+
+    /// Append a frame unconditionally (reply tier — backpressure is applied
+    /// upstream by pausing reads). Returns false if the connection is
+    /// closed or closing.
+    pub fn push_reply(&mut self, frame: String) -> bool {
+        if self.closed || self.closing {
+            return false;
+        }
+        self.frames.push_back(frame);
+        true
+    }
+
+    /// Append a frame if there is capacity (subscription tiers).
+    pub fn offer(&mut self, frame: String) -> Offer {
+        if self.closed || self.closing {
+            return Offer::Closed;
+        }
+        if self.frames.len() >= self.cap {
+            return Offer::Full;
+        }
+        self.frames.push_back(frame);
+        Offer::Sent
+    }
+
+    /// Copy up to `limit` bytes of queued frames into `scratch` (cleared
+    /// first), starting at the resumption point. Returns the byte count
+    /// staged; 0 means nothing is queued.
+    pub fn stage(&self, scratch: &mut Vec<u8>, limit: usize) -> usize {
+        scratch.clear();
+        let mut skip = self.front_written;
+        for frame in &self.frames {
+            if scratch.len() >= limit {
+                break;
+            }
+            let bytes = frame.as_bytes();
+            let body = &bytes[skip.min(bytes.len())..];
+            skip = 0;
+            let room = limit - scratch.len();
+            scratch.extend_from_slice(&body[..body.len().min(room)]);
+        }
+        scratch.len()
+    }
+
+    /// Advance past `n` written bytes (as reported by the socket), popping
+    /// fully-sent frames and recording the offset into a partially-sent
+    /// front frame so the next [`OutBuf::stage`] resumes exactly there.
+    pub fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            let front_len = match self.frames.front() {
+                Some(frame) => frame.len(),
+                None => {
+                    debug_assert!(false, "consumed more bytes than staged");
+                    self.front_written = 0;
+                    return;
+                }
+            };
+            let remaining = front_len - self.front_written;
+            if n >= remaining {
+                self.frames.pop_front();
+                self.front_written = 0;
+                n -= remaining;
+            } else {
+                self.front_written += n;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain an OutBuf through writes of `k` bytes at a time and return the
+    /// concatenated byte stream the "socket" saw.
+    fn drain_in_chunks(out: &mut OutBuf, k: usize) -> Vec<u8> {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        loop {
+            let staged = out.stage(&mut scratch, 64 * 1024);
+            if staged == 0 {
+                break;
+            }
+            let take = staged.min(k);
+            wire.extend_from_slice(&scratch[..take]);
+            out.consume(take);
+        }
+        wire
+    }
+
+    #[test]
+    fn partial_writes_resume_at_every_split_point() {
+        let frames = ["{\"a\":1}\n", "{\"bb\":22}\n", "x\n", "{\"ccc\":333}\n"];
+        let expected: Vec<u8> = frames.concat().into_bytes();
+        for k in 1..=expected.len() {
+            let mut out = OutBuf::new(16);
+            for f in frames {
+                assert!(out.push_reply(f.to_owned()));
+            }
+            assert_eq!(drain_in_chunks(&mut out, k), expected, "chunk size {k}");
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn offer_respects_capacity_and_close() {
+        let mut out = OutBuf::new(2);
+        assert_eq!(out.offer("a\n".into()), Offer::Sent);
+        assert_eq!(out.offer("b\n".into()), Offer::Sent);
+        assert_eq!(out.offer("c\n".into()), Offer::Full);
+        // Replies bypass the soft cap.
+        assert!(out.push_reply("r\n".into()));
+        out.consume(4);
+        assert_eq!(out.offer("c\n".into()), Offer::Sent);
+        out.close();
+        assert_eq!(out.offer("d\n".into()), Offer::Closed);
+        assert!(!out.push_reply("r\n".into()));
+        assert!(out.is_empty());
+    }
+}

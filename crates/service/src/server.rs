@@ -1,66 +1,59 @@
-//! The `asha-serve` daemon: sockets, connection threads, subscriptions.
+//! The `asha-serve` daemon: reactor, worker pool, experiment tailers.
 //!
 //! # Threading model
 //!
-//! No async runtime — the daemon is plain threads and bounded channels:
+//! No async runtime, and no per-connection threads — the daemon is a
+//! *fixed* set of threads regardless of how many clients connect:
 //!
-//! * one **accept thread** per listener (Unix socket, TCP), non-blocking
-//!   with a short poll so shutdown is prompt;
-//! * per connection, a **reader thread** (decodes frames, executes
-//!   requests under the supervisor lock, enqueues replies) and a **writer
-//!   thread** (drains the connection's bounded outgoing queue to the
-//!   socket);
-//! * per subscription, a **tailer thread** following the experiment's WAL
-//!   with [`asha_obs::LogTail`];
+//! * one **reactor thread** (see [`crate::reactor`]) owning every socket:
+//!   both listeners and all accepted connections, non-blocking, driven by
+//!   readiness events (epoll on Linux, `poll(2)` elsewhere). It decodes
+//!   frames incrementally and drains each connection's outgoing queue with
+//!   partial-write resumption;
+//! * a **worker pool** ([`ServeOptions::workers`] threads) executing
+//!   decoded requests under the supervisor lock, strict FIFO per
+//!   connection;
+//! * one **tailer thread per experiment** (see [`crate::tailer`] — *not*
+//!   per subscription) reading each WAL record once and fanning frames out
+//!   to every subscriber's queue;
 //! * one **housekeeping thread** reaping finished experiment workers.
 //!
 //! # Backpressure and lag
 //!
-//! Each connection has one bounded outgoing queue. Replies use a blocking
-//! send — a client that stops reading stalls only *its own* requests.
-//! Subscription traffic never blocks anything else, by two mechanisms:
+//! Each connection has one bounded outgoing queue. Replies are never
+//! dropped; instead the reactor stops *reading* from a connection whose
+//! backlog exceeds the high-water mark, so a client that stops draining
+//! replies stalls only its own request stream. Subscription traffic never
+//! blocks anything else, by two mechanisms:
 //!
 //! * **WAL event frames** are file-backed, so the tailer never drops
-//!   them: when the queue is full it holds the undelivered suffix and
+//!   them: when the queue is full it holds the subscriber's cursor and
 //!   retries, delivering a gap-free stream at whatever pace the client
-//!   reads. Only the tailer's own thread waits.
+//!   reads. Only the experiment's tailer thread waits, and only on its
+//!   own schedule — other subscribers of the same experiment keep
+//!   receiving.
 //! * **Status pushes** fire on supervisor/worker threads, which must not
-//!   wait on anyone; they use `try_send` only. A dropped frame grows the
-//!   subscription's lag counter (`events_lagged` in daemon stats), and
+//!   wait on anyone; they are offered without retry. A dropped frame grows
+//!   the subscription's lag counter (`events_lagged` in daemon stats), and
 //!   the next frame that fits is preceded by a `lag` push telling the
 //!   subscriber exactly how many frames it lost.
-//!
-//! Either way a slow subscriber never stalls a tailer of another client,
-//! the supervisor, or the experiment making progress.
 //!
 //! # Graceful shutdown
 //!
 //! `shutdown` (the request, [`Daemon::begin_shutdown`], or SIGTERM in the
-//! binary) stops the accept loops, aborts running experiments at their
-//! next step boundary (each parks behind a durable snapshot and the
+//! binary) stops accepting and reading, aborts running experiments at
+//! their next step boundary (each parks behind a durable snapshot and the
 //! manifest is flushed), lets tailers push a final `end` frame, and drains
 //! every connection's outgoing queue before the process exits.
 
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener};
-#[cfg(unix)]
-use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::atomic::AtomicU64;
+use std::time::Duration;
 
+#[cfg(not(unix))]
 use asha_core::Error;
-use asha_metrics::JsonValue;
-use asha_obs::{Durability, JsonlWriter, LogTail};
-use asha_store::{ExperimentSupervisor, WAL_FILE};
 
-use crate::codec::{encode_frame, Frame, FrameReader};
-use crate::conn::Conn;
-use crate::proto::{DaemonStats, Push, Reply, Request, WireStatus, DEFAULT_MAX_FRAME};
+use crate::proto::{DaemonStats, DEFAULT_MAX_FRAME};
 
 /// Configuration for [`Daemon::start`].
 #[derive(Debug, Clone)]
@@ -75,13 +68,19 @@ pub struct ServeOptions {
     pub tcp: Option<String>,
     /// Maximum encoded frame size accepted from a client.
     pub max_frame: usize,
-    /// Per-connection read timeout; also bounds how fast connection
-    /// threads notice a shutdown.
+    /// Grace unit for shutdown draining (the drain window is ten times
+    /// this), kept under its historical name for compatibility.
     pub read_timeout: Duration,
-    /// Depth of each connection's bounded outgoing queue (frames).
+    /// Depth of each connection's bounded outgoing queue (frames); also
+    /// the high-water mark above which the reactor pauses that
+    /// connection's reads.
     pub queue_depth: usize,
-    /// How often subscription tailers poll the WAL for new lines.
+    /// How often experiment tailers poll the WAL for new lines; also the
+    /// reactor's poll timeout (bounds shutdown latency).
     pub poll_interval: Duration,
+    /// Worker threads executing requests (the fixed pool the reactor
+    /// feeds).
+    pub workers: usize,
     /// Optional request/response trace: every request and reply frame is
     /// appended as JSONL through [`asha_obs::JsonlWriter`].
     pub trace: Option<PathBuf>,
@@ -99,6 +98,7 @@ impl ServeOptions {
             read_timeout: Duration::from_millis(200),
             queue_depth: 256,
             poll_interval: Duration::from_millis(25),
+            workers: 4,
             trace: None,
         }
     }
@@ -106,17 +106,18 @@ impl ServeOptions {
 
 /// Lifetime counters, updated lock-free from every thread.
 #[derive(Debug, Default)]
-struct StatsCells {
-    connections_total: AtomicU64,
-    connections_open: AtomicU64,
-    requests: AtomicU64,
-    subscriptions_open: AtomicU64,
-    events_sent: AtomicU64,
-    events_lagged: AtomicU64,
+pub(crate) struct StatsCells {
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) connections_open: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) subscriptions_open: AtomicU64,
+    pub(crate) events_sent: AtomicU64,
+    pub(crate) events_lagged: AtomicU64,
 }
 
 impl StatsCells {
     fn snapshot(&self) -> DaemonStats {
+        use std::sync::atomic::Ordering;
         DaemonStats {
             connections_total: self.connections_total.load(Ordering::Relaxed),
             connections_open: self.connections_open.load(Ordering::Relaxed),
@@ -128,700 +129,552 @@ impl StatsCells {
     }
 }
 
-/// One live subscription, shared between its tailer thread, the status
-/// watcher registry, and the owning connection's reader thread.
-struct SubState {
-    sub: u64,
-    /// The owning connection's outgoing queue.
-    tx: SyncSender<String>,
-    /// Push frames dropped since the last delivered one; reported to the
-    /// subscriber as a `lag` push as soon as a frame fits again.
-    dropped: AtomicU64,
-    /// Set by unsubscribe, connection teardown, or end-of-stream.
-    closed: AtomicBool,
-}
-
-/// Outcome of one non-blocking delivery attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Delivery {
-    /// The frame is in the queue.
-    Sent,
-    /// The queue is full; the caller keeps the frame.
-    Full,
-    /// The subscription is closed (unsubscribed or connection gone).
-    Closed,
-}
-
-impl SubState {
-    fn try_line(&self, stats: &StatsCells, line: String) -> Delivery {
-        match self.tx.try_send(line) {
-            Ok(()) => {
-                stats.events_sent.fetch_add(1, Ordering::Relaxed);
-                Delivery::Sent
-            }
-            Err(TrySendError::Full(_)) => Delivery::Full,
-            Err(TrySendError::Disconnected(_)) => {
-                self.closed.store(true, Ordering::Release);
-                Delivery::Closed
-            }
-        }
-    }
-
-    /// Flush any owed `lag` notice; it must precede the next delivered
-    /// frame so the gap's position in the stream is unambiguous.
-    fn flush_owed(&self, stats: &StatsCells) -> Delivery {
-        let owed = self.dropped.load(Ordering::Acquire);
-        if owed == 0 {
-            return Delivery::Sent;
-        }
-        let lag = Push::Lag {
-            sub: self.sub,
-            dropped: owed,
-        };
-        let delivery = self.try_line(stats, encode_frame(&lag.to_frame()));
-        if delivery == Delivery::Sent {
-            self.dropped.fetch_sub(owed, Ordering::AcqRel);
-        }
-        delivery
-    }
-
-    /// Offer a frame without blocking or dropping: on a full queue the
-    /// caller retains the frame and retries later. The WAL tailer uses
-    /// this — its data is file-backed, so "wait" loses nothing.
-    fn offer(&self, stats: &StatsCells, push: &Push) -> Delivery {
-        if self.closed.load(Ordering::Acquire) {
-            return Delivery::Closed;
-        }
-        match self.flush_owed(stats) {
-            Delivery::Sent => {}
-            other => return other,
-        }
-        self.try_line(stats, encode_frame(&push.to_frame()))
-    }
-
-    /// Deliver a push that may be dropped under backpressure, with lag
-    /// accounting. Status pushes use this: they fire on supervisor /
-    /// worker threads, which must never wait on a slow subscriber.
-    fn push_lossy(&self, stats: &StatsCells, push: &Push) {
-        match self.offer(stats, push) {
-            Delivery::Sent | Delivery::Closed => {}
-            Delivery::Full => {
-                self.dropped.fetch_add(1, Ordering::AcqRel);
-                stats.events_lagged.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Deliver a stream-control push (`rewind`, `end`) that must arrive:
-    /// retry until it fits or the subscription closes. Only the tailer's
-    /// own thread ever waits here — the experiment, the supervisor, and
-    /// other clients are untouched.
-    fn push_persistent(&self, stats: &StatsCells, push: &Push) {
-        loop {
-            match self.offer(stats, push) {
-                Delivery::Sent | Delivery::Closed => return,
-                Delivery::Full => std::thread::sleep(Duration::from_millis(2)),
-            }
-        }
-    }
-}
-
-/// Experiment name → subscriptions that want its status pushes.
-type Watchers = Mutex<HashMap<String, Vec<Arc<SubState>>>>;
-
-/// State shared by every daemon thread.
-struct Shared {
-    opts: ServeOptions,
-    supervisor: Mutex<ExperimentSupervisor>,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<StatsCells>,
-    watchers: Arc<Watchers>,
-    next_sub: AtomicU64,
-    trace: Option<Mutex<JsonlWriter>>,
-}
-
-impl Shared {
-    fn trace_frame(&self, direction: &str, peer: &str, frame: &JsonValue) {
-        if let Some(trace) = &self.trace {
-            let line = JsonValue::obj([
-                ("dir", JsonValue::Str(direction.to_owned())),
-                ("peer", JsonValue::Str(peer.to_owned())),
-                ("frame", frame.clone()),
-            ])
-            .render_compact();
-            let mut w = trace.lock().unwrap();
-            let _ = w.append_raw(&line);
-            let _ = w.commit();
-        }
-    }
-}
-
-/// A running daemon. Start with [`Daemon::start`], stop with a `shutdown`
-/// request, [`Daemon::begin_shutdown`], or (in the binary) SIGTERM; then
-/// [`Daemon::wait`] drains and joins everything.
-pub struct Daemon {
-    shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
-    tcp_addr: Option<SocketAddr>,
-    unix_path: Option<PathBuf>,
-}
-
-impl Daemon {
-    /// Bind the configured listeners, open the supervisor root, and start
-    /// serving.
-    pub fn start(opts: ServeOptions) -> Result<Daemon, Error> {
-        if opts.unix.is_none() && opts.tcp.is_none() {
-            return Err(Error::config(
-                "daemon needs a unix socket path or a tcp address",
-            ));
-        }
-        let mut supervisor = ExperimentSupervisor::open(&opts.root)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(StatsCells::default());
-        let watchers: Arc<Watchers> = Arc::new(Mutex::new(HashMap::new()));
-
-        // Status changes fan out to subscriptions through the supervisor's
-        // listener hook. The closure captures only the registries — not the
-        // supervisor itself — so there is no ownership cycle, and it runs
-        // after the manifest write with `try_send`-only delivery, so it can
-        // never stall a state transition.
-        {
-            let watchers = Arc::clone(&watchers);
-            let stats = Arc::clone(&stats);
-            supervisor.set_status_listener(Arc::new(move |name, status| {
-                let map = watchers.lock().unwrap();
-                if let Some(subs) = map.get(name) {
-                    for sub in subs {
-                        sub.push_lossy(
-                            &stats,
-                            &Push::Status {
-                                sub: sub.sub,
-                                state: WireStatus {
-                                    name: name.to_owned(),
-                                    status,
-                                },
-                            },
-                        );
-                    }
-                }
-            }));
-        }
-
-        let trace = match &opts.trace {
-            Some(path) => Some(Mutex::new(
-                JsonlWriter::create(path, Durability::Flush)
-                    .map_err(|e| Error::io(path, e).context("opening trace log"))?,
-            )),
-            None => None,
-        };
-
-        let unix_path = opts.unix.clone();
-        let shared = Arc::new(Shared {
-            opts,
-            supervisor: Mutex::new(supervisor),
-            shutdown,
-            stats,
-            watchers,
-            next_sub: AtomicU64::new(1),
-            trace,
-        });
-
-        let mut threads = Vec::new();
-        let mut tcp_addr = None;
-
-        #[cfg(unix)]
-        if let Some(path) = &unix_path {
-            // A previous unclean exit leaves a stale socket file; rebinding
-            // is only possible after removing it.
-            let _ = std::fs::remove_file(path);
-            let listener = UnixListener::bind(path)
-                .map_err(|e| Error::io(path, e).context("binding unix socket"))?;
-            listener
-                .set_nonblocking(true)
-                .map_err(|e| Error::io(path, e))?;
-            let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || accept_unix(listener, shared)));
-        }
-        #[cfg(not(unix))]
-        if unix_path.is_some() {
-            return Err(Error::config(
-                "unix sockets are not available on this platform",
-            ));
-        }
-
-        if let Some(addr) = shared.opts.tcp.clone() {
-            let listener = TcpListener::bind(&addr)
-                .map_err(|e| Error::from(e).context(format!("binding tcp {addr}")))?;
-            tcp_addr = Some(
-                listener
-                    .local_addr()
-                    .map_err(|e| Error::from(e).context("reading bound tcp address"))?,
-            );
-            listener.set_nonblocking(true).map_err(Error::from)?;
-            let shared_tcp = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || accept_tcp(listener, shared_tcp)));
-        }
-
-        // Housekeeping: reap finished experiment workers so their terminal
-        // status lands in the manifest (and status pushes) without any
-        // client having to call join.
-        {
-            let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || housekeeper(shared)));
-        }
-
-        Ok(Daemon {
-            shared,
-            threads,
-            tcp_addr,
-            unix_path,
-        })
-    }
-
-    /// The actual bound TCP address (useful with port 0).
-    pub fn tcp_addr(&self) -> Option<SocketAddr> {
-        self.tcp_addr
-    }
-
-    /// The shutdown flag; setting it to `true` (e.g. from a signal
-    /// handler) is equivalent to [`Daemon::begin_shutdown`].
-    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.shared.shutdown)
-    }
-
-    /// Request a graceful shutdown (idempotent, non-blocking).
-    pub fn begin_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-    }
-
-    /// Whether shutdown has been requested (by request, signal, or
-    /// [`Daemon::begin_shutdown`]).
-    pub fn shutdown_requested(&self) -> bool {
-        self.shared.shutdown.load(Ordering::Acquire)
-    }
-
-    /// Current daemon counters.
-    pub fn stats(&self) -> DaemonStats {
-        self.shared.stats.snapshot()
-    }
-
-    /// Block until shutdown is requested, then drain: stop accepting, park
-    /// running experiments behind durable snapshots, flush the manifest,
-    /// and give connections a grace period to drain their queues.
-    pub fn wait(self) -> Result<(), Error> {
-        while !self.shared.shutdown.load(Ordering::Acquire) {
-            std::thread::sleep(self.shared.opts.poll_interval);
-        }
-        // Accept loops and the housekeeper exit on the flag.
-        for t in self.threads {
-            let _ = t.join();
-        }
-        // Park running experiments: abort snapshots at the next step
-        // boundary and leaves every store resumable; the manifest is
-        // rewritten per transition.
-        let result = {
-            let mut sup = self.shared.supervisor.lock().unwrap();
-            let mut first_err = None;
-            let _ = sup.reap_finished();
-            for name in sup.active() {
-                if let Err(e) = sup.abort(&name) {
-                    first_err.get_or_insert(e);
-                }
-            }
-            first_err
-        };
-        // Grace period: connection threads notice the flag within one read
-        // timeout, drop their queue senders, and writers drain.
-        let grace = self.shared.opts.read_timeout * 10;
-        let deadline = Instant::now() + grace;
-        while self.shared.stats.connections_open.load(Ordering::Relaxed) > 0
-            && Instant::now() < deadline
-        {
-            std::thread::sleep(self.shared.opts.poll_interval);
-        }
-        if let Some(trace) = &self.shared.trace {
-            let _ = trace.lock().unwrap().commit();
-        }
-        #[cfg(unix)]
-        if let Some(path) = &self.unix_path {
-            let _ = std::fs::remove_file(path);
-        }
-        match result {
-            Some(e) => Err(e.context("parking experiments at shutdown")),
-            None => Ok(()),
-        }
-    }
-}
+#[cfg(unix)]
+pub use unix_impl::Daemon;
 
 #[cfg(unix)]
-fn accept_unix(listener: UnixListener, shared: Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => spawn_connection(Conn::Unix(stream), &shared),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(shared.opts.poll_interval);
-            }
-            Err(_) => std::thread::sleep(shared.opts.poll_interval),
-        }
-    }
-}
+mod unix_impl {
+    use std::collections::HashMap;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::net::UnixListener;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::Duration;
 
-fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => spawn_connection(Conn::Tcp(stream), &shared),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(shared.opts.poll_interval);
-            }
-            Err(_) => std::thread::sleep(shared.opts.poll_interval),
-        }
-    }
-}
+    use asha_core::Error;
+    use asha_metrics::JsonValue;
+    use asha_obs::{Durability, JsonlWriter};
+    use asha_store::{ExperimentSupervisor, WAL_FILE};
 
-fn housekeeper(shared: Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::Acquire) {
-        {
-            let mut sup = shared.supervisor.lock().unwrap();
-            let _ = sup.reap_finished();
-        }
-        std::thread::sleep(shared.opts.poll_interval.max(Duration::from_millis(20)));
-    }
-}
-
-fn spawn_connection(conn: Conn, shared: &Arc<Shared>) {
-    // Accepted sockets must be blocking regardless of the listener's mode;
-    // the reader relies on read timeouts, not non-blocking reads.
-    let _ = match &conn {
-        #[cfg(unix)]
-        Conn::Unix(s) => s.set_nonblocking(false),
-        Conn::Tcp(s) => s.set_nonblocking(false),
+    use super::{ServeOptions, StatsCells};
+    use crate::codec::encode_frame;
+    use crate::proto::{DaemonStats, Push, Reply, Request, WireStatus};
+    use crate::reactor::{
+        start_reactor, ConnHandle, ConnHandler, Listener, PoolSubmitter, ReactorConfig,
+        ReactorFlags, ReactorHandle, WorkerPool,
     };
-    let _ = conn.set_read_timeout(Some(shared.opts.read_timeout));
-    let write_half = match conn.try_clone() {
-        Ok(c) => c,
-        Err(_) => return,
-    };
-    shared
-        .stats
-        .connections_total
-        .fetch_add(1, Ordering::Relaxed);
-    shared
-        .stats
-        .connections_open
-        .fetch_add(1, Ordering::Relaxed);
+    use crate::tailer::{SubState, TailerCtx, TailerRegistry};
 
-    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(shared.opts.queue_depth);
-    let shared_reader = Arc::clone(shared);
-    std::thread::spawn(move || {
-        connection_main(conn, write_half, tx, rx, shared_reader);
-    });
-}
+    /// Experiment name → subscriptions that want its status pushes.
+    type Watchers = Mutex<HashMap<String, Vec<Arc<SubState>>>>;
 
-fn connection_main(
-    conn: Conn,
-    write_half: Conn,
-    tx: SyncSender<String>,
-    rx: Receiver<String>,
-    shared: Arc<Shared>,
-) {
-    let peer = conn.peer();
-    // Writer: drains the bounded queue to the socket. Exits when every
-    // sender (reader + subscription states) is gone and the queue is empty
-    // — which is exactly "drain, then close".
-    let writer = std::thread::spawn(move || writer_main(write_half, rx));
+    /// State shared by every daemon thread.
+    pub(crate) struct Shared {
+        opts: ServeOptions,
+        supervisor: Mutex<ExperimentSupervisor>,
+        shutdown: Arc<AtomicBool>,
+        stats: Arc<StatsCells>,
+        watchers: Arc<Watchers>,
+        tailers: Arc<TailerRegistry>,
+        next_sub: AtomicU64,
+        trace: Option<Mutex<JsonlWriter>>,
+    }
 
-    let mut reader = FrameReader::with_max_frame(conn, shared.opts.max_frame);
-    // Subscriptions owned by this connection, for unsubscribe and teardown.
-    let mut subs: HashMap<u64, Arc<SubState>> = HashMap::new();
-
-    loop {
-        match reader.read_frame() {
-            Ok(Frame::TimedOut) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-            Ok(Frame::Eof) => break,
-            Ok(Frame::Value(frame)) => {
-                shared.trace_frame("req", &peer, &frame);
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let response = handle_frame(&frame, &tx, &mut subs, &shared);
-                shared.trace_frame("res", &peer, &response);
-                // Blocking send: replies apply backpressure to the client's
-                // own request stream, never to anyone else.
-                if tx.send(encode_frame(&response)).is_err() {
-                    break;
-                }
-            }
-            Err(e) => {
-                // Oversized or malformed frames get a diagnostic before the
-                // stream state is trusted again; torn/IO failures just end
-                // the connection.
-                let msg = e.to_string();
-                let fatal = msg.contains("torn frame") || e.kind() == asha_core::ErrorKind::Io;
-                let frame = Reply::error_frame(0, &e);
-                shared.trace_frame("res", &peer, &frame);
-                if tx.send(encode_frame(&frame)).is_err() || fatal {
-                    break;
-                }
+    impl Shared {
+        fn trace_frame(&self, direction: &str, peer: &str, frame: &JsonValue) {
+            if let Some(trace) = &self.trace {
+                let line = JsonValue::obj([
+                    ("dir", JsonValue::Str(direction.to_owned())),
+                    ("peer", JsonValue::Str(peer.to_owned())),
+                    ("frame", frame.clone()),
+                ])
+                .render_compact();
+                let mut w = trace.lock().unwrap();
+                let _ = w.append_raw(&line);
+                let _ = w.commit();
             }
         }
     }
 
-    // Teardown: close our subscriptions so tailers exit, unregister
-    // watchers, drop the sender so the writer can drain and finish.
-    for (_, sub) in subs.drain() {
-        sub.closed.store(true, Ordering::Release);
+    /// Service state attached to each connection via the handle's user
+    /// slot: the subscriptions it owns, for unsubscribe and teardown.
+    #[derive(Default)]
+    struct ConnCtx {
+        subs: Mutex<HashMap<u64, Arc<SubState>>>,
     }
-    prune_watchers(&shared);
-    drop(tx);
-    let _ = reader.get_ref().shutdown();
-    let _ = writer.join();
-    shared
-        .stats
-        .connections_open
-        .fetch_sub(1, Ordering::Relaxed);
-}
 
-fn writer_main(mut conn: Conn, rx: Receiver<String>) {
-    let mut batch = String::new();
-    while let Ok(line) = rx.recv() {
-        // Coalesce whatever else is already queued into one write: frame
-        // boundaries are newlines, so concatenation is free, and this turns
-        // a hot subscription stream from two syscalls per frame into two
-        // per queue drain.
-        batch.clear();
-        batch.push_str(&line);
-        while batch.len() < 64 * 1024 {
-            match rx.try_recv() {
-                Ok(next) => batch.push_str(&next),
-                Err(_) => break,
-            }
-        }
-        if conn.write_all(batch.as_bytes()).is_err() || conn.flush().is_err() {
-            // Peer is gone: keep draining the queue so senders never block
-            // on a dead connection.
-            for _ in rx.iter() {}
-            break;
-        }
+    /// The reactor → service bridge: frames in, worker visits out.
+    struct ServiceHandler {
+        shared: Arc<Shared>,
+        pool: PoolSubmitter,
     }
-    let _ = conn.shutdown();
-}
 
-/// Drop closed subscriptions from the status-watcher registry.
-fn prune_watchers(shared: &Shared) {
-    let mut map = shared.watchers.lock().unwrap();
-    map.retain(|_, subs| {
-        subs.retain(|s| !s.closed.load(Ordering::Acquire));
-        !subs.is_empty()
-    });
-}
-
-fn handle_frame(
-    frame: &JsonValue,
-    tx: &SyncSender<String>,
-    subs: &mut HashMap<u64, Arc<SubState>>,
-    shared: &Arc<Shared>,
-) -> JsonValue {
-    let (id, request) = match Request::from_frame(frame) {
-        Ok(pair) => pair,
-        Err(e) => {
-            // Salvage the id if the frame had one so the client can
-            // correlate the failure.
-            let id = frame.get("id").and_then(|v| v.as_u64()).unwrap_or(0);
-            return Reply::error_frame(id, &e);
-        }
-    };
-    match execute(id, request, tx, subs, shared) {
-        Ok(reply) => reply.to_frame(id),
-        Err(e) => Reply::error_frame(id, &e),
-    }
-}
-
-fn execute(
-    _id: u64,
-    request: Request,
-    tx: &SyncSender<String>,
-    subs: &mut HashMap<u64, Arc<SubState>>,
-    shared: &Arc<Shared>,
-) -> Result<Reply, Error> {
-    match request {
-        Request::Ping => Ok(Reply::Pong),
-        Request::Create { meta, opts } => {
-            let mut sup = shared.supervisor.lock().unwrap();
-            sup.create(&meta, opts)?;
-            Ok(Reply::Ack)
-        }
-        Request::Start { name, opts } => {
-            let mut sup = shared.supervisor.lock().unwrap();
-            sup.start(&name, opts)?;
-            Ok(Reply::Ack)
-        }
-        Request::Pause { name } => {
-            let mut sup = shared.supervisor.lock().unwrap();
-            sup.pause(&name)?;
-            Ok(Reply::Ack)
-        }
-        Request::Resume { name } => {
-            let mut sup = shared.supervisor.lock().unwrap();
-            sup.resume(&name)?;
-            Ok(Reply::Ack)
-        }
-        Request::Abort { name } => {
-            let mut sup = shared.supervisor.lock().unwrap();
-            sup.abort(&name)?;
-            Ok(Reply::Ack)
-        }
-        Request::Status { name } => {
-            let sup = shared.supervisor.lock().unwrap();
-            let status = sup
-                .status(&name)
-                .ok_or_else(|| Error::missing(format!("experiment {name:?}")))?;
-            Ok(Reply::Status(WireStatus { name, status }))
-        }
-        Request::List => {
-            let sup = shared.supervisor.lock().unwrap();
-            Ok(Reply::List(
-                sup.experiments()
-                    .iter()
-                    .map(|e| WireStatus {
-                        name: e.name.clone(),
-                        status: e.status,
-                    })
-                    .collect(),
-            ))
-        }
-        Request::Stats => Ok(Reply::Stats(shared.stats.snapshot())),
-        Request::Subscribe { name, from_seq } => {
-            let wal_path = {
-                let sup = shared.supervisor.lock().unwrap();
-                if sup.status(&name).is_none() {
-                    return Err(Error::missing(format!("experiment {name:?}")));
-                }
-                sup.experiment_dir(&name).join(WAL_FILE)
-            };
-            let sub_id = shared.next_sub.fetch_add(1, Ordering::Relaxed);
-            let state = Arc::new(SubState {
-                sub: sub_id,
-                tx: tx.clone(),
-                dropped: AtomicU64::new(0),
-                closed: AtomicBool::new(false),
-            });
-            subs.insert(sub_id, Arc::clone(&state));
-            shared
-                .watchers
-                .lock()
-                .unwrap()
-                .entry(name.clone())
-                .or_default()
-                .push(Arc::clone(&state));
-            shared
+    impl ConnHandler for ServiceHandler {
+        fn on_open(&self, conn: &Arc<ConnHandle>) {
+            conn.set_user(Box::new(ConnCtx::default()));
+            self.shared
                 .stats
-                .subscriptions_open
+                .connections_total
                 .fetch_add(1, Ordering::Relaxed);
-            let shared_tail = Arc::clone(shared);
-            std::thread::spawn(move || {
-                tailer_main(wal_path, from_seq, state, shared_tail);
+            self.shared
+                .stats
+                .connections_open
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn on_frame(&self, conn: &Arc<ConnHandle>, frame: JsonValue) {
+            // Reactor thread: enqueue only. The worker pool preserves FIFO
+            // order per connection via the visit protocol.
+            if conn.enqueue_request(frame) {
+                self.pool.submit(Arc::clone(conn));
+            }
+        }
+
+        fn on_decode_error(&self, conn: &Arc<ConnHandle>, err: &Error) -> bool {
+            // Oversized or malformed frames get a diagnostic before the
+            // stream state is trusted again; torn/IO failures end the
+            // connection once its queue drains.
+            let frame = Reply::error_frame(0, err);
+            self.shared.trace_frame("res", conn.peer(), &frame);
+            let _ = conn.push_reply(encode_frame(&frame));
+            err.to_string().contains("torn frame") || err.kind() == asha_core::ErrorKind::Io
+        }
+
+        fn on_close(&self, conn: &Arc<ConnHandle>) {
+            if let Some(ctx) = conn.user::<ConnCtx>() {
+                for (_, sub) in ctx.subs.lock().unwrap().drain() {
+                    sub.mark_closed(&self.shared.stats);
+                }
+            }
+            prune_watchers(&self.shared);
+            self.shared
+                .stats
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker-pool body: execute one request frame and queue its reply.
+    fn run_one(shared: &Arc<Shared>, conn: &Arc<ConnHandle>, frame: JsonValue) {
+        shared.trace_frame("req", conn.peer(), &frame);
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = handle_frame(&frame, conn, shared);
+        shared.trace_frame("res", conn.peer(), &response);
+        let _ = conn.push_reply(encode_frame(&response));
+    }
+
+    /// A running daemon. Start with [`Daemon::start`], stop with a
+    /// `shutdown` request, [`Daemon::begin_shutdown`], or (in the binary)
+    /// SIGTERM; then [`Daemon::wait`] drains and joins everything.
+    pub struct Daemon {
+        shared: Arc<Shared>,
+        reactor: ReactorHandle,
+        pool: WorkerPool,
+        housekeeper: JoinHandle<()>,
+        final_drain: Arc<AtomicBool>,
+        tcp_addr: Option<SocketAddr>,
+        unix_path: Option<PathBuf>,
+    }
+
+    impl Daemon {
+        /// Bind the configured listeners, open the supervisor root, and
+        /// start serving.
+        pub fn start(opts: ServeOptions) -> Result<Daemon, Error> {
+            if opts.unix.is_none() && opts.tcp.is_none() {
+                return Err(Error::config(
+                    "daemon needs a unix socket path or a tcp address",
+                ));
+            }
+            let mut supervisor = ExperimentSupervisor::open(&opts.root)?;
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let stats = Arc::new(StatsCells::default());
+            let watchers: Arc<Watchers> = Arc::new(Mutex::new(HashMap::new()));
+
+            // Status changes fan out to subscriptions through the
+            // supervisor's listener hook. The closure captures only the
+            // registries — not the supervisor itself — so there is no
+            // ownership cycle, and it runs after the manifest write with
+            // drop-don't-wait delivery, so it can never stall a state
+            // transition.
+            {
+                let watchers = Arc::clone(&watchers);
+                let stats = Arc::clone(&stats);
+                supervisor.set_status_listener(Arc::new(move |name, status| {
+                    let map = watchers.lock().unwrap();
+                    if let Some(subs) = map.get(name) {
+                        for sub in subs {
+                            sub.push_lossy(
+                                &stats,
+                                &Push::Status {
+                                    sub: sub.sub,
+                                    state: WireStatus {
+                                        name: name.to_owned(),
+                                        status,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }));
+            }
+
+            let trace = match &opts.trace {
+                Some(path) => Some(Mutex::new(
+                    JsonlWriter::create(path, Durability::Flush)
+                        .map_err(|e| Error::io(path, e).context("opening trace log"))?,
+                )),
+                None => None,
+            };
+
+            let grace = opts.read_timeout * 10;
+            let tailers = TailerRegistry::new(TailerCtx {
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                poll_interval: opts.poll_interval,
+                grace,
             });
-            Ok(Reply::Subscribed { sub: sub_id })
+
+            let unix_path = opts.unix.clone();
+            let shared = Arc::new(Shared {
+                opts,
+                supervisor: Mutex::new(supervisor),
+                shutdown: Arc::clone(&shutdown),
+                stats,
+                watchers,
+                tailers,
+                next_sub: AtomicU64::new(1),
+                trace,
+            });
+
+            let mut listeners = Vec::new();
+            if let Some(path) = &unix_path {
+                // A previous unclean exit leaves a stale socket file;
+                // rebinding is only possible after removing it.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| Error::io(path, e).context("binding unix socket"))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| Error::io(path, e))?;
+                listeners.push(Listener::Unix(listener));
+            }
+            let mut tcp_addr = None;
+            if let Some(addr) = shared.opts.tcp.clone() {
+                let listener = TcpListener::bind(&addr)
+                    .map_err(|e| Error::from(e).context(format!("binding tcp {addr}")))?;
+                tcp_addr = Some(
+                    listener
+                        .local_addr()
+                        .map_err(|e| Error::from(e).context("reading bound tcp address"))?,
+                );
+                listener.set_nonblocking(true).map_err(Error::from)?;
+                listeners.push(Listener::Tcp(listener));
+            }
+
+            let pool = {
+                let shared = Arc::clone(&shared);
+                WorkerPool::start(
+                    shared.opts.workers,
+                    Arc::new(move |conn: &Arc<ConnHandle>, frame| {
+                        run_one(&shared, conn, frame);
+                    }),
+                )
+            };
+
+            let final_drain = Arc::new(AtomicBool::new(false));
+            let handler = Arc::new(ServiceHandler {
+                shared: Arc::clone(&shared),
+                pool: pool.submitter(),
+            });
+            let reactor = start_reactor(
+                ReactorConfig {
+                    max_frame: shared.opts.max_frame,
+                    high_water: shared.opts.queue_depth,
+                    poll_interval: shared.opts.poll_interval,
+                    grace,
+                },
+                listeners,
+                handler,
+                ReactorFlags {
+                    shutdown: Arc::clone(&shutdown),
+                    final_drain: Arc::clone(&final_drain),
+                },
+            )
+            .map_err(|e| Error::from(e).context("starting reactor"))?;
+
+            // Housekeeping: reap finished experiment workers so their
+            // terminal status lands in the manifest (and status pushes)
+            // without any client having to call join.
+            let housekeeper = {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("asha-serve-housekeeper".to_owned())
+                    .spawn(move || housekeeper(shared))
+                    .map_err(Error::from)?
+            };
+
+            Ok(Daemon {
+                shared,
+                reactor,
+                pool,
+                housekeeper,
+                final_drain,
+                tcp_addr,
+                unix_path,
+            })
         }
-        Request::Unsubscribe { sub } => {
-            let state = subs
-                .remove(&sub)
-                .ok_or_else(|| Error::missing(format!("subscription {sub}")))?;
-            state.closed.store(true, Ordering::Release);
-            prune_watchers(shared);
-            Ok(Reply::Ack)
+
+        /// The actual bound TCP address (useful with port 0).
+        pub fn tcp_addr(&self) -> Option<SocketAddr> {
+            self.tcp_addr
         }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::Release);
-            Ok(Reply::Ack)
+
+        /// The shutdown flag; setting it to `true` (e.g. from a signal
+        /// handler) is equivalent to [`Daemon::begin_shutdown`].
+        pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+            Arc::clone(&self.shared.shutdown)
+        }
+
+        /// Request a graceful shutdown (idempotent, non-blocking).
+        pub fn begin_shutdown(&self) {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.reactor.wake();
+        }
+
+        /// Whether shutdown has been requested (by request, signal, or
+        /// [`Daemon::begin_shutdown`]).
+        pub fn shutdown_requested(&self) -> bool {
+            self.shared.shutdown.load(Ordering::Acquire)
+        }
+
+        /// Current daemon counters.
+        pub fn stats(&self) -> DaemonStats {
+            self.shared.stats.snapshot()
+        }
+
+        /// Block until shutdown is requested, then drain: stop accepting,
+        /// park running experiments behind durable snapshots, flush the
+        /// manifest, let tailers push their final `end` frames, and give
+        /// connections a grace period to drain their queues.
+        pub fn wait(self) -> Result<(), Error> {
+            while !self.shared.shutdown.load(Ordering::Acquire) {
+                std::thread::sleep(self.shared.opts.poll_interval);
+            }
+            self.reactor.wake();
+            let Daemon {
+                shared,
+                reactor,
+                pool,
+                housekeeper,
+                final_drain,
+                unix_path,
+                ..
+            } = self;
+            let _ = housekeeper.join();
+            // Park running experiments: abort snapshots at the next step
+            // boundary and leaves every store resumable; the manifest is
+            // rewritten per transition.
+            let result = {
+                let mut sup = shared.supervisor.lock().unwrap();
+                let mut first_err = None;
+                let _ = sup.reap_finished();
+                for name in sup.active() {
+                    if let Err(e) = sup.abort(&name) {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                first_err
+            };
+            // Workers finish queued requests (their replies still flush
+            // through the live reactor), then tailers deliver final `end`
+            // frames and exit on the flag.
+            pool.shutdown_join();
+            shared.tailers.join_all();
+            // Nothing produces frames anymore: the reactor drains every
+            // connection's queue (bounded by the grace window) and exits.
+            final_drain.store(true, Ordering::Release);
+            reactor.join();
+            if let Some(trace) = &shared.trace {
+                let _ = trace.lock().unwrap().commit();
+            }
+            if let Some(path) = &unix_path {
+                let _ = std::fs::remove_file(path);
+            }
+            match result {
+                Some(e) => Err(e.context("parking experiments at shutdown")),
+                None => Ok(()),
+            }
+        }
+    }
+
+    fn housekeeper(shared: Arc<Shared>) {
+        while !shared.shutdown.load(Ordering::Acquire) {
+            {
+                let mut sup = shared.supervisor.lock().unwrap();
+                let _ = sup.reap_finished();
+            }
+            std::thread::sleep(shared.opts.poll_interval.max(Duration::from_millis(20)));
+        }
+    }
+
+    /// Drop closed subscriptions from the status-watcher registry.
+    fn prune_watchers(shared: &Shared) {
+        let mut map = shared.watchers.lock().unwrap();
+        map.retain(|_, subs| {
+            subs.retain(|s| !s.is_closed());
+            !subs.is_empty()
+        });
+    }
+
+    fn handle_frame(frame: &JsonValue, conn: &Arc<ConnHandle>, shared: &Arc<Shared>) -> JsonValue {
+        let (id, request) = match Request::from_frame(frame) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Salvage the id if the frame had one so the client can
+                // correlate the failure.
+                let id = frame.get("id").and_then(|v| v.as_u64()).unwrap_or(0);
+                return Reply::error_frame(id, &e);
+            }
+        };
+        match execute(id, request, conn, shared) {
+            Ok(reply) => reply.to_frame(id),
+            Err(e) => Reply::error_frame(id, &e),
+        }
+    }
+
+    fn execute(
+        _id: u64,
+        request: Request,
+        conn: &Arc<ConnHandle>,
+        shared: &Arc<Shared>,
+    ) -> Result<Reply, Error> {
+        match request {
+            Request::Ping => Ok(Reply::Pong),
+            Request::Create { meta, opts } => {
+                let mut sup = shared.supervisor.lock().unwrap();
+                sup.create(&meta, opts)?;
+                Ok(Reply::Ack)
+            }
+            Request::Start { name, opts } => {
+                let mut sup = shared.supervisor.lock().unwrap();
+                sup.start(&name, opts)?;
+                Ok(Reply::Ack)
+            }
+            Request::Pause { name } => {
+                let mut sup = shared.supervisor.lock().unwrap();
+                sup.pause(&name)?;
+                Ok(Reply::Ack)
+            }
+            Request::Resume { name } => {
+                let mut sup = shared.supervisor.lock().unwrap();
+                sup.resume(&name)?;
+                Ok(Reply::Ack)
+            }
+            Request::Abort { name } => {
+                let mut sup = shared.supervisor.lock().unwrap();
+                sup.abort(&name)?;
+                Ok(Reply::Ack)
+            }
+            Request::Status { name } => {
+                let sup = shared.supervisor.lock().unwrap();
+                let status = sup
+                    .status(&name)
+                    .ok_or_else(|| Error::missing(format!("experiment {name:?}")))?;
+                Ok(Reply::Status(WireStatus { name, status }))
+            }
+            Request::List => {
+                let sup = shared.supervisor.lock().unwrap();
+                Ok(Reply::List(
+                    sup.experiments()
+                        .iter()
+                        .map(|e| WireStatus {
+                            name: e.name.clone(),
+                            status: e.status,
+                        })
+                        .collect(),
+                ))
+            }
+            Request::Stats => Ok(Reply::Stats(shared.stats.snapshot())),
+            Request::Subscribe { name, from_seq } => {
+                let wal_path = {
+                    let sup = shared.supervisor.lock().unwrap();
+                    if sup.status(&name).is_none() {
+                        return Err(Error::missing(format!("experiment {name:?}")));
+                    }
+                    sup.experiment_dir(&name).join(WAL_FILE)
+                };
+                let sub_id = shared.next_sub.fetch_add(1, Ordering::Relaxed);
+                let state = SubState::new(sub_id, from_seq, Arc::clone(conn));
+                if let Some(ctx) = conn.user::<ConnCtx>() {
+                    ctx.subs.lock().unwrap().insert(sub_id, Arc::clone(&state));
+                }
+                shared
+                    .watchers
+                    .lock()
+                    .unwrap()
+                    .entry(name.clone())
+                    .or_default()
+                    .push(Arc::clone(&state));
+                shared
+                    .stats
+                    .subscriptions_open
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.tailers.subscribe(wal_path, state);
+                Ok(Reply::Subscribed { sub: sub_id })
+            }
+            Request::Unsubscribe { sub } => {
+                let state = conn
+                    .user::<ConnCtx>()
+                    .and_then(|ctx| ctx.subs.lock().unwrap().remove(&sub))
+                    .ok_or_else(|| Error::missing(format!("subscription {sub}")))?;
+                state.mark_closed(&shared.stats);
+                prune_watchers(shared);
+                Ok(Reply::Ack)
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::Release);
+                Ok(Reply::Ack)
+            }
         }
     }
 }
 
-/// Body of one subscription's tailer thread: stream the experiment's WAL
-/// to the subscriber until the experiment finishes, the subscription
-/// closes, or the daemon shuts down (final drain, then `end`).
-///
-/// Event frames are never dropped: the WAL is on disk, so when the
-/// subscriber's queue is full the tailer simply holds the undelivered
-/// suffix and retries — the stream is gap-free at whatever pace the
-/// client reads, and nothing here can stall the experiment.
-fn tailer_main(wal_path: PathBuf, from_seq: u64, state: Arc<SubState>, shared: Arc<Shared>) {
-    let mut tail = LogTail::new(&wal_path);
-    let mut backlog: std::collections::VecDeque<Push> = std::collections::VecDeque::new();
-    let mut finished = false;
-    'outer: loop {
-        if state.closed.load(Ordering::Acquire) {
-            break;
-        }
-        // Deliver as much retained backlog as fits right now.
-        let mut jammed = false;
-        while let Some(push) = backlog.front() {
-            match state.offer(&shared.stats, push) {
-                Delivery::Sent => {
-                    backlog.pop_front();
-                }
-                Delivery::Full => {
-                    jammed = true;
-                    break;
-                }
-                Delivery::Closed => break 'outer,
-            }
-        }
-        let shutting_down = shared.shutdown.load(Ordering::Acquire);
-        if backlog.is_empty() {
-            if finished || shutting_down {
-                break;
-            }
-            match tail.poll() {
-                Ok(chunk) => {
-                    if chunk.rewound {
-                        // Crash recovery rewrote the WAL shorter: restart
-                        // from the top; everything held back is stale.
-                        backlog.clear();
-                        state.push_persistent(&shared.stats, &Push::Rewind { sub: state.sub });
-                    }
-                    for line in &chunk.lines {
-                        let Ok(value) = JsonValue::parse(line) else {
-                            continue;
-                        };
-                        // Telemetry lines carry a sequence number; store
-                        // markers do not and always flow.
-                        if let Some(seq) = value.get("seq").and_then(|s| s.as_u64()) {
-                            if seq < from_seq {
-                                continue;
-                            }
-                        }
-                        if value.get("ev").and_then(|e| e.as_str()) == Some("experiment_finished") {
-                            finished = true;
-                        }
-                        backlog.push_back(Push::Event {
-                            sub: state.sub,
-                            data: value,
-                        });
-                    }
-                    if chunk.lines.is_empty() {
-                        std::thread::sleep(shared.opts.poll_interval);
-                    }
-                }
-                Err(_) => {
-                    // Transient read failure (e.g. mid-rename); retry.
-                    std::thread::sleep(shared.opts.poll_interval);
-                }
-            }
-        } else if jammed {
-            // Queue full: give the writer a moment to drain.
-            std::thread::sleep(Duration::from_millis(2));
-        }
+/// On non-Unix platforms the daemon is unavailable: its reactor is built
+/// on Unix readiness APIs (`epoll`/`poll`). The client library and the
+/// wire protocol remain fully portable.
+#[cfg(not(unix))]
+pub struct Daemon {
+    never: std::convert::Infallible,
+}
+
+#[cfg(not(unix))]
+impl Daemon {
+    /// Always fails on this platform; see the type-level docs.
+    pub fn start(_opts: ServeOptions) -> Result<Daemon, Error> {
+        Err(Error::config(
+            "the asha-serve daemon requires a Unix platform (its reactor uses poll/epoll)",
+        ))
     }
-    if !state.closed.load(Ordering::Acquire) {
-        state.push_persistent(&shared.stats, &Push::End { sub: state.sub });
-        state.closed.store(true, Ordering::Release);
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match self.never {}
     }
-    shared
-        .stats
-        .subscriptions_open
-        .fetch_sub(1, Ordering::Relaxed);
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn shutdown_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn begin_shutdown(&self) {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn shutdown_requested(&self) -> bool {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn stats(&self) -> DaemonStats {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn wait(self) -> Result<(), Error> {
+        match self.never {}
+    }
 }

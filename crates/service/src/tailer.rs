@@ -1,0 +1,589 @@
+//! Per-experiment WAL tailers: one reader thread per experiment fanning
+//! frames out to every subscriber of that experiment.
+//!
+//! The previous design spawned one tailer thread *per subscription*, so N
+//! subscribers of one experiment meant N threads each reading the same WAL
+//! from disk. Here a [`TailerRegistry`] keys tailers by WAL path: the
+//! first subscription spawns the experiment's tailer, later ones attach to
+//! it, and the thread exits when its last subscriber closes.
+//!
+//! One thread reads each WAL record **once** into a shared backlog; each
+//! subscriber owns a cursor into it. The record body is serialized once —
+//! per-subscriber frames only wrap it in the cheap push envelope
+//! (`{"v":1,"sub":K,"push":"event","data":<body>}`), never re-rendering
+//! the payload.
+//!
+//! # Subscriber phases
+//!
+//! ```text
+//! CatchUp ──(private tail reaches the shared cursor)──▶ Live
+//!    ▲                                                   │
+//!    └──(falls > backlog cap behind: demoted)────────────┘
+//! Live ──(experiment finished / daemon draining)──▶ EndOwed ──▶ Done
+//! ```
+//!
+//! A new subscriber starts in **CatchUp**: a private [`LogTail`] replays
+//! the WAL from the start, bounded by the shared tailer's offset so it can
+//! never overshoot, then the subscriber is promoted to **Live** at the
+//! backlog's write edge. Live subscribers consume the shared backlog; one
+//! that falls further behind than the backlog cap is demoted back to
+//! CatchUp (skipping the records it already delivered) so the backlog
+//! stays bounded no matter how slow a client reads.
+//!
+//! # Backpressure tiers (unchanged semantics)
+//!
+//! * **WAL event frames** are file-backed and never dropped: a full
+//!   connection queue makes the tailer hold the subscriber's cursor and
+//!   retry — a gap-free stream at whatever pace the client reads.
+//! * **Status pushes** (delivered by supervisor threads, not here) are
+//!   lossy with lag accounting; an owed `lag` notice is flushed before the
+//!   next frame that fits.
+//! * **Stream-control pushes** (`rewind`, `end`) must arrive: they are
+//!   owed per-subscriber and retried every tick, without ever blocking the
+//!   tailer on one slow client.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use asha_metrics::JsonValue;
+use asha_obs::LogTail;
+
+use crate::codec::encode_frame;
+use crate::proto::Push;
+use crate::reactor::{ConnHandle, Offer};
+use crate::server::StatsCells;
+
+/// Shared backlog records kept per tailer before slow Live subscribers are
+/// demoted to CatchUp.
+const BACKLOG_CAP: usize = 4096;
+/// Sleep while a subscriber's connection queue is full.
+const JAM_PAUSE: Duration = Duration::from_millis(2);
+
+/// One live subscription, shared between the experiment's tailer, the
+/// status-watcher registry, and the owning connection.
+pub(crate) struct SubState {
+    pub(crate) sub: u64,
+    /// Telemetry records with `seq < from_seq` are filtered out; store
+    /// markers without a `seq` always flow.
+    pub(crate) from_seq: u64,
+    conn: Arc<ConnHandle>,
+    /// Push frames dropped since the last delivered one; reported to the
+    /// subscriber as a `lag` push as soon as a frame fits again.
+    dropped: AtomicU64,
+    /// Set by unsubscribe, connection teardown, or end-of-stream.
+    closed: AtomicBool,
+}
+
+impl SubState {
+    pub(crate) fn new(sub: u64, from_seq: u64, conn: Arc<ConnHandle>) -> Arc<SubState> {
+        Arc::new(SubState {
+            sub,
+            from_seq,
+            conn,
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Close exactly once; the single place `subscriptions_open` falls.
+    pub(crate) fn mark_closed(&self, stats: &StatsCells) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            stats.subscriptions_open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_line(&self, stats: &StatsCells, line: String) -> Offer {
+        match self.conn.offer_frame(line) {
+            Offer::Sent => {
+                stats.events_sent.fetch_add(1, Ordering::Relaxed);
+                Offer::Sent
+            }
+            Offer::Full => Offer::Full,
+            Offer::Closed => {
+                self.mark_closed(stats);
+                Offer::Closed
+            }
+        }
+    }
+
+    /// Flush any owed `lag` notice; it must precede the next delivered
+    /// frame so the gap's position in the stream is unambiguous.
+    fn flush_owed(&self, stats: &StatsCells) -> Offer {
+        let owed = self.dropped.load(Ordering::Acquire);
+        if owed == 0 {
+            return Offer::Sent;
+        }
+        let lag = Push::Lag {
+            sub: self.sub,
+            dropped: owed,
+        };
+        let offer = self.try_line(stats, encode_frame(&lag.to_frame()));
+        if offer == Offer::Sent {
+            self.dropped.fetch_sub(owed, Ordering::AcqRel);
+        }
+        offer
+    }
+
+    /// Offer an already-encoded frame without blocking or dropping: on a
+    /// full queue the caller retains its cursor and retries later.
+    fn offer_line(&self, stats: &StatsCells, line: String) -> Offer {
+        if self.is_closed() {
+            return Offer::Closed;
+        }
+        match self.flush_owed(stats) {
+            Offer::Sent => {}
+            other => return other,
+        }
+        self.try_line(stats, line)
+    }
+
+    fn offer_push(&self, stats: &StatsCells, push: &Push) -> Offer {
+        self.offer_line(stats, encode_frame(&push.to_frame()))
+    }
+
+    /// Deliver a push that may be dropped under backpressure, with lag
+    /// accounting. Status pushes use this: they fire on supervisor /
+    /// worker threads, which must never wait on a slow subscriber.
+    pub(crate) fn push_lossy(&self, stats: &StatsCells, push: &Push) {
+        match self.offer_push(stats, push) {
+            Offer::Sent | Offer::Closed => {}
+            Offer::Full => {
+                self.dropped.fetch_add(1, Ordering::AcqRel);
+                stats.events_lagged.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Wrap a raw (already-validated) WAL line in the event-push envelope.
+/// Field order matches [`Push::to_frame`] so the wire bytes are identical
+/// to the re-rendering path — but the body is serialized exactly once per
+/// record, shared across every subscriber.
+fn event_line(sub: u64, body: &str) -> String {
+    format!("{{\"v\":1,\"sub\":{sub},\"push\":\"event\",\"data\":{body}}}\n")
+}
+
+/// Tailer environment, shared by every tailer thread.
+pub(crate) struct TailerCtx {
+    pub(crate) stats: Arc<StatsCells>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) poll_interval: Duration,
+    /// How long shutdown drain may take before subscribers are dropped.
+    pub(crate) grace: Duration,
+}
+
+/// One parsed WAL record in the shared backlog.
+struct Rec {
+    /// Telemetry sequence number, when the record carries one.
+    seq: Option<u64>,
+    /// The `experiment_finished` marker ends every subscription.
+    finished: bool,
+    /// The raw line — the shared serialized body.
+    body: String,
+}
+
+fn parse_rec(line: String) -> Option<Rec> {
+    let value = JsonValue::parse(&line).ok()?;
+    let seq = value.get("seq").and_then(|s| s.as_u64());
+    let finished = value.get("ev").and_then(|e| e.as_str()) == Some("experiment_finished");
+    Some(Rec {
+        seq,
+        finished,
+        body: line,
+    })
+}
+
+/// Where one subscriber is in the stream.
+enum Phase {
+    /// Replaying the WAL through a private tail, bounded by the shared
+    /// tailer's offset. `skip` counts already-delivered records (used when
+    /// a Live subscriber is demoted); `pending` holds records read but not
+    /// yet accepted by the connection queue.
+    CatchUp {
+        tail: LogTail,
+        skip: u64,
+        pending: VecDeque<Rec>,
+    },
+    /// Consuming the shared backlog; `next` is an absolute record index
+    /// (records since the last rewind).
+    Live { next: u64 },
+    /// Everything delivered; the `end` push is owed.
+    EndOwed,
+    /// Closed; the tailer forgets the subscriber.
+    Done,
+}
+
+struct SubEntry {
+    state: Arc<SubState>,
+    phase: Phase,
+    /// Stream-control pushes (`rewind`) owed before any further data.
+    owed: VecDeque<Push>,
+}
+
+impl SubEntry {
+    fn new(state: Arc<SubState>, wal_path: &PathBuf) -> SubEntry {
+        SubEntry {
+            state,
+            phase: Phase::CatchUp {
+                tail: LogTail::new(wal_path),
+                skip: 0,
+                pending: VecDeque::new(),
+            },
+            owed: VecDeque::new(),
+        }
+    }
+}
+
+/// Subscribers queued for a tailer to pick up on its next tick.
+type Mailbox = Arc<Mutex<Vec<Arc<SubState>>>>;
+
+/// Experiment tailers keyed by WAL path: first subscriber spawns, later
+/// ones attach, last one out ends the thread.
+pub(crate) struct TailerRegistry {
+    ctx: Arc<TailerCtx>,
+    /// WAL path → mailbox of subscribers waiting to attach.
+    slots: Mutex<HashMap<PathBuf, Mailbox>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TailerRegistry {
+    pub(crate) fn new(ctx: TailerCtx) -> Arc<TailerRegistry> {
+        Arc::new(TailerRegistry {
+            ctx: Arc::new(ctx),
+            slots: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Attach a subscription to the experiment's tailer, spawning it if
+    /// this is the first subscriber.
+    pub(crate) fn subscribe(self: &Arc<TailerRegistry>, wal_path: PathBuf, state: Arc<SubState>) {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(adds) = slots.get(&wal_path) {
+            adds.lock().unwrap().push(state);
+            return;
+        }
+        let adds = Arc::new(Mutex::new(vec![state]));
+        slots.insert(wal_path.clone(), Arc::clone(&adds));
+        let registry = Arc::clone(self);
+        let ctx = Arc::clone(&self.ctx);
+        let handle = std::thread::Builder::new()
+            .name("asha-serve-tailer".to_owned())
+            .spawn(move || tailer_main(wal_path, adds, registry, ctx))
+            .expect("spawning tailer thread");
+        self.threads.lock().unwrap().push(handle);
+    }
+
+    /// Join every tailer thread (call after the shutdown flag is set).
+    pub(crate) fn join_all(&self) {
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Body of one experiment's tailer thread.
+fn tailer_main(
+    wal_path: PathBuf,
+    adds: Arc<Mutex<Vec<Arc<SubState>>>>,
+    registry: Arc<TailerRegistry>,
+    ctx: Arc<TailerCtx>,
+) {
+    let mut tail = LogTail::new(&wal_path);
+    // Shared backlog of records; `base` is the absolute index of the front.
+    let mut backlog: VecDeque<Rec> = VecDeque::new();
+    let mut base: u64 = 0;
+    let mut finished = false;
+    let mut subs: Vec<SubEntry> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // Attach newly-arrived subscribers.
+        {
+            let mut mailbox = adds.lock().unwrap();
+            for state in mailbox.drain(..) {
+                subs.push(SubEntry::new(state, &wal_path));
+            }
+        }
+
+        let shutting_down = ctx.shutdown.load(Ordering::Acquire);
+        let mut read_any = false;
+
+        // Read new WAL records once, into the shared backlog.
+        if !finished && !shutting_down {
+            if let Ok(chunk) = tail.poll() {
+                if chunk.rewound {
+                    // Crash recovery rewrote the WAL shorter: restart the
+                    // stream; everything derived is stale.
+                    backlog.clear();
+                    base = 0;
+                    finished = false;
+                    for entry in &mut subs {
+                        if !matches!(entry.phase, Phase::Done) {
+                            entry.owed.push_back(Push::Rewind {
+                                sub: entry.state.sub,
+                            });
+                            entry.phase = Phase::CatchUp {
+                                tail: LogTail::new(&wal_path),
+                                skip: 0,
+                                pending: VecDeque::new(),
+                            };
+                        }
+                    }
+                }
+                for line in chunk.lines {
+                    read_any = true;
+                    if let Some(rec) = parse_rec(line) {
+                        finished |= rec.finished;
+                        backlog.push_back(rec);
+                    }
+                }
+            }
+        }
+        let end_abs = base + backlog.len() as u64;
+
+        // Advance every subscriber's state machine without blocking.
+        let mut progressed = false;
+        let mut jammed = false;
+        for entry in &mut subs {
+            let (p, j) = advance(
+                entry,
+                &backlog,
+                base,
+                end_abs,
+                finished,
+                shutting_down,
+                tail.offset(),
+                &ctx,
+            );
+            progressed |= p;
+            jammed |= j;
+        }
+        subs.retain(|e| !matches!(e.phase, Phase::Done));
+
+        // Trim the backlog to the slowest Live cursor; demote subscribers
+        // that fall further behind than the cap so it stays bounded.
+        let min_live = subs
+            .iter()
+            .filter_map(|e| match e.phase {
+                Phase::Live { next } => Some(next),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(end_abs);
+        if backlog.len() > BACKLOG_CAP {
+            let floor = end_abs - BACKLOG_CAP as u64;
+            for entry in &mut subs {
+                if let Phase::Live { next } = entry.phase {
+                    if next < floor {
+                        entry.phase = Phase::CatchUp {
+                            tail: LogTail::new(&wal_path),
+                            skip: next,
+                            pending: VecDeque::new(),
+                        };
+                    }
+                }
+            }
+        }
+        let new_base = min_live.min(end_abs).max(base);
+        let over_cap = (backlog.len() as u64).saturating_sub(BACKLOG_CAP as u64);
+        let new_base = new_base.max(base + over_cap).min(end_abs);
+        while base < new_base {
+            backlog.pop_front();
+            base += 1;
+        }
+
+        if subs.is_empty() {
+            // Last subscriber left: remove our slot unless someone attached
+            // in the meantime (checked under the registry lock so a racing
+            // subscribe either lands in our mailbox or spawns a new tailer
+            // after removal).
+            let mut slots = registry.slots.lock().unwrap();
+            if adds.lock().unwrap().is_empty() {
+                slots.remove(&wal_path);
+                return;
+            }
+            continue;
+        }
+
+        if shutting_down {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + ctx.grace);
+            if Instant::now() >= deadline {
+                for entry in &subs {
+                    entry.state.mark_closed(&ctx.stats);
+                }
+                let mut slots = registry.slots.lock().unwrap();
+                slots.remove(&wal_path);
+                return;
+            }
+        }
+
+        if jammed {
+            std::thread::sleep(JAM_PAUSE);
+        } else if !read_any && !progressed {
+            std::thread::sleep(ctx.poll_interval);
+        }
+    }
+}
+
+/// Advance one subscriber; returns (made progress, hit a full queue).
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    entry: &mut SubEntry,
+    backlog: &VecDeque<Rec>,
+    base: u64,
+    end_abs: u64,
+    finished: bool,
+    shutting_down: bool,
+    main_offset: u64,
+    ctx: &TailerCtx,
+) -> (bool, bool) {
+    let stats = &*ctx.stats;
+    let state = Arc::clone(&entry.state);
+    if state.is_closed() {
+        entry.phase = Phase::Done;
+        return (false, false);
+    }
+    let mut progressed = false;
+
+    // Owed stream-control pushes go out before any further data.
+    while let Some(push) = entry.owed.front() {
+        match state.offer_push(stats, push) {
+            Offer::Sent => {
+                entry.owed.pop_front();
+                progressed = true;
+            }
+            Offer::Full => return (progressed, true),
+            Offer::Closed => {
+                entry.phase = Phase::Done;
+                return (progressed, false);
+            }
+        }
+    }
+
+    loop {
+        match &mut entry.phase {
+            Phase::CatchUp {
+                tail,
+                skip,
+                pending,
+            } => {
+                // Deliver what the last poll read before reading more.
+                while let Some(rec) = pending.front() {
+                    if let Some(seq) = rec.seq {
+                        if seq < state.from_seq {
+                            pending.pop_front();
+                            continue;
+                        }
+                    }
+                    match state.offer_line(stats, event_line(state.sub, &rec.body)) {
+                        Offer::Sent => {
+                            pending.pop_front();
+                            progressed = true;
+                        }
+                        Offer::Full => return (progressed, true),
+                        Offer::Closed => {
+                            entry.phase = Phase::Done;
+                            return (progressed, false);
+                        }
+                    }
+                }
+                if tail.offset() >= main_offset {
+                    // Caught up to the shared cursor: promote to Live at
+                    // the backlog's write edge.
+                    entry.phase = Phase::Live { next: end_abs };
+                    progressed = true;
+                    continue;
+                }
+                // Read more of the replay, never past the shared cursor so
+                // promotion can't skip records.
+                match tail.poll_to(main_offset) {
+                    Ok(chunk) => {
+                        if chunk.rewound {
+                            // The file shrank under the private tail; the
+                            // shared tailer will rewind everyone on its next
+                            // poll — restart this replay from the top now.
+                            entry.owed.push_back(Push::Rewind { sub: state.sub });
+                            *skip = 0;
+                            pending.clear();
+                        }
+                        let was_empty = chunk.lines.is_empty();
+                        for line in chunk.lines {
+                            if let Some(rec) = parse_rec(line) {
+                                if *skip > 0 {
+                                    *skip -= 1;
+                                    continue;
+                                }
+                                pending.push_back(rec);
+                            }
+                        }
+                        if chunk.rewound {
+                            // The chunk's lines are the new file's start;
+                            // they are stashed above, but the owed rewind
+                            // push (checked at the top of the next advance)
+                            // must reach the subscriber before them.
+                            return (true, false);
+                        }
+                        if was_empty {
+                            return (progressed, false);
+                        }
+                    }
+                    Err(_) => return (progressed, false),
+                }
+            }
+            Phase::Live { next } => {
+                while *next < end_abs {
+                    let rec = &backlog[(*next - base) as usize];
+                    if let Some(seq) = rec.seq {
+                        if seq < state.from_seq {
+                            *next += 1;
+                            continue;
+                        }
+                    }
+                    match state.offer_line(stats, event_line(state.sub, &rec.body)) {
+                        Offer::Sent => {
+                            *next += 1;
+                            progressed = true;
+                        }
+                        Offer::Full => return (progressed, true),
+                        Offer::Closed => {
+                            entry.phase = Phase::Done;
+                            return (progressed, false);
+                        }
+                    }
+                }
+                if finished || shutting_down {
+                    entry.phase = Phase::EndOwed;
+                    progressed = true;
+                    continue;
+                }
+                return (progressed, false);
+            }
+            Phase::EndOwed => {
+                let end = Push::End { sub: state.sub };
+                return match state.offer_push(stats, &end) {
+                    Offer::Sent => {
+                        state.mark_closed(stats);
+                        entry.phase = Phase::Done;
+                        (true, false)
+                    }
+                    Offer::Full => (progressed, true),
+                    Offer::Closed => {
+                        entry.phase = Phase::Done;
+                        (progressed, false)
+                    }
+                };
+            }
+            Phase::Done => return (progressed, false),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests of the reactor's per-connection state machines: the
+//! sans-io frame decoder ([`FrameBuf`]) and the outgoing buffer
+//! ([`OutBuf`]) must round-trip frame streams losslessly under *any*
+//! byte-level segmentation — reads split at every boundary across
+//! readiness events, writes consumed in arbitrary partial chunks.
+
+#![cfg(unix)]
+
+use asha_metrics::JsonValue;
+use asha_service::{encode_frame, FrameBuf, Offer, OutBuf, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+
+/// A short lowercase identifier, built from digit draws (the vendored
+/// proptest has no string strategies).
+fn arb_key() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..8)
+        .prop_map(|digits| digits.iter().map(|d| (b'a' + d) as char).collect())
+}
+
+/// A printable ASCII string, including JSON-hostile characters like
+/// quotes and backslashes (the encoder must escape them).
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..95, 0..16)
+        .prop_map(|chars| chars.iter().map(|c| (b' ' + c) as char).collect())
+}
+
+/// An arbitrary flat JSON object, rendered the way the protocol would.
+fn arb_frame() -> impl Strategy<Value = JsonValue> {
+    prop::collection::vec(
+        (
+            arb_key(),
+            prop_oneof![
+                (0u64..1_000_000).prop_map(JsonValue::Int).boxed(),
+                any::<bool>().prop_map(JsonValue::Bool).boxed(),
+                arb_text().prop_map(JsonValue::Str).boxed(),
+            ],
+        ),
+        0..6,
+    )
+    .prop_map(|fields| {
+        let mut seen = std::collections::HashSet::new();
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect(),
+        )
+    })
+}
+
+/// Feed `wire` into a fresh [`FrameBuf`] following `schedule` chunk sizes
+/// and return every decoded frame (compact-rendered).
+fn decode_with_schedule(wire: &[u8], schedule: &[usize]) -> Vec<String> {
+    let mut fb = FrameBuf::new(DEFAULT_MAX_FRAME);
+    let mut decoded = Vec::new();
+    let mut pos = 0;
+    let mut turn = 0;
+    while pos < wire.len() {
+        let step = schedule[turn % schedule.len()].max(1).min(wire.len() - pos);
+        turn += 1;
+        fb.feed(&wire[pos..pos + step]);
+        pos += step;
+        while let Some(frame) = fb.next_frame() {
+            decoded.push(frame.unwrap().render_compact());
+        }
+    }
+    assert!(!fb.has_partial(), "complete stream left a partial line");
+    decoded
+}
+
+/// Drain an [`OutBuf`] through "socket writes" of sizes from `schedule`
+/// and return the byte stream the socket saw.
+fn drain_with_schedule(out: &mut OutBuf, schedule: &[usize]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    let mut turn = 0;
+    loop {
+        let staged = out.stage(&mut scratch, 64 * 1024);
+        if staged == 0 {
+            break;
+        }
+        // The kernel may accept any prefix of what was staged.
+        let take = schedule[turn % schedule.len()].max(1).min(staged);
+        turn += 1;
+        wire.extend_from_slice(&scratch[..take]);
+        out.consume(take);
+    }
+    wire
+}
+
+/// Deterministic exhaustive check: a two-frame wire split at *every* byte
+/// boundary decodes identically — the cheapest way to pin the boundary
+/// cases (split inside the JSON, on the quote, on the newline, at 0, at
+/// the end) without trusting the generator to find them.
+#[test]
+fn every_split_point_decodes_identically() {
+    let frames = [
+        r#"{"op":"ping","id":1}"#,
+        r#"{"data":"a\nb\\c\"d","seq":42}"#,
+    ];
+    let wire: Vec<u8> = frames
+        .iter()
+        .flat_map(|f| {
+            let mut line = f.as_bytes().to_vec();
+            line.push(b'\n');
+            line
+        })
+        .collect();
+    let expected: Vec<String> = frames
+        .iter()
+        .map(|f| JsonValue::parse(f).unwrap().render_compact())
+        .collect();
+    for split in 0..=wire.len() {
+        let mut fb = FrameBuf::new(DEFAULT_MAX_FRAME);
+        let mut decoded = Vec::new();
+        for part in [&wire[..split], &wire[split..]] {
+            fb.feed(part);
+            while let Some(frame) = fb.next_frame() {
+                decoded.push(frame.unwrap().render_compact());
+            }
+        }
+        assert_eq!(decoded, expected, "split at byte {split}");
+    }
+}
+
+/// Deterministic exhaustive check of the write path: every partial-write
+/// size from 1 byte up resumes mid-frame without duplicating or dropping.
+#[test]
+fn every_partial_write_size_preserves_the_stream() {
+    let frames: Vec<String> = (0..5)
+        .map(|i| format!("{{\"seq\":{i},\"pad\":\"{}\"}}\n", "x".repeat(i * 7)))
+        .collect();
+    let expected: Vec<u8> = frames.concat().into_bytes();
+    for k in 1..=expected.len() {
+        let mut out = OutBuf::new(64);
+        for f in &frames {
+            assert!(out.push_reply(f.clone()));
+        }
+        assert_eq!(
+            drain_with_schedule(&mut out, &[k]),
+            expected,
+            "write size {k}"
+        );
+        assert!(out.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Full loop: frames → OutBuf (arbitrary partial writes) → wire →
+    /// FrameBuf (arbitrary reads) → the same frames, in order.
+    #[test]
+    fn outbuf_to_framebuf_round_trips(
+        frames in prop::collection::vec(arb_frame(), 0..12),
+        write_schedule in prop::collection::vec(1usize..40, 1..8),
+        read_schedule in prop::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut out = OutBuf::new(frames.len().max(1));
+        for frame in &frames {
+            prop_assert_eq!(out.offer(encode_frame(frame)), Offer::Sent);
+        }
+        let wire = drain_with_schedule(&mut out, &write_schedule);
+        let decoded = decode_with_schedule(&wire, &read_schedule);
+        let expected: Vec<String> =
+            frames.iter().map(|f| f.render_compact()).collect();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// Interleaving appends with partial drains never corrupts framing:
+    /// whatever the interleave, the socket sees the exact concatenation of
+    /// accepted frames in append order.
+    #[test]
+    fn interleaved_appends_and_drains_preserve_order(
+        frames in prop::collection::vec(arb_frame(), 1..16),
+        drain_between in prop::collection::vec(0usize..64, 1..16),
+    ) {
+        let mut out = OutBuf::new(frames.len());
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        let mut expected = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            let line = encode_frame(frame);
+            expected.extend_from_slice(line.as_bytes());
+            prop_assert_eq!(out.offer(line), Offer::Sent);
+            // Drain a bounded number of bytes before the next append.
+            let mut budget = drain_between[i % drain_between.len()];
+            while budget > 0 {
+                let staged = out.stage(&mut scratch, budget);
+                if staged == 0 {
+                    break;
+                }
+                wire.extend_from_slice(&scratch[..staged]);
+                out.consume(staged);
+                budget -= staged;
+            }
+        }
+        wire.extend_from_slice(&drain_with_schedule(&mut out, &[17]));
+        prop_assert_eq!(wire, expected);
+    }
+}
