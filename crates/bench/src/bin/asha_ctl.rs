@@ -12,6 +12,8 @@
 //!   start NAME [--sync S] [--snapshot-jobs N]
 //!   pause NAME | resume NAME | abort NAME
 //!   status NAME | list | stats
+//!   metrics                           dump the full metrics snapshot (JSON)
+//!   top [--interval SECS] [--count N] live daemon metrics view (like top(1))
 //!   tail NAME [--from SEQ]            print the live WAL stream
 //!   watch NAME [--from SEQ] [--out FILE] [--workers N]
 //!                                     follow to completion, then emit the
@@ -38,7 +40,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use asha::core::{Asha, AshaConfig};
-use asha::obs::{parse_jsonl, Event, RunReport};
+use asha::metrics::JsonValue;
+use asha::obs::{parse_jsonl, Event, HistogramSnapshot, RunReport};
 use asha::service::{Client, Push};
 use asha::sim::SimConfig;
 use asha::store::{BenchSpec, ExperimentMeta, RunOptions, SchedulerState, SyncPolicy};
@@ -54,7 +57,8 @@ fn usage() -> ! {
         "usage: asha-ctl (--unix PATH | --tcp ADDR)\n\
          \x20              [--connect-timeout SECS] [--timeout SECS] COMMAND [ARGS]\n\
          commands: ping, create, start, pause, resume, abort, status, list,\n\
-         \x20         stats, tail, watch, shutdown   (see source header for flags)"
+         \x20         stats, metrics, top, tail, watch, shutdown\n\
+         \x20         (see source header for flags)"
     );
     std::process::exit(2);
 }
@@ -265,6 +269,154 @@ fn cmd_watch(client: &mut Client, args: &Args) {
     }
 }
 
+/// Walk a dotted path through nested JSON objects.
+fn jpath<'a>(root: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    path.split('.').try_fold(root, |v, key| v.get(key))
+}
+
+fn jint(root: &JsonValue, path: &str) -> u64 {
+    jpath(root, path).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Decode the histogram at `path` and format `p50/p99` in human units.
+fn jhist(root: &JsonValue, path: &str) -> String {
+    match jpath(root, path).and_then(HistogramSnapshot::from_json) {
+        Some(h) if h.count() > 0 => {
+            format!(
+                "{} / {}",
+                fmt_secs(h.quantile(0.50)),
+                fmt_secs(h.quantile(0.99))
+            )
+        }
+        _ => "- / -".to_owned(),
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.0}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// One rendered frame of the `top` view.
+fn render_top(snap: &JsonValue, rows: &[asha::service::WireStatus]) {
+    let enabled = snap
+        .get("enabled")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    println!(
+        "asha-serve — up {:.0}s — metrics {}",
+        jpath(snap, "uptime_s")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0),
+        if enabled {
+            "on"
+        } else {
+            "off (counters are zeros)"
+        },
+    );
+    println!(
+        "conns {} open / {} total   workers queue {}   subs {} open   http scrapes {}",
+        jint(snap, "connections.open"),
+        jint(snap, "connections.total"),
+        jint(snap, "workers.queue_depth"),
+        jint(snap, "subscriptions.open"),
+        jint(snap, "http.requests"),
+    );
+    println!(
+        "reactor: {} iters (p50/p99 {}), wake {}, {} B in / {} B out, {} decode errs, {} read pauses",
+        jint(snap, "reactor.iterations"),
+        jhist(snap, "reactor.iteration"),
+        jhist(snap, "reactor.wake_dispatch"),
+        jint(snap, "reactor.bytes_read"),
+        jint(snap, "reactor.bytes_written"),
+        jint(snap, "reactor.decode_errors"),
+        jint(snap, "reactor.read_pauses"),
+    );
+    println!(
+        "requests: {} total, {} errors, {} slow   events: {} sent, {} lagged",
+        jint(snap, "requests.total"),
+        jint(snap, "requests.errors"),
+        jint(snap, "requests.slow"),
+        jint(snap, "subscriptions.events_sent"),
+        jint(snap, "subscriptions.events_lagged"),
+    );
+    if let Some(JsonValue::Obj(by_op)) = jpath(snap, "requests.by_op") {
+        println!(
+            "  {:<12} {:>8} {:>6}  {:<20} EXEC p50/p99",
+            "OP", "COUNT", "ERRS", "QUEUE p50/p99"
+        );
+        for (op, cells) in by_op {
+            println!(
+                "  {:<12} {:>8} {:>6}  {:<20} {}",
+                op,
+                jint(cells, "count"),
+                jint(cells, "errors"),
+                jhist(cells, "queue_wait"),
+                jhist(cells, "execute"),
+            );
+        }
+    }
+    if let Some(JsonValue::Obj(tailers)) = snap.get("tailers") {
+        if !tailers.is_empty() {
+            println!(
+                "  {:<24} {:>5} {:>8} {:>7} {:>10}",
+                "TAILER", "SUBS", "LAG", "EVICT", "FANOUT"
+            );
+            for (name, t) in tailers {
+                println!(
+                    "  {:<24} {:>5} {:>8} {:>7} {:>10}",
+                    name,
+                    jint(t, "subscribers"),
+                    jint(t, "lag_records"),
+                    jint(t, "window_evictions"),
+                    jint(t, "fanout_frames"),
+                );
+            }
+        }
+    }
+    println!(
+        "store: wal append {}   fsync {}   snapshot write {}",
+        jhist(snap, "store.wal_append"),
+        jhist(snap, "store.wal_fsync"),
+        jhist(snap, "store.snapshot_write"),
+    );
+    if !rows.is_empty() {
+        println!("experiments:");
+        for row in rows {
+            println!("  {:<24} {}", row.name, row.status.as_str());
+        }
+    }
+}
+
+fn cmd_top(client: &mut Client, args: &Args) {
+    let interval = args.num("interval", 2.0f64);
+    if interval <= 0.0 {
+        fail("--interval must be positive");
+    }
+    let count = args.num("count", 0u64); // 0 = run until interrupted
+    let mut frames = 0u64;
+    loop {
+        let snap = client.metrics().unwrap_or_else(|e| fail(e));
+        let rows = client.list().unwrap_or_else(|e| fail(e));
+        if frames > 0 {
+            // Clear between frames only, so a single `--count 1` shot (and
+            // anything piping the output) gets plain text.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&snap, &rows);
+        frames += 1;
+        if count != 0 && frames >= count {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // Connection flags come before the command; everything after belongs
@@ -362,6 +514,11 @@ fn main() {
             println!("events_sent         {}", s.events_sent);
             println!("events_lagged       {}", s.events_lagged);
         }
+        "metrics" => {
+            let snap = client.metrics().unwrap_or_else(|e| fail(e));
+            print!("{}", snap.render());
+        }
+        "top" => cmd_top(&mut client, &args),
         "tail" => {
             let name = args.positional(0, "experiment name");
             follow(&mut client, name, args.num("from", 0u64), true);

@@ -10,12 +10,18 @@
 //! ```text
 //! asha-serve --root DIR [--unix PATH] [--tcp ADDR] [--trace FILE]
 //!            [--queue-depth N] [--max-frame BYTES]
+//!            [--metrics-addr ADDR] [--slow-log FILE] [--slow-ms MS]
+//!            [--no-metrics]
 //! ```
 //!
-//! At least one of `--unix` / `--tcp` is required. The daemon runs until
-//! SIGTERM/SIGINT or a client `shutdown` request, then drains gracefully:
-//! running experiments park behind durable snapshots, the manifest is
-//! flushed, and client queues are drained before exit.
+//! At least one of `--unix` / `--tcp` is required. `--metrics-addr` adds
+//! an HTTP listener answering `GET /metrics` in Prometheus text format;
+//! `--slow-log` appends requests slower than `--slow-ms` (default 1000)
+//! as JSONL. `--no-metrics` (or `ASHA_METRICS=off`) disables the metrics
+//! plane entirely — for measuring its overhead, not for production. The
+//! daemon runs until SIGTERM/SIGINT or a client `shutdown` request, then
+//! drains gracefully: running experiments park behind durable snapshots,
+//! the manifest is flushed, and client queues are drained before exit.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -60,7 +66,9 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: asha-serve --root DIR [--unix PATH] [--tcp ADDR] [--trace FILE]\n\
-         \x20                 [--queue-depth N] [--max-frame BYTES]"
+         \x20                 [--queue-depth N] [--max-frame BYTES]\n\
+         \x20                 [--metrics-addr ADDR] [--slow-log FILE] [--slow-ms MS]\n\
+         \x20                 [--no-metrics]"
     );
     std::process::exit(2);
 }
@@ -72,6 +80,10 @@ fn parse_options() -> ServeOptions {
     let mut trace = None;
     let mut queue_depth = None;
     let mut max_frame = None;
+    let mut metrics_addr = None;
+    let mut slow_log = None;
+    let mut slow_ms = None;
+    let mut no_metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +110,16 @@ fn parse_options() -> ServeOptions {
                         .unwrap_or_else(|e| fail(format!("--max-frame: {e}"))),
                 )
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
+            "--slow-log" => slow_log = Some(value("--slow-log")),
+            "--slow-ms" => {
+                slow_ms = Some(
+                    value("--slow-ms")
+                        .parse::<u64>()
+                        .unwrap_or_else(|e| fail(format!("--slow-ms: {e}"))),
+                )
+            }
+            "--no-metrics" => no_metrics = true,
             "--help" | "-h" => usage(),
             other => fail(format!("unknown argument {other:?}")),
         }
@@ -114,6 +136,16 @@ fn parse_options() -> ServeOptions {
     if let Some(limit) = max_frame {
         opts.max_frame = limit;
     }
+    opts.metrics_addr = metrics_addr;
+    opts.slow_log = slow_log.map(Into::into);
+    if let Some(ms) = slow_ms {
+        opts.slow_threshold = std::time::Duration::from_millis(ms);
+    }
+    // `ASHA_METRICS=off` matches the bench harness, which toggles the
+    // plane without changing the command line.
+    if no_metrics || std::env::var("ASHA_METRICS").is_ok_and(|v| v == "off") {
+        opts.metrics = false;
+    }
     if opts.unix.is_none() && opts.tcp.is_none() {
         fail("at least one of --unix / --tcp is required");
     }
@@ -128,6 +160,9 @@ fn main() {
     let daemon = Daemon::start(opts).unwrap_or_else(|e| fail(e));
     if let Some(addr) = daemon.tcp_addr() {
         println!("asha-serve: listening on tcp {addr}");
+    }
+    if let Some(addr) = daemon.metrics_addr() {
+        println!("asha-serve: metrics on http://{addr}/metrics");
     }
     println!("asha-serve: ready (pid {})", std::process::id());
 

@@ -4,8 +4,9 @@
 //! stress it: request/reply throughput and latency, connection churn,
 //! subscriber fan-out scaling, and the headline row — ten thousand
 //! concurrent connections (mixed requests and subscriptions) against one
-//! daemon on its fixed thread pool. Results land in `BENCH_service.json`
-//! so the perf trajectory is recorded PR over PR.
+//! daemon on its fixed thread pool — plus a metrics-overhead row comparing
+//! ping throughput with the observability plane on vs. off. Results land
+//! in `BENCH_service.json` so the perf trajectory is recorded PR over PR.
 //!
 //! The daemon runs in a *child process* (re-exec of this binary with
 //! `--serve-child`), so its thread and fd inventory can be read from
@@ -82,6 +83,11 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 fn serve_child(root: &str, addrfile: &str) -> ! {
     let mut serve = ServeOptions::new(root);
     serve.tcp = Some("127.0.0.1:0".to_owned());
+    // The overhead row toggles the metrics plane through the environment so
+    // both legs run the identical binary and command line.
+    if std::env::var("ASHA_METRICS").is_ok_and(|v| v == "off") {
+        serve.metrics = false;
+    }
     let daemon = match Daemon::start(serve) {
         Ok(d) => d,
         Err(e) => fail(e),
@@ -101,13 +107,14 @@ fn serve_child(root: &str, addrfile: &str) -> ! {
 /// The returned `Child` is reaped by `main` after the shutdown request;
 /// the lint cannot see ownership escaping through the return value.
 #[allow(clippy::zombie_processes)]
-fn spawn_daemon(root: &std::path::Path) -> (std::process::Child, String) {
+fn spawn_daemon(root: &std::path::Path, metrics: bool) -> (std::process::Child, String) {
     let exe = std::env::current_exe().expect("current_exe");
     let addrfile = root.join("addr.txt");
     let mut child = std::process::Command::new(exe)
         .arg("--serve-child")
         .arg(root)
         .arg(&addrfile)
+        .env("ASHA_METRICS", if metrics { "on" } else { "off" })
         .spawn()
         .expect("spawning daemon child");
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -487,6 +494,42 @@ fn concurrent_row(addr: &str, admin: &mut Client, daemon_pid: u32, target: usize
     ])
 }
 
+/// Metrics-plane overhead: ping throughput and latency against a fresh
+/// daemon with the plane enabled, then against one with `ASHA_METRICS=off`
+/// (every recorder compiled in but runtime-gated). The two legs run
+/// sequentially on dedicated roots so neither inherits warm state.
+fn metrics_overhead_row(quick: bool) -> JsonValue {
+    let (threads, each) = if quick { (4, 1000) } else { (8, 4000) };
+    let mut legs: Vec<(&str, JsonValue)> = Vec::new();
+    for (label, metrics) in [("on", true), ("off", false)] {
+        let root = std::env::temp_dir().join(format!(
+            "asha-service-overhead-{label}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap_or_else(|e| fail(e));
+        let (mut daemon, addr) = spawn_daemon(&root, metrics);
+        println!("  overhead leg: metrics {label}");
+        let row = requests_row(&addr, threads, each);
+        let mut admin = connect(&addr);
+        admin.shutdown().unwrap_or_else(|e| fail(e));
+        let status = daemon.wait().expect("overhead daemon wait");
+        if !status.success() {
+            fail(format!("overhead daemon exited abnormally: {status}"));
+        }
+        std::fs::remove_dir_all(&root).ok();
+        legs.push((label, row));
+    }
+    let p99 = |row: &JsonValue| row.get("p99_us").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let (on_p99, off_p99) = (p99(&legs[0].1), p99(&legs[1].1));
+    let p99_ratio = if off_p99 > 0.0 { on_p99 / off_p99 } else { 1.0 };
+    println!("  overhead: ping p99 on/off ratio {p99_ratio:.3}");
+    let mut fields: Vec<(&'static str, JsonValue)> =
+        vec![("on", legs.remove(0).1), ("off", legs.remove(0).1)];
+    fields.push(("p99_ratio", JsonValue::Num(p99_ratio)));
+    JsonValue::obj(fields)
+}
+
 fn main() {
     let (opts, child) = parse_opts();
     if let Some((root, addrfile)) = child {
@@ -501,7 +544,7 @@ fn main() {
         if opts.quick { "quick" } else { "full" }
     );
 
-    let (mut daemon, addr) = spawn_daemon(&root);
+    let (mut daemon, addr) = spawn_daemon(&root, true);
     let daemon_pid = daemon.id();
     let mut admin = connect(&addr);
 
@@ -545,6 +588,9 @@ fn main() {
         fail(format!("daemon exited abnormally: {status}"));
     }
 
+    // Metrics-plane overhead (fresh daemons, plane on vs. off).
+    let metrics_overhead = metrics_overhead_row(opts.quick);
+
     let report = JsonValue::obj([
         ("schema", JsonValue::Str("asha-service-load-v1".to_owned())),
         (
@@ -555,6 +601,7 @@ fn main() {
         ("churn", churn),
         ("fanout", JsonValue::Arr(fanout)),
         ("concurrent", concurrent),
+        ("metrics_overhead", metrics_overhead),
     ]);
     match asha::metrics::write_json(&opts.out, &report) {
         Ok(()) => println!("wrote {}", opts.out),

@@ -61,6 +61,7 @@ pub mod log;
 mod metrics;
 mod recorder;
 mod report;
+pub mod shared;
 mod tail;
 mod writer;
 
@@ -70,6 +71,7 @@ pub use crate::log::{
 pub use crate::metrics::{Counter, DecisionCounters, Gauge, Histogram, MetricsRegistry};
 pub use crate::recorder::RunRecorder;
 pub use crate::report::{RunReport, REPORT_SCHEMA, TIMELINE_BINS};
+pub use crate::shared::{HistogramSnapshot, SharedCounter, SharedGauge, SharedHistogram};
 pub use crate::tail::{LogTail, TailChunk};
 pub use crate::writer::{Durability, JsonlWriter};
 

@@ -14,6 +14,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use asha_core::Error;
+use asha_metrics::JsonValue;
 use asha_store::{ExperimentMeta, RunOptions};
 
 use crate::codec::{encode_frame, Frame, FrameReader};
@@ -273,6 +274,16 @@ impl Client {
     pub fn stats(&mut self) -> Result<DaemonStats, Error> {
         match self.call(&Request::Stats)? {
             Reply::Stats(s) => Ok(s),
+            other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Full metrics-plane snapshot as raw JSON (schema
+    /// `asha-daemon-metrics-v1`); histograms decode with
+    /// [`asha_obs::HistogramSnapshot::from_json`].
+    pub fn metrics(&mut self) -> Result<JsonValue, Error> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(v) => Ok(v),
             other => Err(Error::protocol(format!("unexpected reply {other:?}"))),
         }
     }

@@ -55,6 +55,7 @@
 pub mod client;
 pub mod codec;
 pub mod conn;
+pub mod metrics;
 pub mod proto;
 #[cfg(unix)]
 pub mod reactor;
@@ -65,6 +66,7 @@ pub(crate) mod tailer;
 pub use crate::client::Client;
 pub use crate::codec::{encode_frame, Frame, FrameBuf, FrameReader};
 pub use crate::conn::Conn;
+pub use crate::metrics::{ServiceMetrics, TailerMetrics, METRICS_SCHEMA};
 pub use crate::proto::{
     DaemonStats, Push, Reply, Request, WireStatus, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };

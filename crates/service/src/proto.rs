@@ -148,6 +148,9 @@ pub enum Request {
     List,
     /// Daemon counters (connections, requests, subscription lag, ...).
     Stats,
+    /// Full metrics-plane snapshot (request latency histograms, reactor
+    /// and worker internals, tailer lag, store durability timings).
+    Metrics,
     /// Subscribe to the experiment's live WAL stream. Telemetry events
     /// with `seq < from_seq` are filtered out; store markers always flow.
     Subscribe {
@@ -180,6 +183,7 @@ impl Request {
             Request::Status { .. } => "status",
             Request::List => "list",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Subscribe { .. } => "subscribe",
             Request::Unsubscribe { .. } => "unsubscribe",
             Request::Shutdown => "shutdown",
@@ -194,7 +198,11 @@ impl Request {
             ("op", JsonValue::Str(self.op().to_owned())),
         ];
         match self {
-            Request::Ping | Request::List | Request::Stats | Request::Shutdown => {}
+            Request::Ping
+            | Request::List
+            | Request::Stats
+            | Request::Metrics
+            | Request::Shutdown => {}
             Request::Create { meta, opts } => {
                 fields.push(("meta", meta.to_json()));
                 fields.push(("opts", run_options_to_json(opts)));
@@ -229,6 +237,7 @@ impl Request {
             "ping" => Request::Ping,
             "list" => Request::List,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             "create" => Request::Create {
                 meta: ExperimentMeta::from_json(
@@ -347,6 +356,10 @@ pub enum Reply {
     List(Vec<WireStatus>),
     /// Answer to [`Request::Stats`].
     Stats(DaemonStats),
+    /// Answer to [`Request::Metrics`]: the metrics-plane snapshot, kept as
+    /// raw JSON (schema `asha-daemon-metrics-v1`) so old clients can pass
+    /// newer daemons' snapshots through unharmed.
+    Metrics(JsonValue),
     /// Answer to [`Request::Subscribe`]: the subscription's id.
     Subscribed {
         /// Id to match pushes against and to unsubscribe with.
@@ -381,6 +394,7 @@ impl Reply {
                 JsonValue::Arr(rows.iter().map(status_to_json).collect()),
             )]),
             Reply::Stats(stats) => stats.to_json(),
+            Reply::Metrics(snapshot) => snapshot.clone(),
             Reply::Subscribed { sub } => obj(vec![("sub", JsonValue::Int(*sub))]),
         };
         obj(vec![
@@ -434,6 +448,7 @@ impl Reply {
                 )
             }
             "stats" => Reply::Stats(DaemonStats::from_json(ok)?),
+            "metrics" => Reply::Metrics(ok.clone()),
             "subscribe" => Reply::Subscribed {
                 sub: get_u64(ok, "sub")?,
             },

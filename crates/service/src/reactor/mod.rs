@@ -55,6 +55,7 @@ pub use poller::{Interest, PollEvent, Poller, Waker};
 
 use crate::codec::FrameBuf;
 use crate::conn::Conn;
+use crate::metrics::ServiceMetrics;
 
 /// Token reserved for the reactor's wakeup channel.
 const TOKEN_WAKER: u64 = 0;
@@ -67,6 +68,8 @@ const WORKER_BATCH: usize = 32;
 const IO_CHUNK: usize = 64 * 1024;
 /// Read syscalls per readiness event before yielding to other connections.
 const READ_ROUNDS: usize = 4;
+/// Maximum bytes of HTTP request head accepted on the metrics listener.
+const HTTP_HEAD_MAX: usize = 8 * 1024;
 
 /// Reactor tuning knobs, derived from `ServeOptions`.
 #[derive(Debug, Clone)]
@@ -109,9 +112,32 @@ impl ReactorNotify {
     }
 }
 
+/// One unit of work queued for the worker pool.
+#[derive(Debug)]
+pub enum Work {
+    /// A decoded protocol frame.
+    Frame(JsonValue),
+    /// A `GET` on the HTTP metrics listener (the request path). Only the
+    /// reactor's HTTP decode path constructs this, so protocol clients
+    /// cannot inject HTTP work.
+    HttpGet(String),
+}
+
+/// A queued request with its tracing envelope: the id assigned at decode
+/// time and the enqueue timestamp used to measure queue wait.
+#[derive(Debug)]
+pub struct PendingReq {
+    /// What to execute.
+    pub work: Work,
+    /// Request id assigned at decode time (for slow-request traces).
+    pub req_id: u64,
+    /// [`ServiceMetrics::now_nanos`] when the request entered the queue.
+    pub enqueued_nanos: u64,
+}
+
 #[derive(Debug, Default)]
 struct Pending {
-    queue: VecDeque<JsonValue>,
+    queue: VecDeque<PendingReq>,
     /// A worker visit is scheduled or running for this connection.
     busy: bool,
 }
@@ -121,11 +147,17 @@ struct Pending {
 pub struct ConnHandle {
     token: u64,
     peer: String,
+    /// Accepted on the HTTP metrics listener rather than a protocol one.
+    http: bool,
     out: Mutex<OutBuf>,
     pending: Mutex<Pending>,
     dirty: AtomicBool,
+    /// `now_nanos` of the doorbell ring that set `dirty` (0 = unset);
+    /// the reactor differences it to measure wake-to-dispatch latency.
+    dirty_at_nanos: AtomicU64,
     closed: AtomicBool,
     notify: Arc<ReactorNotify>,
+    metrics: Arc<ServiceMetrics>,
     user: OnceLock<Box<dyn Any + Send + Sync>>,
 }
 
@@ -139,15 +171,25 @@ impl std::fmt::Debug for ConnHandle {
 }
 
 impl ConnHandle {
-    fn new(token: u64, peer: String, cap: usize, notify: Arc<ReactorNotify>) -> Arc<ConnHandle> {
+    fn new(
+        token: u64,
+        peer: String,
+        http: bool,
+        cap: usize,
+        notify: Arc<ReactorNotify>,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Arc<ConnHandle> {
         Arc::new(ConnHandle {
             token,
             peer,
+            http,
             out: Mutex::new(OutBuf::new(cap)),
             pending: Mutex::new(Pending::default()),
             dirty: AtomicBool::new(false),
+            dirty_at_nanos: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             notify,
+            metrics,
             user: OnceLock::new(),
         })
     }
@@ -160,6 +202,11 @@ impl ConnHandle {
     /// Short peer description for tracing.
     pub fn peer(&self) -> &str {
         &self.peer
+    }
+
+    /// Whether this connection arrived on the HTTP metrics listener.
+    pub fn is_http(&self) -> bool {
+        self.http
     }
 
     /// Whether the socket is gone; producers should drop their references.
@@ -203,6 +250,11 @@ impl ConnHandle {
     /// Ring the reactor's doorbell for this connection (flush + re-arm).
     pub fn mark_dirty(&self) {
         if !self.dirty.swap(true, Ordering::AcqRel) {
+            if self.metrics.enabled() {
+                // `.max(1)` keeps a 0 reading distinguishable from "unset".
+                self.dirty_at_nanos
+                    .store(self.metrics.now_nanos().max(1), Ordering::Relaxed);
+            }
             self.notify.dirty.lock().unwrap().push(self.token);
             self.notify.waker.wake();
         }
@@ -213,11 +265,11 @@ impl ConnHandle {
         self.pending.lock().unwrap().queue.len() + self.out.lock().unwrap().len()
     }
 
-    /// Enqueue a decoded request frame; returns true when a worker visit
-    /// should be scheduled (none is running or queued).
-    pub fn enqueue_request(&self, frame: JsonValue) -> bool {
+    /// Enqueue a decoded request; returns true when a worker visit should
+    /// be scheduled (none is running or queued).
+    pub fn enqueue_request(&self, req: PendingReq) -> bool {
         let mut p = self.pending.lock().unwrap();
-        p.queue.push_back(frame);
+        p.queue.push_back(req);
         if p.busy {
             false
         } else {
@@ -228,10 +280,10 @@ impl ConnHandle {
 
     /// Worker side: take the next request, or mark the visit finished when
     /// the queue is empty.
-    pub fn next_request(&self) -> Option<JsonValue> {
+    pub fn next_request(&self) -> Option<PendingReq> {
         let mut p = self.pending.lock().unwrap();
         match p.queue.pop_front() {
-            Some(frame) => Some(frame),
+            Some(req) => Some(req),
             None => {
                 p.busy = false;
                 None
@@ -265,6 +317,7 @@ struct PoolShared {
     queue: Mutex<VecDeque<Arc<ConnHandle>>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    metrics: Arc<ServiceMetrics>,
 }
 
 /// Cloneable handle for scheduling worker visits.
@@ -276,14 +329,15 @@ pub struct PoolSubmitter {
 impl PoolSubmitter {
     /// Schedule a worker visit for this connection.
     pub fn submit(&self, conn: Arc<ConnHandle>) {
+        self.shared.metrics.visit_queued();
         self.shared.queue.lock().unwrap().push_back(conn);
         self.shared.cv.notify_one();
     }
 }
 
-/// Request executor shared by every worker: runs one decoded frame for a
+/// Request executor shared by every worker: runs one queued request for a
 /// connection and enqueues its reply.
-pub type RunOne = Arc<dyn Fn(&Arc<ConnHandle>, JsonValue) + Send + Sync>;
+pub type RunOne = Arc<dyn Fn(&Arc<ConnHandle>, PendingReq) + Send + Sync>;
 
 /// A fixed pool of worker threads executing requests for connections.
 ///
@@ -296,13 +350,14 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn `n` workers; `run_one` executes a single request frame for a
+    /// Spawn `n` workers; `run_one` executes a single queued request for a
     /// connection and enqueues its reply.
-    pub fn start(n: usize, run_one: RunOne) -> WorkerPool {
+    pub fn start(n: usize, metrics: Arc<ServiceMetrics>, run_one: RunOne) -> WorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            metrics,
         });
         let threads = (0..n.max(1))
             .map(|i| {
@@ -349,13 +404,15 @@ fn worker_main(shared: Arc<PoolShared>, run_one: RunOne) {
             }
         };
         let Some(conn) = conn else { return };
+        shared.metrics.visit_dequeued();
         for _ in 0..WORKER_BATCH {
             match conn.next_request() {
-                Some(frame) => run_one(&conn, frame),
+                Some(req) => run_one(&conn, req),
                 None => break,
             }
         }
         if conn.yield_visit() {
+            shared.metrics.visit_queued();
             shared.queue.lock().unwrap().push_back(Arc::clone(&conn));
             shared.cv.notify_one();
         }
@@ -377,6 +434,9 @@ pub enum Listener {
     Unix(std::os::unix::net::UnixListener),
     /// A TCP listener.
     Tcp(std::net::TcpListener),
+    /// A TCP listener whose connections speak HTTP (`GET /metrics`)
+    /// instead of the length-framed protocol.
+    Http(std::net::TcpListener),
 }
 
 impl Listener {
@@ -385,7 +445,7 @@ impl Listener {
         match self {
             #[cfg(unix)]
             Listener::Unix(l) => l.as_raw_fd(),
-            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Tcp(l) | Listener::Http(l) => l.as_raw_fd(),
         }
     }
 
@@ -393,8 +453,12 @@ impl Listener {
         match self {
             #[cfg(unix)]
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Tcp(l) | Listener::Http(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
         }
+    }
+
+    fn is_http(&self) -> bool {
+        matches!(self, Listener::Http(_))
     }
 }
 
@@ -410,6 +474,13 @@ pub trait ConnHandler: Send + Sync + 'static {
     /// A decode error (malformed, oversized, torn). Return true to close
     /// the connection after its queue drains.
     fn on_decode_error(&self, conn: &Arc<ConnHandle>, err: &Error) -> bool;
+    /// A complete HTTP request head arrived on an [`Listener::Http`]
+    /// connection. The connection drains and closes once a response has
+    /// been queued (directly or via the worker pool). Default: ignore,
+    /// which closes the connection without a response.
+    fn on_http(&self, conn: &Arc<ConnHandle>, method: &str, path: &str) {
+        let _ = (conn, method, path);
+    }
     /// The connection is gone (socket closed and deregistered).
     fn on_close(&self, conn: &Arc<ConnHandle>);
 }
@@ -457,6 +528,7 @@ pub fn start_reactor(
     listeners: Vec<Listener>,
     handler: Arc<dyn ConnHandler>,
     flags: ReactorFlags,
+    metrics: Arc<ServiceMetrics>,
 ) -> std::io::Result<ReactorHandle> {
     let notify = ReactorNotify::new()?;
     let poller = Poller::new()?;
@@ -471,6 +543,7 @@ pub fn start_reactor(
         listeners,
         handler,
         flags,
+        metrics,
         conns: HashMap::new(),
         next_token: AtomicU64::new(TOKEN_FIRST_CONN),
         read_scratch: vec![0u8; IO_CHUNK],
@@ -484,14 +557,22 @@ pub fn start_reactor(
     Ok(ReactorHandle { notify, thread })
 }
 
+/// Per-connection input decoder: the length-framed protocol, or a tiny
+/// HTTP request-head accumulator for the metrics listener.
+enum Decoder {
+    Frames(FrameBuf),
+    Http(Vec<u8>),
+}
+
 /// Reactor-private per-connection state: the socket and its decoder.
 struct IoConn {
     conn: Conn,
-    frames: FrameBuf,
+    decoder: Decoder,
     handle: Arc<ConnHandle>,
     /// Interest currently armed with the poller.
     armed: Interest,
-    /// Read side finished (EOF or fatal decode error): drain, then close.
+    /// Read side finished (EOF, fatal decode error, or a dispatched HTTP
+    /// request): drain, then close.
     draining: bool,
 }
 
@@ -502,6 +583,7 @@ struct Reactor {
     listeners: Vec<Listener>,
     handler: Arc<dyn ConnHandler>,
     flags: ReactorFlags,
+    metrics: Arc<ServiceMetrics>,
     conns: HashMap<u64, IoConn>,
     next_token: AtomicU64,
     /// One read buffer shared by every connection (bytes immediately move
@@ -525,15 +607,21 @@ impl Reactor {
             }
             // Take the batch out of `self` so handlers can borrow freely.
             let batch = std::mem::take(&mut events);
+            let iter_start = (self.metrics.enabled() && !batch.is_empty()).then(Instant::now);
             for ev in &batch {
                 match ev.token {
                     TOKEN_WAKER => {
                         self.notify.waker.drain();
+                        let now = self.metrics.now_nanos();
                         let mut dirty = std::mem::take(&mut self.dirty_scratch);
                         self.notify.take_dirty(&mut dirty);
                         for &token in &dirty {
                             if let Some(io) = self.conns.get(&token) {
                                 io.handle.dirty.store(false, Ordering::Release);
+                                let rung = io.handle.dirty_at_nanos.swap(0, Ordering::Relaxed);
+                                if rung != 0 && now >= rung {
+                                    self.metrics.wake_to_dispatch((now - rung) as f64 / 1e9);
+                                }
                             }
                             self.sync_conn(token);
                         }
@@ -557,6 +645,9 @@ impl Reactor {
                 }
             }
             events = batch;
+            if let Some(t0) = iter_start {
+                self.metrics.reactor_iteration(t0.elapsed().as_secs_f64());
+            }
 
             if self.flags.shutdown.load(Ordering::Acquire) {
                 if self.accepting {
@@ -604,9 +695,10 @@ impl Reactor {
         if !self.accepting {
             return;
         }
+        let http = self.listeners[listener_idx].is_http();
         loop {
             match self.listeners[listener_idx].accept() {
-                Ok(conn) => self.register_conn(conn),
+                Ok(conn) => self.register_conn(conn, http),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 // Transient accept failures (e.g. the peer reset before we
@@ -616,16 +708,19 @@ impl Reactor {
         }
     }
 
-    fn register_conn(&mut self, conn: Conn) {
+    fn register_conn(&mut self, conn: Conn, http: bool) {
         if conn.set_nonblocking(true).is_err() {
             return;
         }
+        self.metrics.accept();
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let handle = ConnHandle::new(
             token,
             conn.peer(),
+            http,
             self.cfg.high_water,
             Arc::clone(&self.notify),
+            Arc::clone(&self.metrics),
         );
         if self
             .poller
@@ -635,11 +730,16 @@ impl Reactor {
             return;
         }
         self.handler.on_open(&handle);
+        let decoder = if http {
+            Decoder::Http(Vec::new())
+        } else {
+            Decoder::Frames(FrameBuf::new(self.cfg.max_frame))
+        };
         self.conns.insert(
             token,
             IoConn {
                 conn,
-                frames: FrameBuf::new(self.cfg.max_frame),
+                decoder,
                 handle,
                 armed: Interest::READ,
                 draining: false,
@@ -667,27 +767,49 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    io.frames.feed(&self.read_scratch[..n]);
-                    let mut decoded_any = false;
-                    while let Some(frame) = io.frames.next_frame() {
-                        decoded_any = true;
-                        match frame {
-                            Ok(value) => self.handler.on_frame(&io.handle, value),
-                            Err(e) => {
-                                if self.handler.on_decode_error(&io.handle, &e) {
-                                    fatal = true;
-                                    break;
+                    self.metrics.record_bytes_read(n as u64);
+                    match &mut io.decoder {
+                        Decoder::Frames(frames) => {
+                            frames.feed(&self.read_scratch[..n]);
+                            let mut decoded_any = false;
+                            while let Some(frame) = frames.next_frame() {
+                                decoded_any = true;
+                                match frame {
+                                    Ok(value) => self.handler.on_frame(&io.handle, value),
+                                    Err(e) => {
+                                        if self.handler.on_decode_error(&io.handle, &e) {
+                                            fatal = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            if fatal {
+                                break;
+                            }
+                            if !decoded_any {
+                                if let Err(e) = frames.check_overflow() {
+                                    if self.handler.on_decode_error(&io.handle, &e) {
+                                        fatal = true;
+                                        break;
+                                    }
                                 }
                             }
                         }
-                    }
-                    if fatal {
-                        break;
-                    }
-                    if !decoded_any {
-                        if let Err(e) = io.frames.check_overflow() {
-                            if self.handler.on_decode_error(&io.handle, &e) {
-                                fatal = true;
+                        Decoder::Http(head) => {
+                            head.extend_from_slice(&self.read_scratch[..n]);
+                            if head.len() > HTTP_HEAD_MAX {
+                                self.close_conn(token);
+                                return;
+                            }
+                            if let Some((method, path)) = parse_http_head(head) {
+                                self.metrics.http_request();
+                                self.handler.on_http(&io.handle, &method, &path);
+                                // One request per connection: stop reading
+                                // and close once the response has flushed.
+                                // `begin_close` is NOT called — the worker
+                                // still needs to queue the response.
+                                io.draining = true;
                                 break;
                             }
                         }
@@ -705,13 +827,22 @@ impl Reactor {
             let Some(io) = self.conns.get_mut(&token) else {
                 return;
             };
-            if eof && io.frames.has_partial() {
-                let torn = Error::protocol("torn frame: stream ended mid-line");
-                let _ = self.handler.on_decode_error(&io.handle, &torn);
-                io.frames.clear();
+            match &mut io.decoder {
+                Decoder::Frames(frames) => {
+                    if eof && frames.has_partial() {
+                        let torn = Error::protocol("torn frame: stream ended mid-line");
+                        let _ = self.handler.on_decode_error(&io.handle, &torn);
+                        frames.clear();
+                    }
+                    io.draining = true;
+                    io.handle.out.lock().unwrap().begin_close();
+                }
+                Decoder::Http(_) => {
+                    // EOF before a complete request head: nothing to answer.
+                    self.close_conn(token);
+                    return;
+                }
             }
-            io.draining = true;
-            io.handle.out.lock().unwrap().begin_close();
         }
         self.sync_conn(token);
     }
@@ -733,6 +864,7 @@ impl Reactor {
                 }
                 match io.conn.write(&self.write_scratch[..staged]) {
                     Ok(n) => {
+                        self.metrics.record_bytes_written(n as u64);
                         out.consume(n);
                         if n < staged {
                             jammed = true;
@@ -765,6 +897,10 @@ impl Reactor {
             read: !io.draining && !shutting_down && io.handle.backlog() < self.cfg.high_water,
             write: jammed || !drained,
         };
+        if io.armed.read && !want.read && !io.draining && !shutting_down {
+            // Reads paused purely by the backlog high-water mark.
+            self.metrics.read_pause();
+        }
         if want != io.armed && self.poller.rearm(io.conn.raw_fd(), token, want).is_ok() {
             io.armed = want;
         }
@@ -779,5 +915,40 @@ impl Reactor {
         io.handle.closed.store(true, Ordering::Release);
         let _ = io.conn.shutdown();
         self.handler.on_close(&io.handle);
+    }
+}
+
+/// `(method, path)` from a complete HTTP request head, or `None` until the
+/// blank line terminating the head has arrived.
+fn parse_http_head(buf: &[u8]) -> Option<(String, String)> {
+    let end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))?;
+    let head = &buf[..end];
+    let line = head.split(|&b| b == b'\n').next().unwrap_or(head);
+    let line = std::str::from_utf8(line).ok()?.trim_end_matches('\r');
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    Some((method, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_http_head;
+
+    #[test]
+    fn http_head_parses_at_blank_line() {
+        assert_eq!(parse_http_head(b"GET /metrics HTTP/1."), None);
+        assert_eq!(
+            parse_http_head(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n"),
+            Some(("GET".to_owned(), "/metrics".to_owned()))
+        );
+        assert_eq!(
+            parse_http_head(b"GET /metrics\n\n"),
+            Some(("GET".to_owned(), "/metrics".to_owned()))
+        );
+        assert_eq!(parse_http_head(b"\r\n\r\n"), None);
     }
 }

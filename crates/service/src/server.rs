@@ -47,13 +47,14 @@
 //! every connection's outgoing queue before the process exits.
 
 use std::path::PathBuf;
-use std::sync::atomic::AtomicU64;
 use std::time::Duration;
 
 #[cfg(not(unix))]
 use asha_core::Error;
 
-use crate::proto::{DaemonStats, DEFAULT_MAX_FRAME};
+#[cfg(not(unix))]
+use crate::proto::DaemonStats;
+use crate::proto::DEFAULT_MAX_FRAME;
 
 /// Configuration for [`Daemon::start`].
 #[derive(Debug, Clone)]
@@ -84,6 +85,19 @@ pub struct ServeOptions {
     /// Optional request/response trace: every request and reply frame is
     /// appended as JSONL through [`asha_obs::JsonlWriter`].
     pub trace: Option<PathBuf>,
+    /// Whether the metrics plane records at all. With `false` every
+    /// recorder is an early-return and snapshots report zeros (used to
+    /// measure the plane's own overhead).
+    pub metrics: bool,
+    /// Optional HTTP listener address (e.g. `127.0.0.1:9090`) answering
+    /// `GET /metrics` in Prometheus text exposition format. Served by the
+    /// same reactor and worker pool as the protocol listeners.
+    pub metrics_addr: Option<String>,
+    /// Optional slow-request log: requests whose queue-wait + execute time
+    /// crosses [`ServeOptions::slow_threshold`] are appended as JSONL.
+    pub slow_log: Option<PathBuf>,
+    /// Threshold for the slow-request log.
+    pub slow_threshold: Duration,
 }
 
 impl ServeOptions {
@@ -100,31 +114,10 @@ impl ServeOptions {
             poll_interval: Duration::from_millis(25),
             workers: 4,
             trace: None,
-        }
-    }
-}
-
-/// Lifetime counters, updated lock-free from every thread.
-#[derive(Debug, Default)]
-pub(crate) struct StatsCells {
-    pub(crate) connections_total: AtomicU64,
-    pub(crate) connections_open: AtomicU64,
-    pub(crate) requests: AtomicU64,
-    pub(crate) subscriptions_open: AtomicU64,
-    pub(crate) events_sent: AtomicU64,
-    pub(crate) events_lagged: AtomicU64,
-}
-
-impl StatsCells {
-    fn snapshot(&self) -> DaemonStats {
-        use std::sync::atomic::Ordering;
-        DaemonStats {
-            connections_total: self.connections_total.load(Ordering::Relaxed),
-            connections_open: self.connections_open.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            subscriptions_open: self.subscriptions_open.load(Ordering::Relaxed),
-            events_sent: self.events_sent.load(Ordering::Relaxed),
-            events_lagged: self.events_lagged.load(Ordering::Relaxed),
+            metrics: true,
+            metrics_addr: None,
+            slow_log: None,
+            slow_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -148,12 +141,13 @@ mod unix_impl {
     use asha_obs::{Durability, JsonlWriter};
     use asha_store::{ExperimentSupervisor, WAL_FILE};
 
-    use super::{ServeOptions, StatsCells};
+    use super::ServeOptions;
     use crate::codec::encode_frame;
+    use crate::metrics::ServiceMetrics;
     use crate::proto::{DaemonStats, Push, Reply, Request, WireStatus};
     use crate::reactor::{
-        start_reactor, ConnHandle, ConnHandler, Listener, PoolSubmitter, ReactorConfig,
-        ReactorFlags, ReactorHandle, WorkerPool,
+        start_reactor, ConnHandle, ConnHandler, Listener, PendingReq, PoolSubmitter, ReactorConfig,
+        ReactorFlags, ReactorHandle, Work, WorkerPool,
     };
     use crate::tailer::{SubState, TailerCtx, TailerRegistry};
 
@@ -165,11 +159,12 @@ mod unix_impl {
         opts: ServeOptions,
         supervisor: Mutex<ExperimentSupervisor>,
         shutdown: Arc<AtomicBool>,
-        stats: Arc<StatsCells>,
+        metrics: Arc<ServiceMetrics>,
         watchers: Arc<Watchers>,
         tailers: Arc<TailerRegistry>,
         next_sub: AtomicU64,
         trace: Option<Mutex<JsonlWriter>>,
+        slow_log: Option<Mutex<JsonlWriter>>,
     }
 
     impl Shared {
@@ -182,6 +177,31 @@ mod unix_impl {
                 ])
                 .render_compact();
                 let mut w = trace.lock().unwrap();
+                let _ = w.append_raw(&line);
+                let _ = w.commit();
+            }
+        }
+
+        /// Append one slow-request record (JSONL) if the log is enabled.
+        fn log_slow_request(
+            &self,
+            req_id: u64,
+            op: &str,
+            peer: &str,
+            queue_wait_s: f64,
+            execute_s: f64,
+        ) {
+            if let Some(log) = &self.slow_log {
+                let line = JsonValue::obj([
+                    ("req_id", JsonValue::Int(req_id)),
+                    ("op", JsonValue::Str(op.to_owned())),
+                    ("peer", JsonValue::Str(peer.to_owned())),
+                    ("queue_wait_s", JsonValue::Num(queue_wait_s)),
+                    ("execute_s", JsonValue::Num(execute_s)),
+                    ("total_s", JsonValue::Num(queue_wait_s + execute_s)),
+                ])
+                .render_compact();
+                let mut w = log.lock().unwrap();
                 let _ = w.append_raw(&line);
                 let _ = w.commit();
             }
@@ -203,21 +223,26 @@ mod unix_impl {
 
     impl ConnHandler for ServiceHandler {
         fn on_open(&self, conn: &Arc<ConnHandle>) {
+            if conn.is_http() {
+                // Metrics scrapes are not protocol connections; they stay
+                // out of the connection counters (the scrape itself is
+                // counted by `http_requests`).
+                return;
+            }
             conn.set_user(Box::new(ConnCtx::default()));
-            self.shared
-                .stats
-                .connections_total
-                .fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .stats
-                .connections_open
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.conn_opened();
         }
 
         fn on_frame(&self, conn: &Arc<ConnHandle>, frame: JsonValue) {
             // Reactor thread: enqueue only. The worker pool preserves FIFO
             // order per connection via the visit protocol.
-            if conn.enqueue_request(frame) {
+            let metrics = &self.shared.metrics;
+            let req = PendingReq {
+                work: Work::Frame(frame),
+                req_id: metrics.next_request_id(),
+                enqueued_nanos: metrics.now_nanos(),
+            };
+            if conn.enqueue_request(req) {
                 self.pool.submit(Arc::clone(conn));
             }
         }
@@ -226,33 +251,95 @@ mod unix_impl {
             // Oversized or malformed frames get a diagnostic before the
             // stream state is trusted again; torn/IO failures end the
             // connection once its queue drains.
+            self.shared.metrics.decode_error();
             let frame = Reply::error_frame(0, err);
             self.shared.trace_frame("res", conn.peer(), &frame);
             let _ = conn.push_reply(encode_frame(&frame));
             err.to_string().contains("torn frame") || err.kind() == asha_core::ErrorKind::Io
         }
 
+        fn on_http(&self, conn: &Arc<ConnHandle>, method: &str, path: &str) {
+            // Reactor thread: only validate and dispatch. Rendering the
+            // exposition walks every histogram, so it runs on a worker.
+            if method != "GET" {
+                let _ = conn.push_reply(http_response(
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    "only GET is supported\n",
+                ));
+                return;
+            }
+            if path != "/metrics" && !path.starts_with("/metrics?") {
+                let _ = conn.push_reply(http_response(
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "try GET /metrics\n",
+                ));
+                return;
+            }
+            let metrics = &self.shared.metrics;
+            let req = PendingReq {
+                work: Work::HttpGet(path.to_owned()),
+                req_id: metrics.next_request_id(),
+                enqueued_nanos: metrics.now_nanos(),
+            };
+            if conn.enqueue_request(req) {
+                self.pool.submit(Arc::clone(conn));
+            }
+        }
+
         fn on_close(&self, conn: &Arc<ConnHandle>) {
+            if conn.is_http() {
+                return;
+            }
             if let Some(ctx) = conn.user::<ConnCtx>() {
                 for (_, sub) in ctx.subs.lock().unwrap().drain() {
-                    sub.mark_closed(&self.shared.stats);
+                    sub.mark_closed(&self.shared.metrics);
                 }
             }
             prune_watchers(&self.shared);
-            self.shared
-                .stats
-                .connections_open
-                .fetch_sub(1, Ordering::Relaxed);
+            self.shared.metrics.conn_closed();
         }
     }
 
-    /// Worker-pool body: execute one request frame and queue its reply.
-    fn run_one(shared: &Arc<Shared>, conn: &Arc<ConnHandle>, frame: JsonValue) {
-        shared.trace_frame("req", conn.peer(), &frame);
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let response = handle_frame(&frame, conn, shared);
-        shared.trace_frame("res", conn.peer(), &response);
-        let _ = conn.push_reply(encode_frame(&response));
+    /// A minimal HTTP/1.0 response (the metrics listener speaks just
+    /// enough HTTP for `curl` and Prometheus scrapers).
+    fn http_response(status: &str, content_type: &str, body: &str) -> String {
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    /// Worker-pool body: execute one queued request and queue its reply.
+    fn run_one(shared: &Arc<Shared>, conn: &Arc<ConnHandle>, req: PendingReq) {
+        let metrics = &shared.metrics;
+        let started = metrics.now_nanos();
+        let queue_wait_s = started.saturating_sub(req.enqueued_nanos) as f64 / 1e9;
+        match req.work {
+            Work::HttpGet(_) => {
+                let body = metrics.render_prometheus();
+                let _ = conn.push_reply(http_response(
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                ));
+            }
+            Work::Frame(frame) => {
+                shared.trace_frame("req", conn.peer(), &frame);
+                let (response, op, ok) = handle_frame(&frame, conn, shared);
+                shared.trace_frame("res", conn.peer(), &response);
+                let _ = conn.push_reply(encode_frame(&response));
+                let execute_s = metrics.now_nanos().saturating_sub(started) as f64 / 1e9;
+                metrics.request_observed(op, ok, queue_wait_s, execute_s);
+                let total_s = queue_wait_s + execute_s;
+                if total_s >= shared.opts.slow_threshold.as_secs_f64() && metrics.enabled() {
+                    metrics.slow_request();
+                    shared.log_slow_request(req.req_id, op, conn.peer(), queue_wait_s, execute_s);
+                }
+            }
+        }
     }
 
     /// A running daemon. Start with [`Daemon::start`], stop with a
@@ -265,6 +352,7 @@ mod unix_impl {
         housekeeper: JoinHandle<()>,
         final_drain: Arc<AtomicBool>,
         tcp_addr: Option<SocketAddr>,
+        metrics_addr: Option<SocketAddr>,
         unix_path: Option<PathBuf>,
     }
 
@@ -279,7 +367,11 @@ mod unix_impl {
             }
             let mut supervisor = ExperimentSupervisor::open(&opts.root)?;
             let shutdown = Arc::new(AtomicBool::new(false));
-            let stats = Arc::new(StatsCells::default());
+            let metrics = ServiceMetrics::new(opts.metrics);
+            if opts.metrics {
+                // WAL/fsync/snapshot timings flow into the same plane.
+                supervisor.set_metrics(metrics.store());
+            }
             let watchers: Arc<Watchers> = Arc::new(Mutex::new(HashMap::new()));
 
             // Status changes fan out to subscriptions through the
@@ -290,13 +382,13 @@ mod unix_impl {
             // transition.
             {
                 let watchers = Arc::clone(&watchers);
-                let stats = Arc::clone(&stats);
+                let metrics = Arc::clone(&metrics);
                 supervisor.set_status_listener(Arc::new(move |name, status| {
                     let map = watchers.lock().unwrap();
                     if let Some(subs) = map.get(name) {
                         for sub in subs {
                             sub.push_lossy(
-                                &stats,
+                                &metrics,
                                 &Push::Status {
                                     sub: sub.sub,
                                     state: WireStatus {
@@ -317,10 +409,17 @@ mod unix_impl {
                 )),
                 None => None,
             };
+            let slow_log = match &opts.slow_log {
+                Some(path) => Some(Mutex::new(
+                    JsonlWriter::create(path, Durability::Flush)
+                        .map_err(|e| Error::io(path, e).context("opening slow-request log"))?,
+                )),
+                None => None,
+            };
 
             let grace = opts.read_timeout * 10;
             let tailers = TailerRegistry::new(TailerCtx {
-                stats: Arc::clone(&stats),
+                metrics: Arc::clone(&metrics),
                 shutdown: Arc::clone(&shutdown),
                 poll_interval: opts.poll_interval,
                 grace,
@@ -331,11 +430,12 @@ mod unix_impl {
                 opts,
                 supervisor: Mutex::new(supervisor),
                 shutdown: Arc::clone(&shutdown),
-                stats,
+                metrics: Arc::clone(&metrics),
                 watchers,
                 tailers,
                 next_sub: AtomicU64::new(1),
                 trace,
+                slow_log,
             });
 
             let mut listeners = Vec::new();
@@ -362,13 +462,26 @@ mod unix_impl {
                 listener.set_nonblocking(true).map_err(Error::from)?;
                 listeners.push(Listener::Tcp(listener));
             }
+            let mut metrics_addr = None;
+            if let Some(addr) = shared.opts.metrics_addr.clone() {
+                let listener = TcpListener::bind(&addr)
+                    .map_err(|e| Error::from(e).context(format!("binding metrics http {addr}")))?;
+                metrics_addr = Some(
+                    listener
+                        .local_addr()
+                        .map_err(|e| Error::from(e).context("reading bound metrics address"))?,
+                );
+                listener.set_nonblocking(true).map_err(Error::from)?;
+                listeners.push(Listener::Http(listener));
+            }
 
             let pool = {
                 let shared = Arc::clone(&shared);
                 WorkerPool::start(
                     shared.opts.workers,
-                    Arc::new(move |conn: &Arc<ConnHandle>, frame| {
-                        run_one(&shared, conn, frame);
+                    Arc::clone(&metrics),
+                    Arc::new(move |conn: &Arc<ConnHandle>, req| {
+                        run_one(&shared, conn, req);
                     }),
                 )
             };
@@ -391,6 +504,7 @@ mod unix_impl {
                     shutdown: Arc::clone(&shutdown),
                     final_drain: Arc::clone(&final_drain),
                 },
+                Arc::clone(&metrics),
             )
             .map_err(|e| Error::from(e).context("starting reactor"))?;
 
@@ -412,6 +526,7 @@ mod unix_impl {
                 housekeeper,
                 final_drain,
                 tcp_addr,
+                metrics_addr,
                 unix_path,
             })
         }
@@ -419,6 +534,16 @@ mod unix_impl {
         /// The actual bound TCP address (useful with port 0).
         pub fn tcp_addr(&self) -> Option<SocketAddr> {
             self.tcp_addr
+        }
+
+        /// The actual bound HTTP metrics address (useful with port 0).
+        pub fn metrics_addr(&self) -> Option<SocketAddr> {
+            self.metrics_addr
+        }
+
+        /// The daemon's metrics plane (shared with every daemon thread).
+        pub fn metrics(&self) -> Arc<ServiceMetrics> {
+            Arc::clone(&self.shared.metrics)
         }
 
         /// The shutdown flag; setting it to `true` (e.g. from a signal
@@ -439,9 +564,9 @@ mod unix_impl {
             self.shared.shutdown.load(Ordering::Acquire)
         }
 
-        /// Current daemon counters.
+        /// Current daemon counters (a projection of the metrics plane).
         pub fn stats(&self) -> DaemonStats {
-            self.shared.stats.snapshot()
+            self.shared.metrics.daemon_stats()
         }
 
         /// Block until shutdown is requested, then drain: stop accepting,
@@ -489,6 +614,9 @@ mod unix_impl {
             if let Some(trace) = &shared.trace {
                 let _ = trace.lock().unwrap().commit();
             }
+            if let Some(slow) = &shared.slow_log {
+                let _ = slow.lock().unwrap().commit();
+            }
             if let Some(path) = &unix_path {
                 let _ = std::fs::remove_file(path);
             }
@@ -518,19 +646,27 @@ mod unix_impl {
         });
     }
 
-    fn handle_frame(frame: &JsonValue, conn: &Arc<ConnHandle>, shared: &Arc<Shared>) -> JsonValue {
+    /// Decode and execute one frame. Returns the response plus the op name
+    /// and success flag for the metrics plane (`"invalid"` when the frame
+    /// never decoded into a known request).
+    fn handle_frame(
+        frame: &JsonValue,
+        conn: &Arc<ConnHandle>,
+        shared: &Arc<Shared>,
+    ) -> (JsonValue, &'static str, bool) {
         let (id, request) = match Request::from_frame(frame) {
             Ok(pair) => pair,
             Err(e) => {
                 // Salvage the id if the frame had one so the client can
                 // correlate the failure.
                 let id = frame.get("id").and_then(|v| v.as_u64()).unwrap_or(0);
-                return Reply::error_frame(id, &e);
+                return (Reply::error_frame(id, &e), "invalid", false);
             }
         };
+        let op = request.op();
         match execute(id, request, conn, shared) {
-            Ok(reply) => reply.to_frame(id),
-            Err(e) => Reply::error_frame(id, &e),
+            Ok(reply) => (reply.to_frame(id), op, true),
+            Err(e) => (Reply::error_frame(id, &e), op, false),
         }
     }
 
@@ -586,7 +722,8 @@ mod unix_impl {
                         .collect(),
                 ))
             }
-            Request::Stats => Ok(Reply::Stats(shared.stats.snapshot())),
+            Request::Stats => Ok(Reply::Stats(shared.metrics.daemon_stats())),
+            Request::Metrics => Ok(Reply::Metrics(shared.metrics.snapshot_json())),
             Request::Subscribe { name, from_seq } => {
                 let wal_path = {
                     let sup = shared.supervisor.lock().unwrap();
@@ -607,11 +744,8 @@ mod unix_impl {
                     .entry(name.clone())
                     .or_default()
                     .push(Arc::clone(&state));
-                shared
-                    .stats
-                    .subscriptions_open
-                    .fetch_add(1, Ordering::Relaxed);
-                shared.tailers.subscribe(wal_path, state);
+                shared.metrics.sub_opened();
+                shared.tailers.subscribe(wal_path, name, state);
                 Ok(Reply::Subscribed { sub: sub_id })
             }
             Request::Unsubscribe { sub } => {
@@ -619,7 +753,7 @@ mod unix_impl {
                     .user::<ConnCtx>()
                     .and_then(|ctx| ctx.subs.lock().unwrap().remove(&sub))
                     .ok_or_else(|| Error::missing(format!("subscription {sub}")))?;
-                state.mark_closed(&shared.stats);
+                state.mark_closed(&shared.metrics);
                 prune_watchers(shared);
                 Ok(Reply::Ack)
             }
@@ -670,6 +804,16 @@ impl Daemon {
 
     /// Unreachable (a `Daemon` cannot be constructed on this platform).
     pub fn stats(&self) -> DaemonStats {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        match self.never {}
+    }
+
+    /// Unreachable (a `Daemon` cannot be constructed on this platform).
+    pub fn metrics(&self) -> std::sync::Arc<crate::metrics::ServiceMetrics> {
         match self.never {}
     }
 

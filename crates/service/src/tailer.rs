@@ -53,9 +53,9 @@ use asha_metrics::JsonValue;
 use asha_obs::LogTail;
 
 use crate::codec::encode_frame;
+use crate::metrics::{ServiceMetrics, TailerMetrics};
 use crate::proto::Push;
 use crate::reactor::{ConnHandle, Offer};
-use crate::server::StatsCells;
 
 /// Shared backlog records kept per tailer before slow Live subscribers are
 /// demoted to CatchUp.
@@ -94,21 +94,21 @@ impl SubState {
     }
 
     /// Close exactly once; the single place `subscriptions_open` falls.
-    pub(crate) fn mark_closed(&self, stats: &StatsCells) {
+    pub(crate) fn mark_closed(&self, metrics: &ServiceMetrics) {
         if !self.closed.swap(true, Ordering::AcqRel) {
-            stats.subscriptions_open.fetch_sub(1, Ordering::Relaxed);
+            metrics.sub_closed();
         }
     }
 
-    fn try_line(&self, stats: &StatsCells, line: String) -> Offer {
+    fn try_line(&self, metrics: &ServiceMetrics, line: String) -> Offer {
         match self.conn.offer_frame(line) {
             Offer::Sent => {
-                stats.events_sent.fetch_add(1, Ordering::Relaxed);
+                metrics.event_sent();
                 Offer::Sent
             }
             Offer::Full => Offer::Full,
             Offer::Closed => {
-                self.mark_closed(stats);
+                self.mark_closed(metrics);
                 Offer::Closed
             }
         }
@@ -116,7 +116,7 @@ impl SubState {
 
     /// Flush any owed `lag` notice; it must precede the next delivered
     /// frame so the gap's position in the stream is unambiguous.
-    fn flush_owed(&self, stats: &StatsCells) -> Offer {
+    fn flush_owed(&self, metrics: &ServiceMetrics) -> Offer {
         let owed = self.dropped.load(Ordering::Acquire);
         if owed == 0 {
             return Offer::Sent;
@@ -125,7 +125,7 @@ impl SubState {
             sub: self.sub,
             dropped: owed,
         };
-        let offer = self.try_line(stats, encode_frame(&lag.to_frame()));
+        let offer = self.try_line(metrics, encode_frame(&lag.to_frame()));
         if offer == Offer::Sent {
             self.dropped.fetch_sub(owed, Ordering::AcqRel);
         }
@@ -134,30 +134,30 @@ impl SubState {
 
     /// Offer an already-encoded frame without blocking or dropping: on a
     /// full queue the caller retains its cursor and retries later.
-    fn offer_line(&self, stats: &StatsCells, line: String) -> Offer {
+    fn offer_line(&self, metrics: &ServiceMetrics, line: String) -> Offer {
         if self.is_closed() {
             return Offer::Closed;
         }
-        match self.flush_owed(stats) {
+        match self.flush_owed(metrics) {
             Offer::Sent => {}
             other => return other,
         }
-        self.try_line(stats, line)
+        self.try_line(metrics, line)
     }
 
-    fn offer_push(&self, stats: &StatsCells, push: &Push) -> Offer {
-        self.offer_line(stats, encode_frame(&push.to_frame()))
+    fn offer_push(&self, metrics: &ServiceMetrics, push: &Push) -> Offer {
+        self.offer_line(metrics, encode_frame(&push.to_frame()))
     }
 
     /// Deliver a push that may be dropped under backpressure, with lag
     /// accounting. Status pushes use this: they fire on supervisor /
     /// worker threads, which must never wait on a slow subscriber.
-    pub(crate) fn push_lossy(&self, stats: &StatsCells, push: &Push) {
-        match self.offer_push(stats, push) {
+    pub(crate) fn push_lossy(&self, metrics: &ServiceMetrics, push: &Push) {
+        match self.offer_push(metrics, push) {
             Offer::Sent | Offer::Closed => {}
             Offer::Full => {
                 self.dropped.fetch_add(1, Ordering::AcqRel);
-                stats.events_lagged.fetch_add(1, Ordering::Relaxed);
+                metrics.event_lagged();
             }
         }
     }
@@ -173,7 +173,7 @@ fn event_line(sub: u64, body: &str) -> String {
 
 /// Tailer environment, shared by every tailer thread.
 pub(crate) struct TailerCtx {
-    pub(crate) stats: Arc<StatsCells>,
+    pub(crate) metrics: Arc<ServiceMetrics>,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) poll_interval: Duration,
     /// How long shutdown drain may take before subscribers are dropped.
@@ -265,7 +265,12 @@ impl TailerRegistry {
 
     /// Attach a subscription to the experiment's tailer, spawning it if
     /// this is the first subscriber.
-    pub(crate) fn subscribe(self: &Arc<TailerRegistry>, wal_path: PathBuf, state: Arc<SubState>) {
+    pub(crate) fn subscribe(
+        self: &Arc<TailerRegistry>,
+        wal_path: PathBuf,
+        experiment: String,
+        state: Arc<SubState>,
+    ) {
         let mut slots = self.slots.lock().unwrap();
         if let Some(adds) = slots.get(&wal_path) {
             adds.lock().unwrap().push(state);
@@ -277,7 +282,7 @@ impl TailerRegistry {
         let ctx = Arc::clone(&self.ctx);
         let handle = std::thread::Builder::new()
             .name("asha-serve-tailer".to_owned())
-            .spawn(move || tailer_main(wal_path, adds, registry, ctx))
+            .spawn(move || tailer_main(wal_path, experiment, adds, registry, ctx))
             .expect("spawning tailer thread");
         self.threads.lock().unwrap().push(handle);
     }
@@ -294,10 +299,14 @@ impl TailerRegistry {
 /// Body of one experiment's tailer thread.
 fn tailer_main(
     wal_path: PathBuf,
+    experiment: String,
     adds: Arc<Mutex<Vec<Arc<SubState>>>>,
     registry: Arc<TailerRegistry>,
     ctx: Arc<TailerCtx>,
 ) {
+    // Counters outlive this thread (a later tailer for the same experiment
+    // keeps adding to them); gauges are zeroed on every exit path.
+    let tm = ctx.metrics.tailer(&experiment);
     let mut tail = LogTail::new(&wal_path);
     // Shared backlog of records; `base` is the absolute index of the front.
     let mut backlog: VecDeque<Rec> = VecDeque::new();
@@ -363,12 +372,14 @@ fn tailer_main(
                 finished,
                 shutting_down,
                 tail.offset(),
-                &ctx,
+                &ctx.metrics,
+                &tm,
             );
             progressed |= p;
             jammed |= j;
         }
         subs.retain(|e| !matches!(e.phase, Phase::Done));
+        tm.subscribers.set(subs.len() as i64);
 
         // Trim the backlog to the slowest Live cursor; demote subscribers
         // that fall further behind than the cap so it stays bounded.
@@ -380,11 +391,14 @@ fn tailer_main(
             })
             .min()
             .unwrap_or(end_abs);
+        // Backlog records the slowest Live subscriber has yet to consume.
+        tm.lag_records.set((end_abs - min_live.min(end_abs)) as i64);
         if backlog.len() > BACKLOG_CAP {
             let floor = end_abs - BACKLOG_CAP as u64;
             for entry in &mut subs {
                 if let Phase::Live { next } = entry.phase {
                     if next < floor {
+                        tm.window_evictions.inc();
                         entry.phase = Phase::CatchUp {
                             tail: LogTail::new(&wal_path),
                             skip: next,
@@ -410,6 +424,8 @@ fn tailer_main(
             let mut slots = registry.slots.lock().unwrap();
             if adds.lock().unwrap().is_empty() {
                 slots.remove(&wal_path);
+                tm.subscribers.set(0);
+                tm.lag_records.set(0);
                 return;
             }
             continue;
@@ -419,10 +435,12 @@ fn tailer_main(
             let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + ctx.grace);
             if Instant::now() >= deadline {
                 for entry in &subs {
-                    entry.state.mark_closed(&ctx.stats);
+                    entry.state.mark_closed(&ctx.metrics);
                 }
                 let mut slots = registry.slots.lock().unwrap();
                 slots.remove(&wal_path);
+                tm.subscribers.set(0);
+                tm.lag_records.set(0);
                 return;
             }
         }
@@ -445,9 +463,10 @@ fn advance(
     finished: bool,
     shutting_down: bool,
     main_offset: u64,
-    ctx: &TailerCtx,
+    metrics: &Arc<ServiceMetrics>,
+    tm: &TailerMetrics,
 ) -> (bool, bool) {
-    let stats = &*ctx.stats;
+    let stats = &**metrics;
     let state = Arc::clone(&entry.state);
     if state.is_closed() {
         entry.phase = Phase::Done;
@@ -487,6 +506,7 @@ fn advance(
                     }
                     match state.offer_line(stats, event_line(state.sub, &rec.body)) {
                         Offer::Sent => {
+                            tm.fanout_frames.inc();
                             pending.pop_front();
                             progressed = true;
                         }
@@ -551,6 +571,7 @@ fn advance(
                     }
                     match state.offer_line(stats, event_line(state.sub, &rec.body)) {
                         Offer::Sent => {
+                            tm.fanout_frames.inc();
                             *next += 1;
                             progressed = true;
                         }

@@ -1,0 +1,260 @@
+//! Golden tests of the Prometheus text exposition: the output must be
+//! structurally valid format 0.0.4 (every sample preceded by its family's
+//! `# TYPE` header, histogram buckets cumulative and capped by `+Inf`,
+//! `_count` equal to the `+Inf` bucket) and must carry exact values for
+//! deterministically recorded cells.
+
+use std::collections::HashMap;
+
+use asha_service::ServiceMetrics;
+
+/// `family name -> (type, samples)`; each sample is
+/// `(series name, labels, value)`.
+type Families = HashMap<String, (String, Vec<(String, String, f64)>)>;
+
+/// A deterministically populated plane: a few requests across two ops,
+/// reactor traffic, a tailer, and store latencies.
+fn populated_plane() -> std::sync::Arc<ServiceMetrics> {
+    let m = ServiceMetrics::new(true);
+    for _ in 0..3 {
+        m.accept();
+    }
+    m.conn_opened();
+    m.conn_opened();
+    m.record_bytes_read(1024);
+    m.record_bytes_written(2048);
+    m.decode_error();
+    m.http_request();
+    m.request_observed("ping", true, 10e-6, 5e-6);
+    m.request_observed("ping", true, 20e-6, 8e-6);
+    m.request_observed("status", false, 15e-6, 100e-6);
+    m.slow_request();
+    let t = m.tailer("exp-a");
+    t.subscribers.set(4);
+    t.lag_records.set(17);
+    t.window_evictions.inc();
+    t.fanout_frames.add(250);
+    m.store().wal_fsync.observe(3e-3);
+    m.render_prometheus(); // rendering must not perturb any cell
+    m
+}
+
+/// Minimal format-0.0.4 validator.
+fn parse_exposition(text: &str) -> Families {
+    let mut families: Families = HashMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line has a name").to_owned();
+            let kind = it.next().expect("TYPE line has a kind").to_owned();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown family kind {kind:?}"
+            );
+            let fresh = families.insert(name.clone(), (kind, Vec::new())).is_none();
+            assert!(fresh, "family {name} declared twice");
+            current = Some(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|e| {
+            panic!("unparseable sample value in {line:?}: {e}");
+        });
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest.strip_suffix('}').expect("labels close with '}'");
+                (n.to_owned(), labels.to_owned())
+            }
+            None => (series.to_owned(), String::new()),
+        };
+        let family = current.as_ref().expect("sample before any TYPE header");
+        // Histogram samples extend the family name (_bucket/_sum/_count);
+        // everything else must match it exactly.
+        assert!(
+            name == *family
+                || [
+                    format!("{family}_bucket"),
+                    format!("{family}_sum"),
+                    format!("{family}_count"),
+                ]
+                .contains(&name),
+            "sample {name} outside current family {family}"
+        );
+        families
+            .get_mut(family)
+            .unwrap()
+            .1
+            .push((name, labels, value));
+    }
+    families
+}
+
+fn sample_value(families: &Families, family: &str, name: &str, labels: &str) -> f64 {
+    let (_, samples) = families
+        .get(family)
+        .unwrap_or_else(|| panic!("missing family {family}"));
+    samples
+        .iter()
+        .find(|(n, l, _)| n == name && l == labels)
+        .unwrap_or_else(|| panic!("missing sample {name}{{{labels}}}"))
+        .2
+}
+
+/// Check one labelled histogram series: buckets cumulative, last bucket is
+/// `+Inf`, `_count` matches it. Returns (count, sum).
+fn check_histogram(families: &Families, family: &str, label_prefix: &str) -> (u64, f64) {
+    let (kind, samples) = families
+        .get(family)
+        .unwrap_or_else(|| panic!("missing histogram {family}"));
+    assert_eq!(kind, "histogram", "{family}");
+    let series: Vec<_> = samples
+        .iter()
+        .filter(|(_, l, _)| {
+            label_prefix.is_empty() || l.starts_with(label_prefix) || l == label_prefix
+        })
+        .collect();
+    let buckets: Vec<_> = series
+        .iter()
+        .filter(|(n, _, _)| n.ends_with("_bucket"))
+        .collect();
+    assert!(!buckets.is_empty(), "{family}: no buckets");
+    let mut last = -1.0f64;
+    for (_, labels, v) in &buckets {
+        assert!(*v >= last, "{family}: buckets not cumulative");
+        last = *v;
+        assert!(labels.contains("le=\""), "{family}: bucket without le");
+    }
+    let (_, inf_labels, inf) = buckets.last().unwrap();
+    assert!(
+        inf_labels.contains("le=\"+Inf\""),
+        "{family}: last bucket must be +Inf, got {inf_labels}"
+    );
+    let count = series
+        .iter()
+        .find(|(n, _, _)| n.ends_with("_count"))
+        .unwrap_or_else(|| panic!("{family}: missing _count"))
+        .2;
+    let sum = series
+        .iter()
+        .find(|(n, _, _)| n.ends_with("_sum"))
+        .unwrap_or_else(|| panic!("{family}: missing _sum"))
+        .2;
+    assert_eq!(count, *inf, "{family}: _count must equal +Inf bucket");
+    (count as u64, sum)
+}
+
+#[test]
+fn exposition_is_structurally_valid_and_values_are_exact() {
+    let m = populated_plane();
+    let text = m.render_prometheus();
+    let families = parse_exposition(&text);
+
+    // Exact counter/gauge values from the deterministic recording.
+    for (family, value) in [
+        ("asha_reactor_accepts_total", 3.0),
+        ("asha_connections_total", 2.0),
+        ("asha_connections_open", 2.0),
+        ("asha_reactor_bytes_read_total", 1024.0),
+        ("asha_reactor_bytes_written_total", 2048.0),
+        ("asha_reactor_frame_decode_errors_total", 1.0),
+        ("asha_http_requests_total", 1.0),
+        ("asha_requests_total", 3.0),
+        ("asha_request_errors_total", 1.0),
+        ("asha_slow_requests_total", 1.0),
+        ("asha_worker_queue_depth", 0.0),
+    ] {
+        assert_eq!(
+            sample_value(&families, family, family, ""),
+            value,
+            "{family}"
+        );
+    }
+
+    // Per-op histograms: one family per leg, series labelled by op.
+    let (ping_n, ping_sum) =
+        check_histogram(&families, "asha_request_queue_wait_seconds", "op=\"ping\"");
+    assert_eq!(ping_n, 2);
+    assert!((ping_sum - 30e-6).abs() < 1e-9, "queue-wait sum {ping_sum}");
+    let (status_n, _) = check_histogram(&families, "asha_request_execute_seconds", "op=\"status\"");
+    assert_eq!(status_n, 1);
+
+    // Fixed-name histograms are present even when empty.
+    let (iter_n, _) = check_histogram(&families, "asha_reactor_iteration_seconds", "");
+    assert_eq!(iter_n, 0);
+    let (fsync_n, fsync_sum) = check_histogram(&families, "asha_wal_fsync_seconds", "");
+    assert_eq!(fsync_n, 1);
+    assert!((fsync_sum - 3e-3).abs() < 1e-9);
+
+    // Tailer series carry the experiment label.
+    for (family, value) in [
+        ("asha_tailer_subscribers", 4.0),
+        ("asha_tailer_lag_records", 17.0),
+        ("asha_tailer_window_evictions_total", 1.0),
+        ("asha_tailer_fanout_frames_total", 250.0),
+    ] {
+        assert_eq!(
+            sample_value(&families, family, family, "experiment=\"exp-a\""),
+            value,
+            "{family}"
+        );
+    }
+}
+
+#[test]
+fn every_family_has_help_and_type_in_order() {
+    let text = populated_plane().render_prometheus();
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap().to_owned();
+            assert!(pending_help.is_none(), "HELP without TYPE before {name}");
+            pending_help = Some(name);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name),
+                "TYPE must directly follow its HELP"
+            );
+        }
+    }
+    assert!(pending_help.is_none(), "trailing HELP without TYPE");
+}
+
+#[test]
+fn experiment_label_values_are_escaped() {
+    let m = ServiceMetrics::new(true);
+    m.tailer("weird\"name\\with\nstuff");
+    let text = m.render_prometheus();
+    assert!(
+        text.contains("experiment=\"weird\\\"name\\\\with\\nstuff\""),
+        "label not escaped:\n{text}"
+    );
+    // The raw newline must not appear inside any label (it would split the
+    // sample line and corrupt the exposition).
+    for line in text.lines() {
+        assert!(
+            !line.contains("experiment=\"weird\"n"),
+            "unescaped quote leaked: {line}"
+        );
+    }
+}
+
+#[test]
+fn disabled_plane_still_renders_valid_exposition() {
+    let m = ServiceMetrics::new(false);
+    m.request_observed("ping", true, 1.0, 1.0);
+    let text = m.render_prometheus();
+    let families = parse_exposition(&text);
+    assert_eq!(
+        sample_value(&families, "asha_requests_total", "asha_requests_total", ""),
+        0.0
+    );
+    let (n, _) = check_histogram(&families, "asha_reactor_iteration_seconds", "");
+    assert_eq!(n, 0);
+}

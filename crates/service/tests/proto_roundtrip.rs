@@ -64,6 +64,7 @@ fn all_requests() -> Vec<Request> {
         },
         Request::List,
         Request::Stats,
+        Request::Metrics,
         Request::Subscribe {
             name: "exp-a".to_owned(),
             from_seq: 42,
@@ -125,6 +126,20 @@ fn every_reply_round_trips() {
         ),
         (Reply::List(Vec::new()), "list"),
         (Reply::Stats(stats), "stats"),
+        (
+            // The metrics reply is raw JSON: old clients pass newer
+            // snapshots through untouched, so the payload here is
+            // deliberately not the current schema.
+            Reply::Metrics(JsonValue::obj([
+                (
+                    "schema",
+                    JsonValue::Str("asha-daemon-metrics-v1".to_owned()),
+                ),
+                ("requests", JsonValue::obj([("total", JsonValue::Int(17))])),
+                ("future_field", JsonValue::Bool(true)),
+            ])),
+            "metrics",
+        ),
         (Reply::Subscribed { sub: 4 }, "subscribe"),
     ];
     for (i, (reply, op)) in cases.into_iter().enumerate() {

@@ -325,6 +325,9 @@ pub struct DurableRun<'b> {
     last_snapshot_jobs: usize,
     opts: RunOptions,
     finished_recorded: bool,
+    /// Optional durability-plane histograms (snapshot-write latency; the
+    /// WAL writer holds its own handle for append/fsync).
+    metrics: Option<std::sync::Arc<crate::StoreMetrics>>,
 }
 
 impl<'b> DurableRun<'b> {
@@ -359,6 +362,7 @@ impl<'b> DurableRun<'b> {
             last_snapshot_jobs: 0,
             opts,
             finished_recorded: false,
+            metrics: None,
         };
         run.write_snapshot()?;
         Ok(run)
@@ -420,7 +424,16 @@ impl<'b> DurableRun<'b> {
             last_snapshot_jobs: jobs,
             opts,
             finished_recorded: false,
+            metrics: None,
         })
+    }
+
+    /// Attach durability-plane histograms: snapshot writes record here,
+    /// and the underlying WAL writer gets the same handle for appends and
+    /// fsyncs.
+    pub fn set_metrics(&mut self, metrics: std::sync::Arc<crate::StoreMetrics>) {
+        self.recorder.writer().set_metrics(metrics.clone());
+        self.metrics = Some(metrics);
     }
 
     /// The experiment directory this run persists into.
@@ -516,7 +529,11 @@ impl<'b> DurableRun<'b> {
             rng: self.rng.state(),
             sim: Some(self.engine.export_state()),
         };
+        let start = self.metrics.is_some().then(std::time::Instant::now);
         snap.write(&self.dir)?;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.snapshot_write.observe_duration(t0.elapsed());
+        }
         // Marker only after the snapshot file is durable: the newest marker
         // in the WAL must always name a loadable snapshot.
         self.recorder.writer().append_store(

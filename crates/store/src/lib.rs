@@ -73,6 +73,7 @@
 pub mod codec;
 mod error;
 pub mod experiment;
+pub mod metrics;
 pub mod snapshot;
 pub mod supervisor;
 pub mod wal;
@@ -82,6 +83,7 @@ pub use crate::experiment::{
     read_meta, replay_scheduler, write_meta, BenchSpec, DurableRun, ExperimentMeta, RunOptions,
     RunOptionsBuilder, WalRecorder, META_FILE, META_SCHEMA, WAL_FILE,
 };
+pub use crate::metrics::StoreMetrics;
 pub use crate::snapshot::{
     list_snapshots, load_latest, SchedulerState, Snapshot, StoredScheduler, SNAPSHOT_SCHEMA,
 };

@@ -155,6 +155,7 @@ pub struct ExperimentSupervisor {
     entries: Vec<ManifestEntry>,
     workers: HashMap<String, Worker>,
     listener: Option<StatusListener>,
+    metrics: Option<Arc<crate::StoreMetrics>>,
 }
 
 impl std::fmt::Debug for ExperimentSupervisor {
@@ -191,6 +192,7 @@ impl ExperimentSupervisor {
             entries,
             workers: HashMap::new(),
             listener: None,
+            metrics: None,
         };
         if interrupted {
             sup.write_manifest()?;
@@ -207,6 +209,15 @@ impl ExperimentSupervisor {
     /// change. Replaces any previous listener.
     pub fn set_status_listener(&mut self, listener: StatusListener) {
         self.listener = Some(listener);
+    }
+
+    /// Attach durability-plane histograms ([`crate::StoreMetrics`]): every
+    /// run this supervisor creates or starts records its WAL append/fsync
+    /// and snapshot-write latency into the shared cells. Replaces any
+    /// previous handle; workers already running keep the one they started
+    /// with.
+    pub fn set_metrics(&mut self, metrics: Arc<crate::StoreMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Join any worker threads that have finished on their own, recording
@@ -275,7 +286,11 @@ impl ExperimentSupervisor {
         // Creating and immediately dropping the run leaves a fully
         // recoverable directory: meta.json, WAL with the created event, and
         // snapshot 0 of the pristine state.
-        drop(DurableRun::create(&dir, meta, &bench, opts)?);
+        let mut run = DurableRun::create(&dir, meta, &bench, opts)?;
+        if let Some(m) = &self.metrics {
+            run.set_metrics(Arc::clone(m));
+        }
+        drop(run);
         self.entries.push(ManifestEntry {
             name: meta.name.clone(),
             status: ExperimentStatus::Created,
@@ -301,7 +316,8 @@ impl ExperimentSupervisor {
         let dir = self.experiment_dir(name);
         let control = Control::new();
         let thread_control = Arc::clone(&control);
-        let thread = std::thread::spawn(move || worker_main(dir, opts, thread_control));
+        let metrics = self.metrics.clone();
+        let thread = std::thread::spawn(move || worker_main(dir, opts, thread_control, metrics));
         self.workers
             .insert(name.to_owned(), Worker { control, thread });
         Ok(())
@@ -457,13 +473,21 @@ pub fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>, StoreError> {
 /// The body of one experiment's worker thread: recover the run from its
 /// directory and step it until it finishes, obeying pause/abort commands at
 /// step boundaries.
-fn worker_main(dir: PathBuf, opts: RunOptions, control: Arc<Control>) -> WorkerOutcome {
+fn worker_main(
+    dir: PathBuf,
+    opts: RunOptions,
+    control: Arc<Control>,
+    metrics: Option<Arc<crate::StoreMetrics>>,
+) -> WorkerOutcome {
     let meta = read_meta(&dir)?;
     let bench = meta
         .bench
         .build()
         .map_err(|e| e.context(format!("benchmark for {:?}", meta.name)))?;
     let mut run = DurableRun::resume(&dir, &meta, &bench, opts)?;
+    if let Some(m) = metrics {
+        run.set_metrics(m);
+    }
     loop {
         match control.current() {
             Command::Abort => {

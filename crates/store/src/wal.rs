@@ -158,6 +158,9 @@ pub struct WalWriter {
     since_sync: usize,
     telemetry_appended: u64,
     scratch: String,
+    /// Optional durability-plane histograms; `None` (the default) keeps
+    /// clock reads off the append path entirely.
+    metrics: Option<std::sync::Arc<crate::StoreMetrics>>,
 }
 
 impl WalWriter {
@@ -191,7 +194,14 @@ impl WalWriter {
             since_sync: 0,
             telemetry_appended: telemetry_so_far,
             scratch: String::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach durability-plane histograms; subsequent appends and fsyncs
+    /// record their latency into `metrics`.
+    pub fn set_metrics(&mut self, metrics: std::sync::Arc<crate::StoreMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Telemetry events written (including any recovered count passed to
@@ -219,6 +229,7 @@ impl WalWriter {
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), StoreError> {
+        let start = self.metrics.is_some().then(std::time::Instant::now);
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.write_all(b"\n"))
@@ -232,6 +243,9 @@ impl WalWriter {
         if due {
             self.sync()?;
         }
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.wal_append.observe_duration(t0.elapsed());
+        }
         Ok(())
     }
 
@@ -242,12 +256,16 @@ impl WalWriter {
 
     /// Flush and fsync, making every appended record crash-durable.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let start = self.metrics.is_some().then(std::time::Instant::now);
         self.flush()?;
         self.file
             .get_ref()
             .sync_all()
             .map_err(|e| StoreError::io(&self.path, e))?;
         self.since_sync = 0;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.wal_fsync.observe_duration(t0.elapsed());
+        }
         Ok(())
     }
 }
