@@ -1,7 +1,8 @@
 //! BOHB (Falkner et al., 2018) as the paper frames it: synchronous SHA for
-//! early stopping with TPE in place of random sampling.
+//! early stopping with TPE in place of random sampling — plus the
+//! asynchronous crosses wiring TPE into ASHA and D-ASHA.
 
-use asha_core::{Asha, AshaConfig, ShaConfig, SyncSha};
+use asha_core::{Asha, AshaConfig, DAsha, ShaConfig, SyncSha};
 use asha_space::SearchSpace;
 
 use crate::tpe::{TpeConfig, TpeSampler};
@@ -50,6 +51,18 @@ pub fn bohb_asha(space: SearchSpace, config: AshaConfig) -> Asha {
     let mut asha = Asha::with_sampler(space, config, Box::new(sampler));
     asha.set_name("ASHA+TPE");
     asha
+}
+
+/// D-ASHA with TPE sampling: Hyper-Tune's delayed promotion rule combined
+/// with model-based proposals — the configuration their paper reports the
+/// largest sample-efficiency wins with.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`DAsha::new`].
+pub fn dasha_tpe(space: SearchSpace, config: AshaConfig) -> DAsha {
+    let sampler = TpeSampler::new(space.clone(), TpeConfig::default());
+    DAsha::with_sampler(space, config, Box::new(sampler))
 }
 
 #[cfg(test)]
@@ -117,5 +130,11 @@ mod tests {
     fn asha_tpe_cross_names_itself() {
         let tuner = bohb_asha(space(), asha_core::AshaConfig::new(1.0, 9.0, 3.0));
         assert_eq!(tuner.name(), "ASHA+TPE");
+    }
+
+    #[test]
+    fn dasha_tpe_cross_names_itself() {
+        let tuner = dasha_tpe(space(), asha_core::AshaConfig::new(1.0, 9.0, 3.0));
+        assert_eq!(tuner.name(), "D-ASHA+tpe");
     }
 }

@@ -3,10 +3,13 @@
 //! Every baseline implements [`asha_core::Scheduler`], so the discrete-event
 //! simulator and the thread-pool executor drive them exactly like ASHA:
 //!
-//! * [`TpeSampler`] — a Tree-structured Parzen Estimator
+//! * [`TpeSampler`] — a rung-conditioned Tree-structured Parzen Estimator
 //!   ([`asha_core::ConfigSampler`]); plugging it into synchronous SHA yields
-//!   **BOHB** ([`bohb`]), per the paper: "BOHB uses SHA to perform
-//!   early-stopping and differs only in how configurations are sampled".
+//!   **BOHB** ([`bohb`]), into ASHA yields **ASHA+TPE** ([`bohb_asha`], the
+//!   A-BOHB direction), and into D-ASHA yields **D-ASHA+TPE**
+//!   ([`dasha_tpe`], the Hyper-Tune combination).
+//! * [`GpSampler`] — rung-conditioned GP-EI as a pluggable sampler (the
+//!   async counterpart of [`Vizier`]'s model).
 //! * [`Pbt`] — Population Based Training with truncation selection and
 //!   perturb/resample exploration, following Appendix A.3 (including frozen
 //!   architecture hyperparameters and the bounded-lag fairness rule).
@@ -40,13 +43,16 @@
 #![warn(missing_docs)]
 
 mod bohb;
+mod cursor;
 mod fabolas;
+mod gp;
 mod pbt;
 mod tpe;
 mod vizier;
 
-pub use bohb::{bohb, bohb_asha};
+pub use bohb::{bohb, bohb_asha, dasha_tpe};
 pub use fabolas::{Fabolas, FabolasConfig};
+pub use gp::{GpSampler, GpSamplerConfig};
 pub use pbt::{Pbt, PbtConfig};
 pub use tpe::{TpeConfig, TpeSampler};
 pub use vizier::{Vizier, VizierConfig};

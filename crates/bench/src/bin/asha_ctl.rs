@@ -23,7 +23,8 @@
 //!
 //! `create` options: `--preset P --bench-seed N --seed N --workers N
 //! --max-time T --straggler-std S --drop-prob Q --min-r R --max-r R
-//! --eta E --sync (never|always|N) --snapshot-jobs N`.
+//! --eta E --scheduler (asha|dasha) --sampler (random|tpe|gp)
+//! --sync (never|always|N) --snapshot-jobs N`.
 //!
 //! `--connect-timeout` (default 10) bounds TCP connection establishment;
 //! `--timeout` (default 30, `0` disables) bounds each request's wait for a
@@ -39,12 +40,14 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use asha::core::{Asha, AshaConfig};
+use asha::core::{Asha, AshaConfig, DAsha};
 use asha::metrics::JsonValue;
 use asha::obs::{parse_jsonl, Event, HistogramSnapshot, RunReport};
 use asha::service::{Client, Push};
 use asha::sim::SimConfig;
-use asha::store::{BenchSpec, ExperimentMeta, RunOptions, SchedulerState, SyncPolicy};
+use asha::store::{
+    make_sampler, BenchSpec, ExperimentMeta, RunOptions, SchedulerState, SyncPolicy,
+};
 use asha::surrogate::BenchmarkModel as _;
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -158,7 +161,28 @@ fn cmd_create(client: &mut Client, args: &Args) {
     let min_r = args.num("min-r", 1.0f64);
     let max_r = args.num("max-r", 27.0f64);
     let eta = args.num("eta", 3.0f64);
-    let scheduler = Asha::new(space.clone(), AshaConfig::new(min_r, max_r, eta));
+    let config = AshaConfig::new(min_r, max_r, eta);
+
+    // The sampling plane: `--sampler tpe|gp` attaches a model-based
+    // sampler. The kind travels in the meta; the daemon rebuilds the
+    // sampler server-side and snapshots carry its model cursor.
+    let sampler = match args.get("sampler") {
+        None | Some("random") => None,
+        Some(kind @ ("tpe" | "gp")) => Some(kind.to_owned()),
+        Some(other) => fail(format!("--sampler: unknown kind {other:?} (random/tpe/gp)")),
+    };
+    let build_sampler = |kind: &Option<String>| {
+        make_sampler(kind.as_deref().unwrap_or("random"), &space).unwrap_or_else(|e| fail(e))
+    };
+    let initial = match args.get("scheduler").unwrap_or("asha") {
+        "asha" => SchedulerState::Asha(
+            Asha::with_sampler(space.clone(), config, build_sampler(&sampler)).export_state(),
+        ),
+        "dasha" => SchedulerState::DAsha(
+            DAsha::with_sampler(space.clone(), config, build_sampler(&sampler)).export_state(),
+        ),
+        other => fail(format!("--scheduler: unknown kind {other:?} (asha/dasha)")),
+    };
 
     let sim = SimConfig::builder()
         .workers(args.num("workers", 4usize))
@@ -171,7 +195,8 @@ fn cmd_create(client: &mut Client, args: &Args) {
     let meta = ExperimentMeta {
         name: name.to_owned(),
         space,
-        initial: SchedulerState::Asha(scheduler.export_state()),
+        initial,
+        sampler,
         seed: args.num("seed", 0u64),
         sim,
         bench: spec,

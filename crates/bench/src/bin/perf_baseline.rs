@@ -19,8 +19,10 @@
 
 use std::time::Instant;
 
+use asha::baselines::bohb_asha;
 use asha::core::{
-    Asha, AshaConfig, AsyncHyperband, HyperbandConfig, Observation, Scheduler, ShaConfig, SyncSha,
+    Asha, AshaConfig, AsyncHyperband, DAsha, HyperbandConfig, Observation, Scheduler, ShaConfig,
+    SyncSha,
 };
 use asha::metrics::JsonValue;
 use asha::sim::{ClusterSim, SimConfig, TraceMode};
@@ -215,6 +217,7 @@ fn persistence(
         name: "perf-baseline".to_owned(),
         space: bench.space().clone(),
         initial: SchedulerState::Asha(make().export_state()),
+        sampler: None,
         seed: 0,
         sim: sim_cfg.clone(),
         bench: BenchSpec {
@@ -333,6 +336,7 @@ fn persistence(
         seq: 0,
         events: replayed,
         scheduler: replay_sched.export_state(),
+        sampler: None,
         rng: replay_rng.state(),
         sim: None,
     };
@@ -497,6 +501,21 @@ fn main() {
                 HyperbandConfig::new(1.0, R, ETA).with_brackets(4),
             )),
             rounds,
+        ),
+        scheduler_throughput(
+            "D-ASHA",
+            Box::new(DAsha::new(space.clone(), AshaConfig::new(1.0, R, ETA))),
+            rounds,
+        ),
+        // Model-on row: TPE reads every observation it has recorded on each
+        // non-random proposal, so suggests/s falls as the run grows — this
+        // row prices that tax at a fixed (smaller) round count. The random
+        // rows above are the regression-gated hot path; this one is a
+        // trajectory of model cost, not a floor.
+        scheduler_throughput(
+            "ASHA+TPE",
+            Box::new(bohb_asha(space.clone(), AshaConfig::new(1.0, R, ETA))),
+            rounds / 20,
         ),
     ];
 

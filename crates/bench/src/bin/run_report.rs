@@ -11,6 +11,8 @@
 //!                       chaos simulation (stragglers + drops), then report on
 //!                       it — a self-contained worked example
 //!     [--seed N]        RNG seed for --demo (default 0)
+//!     [--scheduler K]   scheduler for --demo: asha (default) or dasha
+//!     [--sampler K]     config sampler for --demo: random (default), tpe, gp
 //!     [--store DIR]     run the --demo through the durable experiment store:
 //!                       every event goes to DIR/wal.jsonl and snapshots are
 //!                       taken periodically, so the run is crash-recoverable
@@ -32,11 +34,13 @@
 
 use std::path::Path;
 
-use asha::core::{Asha, AshaConfig};
+use asha::core::{Asha, AshaConfig, DAsha, Scheduler};
 use asha::obs::{parse_jsonl, Event, RunRecorder, RunReport};
 use asha::sim::{ClusterSim, SimConfig};
+use asha::space::SearchSpace;
 use asha::store::{
-    read_meta, read_wal, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
+    make_sampler, read_meta, read_wal, BenchSpec, DurableRun, ExperimentMeta, RunOptions,
+    SchedulerState,
 };
 use asha::surrogate::{presets, BenchmarkModel};
 use rand::rngs::StdRng;
@@ -51,6 +55,8 @@ struct Opts {
     json: Option<String>,
     demo: bool,
     seed: u64,
+    scheduler: String,
+    sampler: Option<String>,
     store: Option<String>,
     crash_after_jobs: Option<usize>,
     resume: Option<String>,
@@ -64,6 +70,8 @@ fn parse_opts() -> Opts {
         json: None,
         demo: false,
         seed: 0,
+        scheduler: "asha".to_owned(),
+        sampler: None,
         store: None,
         crash_after_jobs: None,
         resume: None,
@@ -76,6 +84,16 @@ fn parse_opts() -> Opts {
             "--json" => opts.json = args.next(),
             "--demo" => opts.demo = true,
             "--seed" => opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--scheduler" => {
+                opts.scheduler = args
+                    .next()
+                    .unwrap_or_else(|| fail("--scheduler needs a value"))
+            }
+            "--sampler" => match args.next().as_deref() {
+                None => fail("--sampler needs a value"),
+                Some("random") => opts.sampler = None,
+                Some(kind) => opts.sampler = Some(kind.to_owned()),
+            },
             "--store" => opts.store = args.next(),
             "--crash-after-jobs" => {
                 opts.crash_after_jobs = args.next().and_then(|v| v.parse().ok())
@@ -106,20 +124,38 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+/// Build the demo scheduler (with its model-based sampler attached, if any)
+/// for the chosen `--scheduler`/`--sampler` kinds. Kept concrete so the
+/// exported state carries the right embedded name ("ASHA+tpe", "D-ASHA", …).
+fn demo_initial(scheduler: &str, sampler: &Option<String>, space: &SearchSpace) -> SchedulerState {
+    let config = AshaConfig::new(1.0, 256.0, 4.0);
+    let build =
+        || make_sampler(sampler.as_deref().unwrap_or("random"), space).unwrap_or_else(|e| fail(e));
+    match scheduler {
+        "asha" => {
+            SchedulerState::Asha(Asha::with_sampler(space.clone(), config, build()).export_state())
+        }
+        "dasha" => SchedulerState::DAsha(
+            DAsha::with_sampler(space.clone(), config, build()).export_state(),
+        ),
+        other => fail(format!("--scheduler: unknown kind {other:?} (asha/dasha)")),
+    }
+}
+
 /// The `--demo` experiment: the same seeded 25-worker chaos simulation the
 /// plain demo runs, described as durable-store metadata.
-fn demo_meta(seed: u64) -> ExperimentMeta {
+fn demo_meta(seed: u64, scheduler: &str, sampler: &Option<String>) -> ExperimentMeta {
     let spec = BenchSpec {
         preset: "cifar10_cuda_convnet".to_owned(),
         seed: presets::DEFAULT_SURFACE_SEED,
     };
     let bench = spec.build().expect("demo preset exists");
     let space = bench.space().clone();
-    let asha = Asha::new(space.clone(), AshaConfig::new(1.0, 256.0, 4.0));
     ExperimentMeta {
         name: "run-report-demo".to_owned(),
+        initial: demo_initial(scheduler, sampler, &space),
         space,
-        initial: SchedulerState::Asha(asha.export_state()),
+        sampler: sampler.clone(),
         seed,
         sim: SimConfig::new(DEMO_WORKERS, 60.0)
             .with_stragglers(0.5)
@@ -130,9 +166,17 @@ fn demo_meta(seed: u64) -> ExperimentMeta {
 
 /// Run a seeded 25-worker chaos simulation (stragglers + drops) with
 /// recording on and write its event log to `path`.
-fn write_demo_log(path: &str, seed: u64) {
+fn write_demo_log(path: &str, seed: u64, scheduler: &str, sampler: &Option<String>) {
     let bench = presets::cifar10_cuda_convnet(presets::DEFAULT_SURFACE_SEED);
-    let asha = Asha::new(bench.space().clone(), AshaConfig::new(1.0, 256.0, 4.0));
+    let space = bench.space().clone();
+    let config = AshaConfig::new(1.0, 256.0, 4.0);
+    let build =
+        || make_sampler(sampler.as_deref().unwrap_or("random"), &space).unwrap_or_else(|e| fail(e));
+    let sched: Box<dyn Scheduler> = match scheduler {
+        "asha" => Box::new(Asha::with_sampler(space.clone(), config, build())),
+        "dasha" => Box::new(DAsha::with_sampler(space.clone(), config, build())),
+        other => fail(format!("--scheduler: unknown kind {other:?} (asha/dasha)")),
+    };
     let sim = ClusterSim::new(
         SimConfig::new(DEMO_WORKERS, 60.0)
             .with_stragglers(0.5)
@@ -140,7 +184,7 @@ fn write_demo_log(path: &str, seed: u64) {
     );
     let mut recorder = RunRecorder::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let result = sim.run_recorded(asha, &bench, &mut rng, &mut recorder);
+    let result = sim.run_recorded(sched, &bench, &mut rng, &mut recorder);
     if let Err(e) = recorder.write_jsonl_durable(path) {
         fail(format!("failed to write {path}: {e}"));
     }
@@ -153,11 +197,12 @@ fn write_demo_log(path: &str, seed: u64) {
 
 /// Run the demo through the durable store, optionally dying abruptly after
 /// `crash_after_jobs` completed jobs.
-fn run_demo_store(dir: &Path, seed: u64, crash_after_jobs: Option<usize>, opts: RunOptions) {
-    let meta = demo_meta(seed);
+fn run_demo_store(dir: &Path, opts: &Opts, run_opts: RunOptions) {
+    let meta = demo_meta(opts.seed, &opts.scheduler, &opts.sampler);
+    let seed = opts.seed;
     let bench = meta.bench.build().unwrap_or_else(|e| fail(e));
-    let mut run = DurableRun::create(dir, &meta, &bench, opts).unwrap_or_else(|e| fail(e));
-    if let Some(jobs) = crash_after_jobs {
+    let mut run = DurableRun::create(dir, &meta, &bench, run_opts).unwrap_or_else(|e| fail(e));
+    if let Some(jobs) = opts.crash_after_jobs {
         let alive = run.run_until_jobs(jobs).unwrap_or_else(|e| fail(e));
         if alive {
             println!(
@@ -214,7 +259,7 @@ fn main() {
         resume_store(Path::new(dir), run_opts);
         Some(dir.clone())
     } else if let (true, Some(dir)) = (opts.demo, opts.store.clone()) {
-        run_demo_store(Path::new(&dir), opts.seed, opts.crash_after_jobs, run_opts);
+        run_demo_store(Path::new(&dir), &opts, run_opts);
         Some(dir)
     } else {
         None
@@ -240,7 +285,7 @@ fn main() {
             .log
             .clone()
             .unwrap_or_else(|| "events.jsonl".to_owned());
-        write_demo_log(&path, opts.seed);
+        write_demo_log(&path, opts.seed, &opts.scheduler, &opts.sampler);
         opts.log = Some(path);
         opts.workers = opts.workers.or(Some(DEMO_WORKERS));
     }

@@ -152,6 +152,7 @@ fn small_meta() -> ExperimentMeta {
         name: EXPERIMENT.to_owned(),
         space,
         initial: SchedulerState::Asha(asha.export_state()),
+        sampler: None,
         seed: 5,
         sim: asha::sim::SimConfig::new(4, 40.0),
         bench: spec,

@@ -4,8 +4,8 @@ use asha_space::{Config, SearchSpace};
 
 use crate::fx::{FxHashMap, FxHashSet};
 
-use crate::rung::{RungLadder, ScanOrder};
-use crate::sampler::{ConfigSampler, RandomSampler};
+use crate::rung::{PromotionRule, RungLadder, ScanOrder};
+use crate::sampler::{ConfigSampler, Fidelity, RandomSampler};
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 use crate::state::{AshaState, RungState};
 
@@ -96,6 +96,7 @@ pub struct Asha {
     next_trial: u64,
     trials_started: usize,
     name: String,
+    rule: PromotionRule,
 }
 
 impl std::fmt::Debug for Asha {
@@ -159,7 +160,19 @@ impl Asha {
             next_trial: 0,
             trials_started: 0,
             name,
+            rule: PromotionRule::Eager,
         }
+    }
+
+    /// Switch the promotion rule (used by the D-ASHA wrapper; Algorithm 2's
+    /// eager rule is the default).
+    pub(crate) fn set_rule(&mut self, rule: PromotionRule) {
+        self.rule = rule;
+    }
+
+    /// The promotion rule in effect.
+    pub fn rule(&self) -> PromotionRule {
+        self.rule
     }
 
     /// Rename the scheduler (used when ASHA is embedded in a larger method).
@@ -196,6 +209,24 @@ impl Asha {
     /// rung (Section 3.3).
     pub fn best(&self) -> Option<(TrialId, f64)> {
         self.ladder.best_loss()
+    }
+
+    /// The attached sampler's name (`"random"`, `"tpe"`, ...).
+    pub fn sampler_name(&self) -> &str {
+        self.sampler.name()
+    }
+
+    /// The attached sampler's serialized cursor, if it keeps one (see
+    /// [`ConfigSampler::export_cursor`]). Durable stores persist this next
+    /// to [`Asha::export_state`] so adaptive samplers survive recovery warm.
+    pub fn export_sampler_cursor(&self) -> Option<String> {
+        self.sampler.export_cursor()
+    }
+
+    /// Restore a sampler cursor previously produced by
+    /// [`Asha::export_sampler_cursor`].
+    pub fn restore_sampler_cursor(&mut self, cursor: &str) {
+        self.sampler.restore_cursor(cursor);
     }
 
     /// Capture the scheduler's full mutable state as plain data (see
@@ -289,7 +320,8 @@ impl Asha {
         let trial = TrialId(self.next_trial);
         self.next_trial += 1;
         self.trials_started += 1;
-        let config = self.sampler.propose(&self.space, rng);
+        let fidelity = Fidelity::base(self.ladder.resource(0));
+        let config = self.sampler.propose_at(&self.space, fidelity, rng);
         self.trial_configs.insert(trial, config.clone());
         self.outstanding.insert((trial, 0));
         Job {
@@ -307,8 +339,9 @@ impl Scheduler for Asha {
     fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
         // Lines 12–19 of Algorithm 2: look for a promotable configuration,
         // scanning rungs from the top down.
-        if let Some((trial, _loss, rung)) =
-            self.ladder.find_promotable_ordered(self.config.scan_order)
+        if let Some((trial, _loss, rung)) = self
+            .ladder
+            .find_promotable_ruled(self.config.scan_order, self.rule)
         {
             return Decision::Run(self.promote(trial, rung));
         }

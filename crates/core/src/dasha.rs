@@ -1,0 +1,282 @@
+//! D-ASHA: ASHA with Hyper-Tune's delayed promotion rule.
+//!
+//! Eager ASHA (Algorithm 2) promotes whenever the best unpromoted trial of a
+//! rung ranks in the top `1/eta` — which means a strong configuration that
+//! arrives *after* the rung has spent its `floor(len/eta)` quota is promoted
+//! anyway, and adversarial arrival orders can over-promote a rung by
+//! `O(sqrt(len))`. Hyper-Tune (Li et al., VLDB 2022) observes that those
+//! excess promotions spend upper-rung budget on configurations whose rank is
+//! only provisional, and *delays* them instead: a rung may promote only while
+//! `promoted < floor(len/eta)`, so the promoted fraction never exceeds the
+//! exact `1/eta` that synchronous SHA would allot. The held-back trial is
+//! promoted as soon as the rung grows another quota slot, keeping the
+//! scheduler fully asynchronous — there is still no barrier anywhere.
+//!
+//! [`DAsha`] is a thin wrapper over [`Asha`] flipping
+//! [`PromotionRule::Delayed`](crate::PromotionRule::Delayed) on; it shares
+//! ASHA's state schema, indexes, and sampler plumbing, so everything that
+//! works on ASHA (durable snapshots, telemetry, samplers) works on D-ASHA
+//! unchanged.
+
+use asha_space::{Config, SearchSpace};
+
+use crate::asha::{Asha, AshaConfig};
+use crate::rung::{PromotionRule, RungLadder};
+use crate::sampler::ConfigSampler;
+use crate::scheduler::{Decision, Observation, Scheduler, TrialId};
+use crate::state::AshaState;
+
+/// ASHA under the delayed promotion rule (Hyper-Tune's D-ASHA).
+///
+/// Same inputs, state schema, and sampler support as [`Asha`]; the only
+/// behavioural difference is the per-rung promotion quota described in the
+/// module docs.
+#[derive(Debug)]
+pub struct DAsha {
+    inner: Asha,
+}
+
+impl DAsha {
+    /// Create a D-ASHA scheduler with uniform random sampling.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::new`].
+    pub fn new(space: SearchSpace, config: AshaConfig) -> Self {
+        let mut inner = Asha::new(space, config);
+        inner.set_rule(PromotionRule::Delayed);
+        inner.set_name("D-ASHA");
+        DAsha { inner }
+    }
+
+    /// Create a D-ASHA scheduler with a custom configuration sampler.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::new`].
+    pub fn with_sampler(
+        space: SearchSpace,
+        config: AshaConfig,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let name = if sampler.name() == "random" {
+            "D-ASHA".to_owned()
+        } else {
+            format!("D-ASHA+{}", sampler.name())
+        };
+        let mut inner = Asha::with_sampler(space, config, sampler);
+        inner.set_rule(PromotionRule::Delayed);
+        inner.set_name(name);
+        DAsha { inner }
+    }
+
+    /// Rename the scheduler.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.inner.set_name(name);
+    }
+
+    /// The rung ladder (read-only), for analysis and tests.
+    pub fn ladder(&self) -> &RungLadder {
+        self.inner.ladder()
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &AshaConfig {
+        self.inner.config()
+    }
+
+    /// Number of distinct trials started so far.
+    pub fn trials_started(&self) -> usize {
+        self.inner.trials_started()
+    }
+
+    /// Number of issued-but-unreported jobs.
+    pub fn outstanding_jobs(&self) -> usize {
+        self.inner.outstanding_jobs()
+    }
+
+    /// The configuration of a trial, if known.
+    pub fn trial_config(&self, trial: TrialId) -> Option<&Config> {
+        self.inner.trial_config(trial)
+    }
+
+    /// Best `(trial, loss)` seen so far.
+    pub fn best(&self) -> Option<(TrialId, f64)> {
+        self.inner.best()
+    }
+
+    /// The attached sampler's name.
+    pub fn sampler_name(&self) -> &str {
+        self.inner.sampler_name()
+    }
+
+    /// The attached sampler's serialized cursor, if it keeps one.
+    pub fn export_sampler_cursor(&self) -> Option<String> {
+        self.inner.export_sampler_cursor()
+    }
+
+    /// Restore a sampler cursor produced by
+    /// [`DAsha::export_sampler_cursor`].
+    pub fn restore_sampler_cursor(&mut self, cursor: &str) {
+        self.inner.restore_sampler_cursor(cursor);
+    }
+
+    /// Capture the scheduler's full mutable state. D-ASHA shares ASHA's
+    /// state schema; the promotion rule is *not* part of the state — it is
+    /// re-established by restoring through [`DAsha::from_state`] (durable
+    /// stores tag the scheduler kind alongside the state for exactly this).
+    pub fn export_state(&self) -> AshaState {
+        self.inner.export_state()
+    }
+
+    /// Rebuild a scheduler from a state captured by [`DAsha::export_state`],
+    /// with uniform random sampling.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::from_state`].
+    pub fn from_state(space: SearchSpace, state: AshaState) -> Self {
+        let mut inner = Asha::from_state(space, state);
+        inner.set_rule(PromotionRule::Delayed);
+        DAsha { inner }
+    }
+
+    /// Rebuild a scheduler from a captured state with a custom sampler. The
+    /// sampler's cursor, if any, is restored separately via
+    /// [`DAsha::restore_sampler_cursor`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Asha::from_state`].
+    pub fn from_state_with_sampler(
+        space: SearchSpace,
+        state: AshaState,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let mut inner = Asha::from_state_with_sampler(space, state, sampler);
+        inner.set_rule(PromotionRule::Delayed);
+        DAsha { inner }
+    }
+}
+
+impl Scheduler for DAsha {
+    fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
+        self.inner.suggest(rng)
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.inner.observe(obs);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn wait_is_stable(&self) -> bool {
+        self.inner.wait_is_stable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Job;
+    use asha_space::Scale;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .continuous("x", 0.0, 1.0, Scale::Linear)
+            .build()
+            .unwrap()
+    }
+
+    fn complete(d: &mut DAsha, job: &Job, loss: f64) {
+        d.observe(Observation::for_job(job, loss));
+    }
+
+    #[test]
+    fn dasha_promotes_like_asha_under_quota() {
+        let mut d = DAsha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = StdRng::seed_from_u64(0);
+        for loss in [0.3, 0.1, 0.2] {
+            let job = d.suggest(&mut r).job().unwrap();
+            complete(&mut d, &job, loss);
+        }
+        let job = d.suggest(&mut r).job().unwrap();
+        assert_eq!(job.trial, TrialId(1));
+        assert_eq!(job.rung, 1);
+        assert_eq!(d.name(), "D-ASHA");
+        assert!(d.rule_is_delayed());
+    }
+
+    impl DAsha {
+        fn rule_is_delayed(&self) -> bool {
+            self.inner.rule() == PromotionRule::Delayed
+        }
+    }
+
+    #[test]
+    fn dasha_delays_late_better_arrivals() {
+        // Drive both schedulers through the quota corner case: after the
+        // bottom rung promotes its floor(len/eta) quota, a strictly better
+        // config arrives. Eager ASHA promotes it immediately; D-ASHA grows
+        // the bottom rung instead until the quota reopens.
+        let mut d = DAsha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = StdRng::seed_from_u64(7);
+        for loss in [0.5, 0.6, 0.7] {
+            let job = d.suggest(&mut r).job().unwrap();
+            complete(&mut d, &job, loss);
+        }
+        // Promote trial 0 (quota k=1 for len=3).
+        let promo = d.suggest(&mut r).job().unwrap();
+        assert_eq!((promo.trial, promo.rung), (TrialId(0), 1));
+        // A better config lands in the bottom rung.
+        let j = d.suggest(&mut r).job().unwrap();
+        assert_eq!(j.rung, 0);
+        complete(&mut d, &j, 0.1);
+        // len=4, k=1, promoted=1: eager ASHA would promote the 0.1 trial
+        // here; D-ASHA must keep growing the bottom rung.
+        let j = d.suggest(&mut r).job().unwrap();
+        assert_eq!(j.rung, 0, "delayed rule must not over-promote");
+        complete(&mut d, &j, 0.9);
+        let j = d.suggest(&mut r).job().unwrap();
+        assert_eq!(j.rung, 0);
+        complete(&mut d, &j, 0.9);
+        // len=6, k=2 > promoted=1: the held-back trial is promoted now.
+        let j = d.suggest(&mut r).job().unwrap();
+        assert_eq!(j.rung, 1);
+    }
+
+    #[test]
+    fn dasha_state_roundtrips_and_keeps_the_rule() {
+        let mut d = DAsha::new(space(), AshaConfig::new(1.0, 9.0, 3.0));
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            if let Some(job) = d.suggest(&mut r).job() {
+                complete(&mut d, &job, job.trial.0 as f64 * 0.01);
+            }
+        }
+        let state = d.export_state();
+        let mut restored = DAsha::from_state(space(), state);
+        assert!(restored.rule_is_delayed());
+        assert_eq!(restored.name(), d.name());
+        // Identical decision streams from the same RNG.
+        let mut ra = StdRng::seed_from_u64(11);
+        let mut rb = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let a = d.suggest(&mut ra);
+            let b = restored.suggest(&mut rb);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            if let (Some(ja), Some(jb)) = (a.job(), b.job()) {
+                complete(&mut d, &ja, 0.42);
+                complete(&mut restored, &jb, 0.42);
+            }
+        }
+        assert_eq!(
+            format!("{:?}", d.export_state()),
+            format!("{:?}", restored.export_state())
+        );
+    }
+}

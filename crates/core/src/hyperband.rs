@@ -10,6 +10,7 @@ use asha_space::SearchSpace;
 
 use crate::asha::{Asha, AshaConfig};
 use crate::budget;
+use crate::sampler::ConfigSampler;
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 use crate::sha::{ShaConfig, SyncSha};
 use crate::state::AsyncHyperbandState;
@@ -217,9 +218,28 @@ impl AsyncHyperband {
     ///
     /// Panics if the configuration is invalid (see [`HyperbandConfig::new`]).
     pub fn new(space: SearchSpace, config: HyperbandConfig) -> Self {
+        AsyncHyperband::with_sampler_factory(space, config, |_| {
+            Box::new(crate::sampler::RandomSampler::new())
+        })
+    }
+
+    /// Create an asynchronous Hyperband scheduler with a per-bracket sampler
+    /// built by `factory` (called once per early-stopping rate `s`). Each
+    /// bracket owns an independent sampler instance: brackets observe
+    /// disjoint trial populations at different base fidelities, so sharing a
+    /// model across them would mix incomparable losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`HyperbandConfig::new`]).
+    pub fn with_sampler_factory(
+        space: SearchSpace,
+        config: HyperbandConfig,
+        factory: impl Fn(usize) -> Box<dyn ConfigSampler>,
+    ) -> Self {
         let brackets: Vec<Asha> = (0..config.num_brackets)
             .map(|s| {
-                Asha::new(
+                Asha::with_sampler(
                     space.clone(),
                     AshaConfig::new(
                         config.min_resource,
@@ -227,6 +247,7 @@ impl AsyncHyperband {
                         config.reduction_factor,
                     )
                     .with_stop_rate(s),
+                    factory(s),
                 )
             })
             .collect();
@@ -241,13 +262,17 @@ impl AsyncHyperband {
                 )
             })
             .collect();
+        let name = match brackets.first().map(Asha::sampler_name) {
+            Some("random") | None => "Hyperband (async)".to_owned(),
+            Some(sampler) => format!("Hyperband (async)+{sampler}"),
+        };
         AsyncHyperband {
             config,
             brackets,
             budgets,
             spent: 0.0,
             current: 0,
-            name: "Hyperband (async)".to_owned(),
+            name,
         }
     }
 
@@ -278,7 +303,25 @@ impl AsyncHyperband {
     /// [`HyperbandConfig::new`]) or the bracket count does not match the
     /// config.
     pub fn from_state(space: SearchSpace, state: AsyncHyperbandState) -> Self {
-        let mut ahb = AsyncHyperband::new(space.clone(), state.config.clone());
+        AsyncHyperband::from_state_with_sampler_factory(space, state, |_| {
+            Box::new(crate::sampler::RandomSampler::new())
+        })
+    }
+
+    /// Rebuild a scheduler from a captured state with per-bracket samplers
+    /// built by `factory`. Sampler cursors, if any, are restored separately
+    /// via [`AsyncHyperband::restore_sampler_cursors`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AsyncHyperband::from_state`].
+    pub fn from_state_with_sampler_factory(
+        space: SearchSpace,
+        state: AsyncHyperbandState,
+        factory: impl Fn(usize) -> Box<dyn ConfigSampler>,
+    ) -> Self {
+        let mut ahb =
+            AsyncHyperband::with_sampler_factory(space.clone(), state.config.clone(), &factory);
         assert_eq!(
             state.brackets.len(),
             ahb.brackets.len(),
@@ -287,12 +330,42 @@ impl AsyncHyperband {
         ahb.brackets = state
             .brackets
             .into_iter()
-            .map(|b| Asha::from_state(space.clone(), b))
+            .enumerate()
+            .map(|(s, b)| Asha::from_state_with_sampler(space.clone(), b, factory(s)))
             .collect();
         ahb.spent = state.spent;
         ahb.current = state.current;
         ahb.name = state.name;
         ahb
+    }
+
+    /// The attached samplers' name (`"random"`, `"tpe"`, ...); every bracket
+    /// uses the same sampler kind by construction.
+    pub fn sampler_name(&self) -> &str {
+        self.brackets
+            .first()
+            .map(Asha::sampler_name)
+            .unwrap_or("random")
+    }
+
+    /// Serialized sampler cursors, one per bracket (see
+    /// [`Asha::export_sampler_cursor`]).
+    pub fn export_sampler_cursors(&self) -> Vec<Option<String>> {
+        self.brackets
+            .iter()
+            .map(Asha::export_sampler_cursor)
+            .collect()
+    }
+
+    /// Restore per-bracket sampler cursors previously produced by
+    /// [`AsyncHyperband::export_sampler_cursors`]. Extra or missing entries
+    /// are ignored (a bracket without a cursor stays cold).
+    pub fn restore_sampler_cursors(&mut self, cursors: &[Option<String>]) {
+        for (bracket, cursor) in self.brackets.iter_mut().zip(cursors) {
+            if let Some(cursor) = cursor {
+                bracket.restore_sampler_cursor(cursor);
+            }
+        }
     }
 
     /// Read-only access to the per-bracket ASHA instances.

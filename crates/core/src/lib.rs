@@ -5,6 +5,8 @@
 //!
 //! * [`Asha`] — Algorithm 2 of the paper: promote a configuration to the
 //!   next rung whenever possible; otherwise grow the bottom rung.
+//! * [`DAsha`] — ASHA under Hyper-Tune's delayed promotion rule: per-rung
+//!   promotions never exceed the exact `1/eta` quota.
 //! * [`SyncSha`] — Algorithm 1, the synchronous Successive Halving
 //!   Algorithm, including the bracket-growing parallelization of Falkner
 //!   et al. (2018) that the paper compares against.
@@ -54,6 +56,7 @@
 
 mod asha;
 pub mod budget;
+mod dasha;
 pub mod error;
 pub mod fx;
 mod hyperband;
@@ -68,12 +71,13 @@ pub mod state;
 pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
+pub use crate::dasha::DAsha;
 pub use crate::error::{Error, ErrorKind, ResultContext};
 pub use crate::fx::{FxHashMap, FxHashSet};
 pub use crate::hyperband::{AsyncHyperband, Hyperband, HyperbandConfig};
 pub use crate::random::RandomSearch;
-pub use crate::rung::{Rung, RungLadder, ScanOrder};
-pub use crate::sampler::{ConfigSampler, RandomSampler};
+pub use crate::rung::{PromotionRule, Rung, RungLadder, ScanOrder};
+pub use crate::sampler::{ConfigSampler, Fidelity, RandomSampler};
 pub use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 pub use crate::sha::{ShaConfig, SyncSha};
 pub use crate::state::{AshaState, AsyncHyperbandState, BracketState, RungState, SyncShaState};

@@ -19,7 +19,8 @@ use std::collections::{HashMap, HashSet};
 use asha_space::{Config, SearchSpace};
 
 use crate::budget;
-use crate::rung::ScanOrder;
+use crate::rung::{PromotionRule, ScanOrder};
+use crate::sampler::{ConfigSampler, Fidelity, RandomSampler};
 use crate::scheduler::{Decision, Job, Observation, Scheduler, TrialId};
 use crate::state::{AshaState, AsyncHyperbandState, BracketState, RungState, SyncShaState};
 use crate::{AshaConfig, HyperbandConfig, ShaConfig};
@@ -69,6 +70,18 @@ impl RefRung {
         } else {
             None
         }
+    }
+
+    /// The spec of `Rung::promotable_ruled`: the delayed rule additionally
+    /// requires the promoted count to stay under `floor(len/eta)`.
+    fn promotable_ruled(&self, eta: f64, rule: PromotionRule) -> Option<(TrialId, f64)> {
+        if rule == PromotionRule::Delayed {
+            let k = (self.records.len() as f64 / eta).floor() as usize;
+            if self.promoted.len() >= k {
+                return None;
+            }
+        }
+        self.promotable(eta)
     }
 
     fn best(&self) -> Option<(TrialId, f64)> {
@@ -137,13 +150,21 @@ impl RefLadder {
         &mut self.rungs[k]
     }
 
-    fn find_promotable_ordered(&self, order: ScanOrder) -> Option<(TrialId, f64, usize)> {
+    fn find_promotable_ruled(
+        &self,
+        order: ScanOrder,
+        rule: PromotionRule,
+    ) -> Option<(TrialId, f64, usize)> {
         let top = match self.max_rung {
             Some(max) => max,
             None => self.rungs.len(),
         };
         let limit = top.min(self.rungs.len());
-        let scan = |k: usize| self.rungs[k].promotable(self.eta).map(|(t, l)| (t, l, k));
+        let scan = |k: usize| {
+            self.rungs[k]
+                .promotable_ruled(self.eta, rule)
+                .map(|(t, l)| (t, l, k))
+        };
         match order {
             ScanOrder::TopDown => (0..limit).rev().find_map(scan),
             ScanOrder::BottomUp => (0..limit).find_map(scan),
@@ -158,17 +179,22 @@ impl RefLadder {
     }
 }
 
-/// Linear-scan ASHA: decision-for-decision identical to [`crate::Asha`]
-/// with uniform random sampling, implemented with no promotion indexes.
+/// Linear-scan ASHA: decision-for-decision identical to [`crate::Asha`],
+/// implemented with no promotion indexes. Supports the same pluggable
+/// samplers as the indexed scheduler (an independent sampler instance fed
+/// the identical observation stream proposes identical configurations, so
+/// differential twins stay bitwise-equal with adaptive samplers too).
 pub struct RefAsha {
     space: SearchSpace,
     config: AshaConfig,
     ladder: RefLadder,
+    sampler: Box<dyn ConfigSampler>,
     trial_configs: HashMap<TrialId, Config>,
     outstanding: HashSet<(TrialId, usize)>,
     next_trial: u64,
     trials_started: usize,
     name: String,
+    rule: PromotionRule,
 }
 
 impl std::fmt::Debug for RefAsha {
@@ -181,19 +207,41 @@ impl std::fmt::Debug for RefAsha {
 }
 
 impl RefAsha {
-    /// Create a reference ASHA scheduler (uniform random sampling only).
+    /// Create a reference ASHA scheduler with uniform random sampling.
     pub fn new(space: SearchSpace, config: AshaConfig) -> Self {
+        RefAsha::with_sampler(space, config, Box::new(RandomSampler::new()))
+    }
+
+    /// Create a reference ASHA scheduler with a custom sampler, mirroring
+    /// [`crate::Asha::with_sampler`]'s naming.
+    pub fn with_sampler(
+        space: SearchSpace,
+        config: AshaConfig,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
         let ladder = RefLadder::new(&config);
+        let name = if sampler.name() == "random" {
+            "ASHA".to_owned()
+        } else {
+            format!("ASHA+{}", sampler.name())
+        };
         RefAsha {
             space,
             config,
             ladder,
+            sampler,
             trial_configs: HashMap::new(),
             outstanding: HashSet::new(),
             next_trial: 0,
             trials_started: 0,
-            name: "ASHA".to_owned(),
+            name,
+            rule: PromotionRule::Eager,
         }
+    }
+
+    /// The attached sampler's serialized cursor, if it keeps one.
+    pub fn export_sampler_cursor(&self) -> Option<String> {
+        self.sampler.export_cursor()
     }
 
     /// Best `(trial, loss)` seen so far, using intermediate losses.
@@ -226,8 +274,9 @@ impl RefAsha {
 
 impl Scheduler for RefAsha {
     fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
-        if let Some((trial, _loss, rung)) =
-            self.ladder.find_promotable_ordered(self.config.scan_order)
+        if let Some((trial, _loss, rung)) = self
+            .ladder
+            .find_promotable_ruled(self.config.scan_order, self.rule)
         {
             self.ladder.rung_mut(rung).mark_promoted(trial);
             let rung = rung + 1;
@@ -253,7 +302,8 @@ impl Scheduler for RefAsha {
         let trial = TrialId(self.next_trial);
         self.next_trial += 1;
         self.trials_started += 1;
-        let config = self.space.sample(rng);
+        let fidelity = Fidelity::base(self.ladder.resource(0));
+        let config = self.sampler.propose_at(&self.space, fidelity, rng);
         self.trial_configs.insert(trial, config.clone());
         self.outstanding.insert((trial, 0));
         Decision::Run(Job {
@@ -271,10 +321,85 @@ impl Scheduler for RefAsha {
             return;
         }
         self.ladder.rung_mut(obs.rung).record(obs.trial, obs.loss);
+        if self.sampler.wants_reports() {
+            if let Some(config) = self.trial_configs.get(&obs.trial) {
+                self.sampler
+                    .record(config, obs.rung, obs.resource, obs.loss);
+            }
+        }
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// Linear-scan D-ASHA: [`RefAsha`] under the brute-force delayed promotion
+/// rule — the reference twin of [`crate::DAsha`].
+pub struct RefDAsha {
+    inner: RefAsha,
+}
+
+impl std::fmt::Debug for RefDAsha {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefDAsha")
+            .field("config", &self.inner.config)
+            .field("trials_started", &self.inner.trials_started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RefDAsha {
+    /// Create a reference D-ASHA scheduler with uniform random sampling.
+    pub fn new(space: SearchSpace, config: AshaConfig) -> Self {
+        RefDAsha::with_sampler(space, config, Box::new(RandomSampler::new()))
+    }
+
+    /// Create a reference D-ASHA scheduler with a custom sampler, mirroring
+    /// [`crate::DAsha::with_sampler`]'s naming.
+    pub fn with_sampler(
+        space: SearchSpace,
+        config: AshaConfig,
+        sampler: Box<dyn ConfigSampler>,
+    ) -> Self {
+        let name = if sampler.name() == "random" {
+            "D-ASHA".to_owned()
+        } else {
+            format!("D-ASHA+{}", sampler.name())
+        };
+        let mut inner = RefAsha::with_sampler(space, config, sampler);
+        inner.rule = PromotionRule::Delayed;
+        inner.name = name;
+        RefDAsha { inner }
+    }
+
+    /// Best `(trial, loss)` seen so far.
+    pub fn best(&self) -> Option<(TrialId, f64)> {
+        self.inner.best()
+    }
+
+    /// The attached sampler's serialized cursor, if it keeps one.
+    pub fn export_sampler_cursor(&self) -> Option<String> {
+        self.inner.export_sampler_cursor()
+    }
+
+    /// Export state in exactly [`crate::DAsha::export_state`]'s format.
+    pub fn export_state(&self) -> AshaState {
+        self.inner.export_state()
+    }
+}
+
+impl Scheduler for RefDAsha {
+    fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
+        self.inner.suggest(rng)
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.inner.observe(obs);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
     }
 }
 
@@ -628,6 +753,25 @@ mod tests {
             assert_eq!(a, b, "diverged at step {i}");
             if let Decision::Run(job) = a {
                 let loss = ((i * 37) % 101) as f64;
+                fast.observe(Observation::for_job(&job, loss));
+                slow.observe(Observation::for_job(&job, loss));
+            }
+        }
+        assert_eq!(fast.export_state(), slow.export_state());
+    }
+
+    #[test]
+    fn ref_dasha_matches_indexed_on_a_serial_run() {
+        let mut fast = crate::DAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let mut slow = RefDAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        for i in 0..300u64 {
+            let a = fast.suggest(&mut rng_a);
+            let b = slow.suggest(&mut rng_b);
+            assert_eq!(a, b, "diverged at step {i}");
+            if let Decision::Run(job) = a {
+                let loss = ((i * 53) % 89) as f64;
                 fast.observe(Observation::for_job(&job, loss));
                 slow.observe(Observation::for_job(&job, loss));
             }

@@ -55,6 +55,30 @@ pub enum ScanOrder {
     BottomUp,
 }
 
+/// When a rung lets its best unpromoted trial move up.
+///
+/// [`PromotionRule::Eager`] is Algorithm 2's rule: promote whenever the best
+/// unpromoted trial ranks in the top `1/eta` of the rung — even after the
+/// rung has already promoted `floor(len/eta)` trials, if a strictly better
+/// configuration arrives late it is promoted too, so a rung can over-promote
+/// by up to `O(sqrt(len))` under adversarial arrival orders.
+///
+/// [`PromotionRule::Delayed`] is Hyper-Tune's D-ASHA gate: additionally
+/// require `promoted < floor(len/eta)`, so promotions out of a rung never
+/// exceed the exact `1/eta` fraction. Promotion of a strong late arrival is
+/// *delayed* until the rung has grown enough to afford another slot, which
+/// trades promotion latency for never spending upper-rung budget beyond the
+/// quota that synchronous SHA would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PromotionRule {
+    /// Promote whenever the rank gate alone passes (Algorithm 2).
+    #[default]
+    Eager,
+    /// Also require the promoted count to stay below `floor(len/eta)`
+    /// (Hyper-Tune's delayed promotion).
+    Delayed,
+}
+
 /// Monotone map from (non-NaN) `f64` to `u64` preserving order.
 fn loss_key(loss: f64) -> u64 {
     let bits = loss.to_bits();
@@ -239,6 +263,24 @@ impl Rung {
             result,
         }));
         result.map(|(key, trial)| (trial, key_loss(key)))
+    }
+
+    /// The promotability check under an explicit [`PromotionRule`].
+    ///
+    /// The delayed gate — `promoted < floor(len/eta)` — depends only on the
+    /// `(len, promoted, eta)` triple the candidate cache is keyed on, so it
+    /// runs as pure arithmetic *before* the cached check and adds nothing to
+    /// the indexes: whenever the gate passes, `promoted < k` means the eager
+    /// answer (the fast path of [`Rung::promotable`]) is already exactly the
+    /// delayed answer.
+    pub fn promotable_ruled(&self, eta: f64, rule: PromotionRule) -> Option<(TrialId, f64)> {
+        if rule == PromotionRule::Delayed {
+            let k = (self.records.len() as f64 / eta).floor() as usize;
+            if self.promoted_sorted.len() >= k {
+                return None;
+            }
+        }
+        self.promotable(eta)
     }
 
     /// The uncached promotability check (runs once per rung mutation).
@@ -439,6 +481,18 @@ impl RungLadder {
     /// design choice. With the per-rung candidate caches, an unchanged
     /// ladder answers this scan in a handful of integer compares.
     pub fn find_promotable_ordered(&self, order: ScanOrder) -> Option<(TrialId, f64, usize)> {
+        self.find_promotable_ruled(order, PromotionRule::Eager)
+    }
+
+    /// The promotion scan with an explicit visiting order *and* promotion
+    /// rule. [`PromotionRule::Delayed`] is the D-ASHA scan: identical walk,
+    /// but each rung's candidate must also fit under the `floor(len/eta)`
+    /// promotion quota.
+    pub fn find_promotable_ruled(
+        &self,
+        order: ScanOrder,
+        rule: PromotionRule,
+    ) -> Option<(TrialId, f64, usize)> {
         let top = match self.max_rung {
             // Finite horizon: scan K-1 .. 0 (trials at rung K are done).
             Some(max) => max,
@@ -446,7 +500,11 @@ impl RungLadder {
             None => self.rungs.len(),
         };
         let limit = top.min(self.rungs.len());
-        let scan = |k: usize| self.rungs[k].promotable(self.eta).map(|(t, l)| (t, l, k));
+        let scan = |k: usize| {
+            self.rungs[k]
+                .promotable_ruled(self.eta, rule)
+                .map(|(t, l)| (t, l, k))
+        };
         match order {
             ScanOrder::TopDown => (0..limit).rev().find_map(scan),
             ScanOrder::BottomUp => (0..limit).find_map(scan),
@@ -582,6 +640,51 @@ mod tests {
         rung.record(TrialId(10), 0.1); // better than everything promoted
                                        // k is still floor(4/3) = 1 and promoted = 1, but trial 10 ranks 0.
         assert_eq!(rung.promotable(3.0), Some((TrialId(10), 0.1)));
+    }
+
+    #[test]
+    fn delayed_rule_enforces_the_promotion_quota() {
+        // Same setup as `late_better_arrivals_reopen_promotion`: eager ASHA
+        // promotes the late better arrival immediately, D-ASHA delays it
+        // until the rung grows another quota slot.
+        let mut rung = Rung::new();
+        for (i, loss) in [0.5, 0.6, 0.7].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        let (t, _) = rung.promotable_ruled(3.0, PromotionRule::Delayed).unwrap();
+        assert_eq!(t, TrialId(0));
+        rung.mark_promoted(t); // quota of k=1 used
+        rung.record(TrialId(10), 0.1); // better than everything promoted
+        assert_eq!(
+            rung.promotable(3.0),
+            Some((TrialId(10), 0.1)),
+            "eager rule promotes the late arrival"
+        );
+        assert_eq!(
+            rung.promotable_ruled(3.0, PromotionRule::Delayed),
+            None,
+            "delayed rule holds it back: promoted = k = floor(4/3)"
+        );
+        // Two more records make k = 2 > promoted = 1: the slot opens.
+        rung.record(TrialId(11), 0.9);
+        rung.record(TrialId(12), 0.9);
+        assert_eq!(
+            rung.promotable_ruled(3.0, PromotionRule::Delayed),
+            Some((TrialId(10), 0.1))
+        );
+    }
+
+    #[test]
+    fn delayed_rule_matches_eager_under_quota() {
+        let mut rung = Rung::new();
+        for (i, loss) in [0.9, 0.1, 0.2, 0.3, 0.4, 0.5].iter().enumerate() {
+            rung.record(TrialId(i as u64), *loss);
+        }
+        // k = 2, promoted = 0: both rules agree.
+        assert_eq!(
+            rung.promotable_ruled(3.0, PromotionRule::Delayed),
+            rung.promotable_ruled(3.0, PromotionRule::Eager),
+        );
     }
 
     #[test]

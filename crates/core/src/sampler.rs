@@ -1,5 +1,24 @@
 use asha_space::{Config, SearchSpace};
 
+/// The fidelity a proposed configuration will first be evaluated at: the
+/// rung index and its resource level. Multi-fidelity samplers (A-BOHB style)
+/// use it to condition their model on the rung whose observations are most
+/// informative for the proposal; single-fidelity samplers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fidelity {
+    /// Rung index the new configuration enters at (0 for ASHA's bottom rung).
+    pub rung: usize,
+    /// Resource level of that rung.
+    pub resource: f64,
+}
+
+impl Fidelity {
+    /// Fidelity of the base rung at resource `r`.
+    pub fn base(resource: f64) -> Self {
+        Fidelity { rung: 0, resource }
+    }
+}
+
 /// Strategy for proposing new configurations to try in the bottom rung.
 ///
 /// SHA and ASHA sample uniformly at random ([`RandomSampler`]); BOHB swaps in
@@ -9,6 +28,22 @@ use asha_space::{Config, SearchSpace};
 pub trait ConfigSampler: Send {
     /// Propose the next configuration to evaluate.
     fn propose(&mut self, space: &SearchSpace, rng: &mut dyn rand::RngCore) -> Config;
+
+    /// Propose the next configuration for evaluation at a known fidelity.
+    /// Schedulers call this (not [`ConfigSampler::propose`]) so that
+    /// multi-fidelity samplers can condition on the target rung; the default
+    /// ignores the fidelity, which keeps single-fidelity samplers (including
+    /// [`RandomSampler`]) byte-for-byte identical in RNG consumption to the
+    /// plain propose path.
+    fn propose_at(
+        &mut self,
+        space: &SearchSpace,
+        fidelity: Fidelity,
+        rng: &mut dyn rand::RngCore,
+    ) -> Config {
+        let _ = fidelity;
+        self.propose(space, rng)
+    }
 
     /// Feed back an observed result so adaptive samplers can update their
     /// model. `rung` and `resource` identify the fidelity of the loss.

@@ -223,6 +223,22 @@ impl SyncSha {
         &self.config
     }
 
+    /// The attached sampler's name (`"random"` for the default).
+    pub fn sampler_name(&self) -> &str {
+        self.sampler.name()
+    }
+
+    /// Export the sampler's serialized model cursor, if it keeps one.
+    pub fn export_sampler_cursor(&self) -> Option<String> {
+        self.sampler.export_cursor()
+    }
+
+    /// Restore the sampler's model cursor (no-op on a mismatched or
+    /// malformed cursor).
+    pub fn restore_sampler_cursor(&mut self, cursor: &str) {
+        self.sampler.restore_cursor(cursor);
+    }
+
     /// Number of brackets started so far.
     pub fn bracket_count(&self) -> usize {
         self.brackets.len()
@@ -339,7 +355,8 @@ impl SyncSha {
             self.brackets[bracket_idx].remaining_to_sample -= 1;
             let trial = TrialId(self.next_trial);
             self.next_trial += 1;
-            let config = self.sampler.propose(&self.space, rng);
+            let fidelity = crate::sampler::Fidelity::base(self.config.rung_resource(0));
+            let config = self.sampler.propose_at(&self.space, fidelity, rng);
             self.trial_meta.insert(trial, (bracket_idx, config.clone()));
             (trial, config)
         } else {

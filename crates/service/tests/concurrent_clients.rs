@@ -36,6 +36,7 @@ fn small_meta(name: &str) -> ExperimentMeta {
         name: name.to_owned(),
         space,
         initial: SchedulerState::Asha(asha.export_state()),
+        sampler: None,
         seed: 5,
         sim: asha_sim::SimConfig::new(4, 40.0)
             .with_stragglers(0.3)

@@ -2,7 +2,7 @@
 //! must survive encode → render → parse → decode unchanged, and version /
 //! error handling must follow the documented rules.
 
-use asha_core::{Asha, AshaConfig, Error, ErrorKind};
+use asha_core::{Asha, AshaConfig, Error, ErrorKind, Scheduler};
 use asha_metrics::JsonValue;
 use asha_service::proto::{run_options_from_json, run_options_to_json};
 use asha_service::{encode_frame, DaemonStats, Push, Reply, Request, WireStatus, PROTOCOL_VERSION};
@@ -23,6 +23,29 @@ fn sample_meta() -> ExperimentMeta {
         name: "proto-roundtrip".to_owned(),
         space,
         initial: SchedulerState::Asha(asha.export_state()),
+        sampler: None,
+        seed: 7,
+        sim: asha_sim::SimConfig::new(4, 60.0),
+        bench: spec,
+    }
+}
+
+/// The sampling-plane variant of [`sample_meta`]: a delayed-promotion
+/// D-ASHA scheduler with a TPE sampler attached, as `asha-ctl` builds for
+/// `create --scheduler dasha --sampler tpe`.
+fn dasha_tpe_meta() -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let dasha = asha_baselines::dasha_tpe(space.clone(), AshaConfig::new(1.0, 27.0, 3.0));
+    ExperimentMeta {
+        name: "proto-roundtrip-dasha-tpe".to_owned(),
+        space,
+        initial: SchedulerState::DAsha(dasha.export_state()),
+        sampler: Some("tpe".to_owned()),
         seed: 7,
         sim: asha_sim::SimConfig::new(4, 60.0),
         bench: spec,
@@ -94,6 +117,41 @@ fn every_request_round_trips() {
             request.op()
         );
     }
+}
+
+#[test]
+fn dasha_tpe_create_round_trips_scheduler_and_sampler() {
+    let meta = dasha_tpe_meta();
+    let request = Request::Create {
+        meta,
+        opts: RunOptions::default(),
+    };
+    let frame = request.to_frame(1);
+    let parsed = wire_trip(&frame);
+    let (_, decoded) = Request::from_frame(&parsed).unwrap();
+    assert_eq!(
+        decoded.to_frame(1).render_compact(),
+        frame.render_compact(),
+        "re-encoding differs"
+    );
+    let Request::Create { meta: back, .. } = decoded else {
+        panic!("decoded to a different op");
+    };
+    assert_eq!(back.sampler.as_deref(), Some("tpe"));
+    assert!(
+        matches!(back.initial, SchedulerState::DAsha(_)),
+        "scheduler kind lost on the wire"
+    );
+    // The decoded meta must rebuild into the same named scheduler the
+    // daemon would run: delayed promotion with the TPE sampler attached.
+    let rebuilt = asha_store::StoredScheduler::from_state_with_sampler(
+        back.space.clone(),
+        back.initial,
+        back.sampler.as_deref().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(rebuilt.kind(), "dasha");
+    assert_eq!(rebuilt.name(), "D-ASHA+tpe");
 }
 
 #[test]

@@ -82,6 +82,11 @@ pub struct ExperimentMeta {
     pub space: SearchSpace,
     /// The scheduler's initial exported state.
     pub initial: SchedulerState,
+    /// Sampler kind attached to the scheduler (`"tpe"`, `"gp"`); `None`
+    /// means the default uniform random sampler. Stored here — not in the
+    /// scheduler state — because samplers are code: the store records how
+    /// to rebuild one, and snapshots carry the model cursor.
+    pub sampler: Option<String>,
     /// Seed of the run's RNG.
     pub seed: u64,
     /// Simulation parameters.
@@ -91,23 +96,29 @@ pub struct ExperimentMeta {
 }
 
 impl ExperimentMeta {
-    /// Encode as JSON.
+    /// Encode as JSON. The `sampler` key is present only for model-based
+    /// samplers, so random-run metas are byte-identical to earlier store
+    /// versions (and old metas decode with `sampler: None`).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("schema", JsonValue::Str(META_SCHEMA.to_owned())),
             ("name", JsonValue::Str(self.name.clone())),
             ("space", codec::space_to_json(&self.space)),
             ("scheduler", self.initial.to_json()),
-            ("seed", JsonValue::Int(self.seed)),
-            ("sim", codec::sim_config_to_json(&self.sim)),
-            (
-                "bench",
-                JsonValue::obj([
-                    ("preset", JsonValue::Str(self.bench.preset.clone())),
-                    ("seed", JsonValue::Int(self.bench.seed)),
-                ]),
-            ),
-        ])
+        ];
+        if let Some(kind) = &self.sampler {
+            fields.push(("sampler", JsonValue::Str(kind.clone())));
+        }
+        fields.push(("seed", JsonValue::Int(self.seed)));
+        fields.push(("sim", codec::sim_config_to_json(&self.sim)));
+        fields.push((
+            "bench",
+            JsonValue::obj([
+                ("preset", JsonValue::Str(self.bench.preset.clone())),
+                ("seed", JsonValue::Int(self.bench.seed)),
+            ]),
+        ));
+        JsonValue::obj(fields)
     }
 
     /// Decode, verifying the schema tag.
@@ -132,6 +143,7 @@ impl ExperimentMeta {
             initial: SchedulerState::from_json(
                 v.get("scheduler").ok_or("meta missing scheduler")?,
             )?,
+            sampler: v.get("sampler").and_then(|s| s.as_str()).map(str::to_owned),
             seed: v
                 .get("seed")
                 .and_then(|s| s.as_u64())
@@ -343,7 +355,11 @@ impl<'b> DurableRun<'b> {
     ) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
         write_meta(dir, meta)?;
-        let scheduler = StoredScheduler::from_state(meta.space.clone(), meta.initial.clone());
+        let scheduler = StoredScheduler::from_state_with_sampler(
+            meta.space.clone(),
+            meta.initial.clone(),
+            meta.sampler.as_deref().unwrap_or("random"),
+        )?;
         let mut wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
         wal.append_store(
             0.0,
@@ -409,7 +425,25 @@ impl<'b> DurableRun<'b> {
         let sim_state = snap.sim.ok_or_else(|| {
             StoreError::corrupt(&snap_path, "snapshot has no simulator state to resume")
         })?;
-        let scheduler = StoredScheduler::from_state(meta.space.clone(), snap.scheduler);
+        // Rebuild the sampling plane alongside the scheduler: a fresh
+        // sampler of the recorded kind, rehydrated from the snapshot's
+        // cursors, so an adaptive sampler resumes warm — not silently reset
+        // to cold — and the recovered run stays byte-identical.
+        let sampler_kind = snap
+            .sampler
+            .as_ref()
+            .map(|spec| spec.kind.as_str())
+            .or(meta.sampler.as_deref())
+            .unwrap_or("random");
+        let mut scheduler = StoredScheduler::from_state_with_sampler(
+            meta.space.clone(),
+            snap.scheduler,
+            sampler_kind,
+        )
+        .map_err(|e| e.corrupt_at(&snap_path))?;
+        if let Some(spec) = &snap.sampler {
+            scheduler.restore_sampler_spec(spec);
+        }
         let engine = SimEngine::restore(meta.sim.clone(), scheduler, bench, sim_state);
         let rng = StdRng::from_state(snap.rng);
         let mut wal = WalWriter::open_append(&wal_path, opts.sync, events)?;
@@ -526,6 +560,7 @@ impl<'b> DurableRun<'b> {
             seq,
             events,
             scheduler: self.engine.scheduler().export_state(),
+            sampler: self.engine.scheduler().export_sampler_spec(),
             rng: self.rng.state(),
             sim: Some(self.engine.export_state()),
         };

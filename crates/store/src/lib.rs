@@ -48,6 +48,7 @@
 //!     name: "demo".into(),
 //!     space,
 //!     initial: SchedulerState::Asha(scheduler.export_state()),
+//!     sampler: None,
 //!     seed: 7,
 //!     sim: SimConfig::new(4, 40.0),
 //!     bench: spec,
@@ -85,7 +86,8 @@ pub use crate::experiment::{
 };
 pub use crate::metrics::StoreMetrics;
 pub use crate::snapshot::{
-    list_snapshots, load_latest, SchedulerState, Snapshot, StoredScheduler, SNAPSHOT_SCHEMA,
+    list_snapshots, load_latest, make_sampler, SamplerSpec, SchedulerState, Snapshot,
+    StoredScheduler, SNAPSHOT_SCHEMA,
 };
 pub use crate::supervisor::{
     read_manifest, ExperimentStatus, ExperimentSupervisor, ManifestEntry, StatusListener,

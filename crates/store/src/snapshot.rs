@@ -10,7 +10,10 @@
 use std::fs::File;
 use std::path::{Path, PathBuf};
 
-use asha_core::{Asha, AsyncHyperband, Decision, Observation, Scheduler, SyncSha};
+use asha_baselines::{GpSampler, GpSamplerConfig, TpeConfig, TpeSampler};
+use asha_core::{
+    Asha, AsyncHyperband, ConfigSampler, DAsha, Decision, Observation, Scheduler, SyncSha,
+};
 use asha_metrics::JsonValue;
 use asha_sim::SimRunState;
 use asha_space::SearchSpace;
@@ -26,6 +29,9 @@ pub const SNAPSHOT_SCHEMA: &str = "asha-store-snapshot-v1";
 pub enum SchedulerState {
     /// An [`Asha`] scheduler.
     Asha(asha_core::AshaState),
+    /// A [`DAsha`] scheduler (delayed promotion; same state shape as ASHA —
+    /// the promotion rule is re-established by the kind tag on restore).
+    DAsha(asha_core::AshaState),
     /// A [`SyncSha`] scheduler.
     SyncSha(asha_core::SyncShaState),
     /// An [`AsyncHyperband`] scheduler.
@@ -37,6 +43,7 @@ impl SchedulerState {
     pub fn kind(&self) -> &'static str {
         match self {
             SchedulerState::Asha(_) => "asha",
+            SchedulerState::DAsha(_) => "dasha",
             SchedulerState::SyncSha(_) => "sync_sha",
             SchedulerState::AsyncHyperband(_) => "async_hyperband",
         }
@@ -45,7 +52,7 @@ impl SchedulerState {
     /// Encode as tagged JSON.
     pub fn to_json(&self) -> JsonValue {
         let state = match self {
-            SchedulerState::Asha(s) => codec::asha_state_to_json(s),
+            SchedulerState::Asha(s) | SchedulerState::DAsha(s) => codec::asha_state_to_json(s),
             SchedulerState::SyncSha(s) => codec::sync_sha_state_to_json(s),
             SchedulerState::AsyncHyperband(s) => codec::hyperband_state_to_json(s),
         };
@@ -64,6 +71,7 @@ impl SchedulerState {
         let state = v.get("state").ok_or("scheduler state missing state")?;
         match kind {
             "asha" => Ok(SchedulerState::Asha(codec::asha_state_from_json(state)?)),
+            "dasha" => Ok(SchedulerState::DAsha(codec::asha_state_from_json(state)?)),
             "sync_sha" => Ok(SchedulerState::SyncSha(codec::sync_sha_state_from_json(
                 state,
             )?)),
@@ -75,15 +83,86 @@ impl SchedulerState {
     }
 }
 
+/// The sampling-plane half of a snapshot: which [`ConfigSampler`] kind the
+/// scheduler runs and each sampler instance's serialized model cursor.
+///
+/// `cursors` holds one entry per sampler instance — a single element for
+/// `Asha`/`DAsha`/`SyncSha`, one per bracket for `AsyncHyperband`. A `None`
+/// entry means that instance keeps no cursor (stateless sampler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerSpec {
+    /// Sampler kind tag: `"tpe"` or `"gp"` (the random sampler is encoded
+    /// as the *absence* of a spec, keeping random-run snapshots
+    /// byte-identical to earlier store versions).
+    pub kind: String,
+    /// Per-instance serialized cursors.
+    pub cursors: Vec<Option<String>>,
+}
+
+impl SamplerSpec {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("kind", JsonValue::Str(self.kind.clone())),
+            (
+                "cursors",
+                JsonValue::Arr(
+                    self.cursors
+                        .iter()
+                        .map(|c| match c {
+                            Some(s) => JsonValue::Str(s.clone()),
+                            None => JsonValue::Null,
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode from JSON written by [`SamplerSpec::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<Self, Error> {
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or("sampler spec missing kind")?
+            .to_owned();
+        let cursors = match v.get("cursors") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|c| match c {
+                    JsonValue::Null => Ok(None),
+                    JsonValue::Str(s) => Ok(Some(s.clone())),
+                    _ => Err(Error::codec("sampler cursor must be string or null")),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(Error::codec("sampler spec missing cursors")),
+        };
+        Ok(SamplerSpec { kind, cursors })
+    }
+}
+
+/// Build a fresh sampler of the named kind over `space`. Fails on an
+/// unknown kind (e.g. a store written by a newer version).
+pub fn make_sampler(kind: &str, space: &SearchSpace) -> Result<Box<dyn ConfigSampler>, Error> {
+    Ok(match kind {
+        "random" => Box::new(asha_core::RandomSampler::new()),
+        "tpe" => Box::new(TpeSampler::new(space.clone(), TpeConfig::default())),
+        "gp" => Box::new(GpSampler::new(space.clone(), GpSamplerConfig::default())),
+        other => return Err(Error::codec(format!("unknown sampler kind {other:?}"))),
+    })
+}
+
 /// A scheduler of any supported kind, restorable from a [`SchedulerState`].
 ///
 /// The store cannot be generic over the scheduler type (the kind is data,
 /// read from a file), so this enum dispatches the [`Scheduler`] trait over
-/// the three durable kinds.
+/// the durable kinds.
 #[derive(Debug)]
 pub enum StoredScheduler {
     /// Algorithm 2 (ASHA).
     Asha(Asha),
+    /// ASHA with Hyper-Tune's delayed promotion rule.
+    DAsha(DAsha),
     /// Algorithm 1 (synchronous SHA).
     SyncSha(SyncSha),
     /// Asynchronous Hyperband (looping ASHA brackets).
@@ -95,15 +174,19 @@ impl StoredScheduler {
     pub fn export_state(&self) -> SchedulerState {
         match self {
             StoredScheduler::Asha(s) => SchedulerState::Asha(s.export_state()),
+            StoredScheduler::DAsha(s) => SchedulerState::DAsha(s.export_state()),
             StoredScheduler::SyncSha(s) => SchedulerState::SyncSha(s.export_state()),
             StoredScheduler::AsyncHyperband(s) => SchedulerState::AsyncHyperband(s.export_state()),
         }
     }
 
-    /// Rebuild a scheduler from an exported state.
+    /// Rebuild a scheduler from an exported state, with uniform random
+    /// sampling (see [`StoredScheduler::from_state_with_sampler`] for
+    /// model-based samplers).
     pub fn from_state(space: SearchSpace, state: SchedulerState) -> Self {
         match state {
             SchedulerState::Asha(s) => StoredScheduler::Asha(Asha::from_state(space, s)),
+            SchedulerState::DAsha(s) => StoredScheduler::DAsha(DAsha::from_state(space, s)),
             SchedulerState::SyncSha(s) => StoredScheduler::SyncSha(SyncSha::from_state(space, s)),
             SchedulerState::AsyncHyperband(s) => {
                 StoredScheduler::AsyncHyperband(AsyncHyperband::from_state(space, s))
@@ -111,10 +194,108 @@ impl StoredScheduler {
         }
     }
 
+    /// Rebuild a scheduler from an exported state with a fresh sampler of
+    /// the named kind attached (`"random"`, `"tpe"`, or `"gp"`). The
+    /// sampler starts cold; restore its model with
+    /// [`StoredScheduler::restore_sampler_spec`].
+    ///
+    /// Fails on an unknown sampler kind.
+    pub fn from_state_with_sampler(
+        space: SearchSpace,
+        state: SchedulerState,
+        sampler_kind: &str,
+    ) -> Result<Self, Error> {
+        if sampler_kind == "random" {
+            return Ok(StoredScheduler::from_state(space, state));
+        }
+        // Validate the kind up front so the hyperband factory below (which
+        // must be infallible) cannot hit an unknown name.
+        make_sampler(sampler_kind, &space)?;
+        Ok(match state {
+            SchedulerState::Asha(s) => {
+                let sampler = make_sampler(sampler_kind, &space)?;
+                StoredScheduler::Asha(Asha::from_state_with_sampler(space, s, sampler))
+            }
+            SchedulerState::DAsha(s) => {
+                let sampler = make_sampler(sampler_kind, &space)?;
+                StoredScheduler::DAsha(DAsha::from_state_with_sampler(space, s, sampler))
+            }
+            SchedulerState::SyncSha(s) => {
+                let sampler = make_sampler(sampler_kind, &space)?;
+                StoredScheduler::SyncSha(SyncSha::from_state_with_sampler(space, s, sampler))
+            }
+            SchedulerState::AsyncHyperband(s) => {
+                let kind = sampler_kind.to_owned();
+                let factory_space = space.clone();
+                StoredScheduler::AsyncHyperband(AsyncHyperband::from_state_with_sampler_factory(
+                    space,
+                    s,
+                    move |_| {
+                        make_sampler(&kind, &factory_space).expect("sampler kind validated above")
+                    },
+                ))
+            }
+        })
+    }
+
+    /// The attached sampler's kind tag (`"random"` for the default).
+    pub fn sampler_kind(&self) -> &str {
+        match self {
+            StoredScheduler::Asha(s) => s.sampler_name(),
+            StoredScheduler::DAsha(s) => s.sampler_name(),
+            StoredScheduler::SyncSha(s) => s.sampler_name(),
+            StoredScheduler::AsyncHyperband(s) => s.sampler_name(),
+        }
+    }
+
+    /// Export the sampling plane's state for a snapshot. `None` for the
+    /// random sampler (nothing to persist — and random-run snapshot bytes
+    /// stay identical to earlier store versions).
+    pub fn export_sampler_spec(&self) -> Option<SamplerSpec> {
+        let kind = self.sampler_kind();
+        if kind == "random" {
+            return None;
+        }
+        let kind = kind.to_owned();
+        let cursors = match self {
+            StoredScheduler::Asha(s) => vec![s.export_sampler_cursor()],
+            StoredScheduler::DAsha(s) => vec![s.export_sampler_cursor()],
+            StoredScheduler::SyncSha(s) => vec![s.export_sampler_cursor()],
+            StoredScheduler::AsyncHyperband(s) => s.export_sampler_cursors(),
+        };
+        Some(SamplerSpec { kind, cursors })
+    }
+
+    /// Restore the sampling plane from a snapshot's [`SamplerSpec`]:
+    /// rehydrates each sampler instance's model cursor. A kind mismatch or
+    /// malformed cursor leaves the affected sampler cold (samplers reject
+    /// foreign cursors atomically) rather than failing recovery.
+    pub fn restore_sampler_spec(&mut self, spec: &SamplerSpec) {
+        match self {
+            StoredScheduler::Asha(s) => {
+                if let Some(Some(cursor)) = spec.cursors.first() {
+                    s.restore_sampler_cursor(cursor);
+                }
+            }
+            StoredScheduler::DAsha(s) => {
+                if let Some(Some(cursor)) = spec.cursors.first() {
+                    s.restore_sampler_cursor(cursor);
+                }
+            }
+            StoredScheduler::SyncSha(s) => {
+                if let Some(Some(cursor)) = spec.cursors.first() {
+                    s.restore_sampler_cursor(cursor);
+                }
+            }
+            StoredScheduler::AsyncHyperband(s) => s.restore_sampler_cursors(&spec.cursors),
+        }
+    }
+
     /// Stable kind tag (matches [`SchedulerState::kind`]).
     pub fn kind(&self) -> &'static str {
         match self {
             StoredScheduler::Asha(_) => "asha",
+            StoredScheduler::DAsha(_) => "dasha",
             StoredScheduler::SyncSha(_) => "sync_sha",
             StoredScheduler::AsyncHyperband(_) => "async_hyperband",
         }
@@ -125,6 +306,7 @@ impl Scheduler for StoredScheduler {
     fn suggest(&mut self, rng: &mut dyn rand::RngCore) -> Decision {
         match self {
             StoredScheduler::Asha(s) => s.suggest(rng),
+            StoredScheduler::DAsha(s) => s.suggest(rng),
             StoredScheduler::SyncSha(s) => s.suggest(rng),
             StoredScheduler::AsyncHyperband(s) => s.suggest(rng),
         }
@@ -133,6 +315,7 @@ impl Scheduler for StoredScheduler {
     fn observe(&mut self, obs: Observation) {
         match self {
             StoredScheduler::Asha(s) => s.observe(obs),
+            StoredScheduler::DAsha(s) => s.observe(obs),
             StoredScheduler::SyncSha(s) => s.observe(obs),
             StoredScheduler::AsyncHyperband(s) => s.observe(obs),
         }
@@ -141,6 +324,7 @@ impl Scheduler for StoredScheduler {
     fn name(&self) -> &str {
         match self {
             StoredScheduler::Asha(s) => s.name(),
+            StoredScheduler::DAsha(s) => s.name(),
             StoredScheduler::SyncSha(s) => s.name(),
             StoredScheduler::AsyncHyperband(s) => s.name(),
         }
@@ -149,6 +333,7 @@ impl Scheduler for StoredScheduler {
     fn wait_is_stable(&self) -> bool {
         match self {
             StoredScheduler::Asha(s) => s.wait_is_stable(),
+            StoredScheduler::DAsha(s) => s.wait_is_stable(),
             StoredScheduler::SyncSha(s) => s.wait_is_stable(),
             StoredScheduler::AsyncHyperband(s) => s.wait_is_stable(),
         }
@@ -165,6 +350,11 @@ pub struct Snapshot {
     pub events: u64,
     /// The scheduler's exported state.
     pub scheduler: SchedulerState,
+    /// The sampling plane's state: sampler kind + model cursors. `None`
+    /// for the default random sampler — the field is then omitted from the
+    /// file entirely, so random-run snapshots are byte-identical to
+    /// earlier store versions (and old snapshots decode as `None`).
+    pub sampler: Option<SamplerSpec>,
     /// Raw xoshiro256++ state words of the run's RNG.
     pub rng: [u64; 4],
     /// The simulator's loop state (absent for executor-driven runs).
@@ -178,22 +368,27 @@ impl Snapshot {
         format!("snap-{seq:08}.json")
     }
 
-    /// Encode as JSON.
+    /// Encode as JSON. The `sampler` key is present only when the run has
+    /// a model-based sampler attached.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("schema", JsonValue::Str(SNAPSHOT_SCHEMA.to_owned())),
             ("seq", JsonValue::Int(self.seq)),
             ("events", JsonValue::Int(self.events)),
             ("scheduler", self.scheduler.to_json()),
-            ("rng", codec::rng_state_to_json(self.rng)),
-            (
-                "sim",
-                match &self.sim {
-                    Some(s) => codec::sim_run_state_to_json(s),
-                    None => JsonValue::Null,
-                },
-            ),
-        ])
+        ];
+        if let Some(spec) = &self.sampler {
+            fields.push(("sampler", spec.to_json()));
+        }
+        fields.push(("rng", codec::rng_state_to_json(self.rng)));
+        fields.push((
+            "sim",
+            match &self.sim {
+                Some(s) => codec::sim_run_state_to_json(s),
+                None => JsonValue::Null,
+            },
+        ));
+        JsonValue::obj(fields)
     }
 
     /// Decode a snapshot, verifying the schema tag.
@@ -227,6 +422,11 @@ impl Snapshot {
             scheduler: SchedulerState::from_json(
                 v.get("scheduler").ok_or("snapshot missing scheduler")?,
             )?,
+            sampler: match v.get("sampler") {
+                None => None,
+                Some(JsonValue::Null) => None,
+                Some(spec) => Some(SamplerSpec::from_json(spec)?),
+            },
             rng: codec::rng_state_from_json(v.get("rng").ok_or("snapshot missing rng")?)?,
             sim,
         })

@@ -5,6 +5,7 @@
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
+use asha_baselines::{bohb_asha, dasha_tpe};
 use asha_core::{Asha, AshaConfig, Decision, Observation, Scheduler};
 use asha_sim::{SimConfig, SimResult};
 use asha_store::{
@@ -35,6 +36,37 @@ fn chaos_meta(name: &str, seed: u64) -> ExperimentMeta {
         name: name.to_owned(),
         space,
         initial: SchedulerState::Asha(asha.export_state()),
+        sampler: None,
+        seed,
+        sim: SimConfig::new(6, 50.0)
+            .with_stragglers(0.4)
+            .with_drops(0.02),
+        bench: spec,
+    }
+}
+
+/// Like [`chaos_meta`] but with a TPE sampler attached — on ASHA or, when
+/// `delayed` is set, on D-ASHA. Exercises the sampling plane's durability:
+/// snapshots must carry the sampler's model cursor, and recovery must
+/// resume the model warm.
+fn tpe_meta(name: &str, seed: u64, delayed: bool) -> ExperimentMeta {
+    let spec = BenchSpec {
+        preset: "svm_vehicle".to_owned(),
+        seed: 11,
+    };
+    let bench = spec.build().unwrap();
+    let space = bench.space().clone();
+    let config = AshaConfig::new(1.0, 27.0, 3.0);
+    let initial = if delayed {
+        SchedulerState::DAsha(dasha_tpe(space.clone(), config).export_state())
+    } else {
+        SchedulerState::Asha(bohb_asha(space.clone(), config).export_state())
+    };
+    ExperimentMeta {
+        name: name.to_owned(),
+        space,
+        initial,
+        sampler: Some("tpe".to_owned()),
         seed,
         sim: SimConfig::new(6, 50.0)
             .with_stragglers(0.4)
@@ -113,6 +145,60 @@ fn recovery_after_hard_kill_matches_uninterrupted_run() {
         assert_results_identical(&reference, &result);
     }
     std::fs::remove_dir_all(&root).ok();
+}
+
+/// The sampling plane's crash-recovery guarantee: a killed-and-recovered
+/// run with a model-based sampler finishes bitwise identical to an
+/// uninterrupted one — which can only happen if the snapshot carried the
+/// sampler's observation buffer and resume restored it exactly (a sampler
+/// silently reset to cold would propose different configurations within a
+/// few suggests of the model threshold).
+#[test]
+fn recovery_with_model_sampler_matches_uninterrupted_run() {
+    for (tag, delayed) in [("asha-tpe", false), ("dasha-tpe", true)] {
+        let root = tmpdir(tag);
+        let o = opts(30);
+        let meta = tpe_meta(tag, 42, delayed);
+        let ref_dir = root.join("ref");
+        let reference = uninterrupted_result(&meta, &ref_dir, o);
+
+        // Kill points straddle the sampler's model threshold (d + 3
+        // observations) and the snapshot cadence.
+        for &kill_after in &[1usize, 17, 31, 95, 200] {
+            let dir = root.join(format!("kill-{kill_after}"));
+            let bench = meta.bench.build().unwrap();
+            let mut run = DurableRun::create(&dir, &meta, &bench, o).unwrap();
+            let alive = run.run_until_jobs(kill_after).unwrap();
+            if alive {
+                std::mem::forget(run);
+            } else {
+                drop(run);
+            }
+
+            let recovered_meta = read_meta(&dir).unwrap();
+            assert_eq!(
+                recovered_meta.sampler.as_deref(),
+                Some("tpe"),
+                "sampler kind must survive the meta roundtrip"
+            );
+            let bench2 = recovered_meta.bench.build().unwrap();
+            let resumed = DurableRun::resume(&dir, &recovered_meta, &bench2, o).unwrap();
+            let result = resumed.run_to_completion().unwrap();
+            assert_results_identical(&reference, &result);
+
+            // Telemetry byte-identity, not just result equality: the
+            // recovered run regenerated the exact events the crash lost.
+            let tele = |d: &Path| -> Vec<_> {
+                read_wal(&d.join(WAL_FILE))
+                    .unwrap()
+                    .telemetry()
+                    .copied()
+                    .collect()
+            };
+            assert_eq!(tele(&ref_dir), tele(&dir));
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
 }
 
 #[test]

@@ -7,13 +7,14 @@
 
 use std::collections::VecDeque;
 
+use asha_baselines::{bohb_asha, dasha_tpe, GpSampler, GpSamplerConfig};
 use asha_core::{
-    Asha, AshaConfig, AsyncHyperband, Decision, HyperbandConfig, Job, Observation, Scheduler,
-    ShaConfig, SyncSha,
+    Asha, AshaConfig, AsyncHyperband, DAsha, Decision, HyperbandConfig, Job, Observation,
+    Scheduler, ShaConfig, SyncSha,
 };
 use asha_metrics::JsonValue;
 use asha_space::{Scale, SearchSpace};
-use asha_store::{SchedulerState, StoredScheduler};
+use asha_store::{SamplerSpec, SchedulerState, StoredScheduler};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,7 +85,34 @@ fn check_roundtrip(
     // State equality is checked via re-rendered JSON (NaN losses make the
     // structural PartialEq vacuously false).
     prop_assert_eq!(&text, &parsed.to_json().render());
-    let mut restored = StoredScheduler::from_state(space(), parsed);
+    // The sampling plane takes the same trip: kind + cursors through JSON,
+    // then a fresh sampler instance rehydrated from the parsed spec — the
+    // exact path `DurableRun::resume` walks.
+    let spec = original.export_sampler_spec();
+    let parsed_spec = match &spec {
+        None => None,
+        Some(s) => {
+            let spec_text = s.to_json().render();
+            let v = JsonValue::parse(&spec_text).map_err(|e| e.to_string())?;
+            let back = SamplerSpec::from_json(&v).map_err(|e| e.to_string())?;
+            prop_assert_eq!(s, &back, "sampler spec JSON roundtrip changed it");
+            Some(back)
+        }
+    };
+    let kind = parsed_spec
+        .as_ref()
+        .map(|s| s.kind.as_str())
+        .unwrap_or("random");
+    let mut restored = StoredScheduler::from_state_with_sampler(space(), parsed, kind)
+        .map_err(|e| e.to_string())?;
+    if let Some(s) = &parsed_spec {
+        restored.restore_sampler_spec(s);
+    }
+    prop_assert_eq!(
+        &spec,
+        &restored.export_sampler_spec(),
+        "restored sampler cursor differs from the exported one"
+    );
 
     // Identical RNG streams from the captured state.
     let words = rng.state();
@@ -121,6 +149,14 @@ fn check_roundtrip(
         original.export_state().to_json().render(),
         restored.export_state().to_json().render(),
         "continued exports diverged after restore"
+    );
+    // And the sampling plane too: sixty further shared observations must
+    // leave both sampler models (cursors) identical — a restored model that
+    // silently dropped observations would diverge here.
+    prop_assert_eq!(
+        original.export_sampler_spec(),
+        restored.export_sampler_spec(),
+        "continued sampler cursors diverged after restore"
     );
     Ok(())
 }
@@ -214,6 +250,58 @@ proptest! {
         let scheduler = StoredScheduler::Asha(Asha::new(
             space(),
             AshaConfig::new(1.0, 27.0, 3.0),
+        ));
+        check_roundtrip(scheduler, script, seed)?;
+    }
+
+    #[test]
+    fn dasha_roundtrips_mid_run(
+        script in prop::collection::vec((any::<bool>(), 0u8..5), 1..80),
+        seed in 0u64..1000,
+    ) {
+        let scheduler = StoredScheduler::DAsha(DAsha::new(
+            space(),
+            AshaConfig::new(1.0, 27.0, 3.0),
+        ));
+        check_roundtrip(scheduler, script, seed)?;
+    }
+
+    #[test]
+    fn asha_tpe_roundtrips_mid_run(
+        script in prop::collection::vec((any::<bool>(), 0u8..5), 1..80),
+        seed in 0u64..1000,
+    ) {
+        // Model-based sampling through the snapshot path: the TPE cursor
+        // must survive serialization and keep proposing identically.
+        let scheduler = StoredScheduler::Asha(bohb_asha(
+            space(),
+            AshaConfig::new(1.0, 27.0, 3.0),
+        ));
+        check_roundtrip(scheduler, script, seed)?;
+    }
+
+    #[test]
+    fn dasha_tpe_roundtrips_mid_run(
+        script in prop::collection::vec((any::<bool>(), 0u8..5), 1..80),
+        seed in 0u64..1000,
+    ) {
+        let scheduler = StoredScheduler::DAsha(dasha_tpe(
+            space(),
+            AshaConfig::new(1.0, 27.0, 3.0),
+        ));
+        check_roundtrip(scheduler, script, seed)?;
+    }
+
+    #[test]
+    fn asha_gp_roundtrips_mid_run(
+        script in prop::collection::vec((any::<bool>(), 0u8..5), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let sampler = Box::new(GpSampler::new(space(), GpSamplerConfig::default()));
+        let scheduler = StoredScheduler::Asha(Asha::with_sampler(
+            space(),
+            AshaConfig::new(1.0, 27.0, 3.0),
+            sampler,
         ));
         check_roundtrip(scheduler, script, seed)?;
     }

@@ -4,12 +4,13 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use asha::baselines::{TpeConfig, TpeSampler};
 use asha::core::{
-    Asha, AshaConfig, AsyncHyperband, Decision, HyperbandConfig, Job, Observation, Scheduler,
-    ShaConfig, SyncSha, TrialId,
+    Asha, AshaConfig, AsyncHyperband, DAsha, Decision, HyperbandConfig, Job, Observation,
+    Scheduler, ShaConfig, SyncSha, TrialId,
 };
 use asha::space::{Scale, SearchSpace};
-use asha_core::reference::{RefAsha, RefAsyncHyperband, RefSyncSha};
+use asha_core::reference::{RefAsha, RefAsyncHyperband, RefDAsha, RefSyncSha};
 use proptest::prelude::*;
 
 fn space() -> SearchSpace {
@@ -247,6 +248,105 @@ proptest! {
         let (issued, first_loss) = drive_hostile(hb, &steps, workers);
         let bad = poisoned_promotions(&issued, &first_loss);
         prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+    }
+
+    #[test]
+    fn dasha_survives_hostile_observation_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..16,
+    ) {
+        let dasha = DAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let (issued, first_loss) = drive_hostile(dasha, &steps, workers);
+        let bad = poisoned_promotions(&issued, &first_loss);
+        prop_assert!(bad.is_empty(), "poisoned trials promoted: {:?}", bad);
+        let mut seen = HashSet::new();
+        for job in &issued {
+            prop_assert!(
+                seen.insert((job.trial.0, job.rung)),
+                "duplicate issue of trial {} rung {}", job.trial.0, job.rung
+            );
+        }
+    }
+
+    #[test]
+    fn dasha_promotions_never_exceed_the_quota(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..400),
+        workers in 1usize..16,
+    ) {
+        // The delayed rule's defining property, and what separates it from
+        // eager ASHA: at every instant, every rung has promoted at most
+        // floor(len / eta) trials — exactly, with no sqrt-scale excess.
+        let mut dasha = DAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut outstanding: VecDeque<Job> = VecDeque::new();
+        let eta = 3.0f64;
+        for &(action, pick, raw) in &steps {
+            if action % 2 == 0 && outstanding.len() < workers {
+                if let Decision::Run(job) = dasha.suggest(&mut rng) {
+                    outstanding.push_back(job);
+                }
+            } else if !outstanding.is_empty() {
+                let idx = pick as usize % outstanding.len();
+                let job = outstanding.remove(idx).expect("index in range");
+                dasha.observe(Observation::for_job(&job, raw as f64 / 16.0));
+            }
+            for (k, rung) in dasha.ladder().rungs().iter().enumerate() {
+                let quota = (rung.len() as f64 / eta).floor() as usize;
+                prop_assert!(
+                    rung.promoted_count() <= quota,
+                    "rung {k} promoted {} of {} (quota {quota})",
+                    rung.promoted_count(), rung.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_dasha_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        let fast = DAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        let reference = RefDAsha::new(space(), AshaConfig::new(1.0, 27.0, 3.0));
+        assert_differential(
+            fast, reference, &steps, workers,
+            DAsha::export_state, RefDAsha::export_state,
+        )?;
+    }
+
+    #[test]
+    fn asha_tpe_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        // Model-based sampling on the indexed hot path: both twins carry an
+        // independent TPE instance fed the identical observation stream, so
+        // proposals — and the serialized sampler cursors — must stay equal.
+        let tpe = || Box::new(TpeSampler::new(space(), TpeConfig::default()));
+        let fast = Asha::with_sampler(space(), AshaConfig::new(1.0, 27.0, 3.0), tpe());
+        let reference = RefAsha::with_sampler(space(), AshaConfig::new(1.0, 27.0, 3.0), tpe());
+        assert_differential(
+            fast, reference, &steps, workers,
+            |a: &Asha| (a.export_state(), a.export_sampler_cursor()),
+            |r: &RefAsha| (r.export_state(), r.export_sampler_cursor()),
+        )?;
+    }
+
+    #[test]
+    fn dasha_tpe_matches_reference_on_hostile_streams(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..300),
+        workers in 1usize..16,
+    ) {
+        let tpe = || Box::new(TpeSampler::new(space(), TpeConfig::default()));
+        let fast = DAsha::with_sampler(space(), AshaConfig::new(1.0, 27.0, 3.0), tpe());
+        let reference =
+            RefDAsha::with_sampler(space(), AshaConfig::new(1.0, 27.0, 3.0), tpe());
+        assert_differential(
+            fast, reference, &steps, workers,
+            |a: &DAsha| (a.export_state(), a.export_sampler_cursor()),
+            |r: &RefDAsha| (r.export_state(), r.export_sampler_cursor()),
+        )?;
     }
 
     #[test]
