@@ -11,13 +11,15 @@
 //! asha-serve --root DIR [--unix PATH] [--tcp ADDR] [--trace FILE]
 //!            [--queue-depth N] [--max-frame BYTES]
 //!            [--metrics-addr ADDR] [--slow-log FILE] [--slow-ms MS]
-//!            [--no-metrics]
+//!            [--group-commit-ms MS] [--no-metrics]
 //! ```
 //!
 //! At least one of `--unix` / `--tcp` is required. `--metrics-addr` adds
 //! an HTTP listener answering `GET /metrics` in Prometheus text format;
 //! `--slow-log` appends requests slower than `--slow-ms` (default 1000)
-//! as JSONL. `--no-metrics` (or `ASHA_METRICS=off`) disables the metrics
+//! as JSONL. `--group-commit-ms` coalesces WAL fsyncs across experiments
+//! through one shared commit pipeline (at most one fsync per WAL per
+//! window). `--no-metrics` (or `ASHA_METRICS=off`) disables the metrics
 //! plane entirely — for measuring its overhead, not for production. The
 //! daemon runs until SIGTERM/SIGINT or a client `shutdown` request, then
 //! drains gracefully: running experiments park behind durable snapshots,
@@ -68,7 +70,7 @@ fn usage() -> ! {
         "usage: asha-serve --root DIR [--unix PATH] [--tcp ADDR] [--trace FILE]\n\
          \x20                 [--queue-depth N] [--max-frame BYTES]\n\
          \x20                 [--metrics-addr ADDR] [--slow-log FILE] [--slow-ms MS]\n\
-         \x20                 [--no-metrics]"
+         \x20                 [--group-commit-ms MS] [--no-metrics]"
     );
     std::process::exit(2);
 }
@@ -83,6 +85,7 @@ fn parse_options() -> ServeOptions {
     let mut metrics_addr = None;
     let mut slow_log = None;
     let mut slow_ms = None;
+    let mut group_commit_ms = None;
     let mut no_metrics = false;
 
     let mut args = std::env::args().skip(1);
@@ -119,6 +122,13 @@ fn parse_options() -> ServeOptions {
                         .unwrap_or_else(|e| fail(format!("--slow-ms: {e}"))),
                 )
             }
+            "--group-commit-ms" => {
+                group_commit_ms = Some(
+                    value("--group-commit-ms")
+                        .parse::<u64>()
+                        .unwrap_or_else(|e| fail(format!("--group-commit-ms: {e}"))),
+                )
+            }
             "--no-metrics" => no_metrics = true,
             "--help" | "-h" => usage(),
             other => fail(format!("unknown argument {other:?}")),
@@ -141,6 +151,7 @@ fn parse_options() -> ServeOptions {
     if let Some(ms) = slow_ms {
         opts.slow_threshold = std::time::Duration::from_millis(ms);
     }
+    opts.group_commit = group_commit_ms.map(std::time::Duration::from_millis);
     // `ASHA_METRICS=off` matches the bench harness, which toggles the
     // plane without changing the command line.
     if no_metrics || std::env::var("ASHA_METRICS").is_ok_and(|v| v == "off") {

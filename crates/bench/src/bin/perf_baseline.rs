@@ -28,8 +28,9 @@ use asha::metrics::JsonValue;
 use asha::sim::{ClusterSim, SimConfig, TraceMode};
 use asha::space::SearchSpace;
 use asha::store::{
-    read_wal, replay_scheduler, BenchSpec, DurableRun, ExperimentMeta, RunOptions, SchedulerState,
-    Snapshot, StoredScheduler, SyncPolicy, WalWriter,
+    read_wal, replay_scheduler, BenchSpec, CommitPipeline, DeltaDoc, Durability, DurableRun,
+    ExperimentMeta, RunOptions, SchedulerState, Snapshot, StoreFormat, StoredScheduler, WalRecord,
+    WalWriter,
 };
 use asha::surrogate::{presets, BenchmarkModel};
 use asha_bench::{
@@ -174,35 +175,40 @@ fn telemetry_overhead(bench: &dyn BenchmarkModel, workers: usize, horizon: f64) 
     ])
 }
 
-/// Persistence tax: the same 25-worker simulation with telemetry logged
-/// the pre-store way (in-memory recorder, one bulk JSONL write at the end
-/// — lost entirely if the process dies first) vs streamed through the
-/// durable store's WAL as each event happens. Both runs are timed to the
-/// same mid-run job checkpoint with all telemetry pushed to the OS, then
-/// finish untimed and must complete identical job counts (persistence
-/// never consumes randomness). The ratio isolates the WAL streaming tax —
-/// the budget is 1.10x at this scale; fsync cadence and snapshot costs are
-/// deliberately excluded here and measured separately below (WAL append
-/// throughput under `EveryN(64)`, snapshot write latency), since both are
-/// one-knob cadence choices whose total cost is `cadence x unit price`.
-fn persistence(
+/// One interleaved A/B measurement of the WAL streaming tax at a given
+/// scale: the same simulation with telemetry logged the pre-store way
+/// (in-memory recorder, one bulk JSONL write at the end — lost entirely if
+/// the process dies first) vs streamed through the durable store's WAL as
+/// each event happens. Both runs are timed to the same mid-run job
+/// checkpoint with all telemetry pushed to the OS, then finish untimed and
+/// must complete identical job counts (persistence never consumes
+/// randomness). The ratio isolates the per-event WAL streaming tax; fsync
+/// cadence and snapshot costs are one-knob cadence choices whose total
+/// cost is `cadence x unit price`, metered separately in [`persistence`].
+struct WalTax {
+    jobs: usize,
+    checkpoint: usize,
+    off_secs: f64,
+    on_secs: f64,
+    ratio: f64,
+}
+
+fn wal_tax(
     bench: &dyn BenchmarkModel,
     workers: usize,
     horizon: f64,
-    rounds: usize,
-) -> JsonValue {
-    let dir = std::env::temp_dir().join(format!("asha-perf-store-{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).expect("perf tmp dir");
-    let make = || Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA));
-    // The timed windows below need enough work to rise above scheduler
-    // noise, so this row never runs shorter than horizon 240 even in smoke
-    // mode (the row costs well under a second either way).
-    let horizon = horizon.max(240.0);
+    reps: usize,
+    dir: &std::path::Path,
+) -> WalTax {
     let sim_cfg = SimConfig::new(workers, horizon);
+    let make = || Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA));
+    // `Flush` isolates streaming cost from fsync cost, and snapshots are
+    // pushed past any reachable job count so no checkpoint lands inside
+    // the timed window.
     let opts = RunOptions {
-        sync: SyncPolicy::Never,
+        sync: Durability::Flush,
         snapshot_jobs: usize::MAX / 2,
+        ..RunOptions::default()
     };
 
     // Untimed scout run to learn the total job count, so the timed window
@@ -214,7 +220,7 @@ fn persistence(
     let checkpoint = total_jobs * 9 / 10;
 
     let meta = ExperimentMeta {
-        name: "perf-baseline".to_owned(),
+        name: format!("perf-baseline-{workers}w"),
         space: bench.space().clone(),
         initial: SchedulerState::Asha(make().export_state()),
         sampler: None,
@@ -232,7 +238,6 @@ fn persistence(
     // write + first snapshot, a handful of fsyncs) happens outside the
     // timed window — it is a per-experiment constant, not part of the
     // per-event tax.
-    let reps = 7;
     let mut off_samples = Vec::with_capacity(reps);
     let mut on_samples = Vec::with_capacity(reps);
     let mut off_jobs = 0usize;
@@ -247,7 +252,7 @@ fn persistence(
         let start = Instant::now();
         while engine.jobs_completed() < checkpoint && engine.step(&mut rng, &mut recorder) {}
         recorder
-            .write_jsonl(dir.join("baseline.jsonl"))
+            .write_jsonl(dir.join(format!("baseline-{workers}.jsonl")))
             .expect("baseline log write");
         off_samples.push(start.elapsed().as_secs_f64());
         while engine.step(&mut rng, &mut recorder) {}
@@ -256,7 +261,7 @@ fn persistence(
         // Same engine, same seed, but every event streams through the
         // durable store's WAL as it happens: kill the process anywhere in
         // this window and the run recovers.
-        let run_dir = dir.join(format!("run-{rep}"));
+        let run_dir = dir.join(format!("run-{workers}-{rep}"));
         let mut run = DurableRun::create(&run_dir, &meta, bench, opts).expect("store create");
         let start = Instant::now();
         let live = run.run_until_jobs(checkpoint).expect("durable run");
@@ -272,13 +277,48 @@ fn persistence(
     let floor = |samples: &[f64]| samples.iter().copied().fold(f64::INFINITY, f64::min);
     let off_secs = floor(&off_samples);
     let on_secs = floor(&on_samples);
-    let wal_overhead = on_secs / off_secs.max(1e-9);
+    WalTax {
+        jobs: on_jobs,
+        checkpoint,
+        off_secs,
+        on_secs,
+        ratio: on_secs / off_secs.max(1e-9),
+    }
+}
+
+/// Persistence tax, metered knob by knob: the WAL streaming A/B at the
+/// 25-worker regime (budget 1.10x) and at the paper's 500-worker regime
+/// (budget 1.05x — per-event overhead must amortize *better* as scale
+/// grows, or durability caps scale-out), WAL append and replay throughput
+/// through the default `binary-v2` codec, full and delta snapshot write
+/// latency (budget 100 ms), and the group-commit pipeline's fsync
+/// amortization across concurrently committing WALs.
+fn persistence(
+    bench: &dyn BenchmarkModel,
+    workers: usize,
+    horizon: f64,
+    rounds: usize,
+    scale_reps: usize,
+) -> JsonValue {
+    let dir = std::env::temp_dir().join(format!("asha-perf-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("perf tmp dir");
+    // The timed windows below need enough work to rise above scheduler
+    // noise, so these rows never run shorter than horizon 240 even in
+    // smoke mode.
+    let horizon = horizon.max(240.0);
+    let tax = wal_tax(bench, workers, horizon, 7, &dir);
+    // The 500-worker regime completes far more jobs per wall-clock second,
+    // so each event's fixed cost is amortized harder and the budget
+    // tightens to 1.05x. Fewer repetitions: the timed windows are ~10x
+    // longer, so scheduler noise is already small next to the signal.
+    let scale = wal_tax(bench, 500, horizon, scale_reps, &dir);
 
     // WAL append throughput: pre-generate an exec-style event stream by
     // driving a scheduler (RNG consumed only in suggest), then time pure
-    // appends.
+    // appends through the default binary-v2 codec.
     use asha::core::telemetry::{Event, EventKind};
-    let mut scheduler = make();
+    let mut scheduler = make_asha(bench);
     let mut gen_rng = StdRng::seed_from_u64(7);
     let mut events = Vec::with_capacity(rounds * 2);
     let mut seq = 0u64;
@@ -306,11 +346,14 @@ fn persistence(
             seq += 1;
         }
     }
-    let wal_path = dir.join("append.jsonl");
+    let wal_path = dir.join("append.wal");
     let start = Instant::now();
-    let mut writer = WalWriter::create(&wal_path, SyncPolicy::EveryN(64)).expect("wal create");
+    let mut writer = WalWriter::create(&wal_path, Durability::EveryN(64), StoreFormat::default())
+        .expect("wal create");
     for event in &events {
-        writer.append_telemetry(event).expect("wal append");
+        writer
+            .append(&WalRecord::telemetry(*event))
+            .expect("wal append");
     }
     writer.sync().expect("wal sync");
     drop(writer);
@@ -331,7 +374,8 @@ fn persistence(
     let replay_secs = start.elapsed().as_secs_f64();
     let replay_per_sec = replayed as f64 / replay_secs.max(1e-9);
 
-    // Snapshot write latency for the full mid-run scheduler state.
+    // Full-snapshot write latency for the mid-run scheduler state (encode
+    // + tmp write + fsync + rename + directory fsync, binary codec).
     let snap = Snapshot {
         seq: 0,
         events: replayed,
@@ -344,36 +388,127 @@ fn persistence(
     std::fs::create_dir_all(&snap_dir).expect("snap dir");
     let iters = 5;
     let start = Instant::now();
-    let mut snap_path = snap_dir.join("unwritten");
+    let mut snap_written = (snap_dir.clone(), 0u64);
     for _ in 0..iters {
-        snap_path = snap.write(&snap_dir).expect("snapshot write");
+        snap_written = snap
+            .write(&snap_dir, StoreFormat::BinaryV2)
+            .expect("snapshot write");
     }
     let snap_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
-    let snap_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+    let snap_bytes = snap_written.1;
+
+    // Delta-snapshot write latency: advance the same scheduler a few
+    // hundred rounds — the state drift between two adjacent checkpoints of
+    // a live run — then time diff-against-base + delta write. This is the
+    // steady-state checkpoint price under a delta chain.
+    let base_doc = snap.to_json();
+    let mut extra_events = 0u64;
+    for i in 0..500 {
+        let d = replay_sched.suggest(&mut replay_rng);
+        extra_events += 1;
+        if let Some(job) = d.job() {
+            replay_sched.observe(Observation::for_job(&job, (i % 991) as f64));
+            extra_events += 1;
+        }
+    }
+    let next = Snapshot {
+        seq: 0,
+        events: replayed + extra_events,
+        scheduler: replay_sched.export_state(),
+        sampler: None,
+        rng: replay_rng.state(),
+        sim: None,
+    };
+    let next_doc = next.to_json();
+    let start = Instant::now();
+    let mut delta_written = (snap_dir.clone(), 0u64);
+    for _ in 0..iters {
+        let doc = DeltaDoc {
+            snap: 0,
+            delta: 1,
+            events: next.events,
+            patch: asha::store::delta::diff(&base_doc, &next_doc),
+        };
+        delta_written = doc
+            .write(&snap_dir, StoreFormat::BinaryV2)
+            .expect("delta write");
+    }
+    let delta_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    let delta_bytes = delta_written.1;
+
+    // Group commit: several WALs committing concurrently behind one
+    // pipeline. Each writer's EveryN cadence files an asynchronous
+    // durability request; the pipeline coalesces every request landing
+    // inside one commit window into a single fsync per file, so the
+    // request:fsync ratio is the amortization factor an N-experiment
+    // supervisor gets over per-writer fsyncs.
+    let pipeline = CommitPipeline::new(std::time::Duration::from_millis(2));
+    let group_wals = 4usize;
+    let mut writers: Vec<WalWriter> = (0..group_wals)
+        .map(|w| {
+            let mut writer = WalWriter::create(
+                &dir.join(format!("group-{w}.wal")),
+                Durability::EveryN(8),
+                StoreFormat::BinaryV2,
+            )
+            .expect("group wal create");
+            let handle = pipeline
+                .register(writer.file_clone().expect("wal fd dup"))
+                .expect("pipeline register");
+            writer.set_group_commit(handle);
+            writer
+        })
+        .collect();
+    for (i, event) in events.iter().enumerate() {
+        writers[i % group_wals]
+            .append(&WalRecord::telemetry(*event))
+            .expect("group append");
+    }
+    for writer in &mut writers {
+        writer.sync().expect("group sync");
+    }
+    drop(writers);
+    let group_requests = pipeline.requests();
+    let group_fsyncs = pipeline.fsyncs_issued().max(1);
+    let amortization = group_requests as f64 / group_fsyncs as f64;
+    drop(pipeline);
     std::fs::remove_dir_all(&dir).ok();
 
     println!(
-        "  persistence {workers:>3} workers to job {checkpoint}: log-at-end {off_secs:>7.3}s, wal-on {on_secs:>7.3}s ({wal_overhead:>5.2}x, budget 1.10x)"
+        "  persistence {:>3} workers to job {}: log-at-end {:>7.3}s, wal-on {:>7.3}s ({:>5.2}x, budget 1.10x)",
+        workers, tax.checkpoint, tax.off_secs, tax.on_secs, tax.ratio
     );
     println!(
-        "  persistence wal append: {:>8} events in {append_secs:>7.3}s = {append_per_sec:>12.0} events/s",
-        events.len()
+        "  persistence 500 workers to job {}: log-at-end {:>7.3}s, wal-on {:>7.3}s ({:>5.2}x, budget 1.05x)",
+        scale.checkpoint, scale.off_secs, scale.on_secs, scale.ratio
+    );
+    println!(
+        "  persistence wal append: {:>8} events in {append_secs:>7.3}s = {append_per_sec:>12.0} events/s ({})",
+        events.len(),
+        StoreFormat::default().name()
     );
     println!(
         "  persistence replay:     {replayed:>8} events in {replay_secs:>7.3}s = {replay_per_sec:>12.0} events/s"
     );
     println!(
-        "  persistence snapshot:   {snap_ms:>8.3} ms mean write ({snap_bytes} bytes, fsync + rename)"
+        "  persistence snapshot:   full {snap_ms:>7.3} ms ({snap_bytes} B), delta {delta_ms:>7.3} ms ({delta_bytes} B), budget 100 ms"
+    );
+    println!(
+        "  persistence group commit: {group_requests} requests -> {group_fsyncs} fsyncs = {amortization:.1}x amortization ({group_wals} WALs, 2 ms window)"
     );
     JsonValue::obj([
         ("workers", JsonValue::Int(workers as u64)),
         ("horizon", JsonValue::Num(horizon)),
-        ("jobs_completed", JsonValue::Int(on_jobs as u64)),
-        ("checkpoint_jobs", JsonValue::Int(checkpoint as u64)),
-        ("overhead_sync_policy", JsonValue::Str("never".to_owned())),
-        ("log_at_end_secs", JsonValue::Num(off_secs)),
-        ("wal_on_secs", JsonValue::Num(on_secs)),
-        ("wal_overhead_ratio", JsonValue::Num(wal_overhead)),
+        (
+            "wal_format",
+            JsonValue::Str(StoreFormat::default().name().to_owned()),
+        ),
+        ("jobs_completed", JsonValue::Int(tax.jobs as u64)),
+        ("checkpoint_jobs", JsonValue::Int(tax.checkpoint as u64)),
+        ("overhead_sync_policy", JsonValue::Str("flush".to_owned())),
+        ("log_at_end_secs", JsonValue::Num(tax.off_secs)),
+        ("wal_on_secs", JsonValue::Num(tax.on_secs)),
+        ("wal_overhead_ratio", JsonValue::Num(tax.ratio)),
         ("wal_overhead_budget", JsonValue::Num(1.10)),
         ("wal_events_appended", JsonValue::Int(events.len() as u64)),
         ("wal_append_events_per_sec", JsonValue::Num(append_per_sec)),
@@ -381,7 +516,31 @@ fn persistence(
         ("replay_events_per_sec", JsonValue::Num(replay_per_sec)),
         ("snapshot_write_ms", JsonValue::Num(snap_ms)),
         ("snapshot_bytes", JsonValue::Int(snap_bytes)),
+        ("snapshot_delta_write_ms", JsonValue::Num(delta_ms)),
+        ("snapshot_delta_bytes", JsonValue::Int(delta_bytes)),
+        ("snapshot_budget_ms", JsonValue::Num(100.0)),
+        ("group_commit_window_ms", JsonValue::Num(2.0)),
+        ("group_commit_wals", JsonValue::Int(group_wals as u64)),
+        ("group_commit_requests", JsonValue::Int(group_requests)),
+        ("group_commit_fsyncs", JsonValue::Int(group_fsyncs)),
+        ("group_commit_amortization", JsonValue::Num(amortization)),
+        (
+            "at_scale",
+            JsonValue::obj([
+                ("workers", JsonValue::Int(500)),
+                ("jobs_completed", JsonValue::Int(scale.jobs as u64)),
+                ("checkpoint_jobs", JsonValue::Int(scale.checkpoint as u64)),
+                ("log_at_end_secs", JsonValue::Num(scale.off_secs)),
+                ("wal_on_secs", JsonValue::Num(scale.on_secs)),
+                ("wal_overhead_ratio", JsonValue::Num(scale.ratio)),
+                ("wal_overhead_budget", JsonValue::Num(1.05)),
+            ]),
+        ),
     ])
+}
+
+fn make_asha(bench: &dyn BenchmarkModel) -> Asha {
+    Asha::new(bench.space().clone(), AshaConfig::new(1.0, R, ETA))
 }
 
 fn sweep_methods(space: &SearchSpace) -> Vec<MethodSpec> {
@@ -523,7 +682,7 @@ fn main() {
     let telemetry = telemetry_overhead(&bench, 25, horizon);
 
     // Durable-store tax at the same regime.
-    let persistence = persistence(&bench, 25, horizon, rounds);
+    let persistence = persistence(&bench, 25, horizon, rounds, if opts.smoke { 2 } else { 3 });
 
     // Parallel sweep speedup at 1 thread (the no-parallelism sanity row)
     // and at a multi-core count, so the report always shows both ends of

@@ -23,6 +23,12 @@
 //!                       it, and report on the completed log
 //!     [--snapshot-jobs N]
 //!                       snapshot cadence for --store/--resume (default 200)
+//!     [--wal-format NAME]
+//!                       on-disk dialect for new store files: jsonl-v1 or
+//!                       binary-v2 (default). Resume keeps an existing WAL's
+//!                       own dialect regardless.
+//!     [--delta-chain N] max delta snapshots between full snapshots for
+//!                       --store/--resume (0 = always full; default 8)
 //! ```
 //!
 //! The report is derived entirely from the log, so it reproduces exactly the
@@ -61,6 +67,8 @@ struct Opts {
     crash_after_jobs: Option<usize>,
     resume: Option<String>,
     snapshot_jobs: Option<usize>,
+    wal_format: Option<String>,
+    delta_chain: Option<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -76,6 +84,8 @@ fn parse_opts() -> Opts {
         crash_after_jobs: None,
         resume: None,
         snapshot_jobs: None,
+        wal_format: None,
+        delta_chain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,10 +110,13 @@ fn parse_opts() -> Opts {
             }
             "--resume" => opts.resume = args.next(),
             "--snapshot-jobs" => opts.snapshot_jobs = args.next().and_then(|v| v.parse().ok()),
+            "--wal-format" => opts.wal_format = args.next(),
+            "--delta-chain" => opts.delta_chain = args.next().and_then(|v| v.parse().ok()),
             "--help" | "-h" => {
                 println!(
                     "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] \
-                     [--seed N] [--store DIR] [--crash-after-jobs N] [--resume DIR]"
+                     [--seed N] [--store DIR] [--crash-after-jobs N] [--resume DIR] \
+                     [--snapshot-jobs N] [--wal-format NAME] [--delta-chain N]"
                 );
                 std::process::exit(0);
             }
@@ -255,6 +268,13 @@ fn main() {
     if let Some(jobs) = opts.snapshot_jobs {
         run_opts.snapshot_jobs = jobs.max(1);
     }
+    if let Some(name) = &opts.wal_format {
+        run_opts.format = asha::store::StoreFormat::from_name(name)
+            .unwrap_or_else(|| fail(format!("unknown --wal-format {name:?}")));
+    }
+    if let Some(chain) = opts.delta_chain {
+        run_opts.delta_chain = chain;
+    }
     let store_dir = if let Some(dir) = &opts.resume {
         resume_store(Path::new(dir), run_opts);
         Some(dir.clone())
@@ -292,7 +312,8 @@ fn main() {
     let Some(log_path) = opts.log else {
         eprintln!(
             "usage: run_report <events.jsonl> [--workers N] [--json PATH] [--demo] \
-             [--store DIR] [--crash-after-jobs N] [--resume DIR]"
+             [--store DIR] [--crash-after-jobs N] [--resume DIR] \
+             [--wal-format NAME] [--delta-chain N]"
         );
         std::process::exit(2);
     };

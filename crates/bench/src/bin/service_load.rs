@@ -33,7 +33,7 @@ use asha::core::{Asha, AshaConfig};
 use asha::metrics::JsonValue;
 use asha::service::{Client, Daemon, Push, ServeOptions};
 use asha::store::{
-    BenchSpec, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState, SyncPolicy,
+    BenchSpec, Durability, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState,
 };
 use asha::surrogate::BenchmarkModel;
 
@@ -161,8 +161,9 @@ fn small_meta() -> ExperimentMeta {
 
 fn run_opts() -> RunOptions {
     RunOptions {
-        sync: SyncPolicy::EveryN(32),
+        sync: Durability::EveryN(32),
         snapshot_jobs: 200,
+        ..RunOptions::default()
     }
 }
 

@@ -3,21 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p asha-bench --bin store_inspect -- DIR
+//! cargo run --release -p asha-bench --bin store_inspect -- [FLAGS] DIR
+//!     --format NAME   decode the WAL with the named codec (jsonl-v1 |
+//!                     binary-v2) instead of sniffing each file's magic —
+//!                     forensics for a store whose header bytes are damaged
+//!     --dump          print every WAL record as its JSONL line (binary
+//!                     records are decoded and re-rendered as JSON)
 //! ```
 //!
 //! `DIR` may be a single experiment directory (contains `meta.json`) or a
 //! supervisor root (contains `manifest.json`); for a root, every listed
 //! experiment is inspected. For each experiment the tool prints the
-//! metadata summary, the snapshot chain (sequence, covered events, file
-//! size), and the WAL's shape: record counts, telemetry sequence range,
-//! store markers, and whether a torn tail was discarded.
+//! metadata summary, the checkpoint chain (full snapshots and their delta
+//! chains: sequence, covered events, dialect, file size), and the WAL's
+//! shape: detected dialect, record counts, telemetry sequence range, store
+//! markers, and whether a torn tail was discarded. Dialects are detected
+//! per file, so mixed-format stores (e.g. a `jsonl-v1` store resumed under
+//! the binary codec) inspect cleanly.
 
 use std::path::Path;
 
 use asha::store::{
-    list_snapshots, read_manifest, read_meta, read_wal, Snapshot, StoreEvent, WalRecord,
-    MANIFEST_FILE, META_FILE, WAL_FILE,
+    read_manifest, read_meta, read_wal, DecodeStep, DeltaDoc, Snapshot, StoreFormat, WalContents,
+    WalRecord, MANIFEST_FILE, META_FILE, WAL_FILE,
 };
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -25,7 +33,56 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-fn inspect_experiment(dir: &Path) {
+struct Opts {
+    format: Option<StoreFormat>,
+    dump: bool,
+}
+
+/// Decode a WAL with one specific codec, ignoring the file's own magic.
+/// This is the `--format` escape hatch: when a header is damaged (or a
+/// file was produced by a tool that forgot the magic), sniffing picks the
+/// wrong dialect and the operator knows better.
+fn read_wal_forced(path: &Path, format: StoreFormat) -> Result<WalContents, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let codec = format.wal_codec();
+    let mut offset = if bytes.starts_with(codec.magic()) {
+        codec.magic().len()
+    } else {
+        0
+    };
+    let mut contents = WalContents {
+        records: Vec::new(),
+        torn_tail: false,
+        format,
+    };
+    while offset < bytes.len() {
+        match codec.decode_step(&bytes[offset..]) {
+            DecodeStep::Record { consumed, record } => {
+                offset += consumed;
+                contents.records.push(record);
+            }
+            DecodeStep::Blank { consumed } => offset += consumed,
+            // Forced mode is forensics: treat anything undecodable as the
+            // end of the usable prefix rather than failing the whole read.
+            DecodeStep::Incomplete | DecodeStep::Invalid { .. } | DecodeStep::Lost(_) => {
+                contents.torn_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(contents)
+}
+
+/// Read and decode one checkpoint document (full snapshot or delta),
+/// reporting the dialect it was written in alongside the parsed value.
+fn read_checkpoint_doc(path: &Path) -> Result<(StoreFormat, asha::metrics::JsonValue), String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let format = StoreFormat::detect_document(&bytes);
+    let doc = format.snapshot_codec().decode_document(&bytes)?;
+    Ok((format, doc))
+}
+
+fn inspect_experiment(dir: &Path, opts: &Opts) {
     println!("experiment store: {}", dir.display());
 
     match read_meta(dir) {
@@ -45,37 +102,83 @@ fn inspect_experiment(dir: &Path) {
         Err(e) => println!("  meta: unreadable ({e})"),
     }
 
-    match list_snapshots(dir) {
+    inspect_checkpoints(dir);
+    inspect_wal(dir, opts);
+}
+
+/// The checkpoint chain: every full snapshot in sequence order, each
+/// followed by its delta chain (if any), with per-file dialect and size.
+fn inspect_checkpoints(dir: &Path) {
+    match asha::store::list_snapshots(dir) {
         Ok(snaps) if snaps.is_empty() => println!("  snapshots: none"),
         Ok(snaps) => {
             println!("  snapshots: {}", snaps.len());
             for (seq, path) in &snaps {
                 let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                let events = std::fs::read_to_string(path)
-                    .ok()
-                    .and_then(|text| asha::metrics::JsonValue::parse(&text).ok())
-                    .and_then(|v| Snapshot::from_json(&v).ok())
-                    .map(|s| s.events);
-                match events {
-                    Some(events) => {
-                        println!("    snap {seq:>6}: covers {events:>7} events, {size:>9} bytes")
+                match read_checkpoint_doc(path).and_then(|(f, doc)| {
+                    Ok((f, Snapshot::from_json(&doc).map_err(|e| e.to_string())?))
+                }) {
+                    Ok((format, snap)) => println!(
+                        "    snap {seq:>6}: covers {:>7} events, {size:>9} bytes ({})",
+                        snap.events,
+                        format.name()
+                    ),
+                    Err(e) => println!("    snap {seq:>6}: UNREADABLE, {size:>9} bytes ({e})"),
+                }
+                // The delta chain hanging off this full snapshot, in chain
+                // order; `load` validates each file's claimed position.
+                for k in 1.. {
+                    let Some(path) = [StoreFormat::BinaryV2, StoreFormat::JsonlV1]
+                        .into_iter()
+                        .map(|f| dir.join(asha::store::delta_file_name(*seq, k, f)))
+                        .find(|p| p.exists())
+                    else {
+                        break;
+                    };
+                    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    match (DeltaDoc::load(dir, *seq, k), read_checkpoint_doc(&path)) {
+                        (Ok(delta), Ok((format, _))) => println!(
+                            "      delta {seq:>4}+{k}: covers {:>7} events, {size:>9} bytes ({})",
+                            delta.events,
+                            format.name()
+                        ),
+                        (Err(e), _) => {
+                            println!("      delta {seq:>4}+{k}: UNREADABLE, {size:>9} bytes ({e})")
+                        }
+                        (_, Err(e)) => {
+                            println!("      delta {seq:>4}+{k}: UNREADABLE, {size:>9} bytes ({e})")
+                        }
                     }
-                    None => println!("    snap {seq:>6}: UNREADABLE, {size:>9} bytes"),
                 }
             }
         }
         Err(e) => println!("  snapshots: unreadable ({e})"),
     }
+}
 
+fn inspect_wal(dir: &Path, opts: &Opts) {
     let wal_path = dir.join(WAL_FILE);
-    match read_wal(&wal_path) {
+    let dialect = std::fs::read(&wal_path)
+        .map(|bytes| StoreFormat::detect_wal(&bytes))
+        .unwrap_or_default();
+    let contents = match opts.format {
+        Some(format) => read_wal_forced(&wal_path, format).map_err(asha::store::Error::codec),
+        None => read_wal(&wal_path),
+    };
+    match contents {
         Ok(contents) => {
             let telemetry: Vec<_> = contents.telemetry().collect();
             let stores = contents.records.len() - telemetry.len();
             println!(
-                "  wal:       {} records ({} telemetry + {stores} store markers)",
+                "  wal:       {} records ({} telemetry + {stores} store markers), {} dialect{}",
                 contents.records.len(),
-                telemetry.len()
+                telemetry.len(),
+                opts.format.unwrap_or(dialect).name(),
+                if opts.format.is_some() {
+                    " (forced)"
+                } else {
+                    ""
+                }
             );
             match (telemetry.first(), telemetry.last()) {
                 (Some(first), Some(last)) => println!(
@@ -85,32 +188,69 @@ fn inspect_experiment(dir: &Path) {
                 _ => println!("    no telemetry yet"),
             }
             for record in &contents.records {
-                if let WalRecord::Store { time, event } = record {
-                    match event {
-                        StoreEvent::Snapshot { snap, events } => println!(
-                            "    t {time:>10.3}  snapshot marker: snap {snap} @ {events} events"
+                if let WalRecord::Meta { time, event } = record {
+                    println!("    t {time:>10.3}  {}", event.name());
+                }
+                if let WalRecord::SnapshotMarker { time, marker } = record {
+                    match marker.delta() {
+                        0 => println!(
+                            "    t {time:>10.3}  snapshot marker: snap {} @ {} events",
+                            marker.snap(),
+                            marker.events()
                         ),
-                        other => println!("    t {time:>10.3}  {}", other.name()),
+                        k => println!(
+                            "    t {time:>10.3}  delta marker: snap {}+{k} @ {} events",
+                            marker.snap(),
+                            marker.events()
+                        ),
                     }
                 }
             }
             if contents.torn_tail {
-                println!("    torn tail: one partial final line discarded (crash mid-append)");
+                println!("    torn tail: one partial final record discarded (crash mid-append)");
+            }
+            if opts.dump {
+                println!("  records:");
+                for record in &contents.records {
+                    println!("    {}", record.render_jsonl());
+                }
             }
         }
         Err(e) => println!("  wal: {e}"),
     }
 }
 
+fn usage(code: i32) -> ! {
+    println!("usage: store_inspect [--format jsonl-v1|binary-v2] [--dump] <experiment-dir | supervisor-root>");
+    std::process::exit(code);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = match args.as_slice() {
-        [dir] if dir != "--help" && dir != "-h" => Path::new(dir),
-        _ => {
-            println!("usage: store_inspect <experiment-dir | supervisor-root>");
-            std::process::exit(if args.is_empty() { 2 } else { 0 });
-        }
+    let mut opts = Opts {
+        format: None,
+        dump: false,
     };
+    let mut dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(0),
+            "--dump" => opts.dump = true,
+            "--format" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| fail("--format needs a value"));
+                opts.format = Some(
+                    StoreFormat::from_name(&name)
+                        .unwrap_or_else(|| fail(format!("unknown format {name:?}"))),
+                );
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_owned()),
+            other => fail(format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else { usage(2) };
+    let dir = Path::new(&dir);
 
     let manifest_path = dir.join(MANIFEST_FILE);
     if manifest_path.exists() {
@@ -125,7 +265,7 @@ fn main() {
         }
         for entry in &entries {
             println!();
-            inspect_experiment(&dir.join(&entry.name));
+            inspect_experiment(&dir.join(&entry.name), &opts);
         }
         return;
     }
@@ -136,5 +276,5 @@ fn main() {
             dir.display()
         ));
     }
-    inspect_experiment(dir);
+    inspect_experiment(dir, &opts);
 }

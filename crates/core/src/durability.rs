@@ -1,0 +1,160 @@
+//! The workspace-wide durability knob.
+//!
+//! Two layers grew their own overlapping dials: `asha-obs`'s `JsonlWriter`
+//! had a two-state `Durability` (flush vs. fsync per commit) and
+//! `asha-store`'s WAL had a three-state `SyncPolicy` (never / every N /
+//! always). They answer the same question — *when does appended data become
+//! crash-durable?* — so both now share this one type. The old names remain
+//! as deprecated aliases for one release (`asha_store::SyncPolicy`,
+//! `asha_obs::Durability` re-export).
+//!
+//! Semantics, common to every writer that takes a [`Durability`]:
+//!
+//! * Appends always reach the OS (flushed through userspace buffers) at
+//!   each commit point, so a *process* crash loses at most a torn tail.
+//! * `fsync` cadence is what the variant controls: it bounds what a
+//!   *machine* crash can lose.
+
+use crate::error::Error;
+
+/// When appended records become crash-durable (`fsync` cadence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Flush to the OS at every commit point but never fsync; rely on OS
+    /// writeback. Fastest; a machine crash loses up to the writeback
+    /// window.
+    Flush,
+    /// Fsync after every N committed records. The middle ground: bounded
+    /// loss window, amortized fsync cost.
+    EveryN(usize),
+    /// Fsync at every commit point. Slowest, loses nothing.
+    Sync,
+}
+
+impl Durability {
+    /// Old `asha_store::SyncPolicy::Never` spelling.
+    #[deprecated(note = "renamed to `Durability::Flush`")]
+    #[allow(non_upper_case_globals)]
+    pub const Never: Durability = Durability::Flush;
+
+    /// Old `asha_store::SyncPolicy::Always` spelling.
+    #[deprecated(note = "renamed to `Durability::Sync`")]
+    #[allow(non_upper_case_globals)]
+    pub const Always: Durability = Durability::Sync;
+
+    /// A validating builder; defaults match [`Durability::default`].
+    pub fn builder() -> DurabilityBuilder {
+        DurabilityBuilder {
+            mode: Durability::default(),
+        }
+    }
+
+    /// Whether an fsync is due after a commit point, given how many records
+    /// were committed since the last fsync (including the current one).
+    pub fn fsync_due(&self, since_sync: usize) -> bool {
+        match self {
+            Durability::Flush => false,
+            Durability::EveryN(n) => since_sync >= (*n).max(1),
+            Durability::Sync => true,
+        }
+    }
+
+    /// Stable lowercase name (`"flush"`, `"every_n"`, `"sync"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Durability::Flush => "flush",
+            Durability::EveryN(_) => "every_n",
+            Durability::Sync => "sync",
+        }
+    }
+}
+
+impl Default for Durability {
+    /// Fsync every 64 records — the WAL's historical default.
+    fn default() -> Self {
+        Durability::EveryN(64)
+    }
+}
+
+/// Builder for [`Durability`]; see [`Durability::builder`].
+///
+/// ```
+/// use asha_core::Durability;
+///
+/// let d = Durability::builder().fsync_every(16).build()?;
+/// assert_eq!(d, Durability::EveryN(16));
+/// assert!(Durability::builder().fsync_every(0).build().is_err());
+/// # Ok::<(), asha_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurabilityBuilder {
+    mode: Durability,
+}
+
+impl DurabilityBuilder {
+    /// Never fsync; flush to the OS only.
+    pub fn flush_only(mut self) -> Self {
+        self.mode = Durability::Flush;
+        self
+    }
+
+    /// Fsync every `n` records (must end up positive).
+    pub fn fsync_every(mut self, n: usize) -> Self {
+        self.mode = Durability::EveryN(n);
+        self
+    }
+
+    /// Fsync at every commit point.
+    pub fn fsync_always(mut self) -> Self {
+        self.mode = Durability::Sync;
+        self
+    }
+
+    /// Validate and produce the durability mode.
+    pub fn build(self) -> Result<Durability, Error> {
+        if let Durability::EveryN(0) = self.mode {
+            return Err(Error::config("fsync cadence must be positive"));
+        }
+        Ok(self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_cadence() {
+        assert!(!Durability::Flush.fsync_due(1_000_000));
+        assert!(Durability::Sync.fsync_due(1));
+        let every4 = Durability::EveryN(4);
+        assert!(!every4.fsync_due(3));
+        assert!(every4.fsync_due(4));
+        // A zero cadence degrades to "every record", not a division hazard.
+        assert!(Durability::EveryN(0).fsync_due(1));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            Durability::builder().flush_only().build().unwrap(),
+            Durability::Flush
+        );
+        assert_eq!(
+            Durability::builder().fsync_always().build().unwrap(),
+            Durability::Sync
+        );
+        assert!(Durability::builder().fsync_every(0).build().is_err());
+        assert_eq!(
+            Durability::builder().build().unwrap(),
+            Durability::default()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn old_spellings_still_name_the_same_modes() {
+        assert_eq!(Durability::Never, Durability::Flush);
+        assert_eq!(Durability::Always, Durability::Sync);
+    }
+}

@@ -57,6 +57,7 @@
 mod asha;
 pub mod budget;
 mod dasha;
+pub mod durability;
 pub mod error;
 pub mod fx;
 mod hyperband;
@@ -72,6 +73,7 @@ pub mod telemetry;
 
 pub use crate::asha::{Asha, AshaConfig};
 pub use crate::dasha::DAsha;
+pub use crate::durability::{Durability, DurabilityBuilder};
 pub use crate::error::{Error, ErrorKind, ResultContext};
 pub use crate::fx::{FxHashMap, FxHashSet};
 pub use crate::hyperband::{AsyncHyperband, Hyperband, HyperbandConfig};

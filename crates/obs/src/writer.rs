@@ -13,21 +13,9 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use asha_core::telemetry::Event;
+pub use asha_core::Durability;
 
 use crate::log::encode_event;
-
-/// How hard [`JsonlWriter`] pushes bytes toward the platter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Durability {
-    /// Flush through the userspace buffer on every [`JsonlWriter::commit`]
-    /// and on drop. Written lines survive a process crash; a machine crash
-    /// may lose the OS writeback window.
-    #[default]
-    Flush,
-    /// Additionally `fsync` on every commit and on drop. Written lines
-    /// survive a machine crash.
-    Sync,
-}
 
 /// An append-only JSONL event-log writer with explicit durability.
 ///
@@ -43,6 +31,9 @@ pub struct JsonlWriter {
     path: PathBuf,
     durability: Durability,
     written: u64,
+    /// Lines committed since the last fsync (drives
+    /// [`Durability::EveryN`]'s cadence).
+    since_sync: usize,
 }
 
 impl JsonlWriter {
@@ -60,6 +51,7 @@ impl JsonlWriter {
             path: path.to_owned(),
             durability,
             written: 0,
+            since_sync: 0,
         })
     }
 
@@ -95,11 +87,14 @@ impl JsonlWriter {
     }
 
     /// Make everything appended so far durable at the configured level:
-    /// flush to the OS, plus `fsync` under [`Durability::Sync`].
+    /// flush to the OS, plus `fsync` on [`Durability`]'s cadence (every
+    /// commit under `Sync`, every Nth under `EveryN`, never under `Flush`).
     pub fn commit(&mut self) -> std::io::Result<()> {
         self.out.flush()?;
-        if self.durability == Durability::Sync {
+        self.since_sync += 1;
+        if self.durability.fsync_due(self.since_sync) {
             self.out.get_ref().sync_all()?;
+            self.since_sync = 0;
         }
         Ok(())
     }

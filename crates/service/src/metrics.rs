@@ -508,6 +508,30 @@ impl ServiceMetrics {
                         "snapshot_write",
                         self.store.snapshot_write.snapshot().to_json(),
                     ),
+                    (
+                        "snapshot_delta_write",
+                        self.store.snapshot_delta_write.snapshot().to_json(),
+                    ),
+                    (
+                        "snapshot_full_bytes",
+                        JsonValue::Int(self.store.snapshot_full_bytes.get()),
+                    ),
+                    (
+                        "snapshot_delta_bytes",
+                        JsonValue::Int(self.store.snapshot_delta_bytes.get()),
+                    ),
+                    (
+                        "commit_window",
+                        self.store.commit_window.snapshot().to_json(),
+                    ),
+                    (
+                        "group_commit_requests",
+                        JsonValue::Int(self.store.group_commit_requests.get()),
+                    ),
+                    (
+                        "group_commit_fsyncs",
+                        JsonValue::Int(self.store.group_commit_fsyncs.get()),
+                    ),
                 ]),
             ),
         ])
@@ -754,6 +778,44 @@ impl ServiceMetrics {
             "Experiment snapshot write latency",
             "",
             &self.store.snapshot_write.snapshot(),
+        );
+        histogram(
+            &mut out,
+            "asha_snapshot_delta_write_seconds",
+            "Delta snapshot diff+write latency",
+            "",
+            &self.store.snapshot_delta_write.snapshot(),
+        );
+        counter(
+            &mut out,
+            "asha_snapshot_full_bytes_total",
+            "Bytes written by full snapshots",
+            self.store.snapshot_full_bytes.get(),
+        );
+        counter(
+            &mut out,
+            "asha_snapshot_delta_bytes_total",
+            "Bytes written by delta snapshots",
+            self.store.snapshot_delta_bytes.get(),
+        );
+        histogram(
+            &mut out,
+            "asha_commit_window_seconds",
+            "Group-commit batch latency, first request to durable",
+            "",
+            &self.store.commit_window.snapshot(),
+        );
+        counter(
+            &mut out,
+            "asha_group_commit_requests_total",
+            "Durability requests submitted to the group-commit pipeline",
+            self.store.group_commit_requests.get(),
+        );
+        counter(
+            &mut out,
+            "asha_group_commit_fsyncs_total",
+            "Fsync syscalls the group-commit pipeline issued",
+            self.store.group_commit_fsyncs.get(),
         );
         gauge_f64(
             &mut out,

@@ -24,7 +24,7 @@
 
 use asha_core::{Error, ErrorKind};
 use asha_metrics::JsonValue;
-use asha_store::{ExperimentMeta, ExperimentStatus, RunOptions, SyncPolicy};
+use asha_store::{Durability, ExperimentMeta, ExperimentStatus, RunOptions, StoreFormat};
 
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -65,30 +65,51 @@ pub fn check_version(v: &JsonValue) -> Result<(), Error> {
 // Run options (durability knobs crossing the wire)
 // ---------------------------------------------------------------------------
 
-/// Encode [`RunOptions`] for a `create`/`start` request.
+/// Encode [`RunOptions`] for a `create`/`start` request. The sync names
+/// (`"never"`/`"always"`) predate the [`Durability`] unification and stay
+/// on the wire for compatibility with older peers.
 pub fn run_options_to_json(opts: &RunOptions) -> JsonValue {
     let sync = match opts.sync {
-        SyncPolicy::Never => JsonValue::Str("never".to_owned()),
-        SyncPolicy::Always => JsonValue::Str("always".to_owned()),
-        SyncPolicy::EveryN(n) => obj(vec![("every_n", JsonValue::Int(n as u64))]),
+        Durability::Flush => JsonValue::Str("never".to_owned()),
+        Durability::Sync => JsonValue::Str("always".to_owned()),
+        Durability::EveryN(n) => obj(vec![("every_n", JsonValue::Int(n as u64))]),
     };
     obj(vec![
         ("sync", sync),
         ("snapshot_jobs", JsonValue::Int(opts.snapshot_jobs as u64)),
+        ("format", JsonValue::Str(opts.format.name().to_owned())),
+        ("delta_chain", JsonValue::Int(opts.delta_chain as u64)),
     ])
 }
 
-/// Decode [`RunOptions`] written by [`run_options_to_json`].
+/// Decode [`RunOptions`] written by [`run_options_to_json`]. `format` and
+/// `delta_chain` default when absent, so frames from pre-codec-redesign
+/// clients still decode.
 pub fn run_options_from_json(v: &JsonValue) -> Result<RunOptions, Error> {
     let sync = match v.get("sync") {
-        Some(JsonValue::Str(s)) if s == "never" => SyncPolicy::Never,
-        Some(JsonValue::Str(s)) if s == "always" => SyncPolicy::Always,
-        Some(other) => SyncPolicy::EveryN(get_u64(other, "every_n")? as usize),
+        Some(JsonValue::Str(s)) if s == "never" || s == "flush" => Durability::Flush,
+        Some(JsonValue::Str(s)) if s == "always" || s == "sync" => Durability::Sync,
+        Some(other) => Durability::EveryN(get_u64(other, "every_n")? as usize),
         None => return Err(Error::protocol("run options missing sync")),
+    };
+    let defaults = RunOptions::default();
+    let format = match v.get("format").and_then(|f| f.as_str()) {
+        Some(name) => StoreFormat::from_name(name)
+            .ok_or_else(|| Error::protocol(format!("unknown store format {name:?}")))?,
+        None => defaults.format,
+    };
+    let delta_chain = match v.get("delta_chain") {
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| Error::protocol("delta_chain must be an integer"))?
+            as usize,
+        None => defaults.delta_chain,
     };
     Ok(RunOptions {
         sync,
         snapshot_jobs: get_u64(v, "snapshot_jobs")? as usize,
+        format,
+        delta_chain,
     })
 }
 

@@ -98,6 +98,11 @@ pub struct ServeOptions {
     pub slow_log: Option<PathBuf>,
     /// Threshold for the slow-request log.
     pub slow_threshold: Duration,
+    /// Group commit window: when set, every experiment's WAL fsyncs are
+    /// coalesced through one shared [`asha_store::CommitPipeline`] — at
+    /// most one fsync per WAL per window, each request acked only after
+    /// its bytes are durable. `None` keeps per-experiment fsyncs.
+    pub group_commit: Option<Duration>,
 }
 
 impl ServeOptions {
@@ -118,6 +123,7 @@ impl ServeOptions {
             metrics_addr: None,
             slow_log: None,
             slow_threshold: Duration::from_secs(1),
+            group_commit: None,
         }
     }
 }
@@ -371,6 +377,11 @@ mod unix_impl {
             if opts.metrics {
                 // WAL/fsync/snapshot timings flow into the same plane.
                 supervisor.set_metrics(metrics.store());
+            }
+            if let Some(window) = opts.group_commit {
+                // After set_metrics, so the pipeline's window/amortization
+                // counters land in the plane too.
+                supervisor.enable_group_commit(window);
             }
             let watchers: Arc<Watchers> = Arc::new(Mutex::new(HashMap::new()));
 

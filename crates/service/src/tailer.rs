@@ -8,7 +8,10 @@
 //! it, and the thread exits when its last subscriber closes.
 //!
 //! One thread reads each WAL record **once** into a shared backlog; each
-//! subscriber owns a cursor into it. The record body is serialized once —
+//! subscriber owns a cursor into it. The [`WalTail`] renders every record
+//! as its `jsonl-v1` line whatever the on-disk dialect, so a `binary-v2`
+//! WAL fans out to subscribers as exactly the same JSON event frames as a
+//! `jsonl-v1` one. The record body is serialized once —
 //! per-subscriber frames only wrap it in the cheap push envelope
 //! (`{"v":1,"sub":K,"push":"event","data":<body>}`), never re-rendering
 //! the payload.
@@ -22,7 +25,7 @@
 //! Live ──(experiment finished / daemon draining)──▶ EndOwed ──▶ Done
 //! ```
 //!
-//! A new subscriber starts in **CatchUp**: a private [`LogTail`] replays
+//! A new subscriber starts in **CatchUp**: a private [`WalTail`] replays
 //! the WAL from the start, bounded by the shared tailer's offset so it can
 //! never overshoot, then the subscriber is promoted to **Live** at the
 //! backlog's write edge. Live subscribers consume the shared backlog; one
@@ -50,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use asha_metrics::JsonValue;
-use asha_obs::LogTail;
+use asha_store::WalTail;
 
 use crate::codec::encode_frame;
 use crate::metrics::{ServiceMetrics, TailerMetrics};
@@ -208,7 +211,7 @@ enum Phase {
     /// a Live subscriber is demoted); `pending` holds records read but not
     /// yet accepted by the connection queue.
     CatchUp {
-        tail: LogTail,
+        tail: WalTail,
         skip: u64,
         pending: VecDeque<Rec>,
     },
@@ -233,7 +236,7 @@ impl SubEntry {
         SubEntry {
             state,
             phase: Phase::CatchUp {
-                tail: LogTail::new(wal_path),
+                tail: WalTail::new(wal_path),
                 skip: 0,
                 pending: VecDeque::new(),
             },
@@ -307,7 +310,7 @@ fn tailer_main(
     // Counters outlive this thread (a later tailer for the same experiment
     // keeps adding to them); gauges are zeroed on every exit path.
     let tm = ctx.metrics.tailer(&experiment);
-    let mut tail = LogTail::new(&wal_path);
+    let mut tail = WalTail::new(&wal_path);
     // Shared backlog of records; `base` is the absolute index of the front.
     let mut backlog: VecDeque<Rec> = VecDeque::new();
     let mut base: u64 = 0;
@@ -327,8 +330,11 @@ fn tailer_main(
         let shutting_down = ctx.shutdown.load(Ordering::Acquire);
         let mut read_any = false;
 
-        // Read new WAL records once, into the shared backlog.
-        if !finished && !shutting_down {
+        // Read new WAL records once, into the shared backlog. Polling
+        // continues even after the finished marker: a restarted
+        // experiment rewrites the WAL, and only the tail's rewind
+        // detection can tell still-attached subscribers about it.
+        if !shutting_down {
             if let Ok(chunk) = tail.poll() {
                 if chunk.rewound {
                     // Crash recovery rewrote the WAL shorter: restart the
@@ -342,7 +348,7 @@ fn tailer_main(
                                 sub: entry.state.sub,
                             });
                             entry.phase = Phase::CatchUp {
-                                tail: LogTail::new(&wal_path),
+                                tail: WalTail::new(&wal_path),
                                 skip: 0,
                                 pending: VecDeque::new(),
                             };
@@ -400,7 +406,7 @@ fn tailer_main(
                     if next < floor {
                         tm.window_evictions.inc();
                         entry.phase = Phase::CatchUp {
-                            tail: LogTail::new(&wal_path),
+                            tail: WalTail::new(&wal_path),
                             skip: next,
                             pending: VecDeque::new(),
                         };

@@ -7,7 +7,8 @@ use asha_metrics::JsonValue;
 use asha_service::proto::{run_options_from_json, run_options_to_json};
 use asha_service::{encode_frame, DaemonStats, Push, Reply, Request, WireStatus, PROTOCOL_VERSION};
 use asha_store::{
-    BenchSpec, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState, SyncPolicy,
+    BenchSpec, Durability, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState,
+    StoreFormat,
 };
 use asha_surrogate::BenchmarkModel;
 
@@ -65,8 +66,10 @@ fn all_requests() -> Vec<Request> {
         Request::Create {
             meta: sample_meta(),
             opts: RunOptions {
-                sync: SyncPolicy::EveryN(16),
+                sync: Durability::EveryN(16),
                 snapshot_jobs: 50,
+                format: StoreFormat::JsonlV1,
+                delta_chain: 4,
             },
         },
         Request::Start {
@@ -286,18 +289,34 @@ fn every_push_round_trips() {
 #[test]
 fn run_options_round_trip_all_sync_policies() {
     for sync in [
-        SyncPolicy::Never,
-        SyncPolicy::Always,
-        SyncPolicy::EveryN(1),
-        SyncPolicy::EveryN(64),
+        Durability::Flush,
+        Durability::Sync,
+        Durability::EveryN(1),
+        Durability::EveryN(64),
     ] {
-        let opts = RunOptions {
-            sync,
-            snapshot_jobs: 123,
-        };
-        let back = run_options_from_json(&run_options_to_json(&opts)).unwrap();
-        assert_eq!(back, opts);
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            let opts = RunOptions {
+                sync,
+                snapshot_jobs: 123,
+                format,
+                delta_chain: 5,
+            };
+            let back = run_options_from_json(&run_options_to_json(&opts)).unwrap();
+            assert_eq!(back, opts);
+        }
     }
+}
+
+#[test]
+fn run_options_without_format_fields_decode_with_defaults() {
+    // A frame from a pre-codec-redesign client carries neither `format`
+    // nor `delta_chain`; both must fall back to the defaults.
+    let frame = JsonValue::parse(r#"{"sync":"always","snapshot_jobs":77}"#).unwrap();
+    let opts = run_options_from_json(&frame).unwrap();
+    assert_eq!(opts.sync, Durability::Sync);
+    assert_eq!(opts.snapshot_jobs, 77);
+    assert_eq!(opts.format, RunOptions::default().format);
+    assert_eq!(opts.delta_chain, RunOptions::default().delta_chain);
 }
 
 #[test]

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use asha_core::{Asha, AshaConfig};
 use asha_service::{Client, Daemon, Push, ServeOptions};
 use asha_store::{
-    BenchSpec, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState, SyncPolicy,
+    BenchSpec, Durability, ExperimentMeta, ExperimentStatus, RunOptions, SchedulerState,
 };
 use asha_surrogate::BenchmarkModel;
 
@@ -51,8 +51,9 @@ fn small_meta(name: &str) -> ExperimentMeta {
 
 fn opts() -> RunOptions {
     RunOptions {
-        sync: SyncPolicy::EveryN(32),
+        sync: Durability::EveryN(32),
         snapshot_jobs: 200,
+        ..RunOptions::default()
     }
 }
 

@@ -1,0 +1,372 @@
+//! Binary encoding primitives for the `binary-v2` store codecs: LEB128
+//! varints, a compile-time CRC32 (IEEE) table, and a compact tagged binary
+//! form of [`JsonValue`] trees ("binvalue").
+//!
+//! Everything here is hand-rolled — the workspace's `serde` is an offline
+//! stub — and everything round-trips *exactly*: varints are canonical
+//! (minimal length), floats are raw little-endian bits (so non-finite
+//! values and NaN payloads survive, unlike JSON text), and binvalue
+//! preserves the [`JsonValue::Int`] / [`JsonValue::Num`] distinction so a
+//! decoded tree re-renders to byte-identical JSON text.
+
+use asha_metrics::JsonValue;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib/PNG polynomial), table built at compile time
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 varints
+// ---------------------------------------------------------------------------
+
+/// Longest legal LEB128 encoding of a `u64` (10 bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `v` as an LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Outcome of reading a varint from the front of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintRead {
+    /// A complete varint: its value and encoded length.
+    Done(u64, usize),
+    /// The buffer ends mid-varint (torn tail).
+    Short,
+    /// More than [`MAX_VARINT_LEN`] continuation bytes: not a varint at
+    /// all (corruption that destroyed framing).
+    Malformed,
+}
+
+/// Read an LEB128 varint from the front of `buf`.
+pub fn get_varint(buf: &[u8]) -> VarintRead {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return VarintRead::Malformed;
+        }
+        // The 10th byte of a u64 varint may only carry its lowest bit.
+        if i == MAX_VARINT_LEN - 1 && byte > 1 {
+            return VarintRead::Malformed;
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return VarintRead::Done(value, i + 1);
+        }
+        shift += 7;
+    }
+    VarintRead::Short
+}
+
+// ---------------------------------------------------------------------------
+// Cursor-style readers used by the record and document decoders
+// ---------------------------------------------------------------------------
+
+/// Read a varint at `*pos`, advancing it. Errors on truncation/malformed
+/// input (inside a CRC-verified payload both mean a decoder bug or a
+/// version mismatch, not a torn tail).
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    match get_varint(&buf[(*pos).min(buf.len())..]) {
+        VarintRead::Done(v, n) => {
+            *pos += n;
+            Ok(v)
+        }
+        VarintRead::Short => Err("truncated varint".to_owned()),
+        VarintRead::Malformed => Err("malformed varint".to_owned()),
+    }
+}
+
+/// Read one byte at `*pos`, advancing it.
+pub fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8, String> {
+    let b = *buf.get(*pos).ok_or("truncated byte")?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Read a little-endian `f64` (raw bits) at `*pos`, advancing it.
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let end = pos.checked_add(8).filter(|&e| e <= buf.len());
+    let end = end.ok_or("truncated f64")?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(f64::from_le_bytes(raw))
+}
+
+/// Read a varint-length-prefixed UTF-8 string at `*pos`, advancing it.
+pub fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).filter(|&e| e <= buf.len());
+    let end = end.ok_or("truncated string")?;
+    let s = std::str::from_utf8(&buf[*pos..end]).map_err(|_| "invalid UTF-8".to_owned())?;
+    *pos = end;
+    Ok(s.to_owned())
+}
+
+/// Append a raw little-endian `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a varint-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// binvalue: compact tagged binary JsonValue
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_NUM: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_ARR: u8 = 6;
+const TAG_OBJ: u8 = 7;
+
+/// Append a [`JsonValue`] tree in binvalue form: one tag byte per node,
+/// varint integers and lengths, raw little-endian `f64`s.
+pub fn put_value(out: &mut Vec<u8>, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::Int(n) => {
+            out.push(TAG_INT);
+            put_varint(out, *n);
+        }
+        JsonValue::Num(x) => {
+            out.push(TAG_NUM);
+            put_f64(out, *x);
+        }
+        JsonValue::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        JsonValue::Arr(items) => {
+            out.push(TAG_ARR);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+        JsonValue::Obj(fields) => {
+            out.push(TAG_OBJ);
+            put_varint(out, fields.len() as u64);
+            for (key, val) in fields {
+                put_str(out, key);
+                put_value(out, val);
+            }
+        }
+    }
+}
+
+/// Decode a binvalue tree at `*pos`, advancing it.
+pub fn get_value(buf: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    // Recursion depth is bounded by the store's document shapes (a few
+    // levels); a hostile input could still nest deeply, so cap it.
+    get_value_depth(buf, pos, 0)
+}
+
+fn get_value_depth(buf: &[u8], pos: &mut usize, depth: u32) -> Result<JsonValue, String> {
+    if depth > 128 {
+        return Err("binvalue nesting too deep".to_owned());
+    }
+    match read_u8(buf, pos)? {
+        TAG_NULL => Ok(JsonValue::Null),
+        TAG_FALSE => Ok(JsonValue::Bool(false)),
+        TAG_TRUE => Ok(JsonValue::Bool(true)),
+        TAG_INT => Ok(JsonValue::Int(read_varint(buf, pos)?)),
+        TAG_NUM => Ok(JsonValue::Num(read_f64(buf, pos)?)),
+        TAG_STR => Ok(JsonValue::Str(read_str(buf, pos)?)),
+        TAG_ARR => {
+            let count = read_varint(buf, pos)? as usize;
+            // Guard against a corrupt count forcing a huge reservation.
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(get_value_depth(buf, pos, depth + 1)?);
+            }
+            Ok(JsonValue::Arr(items))
+        }
+        TAG_OBJ => {
+            let count = read_varint(buf, pos)? as usize;
+            let mut fields = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let key = read_str(buf, pos)?;
+                let val = get_value_depth(buf, pos, depth + 1)?;
+                fields.push((key, val));
+            }
+            Ok(JsonValue::Obj(fields))
+        }
+        other => Err(format!("unknown binvalue tag {other}")),
+    }
+}
+
+/// Structural equality with bit-exact float comparison: two trees are equal
+/// iff they encode (and render) to identical bytes. `JsonValue`'s derived
+/// `PartialEq` is useless here — `NaN != NaN` would make any tree holding a
+/// poisoned loss unequal to itself.
+pub fn json_eq(a: &JsonValue, b: &JsonValue) -> bool {
+    match (a, b) {
+        (JsonValue::Null, JsonValue::Null) => true,
+        (JsonValue::Bool(x), JsonValue::Bool(y)) => x == y,
+        (JsonValue::Int(x), JsonValue::Int(y)) => x == y,
+        (JsonValue::Num(x), JsonValue::Num(y)) => x.to_bits() == y.to_bits(),
+        (JsonValue::Str(x), JsonValue::Str(y)) => x == y,
+        (JsonValue::Arr(x), JsonValue::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(i, j)| json_eq(i, j))
+        }
+        (JsonValue::Obj(x), JsonValue::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_and_rejects_garbage() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(get_varint(&buf), VarintRead::Done(v, buf.len()), "{v}");
+            // A truncated prefix is Short, not a wrong value.
+            if buf.len() > 1 {
+                assert_eq!(get_varint(&buf[..buf.len() - 1]), VarintRead::Short);
+            }
+        }
+        assert_eq!(get_varint(&[]), VarintRead::Short);
+        assert_eq!(get_varint(&[0x80; 11]), VarintRead::Malformed);
+        // An overlong 10th byte overflows u64.
+        let mut overlong = vec![0xFF; 9];
+        overlong.push(0x7F);
+        assert_eq!(get_varint(&overlong), VarintRead::Malformed);
+    }
+
+    #[test]
+    fn binvalue_round_trips_every_variant() {
+        let doc = JsonValue::obj([
+            ("null", JsonValue::Null),
+            ("t", JsonValue::Bool(true)),
+            ("f", JsonValue::Bool(false)),
+            ("int", JsonValue::Int(u64::MAX)),
+            ("num", JsonValue::Num(0.30000000000000004)),
+            ("neg", JsonValue::Num(-1.5e300)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("inf", JsonValue::Num(f64::INFINITY)),
+            ("s", JsonValue::Str("héllo \"world\"".to_owned())),
+            (
+                "arr",
+                JsonValue::Arr(vec![
+                    JsonValue::Int(0),
+                    JsonValue::Num(0.5),
+                    JsonValue::Str(String::new()),
+                ]),
+            ),
+            ("obj", JsonValue::obj([("k", JsonValue::Int(7))])),
+        ]);
+        let mut buf = Vec::new();
+        put_value(&mut buf, &doc);
+        let mut pos = 0;
+        let back = get_value(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decoder consumed everything");
+        assert!(json_eq(&doc, &back));
+        // Int/Num distinction survives: the re-encoded bytes are identical.
+        let mut buf2 = Vec::new();
+        put_value(&mut buf2, &back);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn binvalue_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_value(
+            &mut buf,
+            &JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Str("abc".to_owned())]),
+        );
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                get_value(&buf[..cut], &mut pos).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn json_eq_is_bitwise_on_floats() {
+        assert!(json_eq(
+            &JsonValue::Num(f64::NAN),
+            &JsonValue::Num(f64::NAN)
+        ));
+        assert!(!json_eq(&JsonValue::Num(0.0), &JsonValue::Num(-0.0)));
+        assert!(!json_eq(&JsonValue::Int(1), &JsonValue::Num(1.0)));
+    }
+}

@@ -1,0 +1,375 @@
+//! Group commit: one fsync per commit window, shared across experiments.
+//!
+//! With many experiments under one [`crate::ExperimentSupervisor`], each
+//! run's WAL issuing its own fsync cadence turns the process into an fsync
+//! storm — the classic group-commit problem. A [`CommitPipeline`] owns a
+//! background committer thread; each WAL registers a duplicated file handle
+//! and, instead of fsyncing inline, marks itself dirty and (when it needs
+//! durability, e.g. a snapshot marker) waits for the committer to cover its
+//! request. The committer batches every request that arrives within one
+//! *commit window*, then issues a single fsync per dirty file — so N
+//! experiments syncing in the same window cost one fsync each per window,
+//! not one per append batch.
+//!
+//! Guarantees:
+//!
+//! * **Bounded latency** — a request waits at most one commit window plus
+//!   fsync time before its ack.
+//! * **Per-experiment durability acks** — [`CommitHandle::wait`] returns
+//!   only once an fsync issued *after* the handle's request completed on
+//!   *its* file.
+//! * **Graceful shutdown** — when the pipeline drops, unserved waiters fall
+//!   back to a direct fsync on their own duplicated handle, so durability
+//!   never regresses just because the supervisor is going away.
+
+use std::fs::File;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
+
+#[derive(Debug)]
+struct Registered {
+    file: Option<File>,
+    dirty: bool,
+}
+
+#[derive(Debug)]
+struct PipelineState {
+    files: Vec<Registered>,
+    /// Highest commit epoch requested by any handle.
+    requested: u64,
+    /// Highest epoch whose dirty files have all been fsynced.
+    durable: u64,
+    /// When the currently open batch received its first request.
+    open_since: Option<Instant>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PipelineInner {
+    state: Mutex<PipelineState>,
+    /// Wakes the committer (new request or shutdown).
+    work: Condvar,
+    /// Wakes waiters (epoch advanced or shutdown).
+    done: Condvar,
+    window: Duration,
+    metrics: Mutex<Option<Arc<StoreMetrics>>>,
+    fsyncs_issued: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// Shared group-commit service; see the module docs.
+#[derive(Debug)]
+pub struct CommitPipeline {
+    inner: Arc<PipelineInner>,
+    committer: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One WAL's registration with a [`CommitPipeline`].
+#[derive(Debug)]
+pub struct CommitHandle {
+    inner: Arc<PipelineInner>,
+    slot: usize,
+    /// Duplicated handle kept for the shutdown fallback path.
+    file: File,
+}
+
+impl CommitPipeline {
+    /// Start a pipeline whose committer batches requests for `window`
+    /// before issuing fsyncs. A zero window degenerates to "fsync as soon
+    /// as the committer wakes" (maximal responsiveness, minimal batching).
+    pub fn new(window: Duration) -> CommitPipeline {
+        let inner = Arc::new(PipelineInner {
+            state: Mutex::new(PipelineState {
+                files: Vec::new(),
+                requested: 0,
+                durable: 0,
+                open_since: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            window,
+            metrics: Mutex::new(None),
+            fsyncs_issued: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let committer = std::thread::Builder::new()
+            .name("asha-commit".to_owned())
+            .spawn(move || committer_loop(&thread_inner))
+            .ok();
+        CommitPipeline { inner, committer }
+    }
+
+    /// The configured commit window.
+    pub fn window(&self) -> Duration {
+        self.inner.window
+    }
+
+    /// Attach metrics: commit-window latency histogram plus request/fsync
+    /// counters (their ratio is the fsyncs-saved amortization factor).
+    pub fn set_metrics(&self, metrics: Arc<StoreMetrics>) {
+        *self.inner.metrics.lock().expect("commit metrics poisoned") = Some(metrics);
+    }
+
+    /// Total durability requests received so far.
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total fsync syscalls issued so far. With N writers sharing a window
+    /// this is at most one per writer per window, however many requests
+    /// arrived.
+    pub fn fsyncs_issued(&self) -> u64 {
+        self.inner.fsyncs_issued.load(Ordering::Relaxed)
+    }
+
+    /// Register a WAL file (a duplicated handle, e.g. `File::try_clone`).
+    /// The handle's requests participate in group commit from now on.
+    pub fn register(&self, file: File) -> Result<CommitHandle, StoreError> {
+        let fallback = file
+            .try_clone()
+            .map_err(|e| StoreError::io(Path::new("<commit-pipeline>"), e))?;
+        let mut state = self.inner.state.lock().expect("commit state poisoned");
+        let slot = state.files.len();
+        state.files.push(Registered {
+            file: Some(file),
+            dirty: false,
+        });
+        Ok(CommitHandle {
+            inner: Arc::clone(&self.inner),
+            slot,
+            file: fallback,
+        })
+    }
+}
+
+impl Drop for CommitPipeline {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("commit state poisoned");
+            state.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.done.notify_all();
+        if let Some(committer) = self.committer.take() {
+            let _ = committer.join();
+        }
+    }
+}
+
+impl CommitHandle {
+    /// Mark this WAL dirty and open (or join) the current commit window.
+    /// Returns the epoch to pass to [`CommitHandle::wait`] for a durability
+    /// ack; fire-and-forget callers just drop it.
+    pub fn request(&self) -> u64 {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.inner.state.lock().expect("commit state poisoned");
+        state.files[self.slot].dirty = true;
+        state.requested += 1;
+        if state.open_since.is_none() {
+            state.open_since = Some(Instant::now());
+        }
+        let epoch = state.requested;
+        drop(state);
+        self.inner.work.notify_one();
+        epoch
+    }
+
+    /// Block until `epoch` is durable. If the pipeline shut down first,
+    /// falls back to a direct fsync on this handle's own file descriptor.
+    pub fn wait(&self, epoch: u64) -> Result<(), StoreError> {
+        let mut state = self.inner.state.lock().expect("commit state poisoned");
+        while state.durable < epoch && !state.shutdown {
+            state = self.inner.done.wait(state).expect("commit state poisoned");
+        }
+        let served = state.durable >= epoch;
+        drop(state);
+        if served {
+            return Ok(());
+        }
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io(Path::new("<commit-pipeline>"), e))
+    }
+
+    /// Convenience: request and wait in one call.
+    pub fn commit(&self) -> Result<(), StoreError> {
+        self.wait(self.request())
+    }
+}
+
+impl Drop for CommitHandle {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.inner.state.lock() {
+            if let Some(slot) = state.files.get_mut(self.slot) {
+                // The committer only fsyncs what was dirty when it latched
+                // the batch; dropping the registration after a final
+                // WalWriter sync is safe because that sync already waited.
+                slot.file = None;
+                slot.dirty = false;
+            }
+        }
+    }
+}
+
+fn committer_loop(inner: &PipelineInner) {
+    loop {
+        // Phase 1: wait for a batch to open (or shutdown).
+        let open_since = {
+            let mut state = inner.state.lock().expect("commit state poisoned");
+            loop {
+                if let Some(t0) = state.open_since {
+                    break t0;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner.work.wait(state).expect("commit state poisoned");
+            }
+        };
+
+        // Phase 2: let the window fill. Requests arriving in this span ride
+        // the same batch — this sleep is the whole point of group commit.
+        loop {
+            let elapsed = open_since.elapsed();
+            if elapsed >= inner.window {
+                break;
+            }
+            let shutdown = {
+                let state = inner.state.lock().expect("commit state poisoned");
+                state.shutdown
+            };
+            if shutdown {
+                break; // drain immediately
+            }
+            std::thread::sleep((inner.window - elapsed).min(Duration::from_millis(5)));
+        }
+
+        // Phase 3: latch the batch — epoch and dirty set — under the lock,
+        // but fsync *outside* it so writers never stall behind the disk.
+        let (epoch, to_sync) = {
+            let mut state = inner.state.lock().expect("commit state poisoned");
+            let epoch = state.requested;
+            state.open_since = None;
+            let mut to_sync = Vec::new();
+            for slot in &mut state.files {
+                if slot.dirty {
+                    slot.dirty = false;
+                    if let Some(file) = &slot.file {
+                        if let Ok(dup) = file.try_clone() {
+                            to_sync.push(dup);
+                        }
+                    }
+                }
+            }
+            (epoch, to_sync)
+        };
+        for file in &to_sync {
+            let _ = file.sync_all();
+        }
+        let fsyncs = to_sync.len() as u64;
+        inner.fsyncs_issued.fetch_add(fsyncs, Ordering::Relaxed);
+
+        {
+            let mut state = inner.state.lock().expect("commit state poisoned");
+            if state.durable < epoch {
+                state.durable = epoch;
+            }
+            let finished = state.shutdown && state.open_since.is_none();
+            drop(state);
+            inner.done.notify_all();
+            if let Some(metrics) = inner
+                .metrics
+                .lock()
+                .expect("commit metrics poisoned")
+                .as_ref()
+            {
+                metrics.commit_window.observe_duration(open_since.elapsed());
+                metrics.group_commit_fsyncs.add(fsyncs);
+            }
+            if finished {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(tag: &str) -> (std::path::PathBuf, File) {
+        let dir = std::env::temp_dir().join(format!("asha-commit-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal");
+        let file = File::create(&path).unwrap();
+        (dir, file)
+    }
+
+    #[test]
+    fn acks_arrive_and_fsyncs_batch() {
+        let pipeline = CommitPipeline::new(Duration::from_millis(10));
+        let (dir, mut file) = tmpfile("ack");
+        let handle = pipeline.register(file.try_clone().unwrap()).unwrap();
+        file.write_all(b"hello").unwrap();
+        // Many requests inside one window produce one fsync for this file.
+        let mut last = 0;
+        for _ in 0..50 {
+            last = handle.request();
+        }
+        handle.wait(last).unwrap();
+        assert_eq!(pipeline.requests(), 50);
+        assert!(
+            pipeline.fsyncs_issued() <= 2,
+            "expected ~1 fsync, saw {}",
+            pipeline.fsyncs_issued()
+        );
+        drop(pipeline);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shutdown_falls_back_to_direct_fsync() {
+        let pipeline = CommitPipeline::new(Duration::from_secs(3600));
+        let (dir, mut file) = tmpfile("shutdown");
+        let handle = pipeline.register(file.try_clone().unwrap()).unwrap();
+        file.write_all(b"tail").unwrap();
+        let epoch = handle.request();
+        // Drop the pipeline before the (huge) window elapses: the waiter
+        // must still get durability via its own descriptor.
+        drop(pipeline);
+        handle.wait(epoch).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn multiple_writers_share_a_window() {
+        let pipeline = CommitPipeline::new(Duration::from_millis(20));
+        let mut dirs = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let (dir, mut file) = tmpfile(&format!("multi{i}"));
+            file.write_all(b"x").unwrap();
+            handles.push(pipeline.register(file).unwrap());
+            dirs.push(dir);
+        }
+        let epochs: Vec<u64> = handles.iter().map(|h| h.request()).collect();
+        for (handle, epoch) in handles.iter().zip(epochs) {
+            handle.wait(epoch).unwrap();
+        }
+        // 4 writers, 1 window: at most one fsync per writer (and the whole
+        // batch counts as 4 syscalls instead of 4 * requests).
+        assert!(pipeline.fsyncs_issued() <= 8);
+        drop(pipeline);
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}

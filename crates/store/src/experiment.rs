@@ -3,23 +3,27 @@
 //! Directory layout (one directory per experiment):
 //!
 //! ```text
-//! <dir>/meta.json         immutable: space, scheduler, seed, sim, benchmark
-//! <dir>/wal.jsonl         write-ahead log: telemetry + store events
-//! <dir>/snap-<seq>.json   full-state snapshots (scheduler + RNG + sim loop)
+//! <dir>/meta.json             immutable: space, scheduler, seed, sim, benchmark
+//! <dir>/wal.jsonl             write-ahead log (name is historical: the codec
+//!                             — jsonl-v1 or binary-v2 — is sniffed from the
+//!                             file's first bytes, never from its extension)
+//! <dir>/snap-<seq>.<ext>      full-state snapshots (scheduler + RNG + sim loop)
+//! <dir>/delta-<seq>-<k>.<ext> delta snapshots: diffs chained on snap <seq>
 //! ```
 //!
-//! The recovery protocol pivots on the WAL's snapshot *markers*: a snapshot
-//! file is fsynced **before** its marker is appended, so the newest marker
-//! in the WAL always names a durable snapshot. Recovery loads that
-//! snapshot, discards the WAL suffix past the marker (the resumed engine
-//! deterministically regenerates the identical events), and continues —
-//! producing a final log and result bit-for-bit equal to a run that never
-//! crashed.
+//! The recovery protocol pivots on the WAL's checkpoint *markers*: a
+//! checkpoint file (full snapshot or delta) is fsynced **before** its
+//! marker is appended, so the newest marker in the WAL always names a
+//! durable recovery point. Recovery loads the marker's base full snapshot,
+//! applies its chained deltas, discards the WAL suffix past the marker
+//! (the resumed engine deterministically regenerates the identical
+//! events), and continues — producing a final log and result bit-for-bit
+//! equal to a run that never crashed.
 
 use std::path::{Path, PathBuf};
 
 use asha_core::telemetry::{Event, EventKind, IdleKind, Recorder};
-use asha_core::{Decision, Observation, Scheduler, TrialId};
+use asha_core::{Decision, Durability, Observation, Scheduler, TrialId};
 use asha_metrics::JsonValue;
 use asha_sim::{SimConfig, SimEngine, SimResult};
 use asha_space::SearchSpace;
@@ -28,9 +32,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::codec;
+use crate::delta;
 use crate::error::{Error, StoreError};
-use crate::snapshot::{self, SchedulerState, Snapshot, StoredScheduler};
-use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};
+use crate::format::{EncodeBuf, StoreFormat};
+use crate::snapshot::{self, DeltaDoc, SchedulerState, Snapshot, StoredScheduler};
+use crate::wal::{read_wal, MarkerRef, SnapMarker, StoreEvent, WalContents, WalRecord, WalWriter};
 
 /// Schema tag written into every `meta.json`.
 pub const META_SCHEMA: &str = "asha-store-meta-v1";
@@ -241,7 +247,7 @@ impl Recorder for WalRecorder {
             time: now,
             kind,
         };
-        match self.writer.append_telemetry(&event) {
+        match self.writer.append(&WalRecord::telemetry(event)) {
             Ok(()) => self.next_seq += 1,
             Err(e) => self.error = Some(e),
         }
@@ -252,17 +258,31 @@ impl Recorder for WalRecorder {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// WAL fsync cadence.
-    pub sync: SyncPolicy,
-    /// Take a snapshot every `snapshot_jobs` completed jobs.
+    pub sync: Durability,
+    /// Take a checkpoint every `snapshot_jobs` completed jobs.
     pub snapshot_jobs: usize,
+    /// On-disk dialect for newly created files. An existing WAL keeps its
+    /// own dialect on resume (sniffed from the file), but checkpoints
+    /// written after the resume use this format — mixed-dialect stores are
+    /// fully supported.
+    pub format: StoreFormat,
+    /// Maximum delta snapshots between full snapshots. `0` disables delta
+    /// checkpoints entirely (every checkpoint is a full snapshot);
+    /// otherwise each full snapshot is followed by up to this many diffs
+    /// before the next full one, bounding recovery to `delta_chain` patch
+    /// applications.
+    pub delta_chain: usize,
 }
 
 impl Default for RunOptions {
-    /// Fsync every 64 WAL records, snapshot every 200 completed jobs.
+    /// Fsync every 64 WAL records, checkpoint every 200 completed jobs in
+    /// the binary dialect, with up to 8 deltas per full snapshot.
     fn default() -> Self {
         RunOptions {
-            sync: SyncPolicy::default(),
+            sync: Durability::default(),
             snapshot_jobs: 200,
+            format: StoreFormat::default(),
+            delta_chain: 8,
         }
     }
 }
@@ -281,11 +301,13 @@ impl RunOptions {
 /// Builder for [`RunOptions`]; see [`RunOptions::builder`].
 ///
 /// ```
-/// use asha_store::{RunOptions, SyncPolicy};
+/// use asha_store::{Durability, RunOptions, StoreFormat};
 ///
 /// let opts = RunOptions::builder()
-///     .sync(SyncPolicy::Always)
+///     .sync(Durability::Sync)
 ///     .snapshot_jobs(50)
+///     .format(StoreFormat::JsonlV1)
+///     .delta_chain(0)
 ///     .build()
 ///     .unwrap();
 /// assert_eq!(opts.snapshot_jobs, 50);
@@ -298,15 +320,27 @@ pub struct RunOptionsBuilder {
 
 impl RunOptionsBuilder {
     /// WAL fsync cadence.
-    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+    pub fn sync(mut self, sync: Durability) -> Self {
         self.opts.sync = sync;
         self
     }
 
-    /// Take a snapshot every `snapshot_jobs` completed jobs (must end up
+    /// Take a checkpoint every `snapshot_jobs` completed jobs (must end up
     /// > 0).
     pub fn snapshot_jobs(mut self, snapshot_jobs: usize) -> Self {
         self.opts.snapshot_jobs = snapshot_jobs;
+        self
+    }
+
+    /// On-disk dialect for newly created files.
+    pub fn format(mut self, format: StoreFormat) -> Self {
+        self.opts.format = format;
+        self
+    }
+
+    /// Maximum delta snapshots between full snapshots (0 = always full).
+    pub fn delta_chain(mut self, delta_chain: usize) -> Self {
+        self.opts.delta_chain = delta_chain;
         self
     }
 
@@ -315,7 +349,7 @@ impl RunOptionsBuilder {
         if self.opts.snapshot_jobs == 0 {
             return Err(asha_core::Error::config("snapshot_jobs must be positive"));
         }
-        if let SyncPolicy::EveryN(0) = self.opts.sync {
+        if let Durability::EveryN(0) = self.opts.sync {
             return Err(asha_core::Error::config(
                 "sync EveryN cadence must be positive",
             ));
@@ -324,10 +358,23 @@ impl RunOptionsBuilder {
     }
 }
 
+/// The in-memory tail of the delta chain: which full snapshot it hangs
+/// off, how long it is, and the previous checkpoint's document (diff base).
+#[derive(Debug)]
+struct ChainState {
+    /// Base full snapshot's sequence number.
+    snap: u64,
+    /// Deltas written on top so far.
+    len: u64,
+    /// The previous checkpoint's JSON document (full or patched), kept as
+    /// the base for the next structural diff.
+    doc: JsonValue,
+}
+
 /// A simulated tuning run with durable state: every telemetry event goes to
-/// the WAL and full snapshots are taken on a job cadence, so the run can be
-/// killed at any instant and [resumed](DurableRun::resume) to the identical
-/// final result.
+/// the WAL and checkpoints (full snapshots plus bounded delta chains) are
+/// taken on a job cadence, so the run can be killed at any instant and
+/// [resumed](DurableRun::resume) to the identical final result.
 pub struct DurableRun<'b> {
     dir: PathBuf,
     engine: SimEngine<'b, StoredScheduler>,
@@ -337,6 +384,9 @@ pub struct DurableRun<'b> {
     last_snapshot_jobs: usize,
     opts: RunOptions,
     finished_recorded: bool,
+    /// The live delta chain; `None` until the first full snapshot lands
+    /// (or when `delta_chain` is 0, which never opens a chain).
+    chain: Option<ChainState>,
     /// Optional durability-plane histograms (snapshot-write latency; the
     /// WAL writer holds its own handle for append/fsync).
     metrics: Option<std::sync::Arc<crate::StoreMetrics>>,
@@ -360,13 +410,13 @@ impl<'b> DurableRun<'b> {
             meta.initial.clone(),
             meta.sampler.as_deref().unwrap_or("random"),
         )?;
-        let mut wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
-        wal.append_store(
-            0.0,
-            &StoreEvent::ExperimentCreated {
+        let mut wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync, opts.format)?;
+        wal.append(&WalRecord::Meta {
+            time: 0.0,
+            event: StoreEvent::ExperimentCreated {
                 name: meta.name.clone(),
             },
-        )?;
+        })?;
         let engine = SimEngine::new(meta.sim.clone(), scheduler, bench);
         let rng = StdRng::seed_from_u64(meta.seed);
         let mut run = DurableRun {
@@ -378,6 +428,7 @@ impl<'b> DurableRun<'b> {
             last_snapshot_jobs: 0,
             opts,
             finished_recorded: false,
+            chain: None,
             metrics: None,
         };
         run.write_snapshot()?;
@@ -399,29 +450,44 @@ impl<'b> DurableRun<'b> {
     ) -> Result<Self, StoreError> {
         let wal_path = dir.join(WAL_FILE);
         let contents = read_wal(&wal_path)?;
-        let (snap_seq, events) = contents.last_snapshot_marker().ok_or_else(|| {
+        let marker = contents.last_snapshot_marker().ok_or_else(|| {
             StoreError::corrupt(
                 &wal_path,
-                "no snapshot marker in WAL (store never initialized?)",
+                "no checkpoint marker in WAL (store never initialized?)",
             )
         })?;
-        let snap_path = dir.join(Snapshot::file_name(snap_seq));
-        let text =
-            std::fs::read_to_string(&snap_path).map_err(|e| StoreError::io(&snap_path, e))?;
-        let snap = JsonValue::parse(&text)
-            .map_err(|e| Error::codec(e.to_string()))
-            .and_then(|v| Snapshot::from_json(&v))
-            .map_err(|e| e.corrupt_at(&snap_path))?;
-        if snap.events != events {
+        let snap_path = Snapshot::find(dir, marker.snap).ok_or_else(|| {
+            StoreError::corrupt(
+                dir,
+                format!(
+                    "full snapshot {} named by the WAL marker is missing",
+                    marker.snap
+                ),
+            )
+        })?;
+        // Rebuild the checkpoint document: the base full snapshot, then the
+        // marker's delta chain patched on top in order.
+        let mut doc = snapshot::read_document(&snap_path)?;
+        for k in 1..=marker.delta {
+            let delta_doc = DeltaDoc::load(dir, marker.snap, k)?;
+            doc = delta::apply(&doc, &delta_doc.patch).map_err(|msg| {
+                StoreError::corrupt(
+                    dir,
+                    format!("applying delta {k} of snapshot {}: {msg}", marker.snap),
+                )
+            })?;
+        }
+        let snap = Snapshot::from_json(&doc).map_err(|e| e.corrupt_at(&snap_path))?;
+        if snap.events != marker.events {
             return Err(StoreError::corrupt(
                 &snap_path,
                 format!(
-                    "snapshot covers {} events but its WAL marker says {events}",
-                    snap.events
+                    "checkpoint covers {} events but its WAL marker says {}",
+                    snap.events, marker.events
                 ),
             ));
         }
-        truncate_after_marker(&wal_path, &contents, snap_seq)?;
+        truncate_after_marker(&wal_path, &contents, marker)?;
         let sim_state = snap.sim.ok_or_else(|| {
             StoreError::corrupt(&snap_path, "snapshot has no simulator state to resume")
         })?;
@@ -446,18 +512,30 @@ impl<'b> DurableRun<'b> {
         }
         let engine = SimEngine::restore(meta.sim.clone(), scheduler, bench, sim_state);
         let rng = StdRng::from_state(snap.rng);
-        let mut wal = WalWriter::open_append(&wal_path, opts.sync, events)?;
-        wal.append_store(engine.now(), &StoreEvent::Resumed)?;
+        let mut wal = WalWriter::open_append(&wal_path, opts.sync, marker.events, opts.format)?;
+        wal.append(&WalRecord::Meta {
+            time: engine.now(),
+            event: StoreEvent::Resumed,
+        })?;
         let jobs = engine.jobs_completed();
+        // Reopen the delta chain exactly where the marker left it, so the
+        // post-recovery checkpoint schedule (and hence every file written
+        // from here on) matches the uninterrupted run's byte for byte.
+        let chain = (opts.delta_chain > 0).then_some(ChainState {
+            snap: marker.snap,
+            len: marker.delta,
+            doc,
+        });
         Ok(DurableRun {
             dir: dir.to_owned(),
             engine,
             rng,
-            recorder: WalRecorder::new(wal, events),
-            next_snap: snap.seq + 1,
+            recorder: WalRecorder::new(wal, marker.events),
+            next_snap: marker.snap + 1,
             last_snapshot_jobs: jobs,
             opts,
             finished_recorded: false,
+            chain,
             metrics: None,
         })
     }
@@ -468,6 +546,21 @@ impl<'b> DurableRun<'b> {
     pub fn set_metrics(&mut self, metrics: std::sync::Arc<crate::StoreMetrics>) {
         self.recorder.writer().set_metrics(metrics.clone());
         self.metrics = Some(metrics);
+    }
+
+    /// Route this run's WAL fsyncs through a shared group-commit pipeline:
+    /// registers the WAL file and hands the writer the resulting
+    /// [`CommitHandle`](crate::CommitHandle). Policy-due fsyncs become
+    /// asynchronous batch requests; checkpoint markers still block for
+    /// their durability ack.
+    pub fn attach_commit_pipeline(
+        &mut self,
+        pipeline: &crate::CommitPipeline,
+    ) -> Result<(), StoreError> {
+        let file = self.recorder.writer().file_clone()?;
+        let handle = pipeline.register(file)?;
+        self.recorder.writer().set_group_commit(handle);
+        Ok(())
     }
 
     /// The experiment directory this run persists into.
@@ -487,7 +580,7 @@ impl<'b> DurableRun<'b> {
 
     /// Push any WAL records still buffered in userspace to the OS (no
     /// fsync). Crash durability still follows the configured
-    /// [`SyncPolicy`]; this only narrows the loss window for buffered
+    /// [`Durability`]; this only narrows the loss window for buffered
     /// records, e.g. before a long idle stretch.
     pub fn flush(&mut self) -> Result<(), StoreError> {
         self.recorder.writer().flush()
@@ -506,9 +599,11 @@ impl<'b> DurableRun<'b> {
             }
         } else if !self.finished_recorded {
             self.finished_recorded = true;
-            self.recorder
-                .writer()
-                .append_store(self.engine.now(), &StoreEvent::ExperimentFinished)?;
+            let record = WalRecord::Meta {
+                time: self.engine.now(),
+                event: StoreEvent::ExperimentFinished,
+            };
+            self.recorder.writer().append(&record)?;
             self.write_snapshot()?;
         }
         Ok(alive)
@@ -537,46 +632,102 @@ impl<'b> DurableRun<'b> {
     /// and the run resumes from exactly here.
     pub fn mark_paused(&mut self) -> Result<(), StoreError> {
         self.write_snapshot()?;
-        self.recorder
-            .writer()
-            .append_store(self.engine.now(), &StoreEvent::Paused)?;
+        let record = WalRecord::Meta {
+            time: self.engine.now(),
+            event: StoreEvent::Paused,
+        };
+        self.recorder.writer().append(&record)?;
         self.recorder.writer().sync()
     }
 
     /// Append a `resumed` marker after a pause.
     pub fn mark_resumed(&mut self) -> Result<(), StoreError> {
-        self.recorder
-            .writer()
-            .append_store(self.engine.now(), &StoreEvent::Resumed)?;
+        let record = WalRecord::Meta {
+            time: self.engine.now(),
+            event: StoreEvent::Resumed,
+        };
+        self.recorder.writer().append(&record)?;
         self.recorder.writer().sync()
     }
 
-    /// Take a snapshot now (also called automatically on the job cadence
-    /// and at the end of the run).
+    /// Take a checkpoint now (also called automatically on the job cadence
+    /// and at the end of the run): a delta while the current chain is
+    /// shorter than [`RunOptions::delta_chain`], a full snapshot otherwise.
+    ///
+    /// The choice is a pure function of the chain position — never of
+    /// content sizes — so an interrupted-and-recovered run makes exactly
+    /// the same full/delta decisions as an uninterrupted one, keeping the
+    /// two stores byte-identical.
     pub fn write_snapshot(&mut self) -> Result<(), StoreError> {
-        let seq = self.next_snap;
         let events = self.recorder.next_seq();
-        let snap = Snapshot {
-            seq,
-            events,
-            scheduler: self.engine.scheduler().export_state(),
-            sampler: self.engine.scheduler().export_sampler_spec(),
-            rng: self.rng.state(),
-            sim: Some(self.engine.export_state()),
-        };
+        let can_delta = self
+            .chain
+            .as_ref()
+            .is_some_and(|chain| (chain.len as usize) < self.opts.delta_chain);
         let start = self.metrics.is_some().then(std::time::Instant::now);
-        snap.write(&self.dir)?;
-        if let (Some(m), Some(t0)) = (&self.metrics, start) {
-            m.snapshot_write.observe_duration(t0.elapsed());
-        }
-        // Marker only after the snapshot file is durable: the newest marker
-        // in the WAL must always name a loadable snapshot.
-        self.recorder.writer().append_store(
-            self.engine.now(),
-            &StoreEvent::Snapshot { snap: seq, events },
-        )?;
+        let marker = if can_delta {
+            let chain = self.chain.as_mut().expect("can_delta checked chain");
+            // The delta keeps the base snapshot's seq: patching the chain
+            // onto the base must reproduce this document exactly.
+            let snap = Snapshot {
+                seq: chain.snap,
+                events,
+                scheduler: self.engine.scheduler().export_state(),
+                sampler: self.engine.scheduler().export_sampler_spec(),
+                rng: self.rng.state(),
+                sim: Some(self.engine.export_state()),
+            };
+            let doc = snap.to_json();
+            let delta = chain.len + 1;
+            let delta_doc = DeltaDoc {
+                snap: chain.snap,
+                delta,
+                events,
+                patch: delta::diff(&chain.doc, &doc),
+            };
+            let (_, bytes) = delta_doc.write(&self.dir, self.opts.format)?;
+            if let (Some(m), Some(t0)) = (&self.metrics, start) {
+                m.snapshot_delta_write.observe_duration(t0.elapsed());
+                m.snapshot_delta_bytes.add(bytes);
+            }
+            chain.len = delta;
+            chain.doc = doc;
+            SnapMarker::Delta {
+                snap: chain.snap,
+                delta,
+                events,
+            }
+        } else {
+            let seq = self.next_snap;
+            let snap = Snapshot {
+                seq,
+                events,
+                scheduler: self.engine.scheduler().export_state(),
+                sampler: self.engine.scheduler().export_sampler_spec(),
+                rng: self.rng.state(),
+                sim: Some(self.engine.export_state()),
+            };
+            let (_, bytes) = snap.write(&self.dir, self.opts.format)?;
+            if let (Some(m), Some(t0)) = (&self.metrics, start) {
+                m.snapshot_write.observe_duration(t0.elapsed());
+                m.snapshot_full_bytes.add(bytes);
+            }
+            self.next_snap = seq + 1;
+            self.chain = (self.opts.delta_chain > 0).then(|| ChainState {
+                snap: seq,
+                len: 0,
+                doc: snap.to_json(),
+            });
+            SnapMarker::Full { snap: seq, events }
+        };
+        // Marker only after the checkpoint file is durable: the newest
+        // marker in the WAL must always name a loadable recovery point.
+        let record = WalRecord::SnapshotMarker {
+            time: self.engine.now(),
+            marker,
+        };
+        self.recorder.writer().append(&record)?;
         self.recorder.writer().sync()?;
-        self.next_snap = seq + 1;
         self.last_snapshot_jobs = self.engine.jobs_completed();
         Ok(())
     }
@@ -587,13 +738,13 @@ impl<'b> DurableRun<'b> {
     }
 }
 
-/// Rewrite the WAL to end exactly at the marker for snapshot `snap`
-/// (crash-safe: temp + rename). No-op when the marker is already the final
-/// record and the tail is clean.
+/// Rewrite the WAL to end exactly at the record for checkpoint `marker`,
+/// re-encoded in the file's own dialect (crash-safe: temp + rename). No-op
+/// when the marker is already the final record and the tail is clean.
 fn truncate_after_marker(
     wal_path: &Path,
     contents: &WalContents,
-    snap: u64,
+    marker: MarkerRef,
 ) -> Result<(), StoreError> {
     let marker_idx = contents
         .records
@@ -601,28 +752,23 @@ fn truncate_after_marker(
         .rposition(|r| {
             matches!(
                 r,
-                WalRecord::Store {
-                    event: StoreEvent::Snapshot { snap: s, .. },
-                    ..
-                } if *s == snap
+                WalRecord::SnapshotMarker { marker: m, .. }
+                    if m.snap() == marker.snap && m.delta() == marker.delta
             )
         })
-        .ok_or_else(|| StoreError::corrupt(wal_path, "snapshot marker vanished"))?;
+        .ok_or_else(|| StoreError::corrupt(wal_path, "checkpoint marker vanished"))?;
     if marker_idx + 1 == contents.records.len() && !contents.torn_tail {
         return Ok(());
     }
-    let mut text = String::new();
+    let codec = contents.format.wal_codec();
+    let mut out: Vec<u8> = codec.magic().to_vec();
+    let mut buf = EncodeBuf::default();
     for record in &contents.records[..=marker_idx] {
-        match record {
-            WalRecord::Telemetry(e) => text.push_str(&asha_obs::encode_event(e)),
-            WalRecord::Store { time, event } => {
-                text.push_str(&crate::wal::encode_store_line(*time, event))
-            }
-        }
-        text.push('\n');
+        codec.encode_record(record, &mut buf);
+        out.extend_from_slice(&buf.bytes);
     }
     let tmp = wal_path.with_extension("jsonl.tmp");
-    std::fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::write(&tmp, out).map_err(|e| StoreError::io(&tmp, e))?;
     std::fs::File::open(&tmp)
         .and_then(|f| f.sync_all())
         .map_err(|e| StoreError::io(&tmp, e))?;
@@ -659,9 +805,8 @@ pub fn replay_scheduler(
     let mut seen = 0u64;
     let mut replayed = 0u64;
     for record in records {
-        let event = match record {
-            WalRecord::Telemetry(e) => e,
-            WalRecord::Store { .. } => continue,
+        let Some(event) = record.event() else {
+            continue;
         };
         seen += 1;
         if seen <= skip_telemetry {

@@ -1,0 +1,916 @@
+//! The versioned storage codec API: [`StoreFormat`] and the
+//! [`WalCodec`] / [`SnapshotCodec`] trait pair behind it.
+//!
+//! The store speaks two on-disk dialects:
+//!
+//! * **`jsonl-v1`** — the original human-greppable format: one JSON object
+//!   per WAL line (exact `asha-obs` schema for telemetry), snapshots as a
+//!   single compact-rendered JSON document. Kept fully writable so
+//!   pre-redesign stores keep working and debugging stays cheap.
+//! * **`binary-v2`** — compact length-prefixed records with a per-record
+//!   CRC32 and varint-packed fields; snapshot documents as CRC-guarded
+//!   binvalue trees (see [`crate::binary`]).
+//!
+//! Readers never need to be told which dialect a file is in:
+//! [`StoreFormat::detect_wal`] / [`StoreFormat::detect_document`] sniff the
+//! 8-byte magic (`binary-v2` files start with one; JSON text cannot).
+//!
+//! ## `binary-v2` WAL layout
+//!
+//! ```text
+//! file   := magic record*            magic  = "ASHAWAL2" (8 bytes)
+//! record := len payload crc          len    = LEB128 varint of payload size
+//!                                    crc    = CRC32(payload), u32 LE
+//! payload:= tag fields               tag    = 1 byte (record kind)
+//! ```
+//!
+//! Torn tails stay recognizable: a crash mid-append leaves a record whose
+//! `len`/payload/`crc` is merely *short* ([`DecodeStep::Incomplete`]),
+//! while flipped bits inside an intact frame fail the CRC
+//! ([`DecodeStep::Invalid`]). The reader applies the same policy as v1:
+//! damage at the very end of the file is a discarded torn tail, damage
+//! followed by more valid records is corruption.
+
+use asha_core::telemetry::{DropCause, EventKind, IdleKind};
+use asha_metrics::JsonValue;
+use asha_obs::Event;
+
+use crate::binary::{
+    self, crc32, get_varint, put_f64, put_str, put_varint, read_f64, read_str, read_u8,
+    read_varint, VarintRead,
+};
+use crate::wal::{SnapMarker, StoreEvent, WalRecord};
+
+/// Magic prefix of a `binary-v2` WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"ASHAWAL2";
+/// Magic prefix of a `binary-v2` snapshot / delta document.
+pub const DOC_MAGIC: &[u8; 8] = b"ASHADOC2";
+
+/// Upper bound on a single binary record's payload (sanity check: a length
+/// beyond this means framing was destroyed, not that a huge record exists).
+const MAX_RECORD_LEN: u64 = 64 << 20;
+
+/// On-disk dialect of a store (WAL + snapshot + delta files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// One JSON object per WAL line; snapshots as JSON text.
+    JsonlV1,
+    /// Length-prefixed CRC-guarded binary records; binvalue snapshots.
+    #[default]
+    BinaryV2,
+}
+
+impl StoreFormat {
+    /// Stable codec name (`"jsonl-v1"` / `"binary-v2"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreFormat::JsonlV1 => "jsonl-v1",
+            StoreFormat::BinaryV2 => "binary-v2",
+        }
+    }
+
+    /// Parse a codec name; accepts the full name and common short forms
+    /// (`jsonl`, `v1`, `binary`, `v2`).
+    pub fn from_name(name: &str) -> Option<StoreFormat> {
+        match name {
+            "jsonl-v1" | "jsonl" | "v1" | "json" => Some(StoreFormat::JsonlV1),
+            "binary-v2" | "binary" | "v2" | "bin" => Some(StoreFormat::BinaryV2),
+            _ => None,
+        }
+    }
+
+    /// The WAL codec for this format.
+    pub fn wal_codec(&self) -> &'static dyn WalCodec {
+        match self {
+            StoreFormat::JsonlV1 => &JsonlV1Wal,
+            StoreFormat::BinaryV2 => &BinaryV2Wal,
+        }
+    }
+
+    /// The snapshot-document codec for this format.
+    pub fn snapshot_codec(&self) -> &'static dyn SnapshotCodec {
+        match self {
+            StoreFormat::JsonlV1 => &JsonlV1Snapshot,
+            StoreFormat::BinaryV2 => &BinaryV2Snapshot,
+        }
+    }
+
+    /// Sniff a WAL file's dialect from its first bytes. JSON text can
+    /// never start with the binary magic, so this is unambiguous; an empty
+    /// file reads as (an empty) `jsonl-v1` WAL.
+    pub fn detect_wal(bytes: &[u8]) -> StoreFormat {
+        if bytes.starts_with(WAL_MAGIC) {
+            StoreFormat::BinaryV2
+        } else {
+            StoreFormat::JsonlV1
+        }
+    }
+
+    /// Sniff a snapshot / delta document's dialect from its first bytes.
+    pub fn detect_document(bytes: &[u8]) -> StoreFormat {
+        if bytes.starts_with(DOC_MAGIC) {
+            StoreFormat::BinaryV2
+        } else {
+            StoreFormat::JsonlV1
+        }
+    }
+}
+
+/// Reusable encode scratch shared by a writer and its codec, so steady-state
+/// appends allocate nothing. `bytes` receives the finished on-disk frame.
+#[derive(Debug, Default)]
+pub struct EncodeBuf {
+    /// The encoded frame, exactly as written to disk.
+    pub bytes: Vec<u8>,
+    /// Text scratch used by the JSONL codec.
+    pub text: String,
+    /// Payload scratch used by the binary codec (the frame prefixes the
+    /// payload with its length, so it is built separately first).
+    payload: Vec<u8>,
+}
+
+/// One step of incremental WAL decoding: what the front of `buf` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeStep {
+    /// The buffer ends before a complete record: a torn tail if at EOF,
+    /// otherwise feed more bytes.
+    Incomplete,
+    /// A complete, valid record.
+    Record {
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+        /// The decoded record.
+        record: WalRecord,
+    },
+    /// A skippable non-record (a blank JSONL line).
+    Blank {
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+    /// A complete frame whose content is damaged (CRC mismatch, unparseable
+    /// JSON). Framing survives: decoding can continue past it, which is how
+    /// the reader distinguishes a torn tail from mid-file corruption.
+    Invalid {
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+        /// What was wrong.
+        why: String,
+    },
+    /// Framing itself is destroyed (impossible length prefix); nothing
+    /// after this point can be decoded.
+    Lost(String),
+}
+
+/// A versioned WAL record codec.
+pub trait WalCodec: Send + Sync {
+    /// Stable codec name (matches [`StoreFormat::name`]).
+    fn name(&self) -> &'static str;
+
+    /// File magic written at creation; empty for magic-less formats.
+    fn magic(&self) -> &'static [u8];
+
+    /// Encode one record into `buf.bytes` (cleared first): the exact bytes
+    /// appended to the file.
+    fn encode_record(&self, record: &WalRecord, buf: &mut EncodeBuf);
+
+    /// Decode one record from the front of `buf` (the magic already
+    /// stripped).
+    fn decode_step(&self, buf: &[u8]) -> DecodeStep;
+}
+
+/// A versioned snapshot-document codec. Both dialects carry the same
+/// [`JsonValue`] document tree; only the bytes differ.
+pub trait SnapshotCodec: Send + Sync {
+    /// Stable codec name (matches [`StoreFormat::name`]).
+    fn name(&self) -> &'static str;
+
+    /// File extension for documents in this dialect (`"json"` / `"bin"`).
+    fn extension(&self) -> &'static str;
+
+    /// Encode a document into `out` (cleared first).
+    fn encode_document(&self, doc: &JsonValue, out: &mut Vec<u8>);
+
+    /// Decode a document previously written by `encode_document`.
+    fn decode_document(&self, bytes: &[u8]) -> Result<JsonValue, String>;
+}
+
+/// Decode a snapshot / delta document of either dialect (sniffed by magic).
+pub fn decode_any_document(bytes: &[u8]) -> Result<JsonValue, String> {
+    StoreFormat::detect_document(bytes)
+        .snapshot_codec()
+        .decode_document(bytes)
+}
+
+// ---------------------------------------------------------------------------
+// jsonl-v1
+// ---------------------------------------------------------------------------
+
+struct JsonlV1Wal;
+
+impl WalCodec for JsonlV1Wal {
+    fn name(&self) -> &'static str {
+        "jsonl-v1"
+    }
+
+    fn magic(&self) -> &'static [u8] {
+        b""
+    }
+
+    fn encode_record(&self, record: &WalRecord, buf: &mut EncodeBuf) {
+        buf.bytes.clear();
+        buf.text.clear();
+        crate::wal::render_record_jsonl(record, &mut buf.text);
+        buf.bytes.extend_from_slice(buf.text.as_bytes());
+        buf.bytes.push(b'\n');
+    }
+
+    fn decode_step(&self, buf: &[u8]) -> DecodeStep {
+        if buf.is_empty() {
+            return DecodeStep::Incomplete;
+        }
+        let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+            // A final line without its newline is by definition torn: the
+            // writer terminates every record before flushing.
+            return DecodeStep::Incomplete;
+        };
+        let consumed = nl + 1;
+        let line = match std::str::from_utf8(&buf[..nl]) {
+            Ok(line) => line.trim_end_matches('\r'),
+            Err(_) => {
+                return DecodeStep::Invalid {
+                    consumed,
+                    why: "invalid UTF-8".to_owned(),
+                }
+            }
+        };
+        if line.trim().is_empty() {
+            return DecodeStep::Blank { consumed };
+        }
+        match crate::wal::parse_record_jsonl(line) {
+            Ok(record) => DecodeStep::Record { consumed, record },
+            Err(why) => DecodeStep::Invalid { consumed, why },
+        }
+    }
+}
+
+struct JsonlV1Snapshot;
+
+impl SnapshotCodec for JsonlV1Snapshot {
+    fn name(&self) -> &'static str {
+        "jsonl-v1"
+    }
+
+    fn extension(&self) -> &'static str {
+        "json"
+    }
+
+    fn encode_document(&self, doc: &JsonValue, out: &mut Vec<u8>) {
+        out.clear();
+        // Compact rendering: snapshots are machine-read only and can reach
+        // megabytes mid-run, so pretty indentation would roughly double
+        // both the bytes fsynced and the render time for nothing.
+        let mut text = String::new();
+        doc.render_compact_into(&mut text);
+        text.push('\n');
+        out.extend_from_slice(text.as_bytes());
+    }
+
+    fn decode_document(&self, bytes: &[u8]) -> Result<JsonValue, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "invalid UTF-8".to_owned())?;
+        JsonValue::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// binary-v2 record tags
+// ---------------------------------------------------------------------------
+
+// Telemetry payloads: tag, varint seq, f64 time, kind fields.
+const TAG_SUGGEST: u8 = 0x01;
+const TAG_PROMOTE: u8 = 0x02;
+const TAG_GROW_BOTTOM: u8 = 0x03;
+const TAG_JOB_START: u8 = 0x04;
+const TAG_JOB_END: u8 = 0x05;
+const TAG_DROP: u8 = 0x06;
+const TAG_RETRY: u8 = 0x07;
+const TAG_WORKER_IDLE: u8 = 0x08;
+
+// Store payloads: tag, f64 time, fields.
+const TAG_EXPERIMENT_CREATED: u8 = 0x10;
+const TAG_SNAPSHOT_FULL: u8 = 0x11;
+const TAG_PAUSED: u8 = 0x12;
+const TAG_RESUMED: u8 = 0x13;
+const TAG_EXPERIMENT_FINISHED: u8 = 0x14;
+const TAG_SNAPSHOT_DELTA: u8 = 0x15;
+
+struct BinaryV2Wal;
+
+fn put_event(out: &mut Vec<u8>, event: &Event) {
+    let (tag, push_fields): (u8, fn(&mut Vec<u8>, &EventKind)) = match event.kind {
+        EventKind::Suggest { .. } => (TAG_SUGGEST, |out, kind| {
+            if let EventKind::Suggest { decision } = kind {
+                out.push(match decision {
+                    IdleKind::Wait => 0,
+                    IdleKind::Finished => 1,
+                });
+            }
+        }),
+        EventKind::Promote { .. } => (TAG_PROMOTE, |out, kind| {
+            if let EventKind::Promote {
+                trial,
+                bracket,
+                from,
+                to,
+                resource,
+            } = kind
+            {
+                put_varint(out, *trial);
+                put_varint(out, *bracket as u64);
+                put_varint(out, *from as u64);
+                put_varint(out, *to as u64);
+                put_f64(out, *resource);
+            }
+        }),
+        EventKind::GrowBottom { .. } => (TAG_GROW_BOTTOM, |out, kind| {
+            if let EventKind::GrowBottom {
+                trial,
+                bracket,
+                resource,
+            } = kind
+            {
+                put_varint(out, *trial);
+                put_varint(out, *bracket as u64);
+                put_f64(out, *resource);
+            }
+        }),
+        EventKind::JobStart { .. } => (TAG_JOB_START, |out, kind| {
+            if let EventKind::JobStart {
+                trial,
+                bracket,
+                rung,
+                resource,
+            } = kind
+            {
+                put_varint(out, *trial);
+                put_varint(out, *bracket as u64);
+                put_varint(out, *rung as u64);
+                put_f64(out, *resource);
+            }
+        }),
+        EventKind::JobEnd { .. } => (TAG_JOB_END, |out, kind| {
+            if let EventKind::JobEnd {
+                trial,
+                rung,
+                resource,
+                loss,
+            } = kind
+            {
+                put_varint(out, *trial);
+                put_varint(out, *rung as u64);
+                put_f64(out, *resource);
+                put_f64(out, *loss);
+            }
+        }),
+        EventKind::Drop { .. } => (TAG_DROP, |out, kind| {
+            if let EventKind::Drop { trial, rung, cause } = kind {
+                put_varint(out, *trial);
+                put_varint(out, *rung as u64);
+                out.push(match cause {
+                    DropCause::Dropped => 0,
+                    DropCause::Timeout => 1,
+                });
+            }
+        }),
+        EventKind::Retry { .. } => (TAG_RETRY, |out, kind| {
+            if let EventKind::Retry { trial, rung } = kind {
+                put_varint(out, *trial);
+                put_varint(out, *rung as u64);
+            }
+        }),
+        EventKind::WorkerIdle { .. } => (TAG_WORKER_IDLE, |out, kind| {
+            if let EventKind::WorkerIdle { idle } = kind {
+                put_varint(out, *idle as u64);
+            }
+        }),
+    };
+    out.push(tag);
+    put_varint(out, event.seq);
+    put_f64(out, event.time);
+    push_fields(out, &event.kind);
+}
+
+fn get_event(tag: u8, payload: &[u8], pos: &mut usize) -> Result<Event, String> {
+    let seq = read_varint(payload, pos)?;
+    let time = read_f64(payload, pos)?;
+    let kind = match tag {
+        TAG_SUGGEST => EventKind::Suggest {
+            decision: match read_u8(payload, pos)? {
+                0 => IdleKind::Wait,
+                1 => IdleKind::Finished,
+                other => return Err(format!("unknown idle kind {other}")),
+            },
+        },
+        TAG_PROMOTE => EventKind::Promote {
+            trial: read_varint(payload, pos)?,
+            bracket: read_varint(payload, pos)? as usize,
+            from: read_varint(payload, pos)? as usize,
+            to: read_varint(payload, pos)? as usize,
+            resource: read_f64(payload, pos)?,
+        },
+        TAG_GROW_BOTTOM => EventKind::GrowBottom {
+            trial: read_varint(payload, pos)?,
+            bracket: read_varint(payload, pos)? as usize,
+            resource: read_f64(payload, pos)?,
+        },
+        TAG_JOB_START => EventKind::JobStart {
+            trial: read_varint(payload, pos)?,
+            bracket: read_varint(payload, pos)? as usize,
+            rung: read_varint(payload, pos)? as usize,
+            resource: read_f64(payload, pos)?,
+        },
+        TAG_JOB_END => EventKind::JobEnd {
+            trial: read_varint(payload, pos)?,
+            rung: read_varint(payload, pos)? as usize,
+            resource: read_f64(payload, pos)?,
+            loss: read_f64(payload, pos)?,
+        },
+        TAG_DROP => EventKind::Drop {
+            trial: read_varint(payload, pos)?,
+            rung: read_varint(payload, pos)? as usize,
+            cause: match read_u8(payload, pos)? {
+                0 => DropCause::Dropped,
+                1 => DropCause::Timeout,
+                other => return Err(format!("unknown drop cause {other}")),
+            },
+        },
+        TAG_RETRY => EventKind::Retry {
+            trial: read_varint(payload, pos)?,
+            rung: read_varint(payload, pos)? as usize,
+        },
+        TAG_WORKER_IDLE => EventKind::WorkerIdle {
+            idle: read_varint(payload, pos)? as usize,
+        },
+        other => return Err(format!("unknown record tag {other:#04x}")),
+    };
+    Ok(Event { seq, time, kind })
+}
+
+fn encode_payload(record: &WalRecord, out: &mut Vec<u8>) {
+    match record {
+        WalRecord::Decision(event) | WalRecord::Job(event) => put_event(out, event),
+        WalRecord::SnapshotMarker { time, marker } => match marker {
+            SnapMarker::Full { snap, events } => {
+                out.push(TAG_SNAPSHOT_FULL);
+                put_f64(out, *time);
+                put_varint(out, *snap);
+                put_varint(out, *events);
+            }
+            SnapMarker::Delta {
+                snap,
+                delta,
+                events,
+            } => {
+                out.push(TAG_SNAPSHOT_DELTA);
+                put_f64(out, *time);
+                put_varint(out, *snap);
+                put_varint(out, *delta);
+                put_varint(out, *events);
+            }
+        },
+        WalRecord::Meta { time, event } => match event {
+            StoreEvent::ExperimentCreated { name } => {
+                out.push(TAG_EXPERIMENT_CREATED);
+                put_f64(out, *time);
+                put_str(out, name);
+            }
+            StoreEvent::Paused => {
+                out.push(TAG_PAUSED);
+                put_f64(out, *time);
+            }
+            StoreEvent::Resumed => {
+                out.push(TAG_RESUMED);
+                put_f64(out, *time);
+            }
+            StoreEvent::ExperimentFinished => {
+                out.push(TAG_EXPERIMENT_FINISHED);
+                put_f64(out, *time);
+            }
+        },
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut pos = 0;
+    let tag = read_u8(payload, &mut pos)?;
+    let record = match tag {
+        TAG_SUGGEST..=TAG_WORKER_IDLE => {
+            let event = get_event(tag, payload, &mut pos)?;
+            WalRecord::telemetry(event)
+        }
+        TAG_EXPERIMENT_CREATED => {
+            let time = read_f64(payload, &mut pos)?;
+            let name = read_str(payload, &mut pos)?;
+            WalRecord::Meta {
+                time,
+                event: StoreEvent::ExperimentCreated { name },
+            }
+        }
+        TAG_SNAPSHOT_FULL => {
+            let time = read_f64(payload, &mut pos)?;
+            WalRecord::SnapshotMarker {
+                time,
+                marker: SnapMarker::Full {
+                    snap: read_varint(payload, &mut pos)?,
+                    events: read_varint(payload, &mut pos)?,
+                },
+            }
+        }
+        TAG_SNAPSHOT_DELTA => {
+            let time = read_f64(payload, &mut pos)?;
+            WalRecord::SnapshotMarker {
+                time,
+                marker: SnapMarker::Delta {
+                    snap: read_varint(payload, &mut pos)?,
+                    delta: read_varint(payload, &mut pos)?,
+                    events: read_varint(payload, &mut pos)?,
+                },
+            }
+        }
+        TAG_PAUSED => WalRecord::Meta {
+            time: read_f64(payload, &mut pos)?,
+            event: StoreEvent::Paused,
+        },
+        TAG_RESUMED => WalRecord::Meta {
+            time: read_f64(payload, &mut pos)?,
+            event: StoreEvent::Resumed,
+        },
+        TAG_EXPERIMENT_FINISHED => WalRecord::Meta {
+            time: read_f64(payload, &mut pos)?,
+            event: StoreEvent::ExperimentFinished,
+        },
+        other => return Err(format!("unknown record tag {other:#04x}")),
+    };
+    if pos != payload.len() {
+        return Err(format!("record has {} trailing bytes", payload.len() - pos));
+    }
+    Ok(record)
+}
+
+impl WalCodec for BinaryV2Wal {
+    fn name(&self) -> &'static str {
+        "binary-v2"
+    }
+
+    fn magic(&self) -> &'static [u8] {
+        WAL_MAGIC
+    }
+
+    fn encode_record(&self, record: &WalRecord, buf: &mut EncodeBuf) {
+        buf.bytes.clear();
+        buf.payload.clear();
+        encode_payload(record, &mut buf.payload);
+        put_varint(&mut buf.bytes, buf.payload.len() as u64);
+        buf.bytes.extend_from_slice(&buf.payload);
+        buf.bytes
+            .extend_from_slice(&crc32(&buf.payload).to_le_bytes());
+    }
+
+    fn decode_step(&self, buf: &[u8]) -> DecodeStep {
+        if buf.is_empty() {
+            return DecodeStep::Incomplete;
+        }
+        let (len, len_bytes) = match get_varint(buf) {
+            VarintRead::Done(len, n) => (len, n),
+            VarintRead::Short => return DecodeStep::Incomplete,
+            VarintRead::Malformed => return DecodeStep::Lost("malformed record length".to_owned()),
+        };
+        if len > MAX_RECORD_LEN {
+            return DecodeStep::Lost(format!("implausible record length {len}"));
+        }
+        let len = len as usize;
+        let total = len_bytes + len + 4;
+        if buf.len() < total {
+            return DecodeStep::Incomplete;
+        }
+        let payload = &buf[len_bytes..len_bytes + len];
+        let mut crc_raw = [0u8; 4];
+        crc_raw.copy_from_slice(&buf[len_bytes + len..total]);
+        let stored = u32::from_le_bytes(crc_raw);
+        let actual = crc32(payload);
+        if stored != actual {
+            return DecodeStep::Invalid {
+                consumed: total,
+                why: format!("CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+            };
+        }
+        match decode_payload(payload) {
+            Ok(record) => DecodeStep::Record {
+                consumed: total,
+                record,
+            },
+            Err(why) => DecodeStep::Invalid {
+                consumed: total,
+                why,
+            },
+        }
+    }
+}
+
+struct BinaryV2Snapshot;
+
+impl SnapshotCodec for BinaryV2Snapshot {
+    fn name(&self) -> &'static str {
+        "binary-v2"
+    }
+
+    fn extension(&self) -> &'static str {
+        "bin"
+    }
+
+    fn encode_document(&self, doc: &JsonValue, out: &mut Vec<u8>) {
+        out.clear();
+        let mut payload = Vec::new();
+        binary::put_value(&mut payload, doc);
+        out.extend_from_slice(DOC_MAGIC);
+        put_varint(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    }
+
+    fn decode_document(&self, bytes: &[u8]) -> Result<JsonValue, String> {
+        let rest = bytes
+            .strip_prefix(DOC_MAGIC.as_slice())
+            .ok_or("missing binary document magic")?;
+        let (len, len_bytes) = match get_varint(rest) {
+            VarintRead::Done(len, n) => (len, n),
+            _ => return Err("truncated document length".to_owned()),
+        };
+        let len = len as usize;
+        let total = len_bytes
+            .checked_add(len)
+            .and_then(|t| t.checked_add(4))
+            .ok_or("implausible document length")?;
+        if rest.len() < total {
+            return Err("truncated document".to_owned());
+        }
+        if rest.len() > total {
+            return Err(format!(
+                "document has {} trailing bytes",
+                rest.len() - total
+            ));
+        }
+        let payload = &rest[len_bytes..len_bytes + len];
+        let mut crc_raw = [0u8; 4];
+        crc_raw.copy_from_slice(&rest[len_bytes + len..total]);
+        let stored = u32::from_le_bytes(crc_raw);
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(format!(
+                "document CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            ));
+        }
+        let mut pos = 0;
+        let doc = binary::get_value(payload, &mut pos)?;
+        if pos != payload.len() {
+            return Err("document payload has trailing bytes".to_owned());
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Meta {
+                time: 0.0,
+                event: StoreEvent::ExperimentCreated {
+                    name: "exp-α".to_owned(),
+                },
+            },
+            WalRecord::telemetry(Event {
+                seq: 0,
+                time: 0.0,
+                kind: EventKind::GrowBottom {
+                    trial: 0,
+                    bracket: 0,
+                    resource: 1.0,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 1,
+                time: 0.25,
+                kind: EventKind::JobStart {
+                    trial: 0,
+                    bracket: 0,
+                    rung: 0,
+                    resource: 1.0,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 2,
+                time: 1.5,
+                kind: EventKind::JobEnd {
+                    trial: 0,
+                    rung: 0,
+                    resource: 1.0,
+                    loss: f64::INFINITY,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 3,
+                time: 1.5,
+                kind: EventKind::Suggest {
+                    decision: IdleKind::Wait,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 4,
+                time: 2.0,
+                kind: EventKind::Promote {
+                    trial: 0,
+                    bracket: 0,
+                    from: 0,
+                    to: 1,
+                    resource: 4.0,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 5,
+                time: 2.5,
+                kind: EventKind::Drop {
+                    trial: 9,
+                    rung: 1,
+                    cause: DropCause::Timeout,
+                },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 6,
+                time: 2.75,
+                kind: EventKind::Retry { trial: 9, rung: 1 },
+            }),
+            WalRecord::telemetry(Event {
+                seq: 7,
+                time: 3.0,
+                kind: EventKind::WorkerIdle { idle: 3 },
+            }),
+            WalRecord::SnapshotMarker {
+                time: 3.0,
+                marker: SnapMarker::Full { snap: 0, events: 8 },
+            },
+            WalRecord::SnapshotMarker {
+                time: 4.0,
+                marker: SnapMarker::Delta {
+                    snap: 0,
+                    delta: 2,
+                    events: 8,
+                },
+            },
+            WalRecord::Meta {
+                time: 4.5,
+                event: StoreEvent::Paused,
+            },
+            WalRecord::Meta {
+                time: 5.0,
+                event: StoreEvent::Resumed,
+            },
+            WalRecord::Meta {
+                time: 6.0,
+                event: StoreEvent::ExperimentFinished,
+            },
+        ]
+    }
+
+    #[test]
+    fn both_codecs_round_trip_every_record_kind() {
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            let codec = format.wal_codec();
+            let mut buf = EncodeBuf::default();
+            let mut stream = Vec::new();
+            let records = sample_records();
+            for record in &records {
+                codec.encode_record(record, &mut buf);
+                stream.extend_from_slice(&buf.bytes);
+            }
+            let mut decoded = Vec::new();
+            let mut pos = 0;
+            while pos < stream.len() {
+                match codec.decode_step(&stream[pos..]) {
+                    DecodeStep::Record { consumed, record } => {
+                        decoded.push(record);
+                        pos += consumed;
+                    }
+                    other => panic!("{}: unexpected step {other:?}", format.name()),
+                }
+            }
+            assert_eq!(decoded, records, "{}", format.name());
+        }
+    }
+
+    #[test]
+    fn binary_frames_are_smaller_than_jsonl() {
+        let records = sample_records();
+        let mut buf = EncodeBuf::default();
+        let mut size = |format: StoreFormat| -> usize {
+            records
+                .iter()
+                .map(|r| {
+                    format.wal_codec().encode_record(r, &mut buf);
+                    buf.bytes.len()
+                })
+                .sum()
+        };
+        let jsonl = size(StoreFormat::JsonlV1);
+        let binary = size(StoreFormat::BinaryV2);
+        assert!(
+            binary * 2 < jsonl,
+            "binary ({binary}B) should be under half of jsonl ({jsonl}B)"
+        );
+    }
+
+    #[test]
+    fn binary_torn_prefixes_read_incomplete_not_invalid() {
+        let codec = StoreFormat::BinaryV2.wal_codec();
+        let mut buf = EncodeBuf::default();
+        codec.encode_record(&sample_records()[1], &mut buf);
+        let frame = buf.bytes.clone();
+        for cut in 0..frame.len() {
+            assert_eq!(
+                codec.decode_step(&frame[..cut]),
+                DecodeStep::Incomplete,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_bitflips_fail_crc() {
+        let codec = StoreFormat::BinaryV2.wal_codec();
+        let mut buf = EncodeBuf::default();
+        codec.encode_record(&sample_records()[2], &mut buf);
+        // Flip a payload bit (past the 1-byte length prefix).
+        let mut frame = buf.bytes.clone();
+        frame[2] ^= 0x40;
+        match codec.decode_step(&frame) {
+            DecodeStep::Invalid { consumed, why } => {
+                assert_eq!(consumed, frame.len());
+                assert!(why.contains("CRC"), "{why}");
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn format_detection_and_names() {
+        assert_eq!(
+            StoreFormat::detect_wal(b"ASHAWAL2rest"),
+            StoreFormat::BinaryV2
+        );
+        assert_eq!(
+            StoreFormat::detect_wal(b"{\"ev\":..."),
+            StoreFormat::JsonlV1
+        );
+        assert_eq!(StoreFormat::detect_wal(b""), StoreFormat::JsonlV1);
+        assert_eq!(
+            StoreFormat::from_name("binary-v2"),
+            Some(StoreFormat::BinaryV2)
+        );
+        assert_eq!(StoreFormat::from_name("jsonl"), Some(StoreFormat::JsonlV1));
+        assert_eq!(StoreFormat::from_name("parquet"), None);
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            assert_eq!(StoreFormat::from_name(format.name()), Some(format));
+            assert_eq!(format.wal_codec().name(), format.name());
+            assert_eq!(format.snapshot_codec().name(), format.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_documents_round_trip_in_both_dialects() {
+        let doc = JsonValue::obj([
+            ("schema", JsonValue::Str("x".to_owned())),
+            ("seq", JsonValue::Int(3)),
+            ("loss", JsonValue::Num(0.125)),
+            (
+                "arr",
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+        ]);
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            let codec = format.snapshot_codec();
+            let mut bytes = Vec::new();
+            codec.encode_document(&doc, &mut bytes);
+            assert_eq!(StoreFormat::detect_document(&bytes), format);
+            let back = decode_any_document(&bytes).unwrap();
+            assert!(crate::binary::json_eq(&doc, &back), "{}", format.name());
+        }
+        // A flipped payload bit in a binary document is caught by its CRC.
+        let codec = StoreFormat::BinaryV2.snapshot_codec();
+        let mut bytes = Vec::new();
+        codec.encode_document(&doc, &mut bytes);
+        let flip = bytes.len() - 6;
+        bytes[flip] ^= 0x01;
+        assert!(decode_any_document(&bytes).unwrap_err().contains("CRC"));
+    }
+}

@@ -1,35 +1,55 @@
-//! Durable experiment store for ASHA runs: write-ahead event log, periodic
-//! full-state snapshots, crash recovery, and a multi-experiment supervisor.
+//! Durable experiment store for ASHA runs: write-ahead event log behind a
+//! versioned codec, full and delta snapshots, group-committed fsyncs, crash
+//! recovery, and a multi-experiment supervisor.
 //!
 //! The store makes a tuning run a *recoverable* object. Every telemetry
-//! event the run emits is appended to a JSONL write-ahead log with an
-//! explicit fsync discipline ([`SyncPolicy`]), and on a job cadence the full
-//! run state — scheduler rungs/brackets, sampler cursors, raw RNG words,
-//! and the simulator's event loop — is written to a versioned snapshot
-//! file. Because every component of the system is deterministic given its
-//! state and the RNG stream, recovery after a crash (load the newest durable
-//! snapshot, discard the WAL suffix past its marker, continue) produces a
-//! run whose decisions, telemetry, and final result are bit-for-bit
-//! identical to one that never crashed.
+//! event the run emits is appended to a write-ahead log with an explicit
+//! fsync discipline ([`Durability`]), and on a job cadence the full run
+//! state — scheduler rungs/brackets, sampler cursors, raw RNG words, and
+//! the simulator's event loop — is checkpointed: a full snapshot file, or
+//! a *delta* (a structural diff against the previous checkpoint) while the
+//! chain stays short. How any of this becomes bytes is a [`StoreFormat`]'s
+//! business: `jsonl-v1` (one JSON object per line / per file, the original
+//! dialect) and `binary-v2` (length-prefixed, CRC-guarded frames) are both
+//! fully readable and writable, sniffed per file, so pre-redesign stores
+//! open unchanged and dialects may mix within one directory. Because every
+//! component of the system is deterministic given its state and the RNG
+//! stream, recovery after a crash (load the newest durable checkpoint —
+//! base snapshot plus its delta chain — discard the WAL suffix past its
+//! marker, continue) produces a run whose decisions, telemetry, and final
+//! result are bit-for-bit identical to one that never crashed.
 //!
 //! Layers, bottom up:
 //!
 //! - [`codec`]: hand-rolled JSON codecs for every persisted type (the
 //!   vendored `serde` is a stub), including exact `f64` round-trips and
 //!   non-finite loss encoding.
-//! - [`wal`]: the append-only log — telemetry lines in the exact `asha-obs`
-//!   schema plus store markers (`snapshot`, `paused`, `resumed`, ...), with
-//!   torn-tail-tolerant reading.
-//! - [`snapshot`]: crash-safe snapshot files and the [`StoredScheduler`]
-//!   wrapper that restores any supported scheduler kind from data.
+//! - [`binary`]: the byte-level toolkit for `binary-v2` — CRC32, LEB128
+//!   varints, and a compact tagged encoding of JSON documents.
+//! - [`format`]: the versioned codec API — [`WalCodec`] and
+//!   [`SnapshotCodec`] traits, the [`StoreFormat`] registry, and per-file
+//!   dialect detection.
+//! - [`delta`]: structural diff/patch over JSON documents, the engine
+//!   behind delta snapshots.
+//! - [`wal`]: the append-only log of typed [`WalRecord`]s — scheduler
+//!   decisions, job events, checkpoint markers, lifecycle events — with
+//!   torn-tail-tolerant reading in either dialect.
+//! - [`snapshot`]: crash-safe checkpoint files (full and delta) and the
+//!   [`StoredScheduler`] wrapper that restores any supported scheduler
+//!   kind from data.
+//! - [`tail`]: live, dialect-agnostic WAL following ([`WalTail`]), every
+//!   record rendered as its `jsonl-v1` line — what the service streams to
+//!   subscribers.
+//! - [`commit`]: the group-commit pipeline that coalesces WAL fsyncs
+//!   across experiments into one fsync per commit window.
 //! - [`experiment`]: one experiment directory (`meta.json` + WAL +
-//!   snapshots) and [`DurableRun`], the persisting sim driver with
+//!   checkpoints) and [`DurableRun`], the persisting sim driver with
 //!   [`DurableRun::create`] / [`DurableRun::resume`]; plus
 //!   [`replay_scheduler`] for scheduler-level WAL-suffix replay in
 //!   executor-driven runs.
 //! - [`supervisor`]: many named experiments in one process, each on a
 //!   worker thread with independent pause/resume/abort, under a crash-safe
-//!   manifest.
+//!   manifest and an optional shared commit pipeline.
 //!
 //! # Example: kill-and-recover
 //!
@@ -71,26 +91,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod codec;
+pub mod commit;
+pub mod delta;
 mod error;
 pub mod experiment;
+pub mod format;
 pub mod metrics;
 pub mod snapshot;
 pub mod supervisor;
+pub mod tail;
 pub mod wal;
 
+pub use crate::commit::{CommitHandle, CommitPipeline};
 pub use crate::error::{Error, ErrorKind, StoreError};
 pub use crate::experiment::{
     read_meta, replay_scheduler, write_meta, BenchSpec, DurableRun, ExperimentMeta, RunOptions,
     RunOptionsBuilder, WalRecorder, META_FILE, META_SCHEMA, WAL_FILE,
 };
+pub use crate::format::{DecodeStep, EncodeBuf, SnapshotCodec, StoreFormat, WalCodec};
 pub use crate::metrics::StoreMetrics;
 pub use crate::snapshot::{
-    list_snapshots, load_latest, make_sampler, SamplerSpec, SchedulerState, Snapshot,
-    StoredScheduler, SNAPSHOT_SCHEMA,
+    delta_file_name, list_snapshots, load_latest, make_sampler, read_document, write_document,
+    DeltaDoc, SamplerSpec, SchedulerState, Snapshot, StoredScheduler, DELTA_SCHEMA,
+    SNAPSHOT_SCHEMA,
 };
 pub use crate::supervisor::{
     read_manifest, ExperimentStatus, ExperimentSupervisor, ManifestEntry, StatusListener,
     MANIFEST_FILE, MANIFEST_SCHEMA,
 };
-pub use crate::wal::{read_wal, StoreEvent, SyncPolicy, WalContents, WalRecord, WalWriter};
+pub use crate::tail::{WalChunk, WalTail};
+#[allow(deprecated)]
+pub use crate::wal::SyncPolicy;
+pub use crate::wal::{
+    read_wal, Durability, MarkerRef, SnapMarker, StoreEvent, WalContents, WalRecord, WalWriter,
+};

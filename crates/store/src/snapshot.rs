@@ -1,11 +1,18 @@
-//! Versioned full-state snapshots and the scheduler wrapper they restore.
+//! Versioned full-state snapshots, delta documents, and the scheduler
+//! wrapper they restore.
 //!
 //! A snapshot is everything needed to continue a run bit-for-bit: the
 //! scheduler's exported state, the raw RNG state words, and (for simulated
-//! runs) the simulator's [`SimRunState`]. Snapshots are written
-//! crash-safely — rendered to a temp file, fsynced, renamed into place,
-//! directory fsynced — so a crash mid-write never damages the previous
-//! snapshot, and recovery can always fall back along the snapshot chain.
+//! runs) the simulator's [`SimRunState`]. Between full snapshots the store
+//! may write *delta* documents — structural diffs (see [`crate::delta`])
+//! against the previous checkpoint — so steady-state checkpoint cost is
+//! proportional to change. All checkpoint files are written crash-safely —
+//! encoded to a temp file, fsynced, renamed into place, directory fsynced —
+//! so a crash mid-write never damages the previous checkpoint, and
+//! recovery can always fall back along the chain. Bytes on disk are
+//! whatever the [`SnapshotCodec`](crate::format::SnapshotCodec) produces;
+//! readers sniff the dialect per file, so chains may mix dialects (e.g.
+//! binary deltas atop a v1 JSON full snapshot).
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
@@ -20,9 +27,13 @@ use asha_space::SearchSpace;
 
 use crate::codec;
 use crate::error::{Error, StoreError};
+use crate::format::{decode_any_document, StoreFormat};
 
 /// Schema tag written into every snapshot file.
 pub const SNAPSHOT_SCHEMA: &str = "asha-store-snapshot-v1";
+
+/// Schema tag written into every delta-snapshot file.
+pub const DELTA_SCHEMA: &str = "asha-store-delta-v1";
 
 /// Exported state of any supported scheduler, tagged by kind.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,10 +373,18 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// The file name for snapshot `seq` (zero-padded so lexicographic and
-    /// numeric order agree).
-    pub fn file_name(seq: u64) -> String {
-        format!("snap-{seq:08}.json")
+    /// The file name for snapshot `seq` in `format` (zero-padded so
+    /// lexicographic and numeric order agree).
+    pub fn file_name(seq: u64, format: StoreFormat) -> String {
+        format!("snap-{seq:08}.{}", format.snapshot_codec().extension())
+    }
+
+    /// Locate snapshot `seq` in `dir`, whichever dialect it was written in.
+    pub fn find(dir: &Path, seq: u64) -> Option<PathBuf> {
+        [StoreFormat::BinaryV2, StoreFormat::JsonlV1]
+            .into_iter()
+            .map(|format| dir.join(Self::file_name(seq, format)))
+            .find(|path| path.exists())
     }
 
     /// Encode as JSON. The `sampler` key is present only when the run has
@@ -432,24 +451,142 @@ impl Snapshot {
         })
     }
 
-    /// Write the snapshot crash-safely into `dir`: temp file, fsync,
-    /// rename, directory fsync. Returns the final path.
-    pub fn write(&self, dir: &Path) -> Result<PathBuf, StoreError> {
-        let final_path = dir.join(Self::file_name(self.seq));
-        let tmp_path = dir.join(format!("{}.tmp", Self::file_name(self.seq)));
-        // Compact rendering: snapshots are machine-read only and can reach
-        // megabytes mid-run, so the pretty renderer's indentation roughly
-        // doubles both the bytes fsynced and the render time for nothing.
-        let mut text = self.to_json().render_compact();
-        text.push('\n');
-        std::fs::write(&tmp_path, &text).map_err(|e| StoreError::io(&tmp_path, e))?;
-        File::open(&tmp_path)
-            .and_then(|f| f.sync_all())
-            .map_err(|e| StoreError::io(&tmp_path, e))?;
-        std::fs::rename(&tmp_path, &final_path).map_err(|e| StoreError::io(&final_path, e))?;
-        fsync_dir(dir)?;
-        Ok(final_path)
+    /// Write the snapshot crash-safely into `dir` in `format`. Returns the
+    /// final path and the encoded size in bytes.
+    pub fn write(&self, dir: &Path, format: StoreFormat) -> Result<(PathBuf, u64), StoreError> {
+        write_document(
+            dir,
+            &Self::file_name(self.seq, format),
+            &self.to_json(),
+            format,
+        )
     }
+}
+
+/// The file name for delta `delta` on top of full snapshot `snap`.
+pub fn delta_file_name(snap: u64, delta: u64, format: StoreFormat) -> String {
+    format!(
+        "delta-{snap:08}-{delta:04}.{}",
+        format.snapshot_codec().extension()
+    )
+}
+
+/// A delta-snapshot document: a [`crate::delta`] patch plus enough chain
+/// metadata to validate its position on recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaDoc {
+    /// The chain's base full-snapshot sequence number.
+    pub snap: u64,
+    /// Position in the chain (1-based).
+    pub delta: u64,
+    /// Telemetry events covered after applying this delta.
+    pub events: u64,
+    /// The structural patch against the previous checkpoint's document.
+    pub patch: JsonValue,
+}
+
+impl DeltaDoc {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::Str(DELTA_SCHEMA.to_owned())),
+            ("snap", JsonValue::Int(self.snap)),
+            ("delta", JsonValue::Int(self.delta)),
+            ("events", JsonValue::Int(self.events)),
+            ("patch", self.patch.clone()),
+        ])
+    }
+
+    /// Decode, verifying the schema tag.
+    pub fn from_json(v: &JsonValue) -> Result<Self, Error> {
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("delta missing schema")?;
+        if schema != DELTA_SCHEMA {
+            return Err(Error::codec(format!(
+                "unsupported delta schema {schema:?} (expected {DELTA_SCHEMA:?})"
+            )));
+        }
+        Ok(DeltaDoc {
+            snap: v
+                .get("snap")
+                .and_then(|s| s.as_u64())
+                .ok_or("delta missing snap")?,
+            delta: v
+                .get("delta")
+                .and_then(|s| s.as_u64())
+                .ok_or("delta missing delta")?,
+            events: v
+                .get("events")
+                .and_then(|s| s.as_u64())
+                .ok_or("delta missing events")?,
+            patch: v.get("patch").ok_or("delta missing patch")?.clone(),
+        })
+    }
+
+    /// Write crash-safely into `dir` in `format`. Returns the final path
+    /// and the encoded size in bytes.
+    pub fn write(&self, dir: &Path, format: StoreFormat) -> Result<(PathBuf, u64), StoreError> {
+        write_document(
+            dir,
+            &delta_file_name(self.snap, self.delta, format),
+            &self.to_json(),
+            format,
+        )
+    }
+
+    /// Load the delta `delta` of chain `snap` from `dir`, whichever
+    /// dialect it was written in, verifying its chain position.
+    pub fn load(dir: &Path, snap: u64, delta: u64) -> Result<DeltaDoc, StoreError> {
+        let path = [StoreFormat::BinaryV2, StoreFormat::JsonlV1]
+            .into_iter()
+            .map(|format| dir.join(delta_file_name(snap, delta, format)))
+            .find(|path| path.exists())
+            .ok_or_else(|| {
+                StoreError::corrupt(dir, format!("delta {delta} of snapshot {snap} is missing"))
+            })?;
+        let doc = read_document(&path)?;
+        let parsed = DeltaDoc::from_json(&doc).map_err(|e| e.corrupt_at(&path))?;
+        if parsed.snap != snap || parsed.delta != delta {
+            return Err(StoreError::corrupt(
+                &path,
+                format!(
+                    "delta chain mismatch: file says snap {} delta {}, expected snap {snap} delta {delta}",
+                    parsed.snap, parsed.delta
+                ),
+            ));
+        }
+        Ok(parsed)
+    }
+}
+
+/// Write a checkpoint document crash-safely into `dir`: encode with
+/// `format`'s codec to a temp file, fsync, rename into place, fsync the
+/// directory. Returns the final path and encoded size.
+pub fn write_document(
+    dir: &Path,
+    file_name: &str,
+    doc: &JsonValue,
+    format: StoreFormat,
+) -> Result<(PathBuf, u64), StoreError> {
+    let final_path = dir.join(file_name);
+    let tmp_path = dir.join(format!("{file_name}.tmp"));
+    let mut bytes = Vec::new();
+    format.snapshot_codec().encode_document(doc, &mut bytes);
+    std::fs::write(&tmp_path, &bytes).map_err(|e| StoreError::io(&tmp_path, e))?;
+    File::open(&tmp_path)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| StoreError::io(&tmp_path, e))?;
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| StoreError::io(&final_path, e))?;
+    fsync_dir(dir)?;
+    Ok((final_path, bytes.len() as u64))
+}
+
+/// Read a checkpoint document of either dialect (sniffed by magic).
+pub fn read_document(path: &Path) -> Result<JsonValue, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    decode_any_document(&bytes).map_err(|msg| StoreError::corrupt(path, msg))
 }
 
 /// Fsync a directory so a just-renamed file's entry is durable (POSIX
@@ -473,7 +610,10 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
         let name = name.to_string_lossy();
         if let Some(seq) = name
             .strip_prefix("snap-")
-            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|rest| {
+                rest.strip_suffix(".json")
+                    .or_else(|| rest.strip_suffix(".bin"))
+            })
             .and_then(|digits| digits.parse::<u64>().ok())
         {
             snaps.push((seq, entry.path()));
@@ -489,13 +629,8 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
 pub fn load_latest(dir: &Path) -> Result<Option<(Snapshot, PathBuf)>, StoreError> {
     let snaps = list_snapshots(dir)?;
     for (_, path) in snaps.iter().rev() {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(_) => continue,
-        };
-        let parsed = JsonValue::parse(&text)
-            .map_err(|e| Error::codec(e.to_string()))
-            .and_then(|v| Snapshot::from_json(&v));
+        let parsed = read_document(path)
+            .and_then(|doc| Snapshot::from_json(&doc).map_err(|e| e.corrupt_at(path)));
         if let Ok(snapshot) = parsed {
             return Ok(Some((snapshot, path.clone())));
         }

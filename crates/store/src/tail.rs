@@ -1,0 +1,449 @@
+//! Incremental tailing of a live WAL in either dialect.
+//!
+//! A [`WalTail`] follows a WAL file that another process (or thread) is
+//! appending to and yields each *complete* record exactly once, rendered
+//! as its `jsonl-v1` line — so consumers (the service tailer fanning
+//! events out to subscribers, ad-hoc follow tools) see one stable JSON
+//! surface regardless of the bytes on disk. The dialect is sniffed from
+//! the file's magic on first contact and re-sniffed after any rewind, so
+//! a tail pointed at a path before the writer creates the file follows
+//! whichever dialect eventually appears.
+//!
+//! Three realities of live WALs shape the API, mirrored from the obs
+//! crate's line-oriented `LogTail`:
+//!
+//! * **Torn tails.** The writer may be mid-append when we poll. A record
+//!   never yields until it is complete — its trailing newline (`jsonl-v1`)
+//!   or its full CRC-checked frame (`binary-v2`) has landed — so a torn
+//!   tail is simply "not yet".
+//! * **Truncation / rewrite.** Crash recovery rewrites a WAL in place
+//!   (temp file + rename), discarding a suffix. A shorter file is the
+//!   obvious case, but not the only one: a live resume truncates the WAL
+//!   and the (deterministic) run immediately regrows it, so between two
+//!   polls the file can end up *longer* than the consumed offset with
+//!   entirely different bytes at it. The tail therefore keeps a content
+//!   anchor — the last consumed bytes — and re-verifies it against the
+//!   file on every poll; a shrink or an anchor mismatch rewinds to the
+//!   start and reports the rewind so the consumer can reset derived
+//!   state.
+//! * **Bounded reads.** Several tails may follow one file with a lagging
+//!   reader capped at the lead reader's byte offset
+//!   ([`WalTail::poll_to`]); offsets are plain byte positions in either
+//!   dialect, so the bound composes across tails.
+//!
+//! The tail re-opens the file on every poll, so it also survives the
+//! rename-over-inode pattern used by crash-safe rewriters.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::format::{DecodeStep, StoreFormat};
+
+/// What one [`WalTail::poll`] observed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalChunk {
+    /// Complete records in file order, each rendered as its `jsonl-v1`
+    /// line (no trailing newline) — raw lines verbatim for a `jsonl-v1`
+    /// file, decoded and re-rendered for `binary-v2`.
+    pub lines: Vec<String>,
+    /// True when the file shrank below the previous offset (it was
+    /// truncated or rewritten) and the tail rewound to the start: `lines`
+    /// begins at byte 0 again and the consumer should reset derived state.
+    pub rewound: bool,
+}
+
+/// Follows a WAL file across appends, truncations, and rewrites,
+/// dialect-agnostically.
+#[derive(Debug)]
+pub struct WalTail {
+    path: PathBuf,
+    /// Byte offset of the first byte not yet consumed as a complete
+    /// record. Bytes held in `partial` count as consumed here (exactly
+    /// like the obs `LogTail`), so a bounded follower given this offset
+    /// re-reads and re-holds the same pending fragment.
+    offset: u64,
+    /// Bytes read past the last complete record, pending completion.
+    partial: Vec<u8>,
+    /// Resolved on first contact with enough bytes; cleared on rewind.
+    format: Option<StoreFormat>,
+    /// The last up-to-[`ANCHOR`] bytes of the consumed stream, ending at
+    /// `offset`. Re-read from the file on every poll: a mismatch means
+    /// the file was rewritten underneath us (even if it is now as long as
+    /// or longer than `offset`) and the tail must rewind.
+    anchor: Vec<u8>,
+}
+
+/// How many trailing consumed bytes are kept to detect rewrites. One CRC
+/// plus a couple of frames' worth — an accidental 64-byte collision at
+/// the same offset of a rewritten log is not a realistic event.
+const ANCHOR: usize = 64;
+
+impl WalTail {
+    /// Tail `path` from the beginning (the first poll yields every
+    /// complete record already in the file).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        WalTail {
+            path: path.into(),
+            offset: 0,
+            partial: Vec::new(),
+            format: None,
+            anchor: Vec::new(),
+        }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of the next unconsumed byte (pending partial-record
+    /// bytes included).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The dialect sniffed from the file, once enough bytes exist to tell.
+    pub fn format(&self) -> Option<StoreFormat> {
+        self.format
+    }
+
+    /// Read any new complete records. A missing file is not an error — the
+    /// writer may not have created it yet — and yields an empty chunk.
+    pub fn poll(&mut self) -> std::io::Result<WalChunk> {
+        self.poll_to(u64::MAX)
+    }
+
+    /// Like [`WalTail::poll`], but never reads past byte offset `limit`.
+    ///
+    /// Rewind detection still compares against the file's *real* length,
+    /// so a truncating rewrite is noticed even when it happens beyond the
+    /// limit.
+    pub fn poll_to(&mut self, limit: u64) -> std::io::Result<WalChunk> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalChunk::default()),
+            Err(e) => return Err(e),
+        };
+        let real_len = file.metadata()?.len();
+        let len = real_len.min(limit);
+        let mut chunk = WalChunk::default();
+        if real_len < self.offset || !self.anchor_matches(&mut file)? {
+            // The file was truncated or rewritten: start over and
+            // re-sniff — recovery preserves a file's dialect today, but
+            // nothing about this tail needs to assume that. The anchor
+            // check catches the rewrite even when the new file has
+            // already regrown past our offset (a live resume truncates
+            // the WAL and the deterministic run re-extends it at full
+            // speed, so a pure length comparison can race and miss it).
+            self.offset = 0;
+            self.partial.clear();
+            self.format = None;
+            self.anchor.clear();
+            chunk.rewound = true;
+        }
+        if len <= self.offset {
+            return Ok(chunk);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = std::mem::take(&mut self.partial);
+        let held = buf.len();
+        file.take(len - self.offset).read_to_end(&mut buf)?;
+        self.offset += (buf.len() - held) as u64;
+        // The anchor tracks the consumed stream's trailing bytes, ending
+        // at the (just advanced) offset. Partial bytes are file bytes
+        // too, so they belong in it.
+        let fresh = &buf[held..];
+        if fresh.len() >= ANCHOR {
+            self.anchor.clear();
+            self.anchor
+                .extend_from_slice(&fresh[fresh.len() - ANCHOR..]);
+        } else {
+            self.anchor.extend_from_slice(fresh);
+            if self.anchor.len() > ANCHOR {
+                self.anchor.drain(..self.anchor.len() - ANCHOR);
+            }
+        }
+
+        // Resolve the dialect once the prefix is unambiguous: a file
+        // shorter than the binary magic that matches its prefix could
+        // still become either, so it stays pending.
+        let magic = StoreFormat::BinaryV2.wal_codec().magic();
+        if self.format.is_none() {
+            if buf.len() >= magic.len() {
+                self.format = Some(StoreFormat::detect_wal(&buf));
+            } else if !magic.starts_with(&buf) {
+                self.format = Some(StoreFormat::JsonlV1);
+            }
+        }
+        let Some(format) = self.format else {
+            self.partial = buf;
+            return Ok(chunk);
+        };
+
+        // Consume complete records from the front of the pending buffer;
+        // whatever remains is a torn tail that stays pending until a later
+        // poll completes it. The magic counts as consumed prefix.
+        let mut start = 0usize;
+        if self.offset == buf.len() as u64 && buf.starts_with(magic) {
+            start = magic.len();
+        }
+        match format {
+            StoreFormat::JsonlV1 => {
+                let mut line_start = start;
+                for i in start..buf.len() {
+                    if buf[i] == b'\n' {
+                        let text = String::from_utf8_lossy(&buf[line_start..i]);
+                        if !text.trim().is_empty() {
+                            chunk.lines.push(text.into_owned());
+                        }
+                        line_start = i + 1;
+                    }
+                }
+                start = line_start;
+            }
+            StoreFormat::BinaryV2 => {
+                let codec = format.wal_codec();
+                loop {
+                    match codec.decode_step(&buf[start..]) {
+                        DecodeStep::Record { consumed, record } => {
+                            start += consumed;
+                            chunk.lines.push(record.render_jsonl());
+                        }
+                        DecodeStep::Blank { consumed } => start += consumed,
+                        // Incomplete: the writer is mid-append. Invalid or
+                        // lost mid-stream: hold position — either the bytes
+                        // complete into sense on a later poll or crash
+                        // recovery rewrites the file and we rewind.
+                        DecodeStep::Incomplete
+                        | DecodeStep::Invalid { .. }
+                        | DecodeStep::Lost(_) => break,
+                    }
+                    if start >= buf.len() {
+                        break;
+                    }
+                }
+            }
+        }
+        self.partial = buf.split_off(start);
+        Ok(chunk)
+    }
+
+    /// Check that the file still holds the consumed stream's trailing
+    /// bytes at `[offset - anchor.len(), offset)`. A short read counts as
+    /// a mismatch (the file is being swapped underneath us), not an
+    /// error. Only called once `real_len >= offset`, so the seek target
+    /// is in range.
+    fn anchor_matches(&self, file: &mut std::fs::File) -> std::io::Result<bool> {
+        if self.anchor.is_empty() {
+            return Ok(true);
+        }
+        let mut on_disk = vec![0u8; self.anchor.len()];
+        file.seek(SeekFrom::Start(self.offset - self.anchor.len() as u64))?;
+        match file.read_exact(&mut on_disk) {
+            Ok(()) => Ok(on_disk == self.anchor),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::EncodeBuf;
+    use crate::wal::{StoreEvent, WalRecord};
+    use asha_core::telemetry::{Event, EventKind};
+    use std::io::Write;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("asha-store-tail-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ev(seq: u64) -> WalRecord {
+        WalRecord::telemetry(Event {
+            seq,
+            time: seq as f64,
+            kind: EventKind::WorkerIdle { idle: seq as usize },
+        })
+    }
+
+    fn encode(format: StoreFormat, records: &[WalRecord]) -> Vec<u8> {
+        let codec = format.wal_codec();
+        let mut bytes = codec.magic().to_vec();
+        let mut buf = EncodeBuf::default();
+        for record in records {
+            codec.encode_record(record, &mut buf);
+            bytes.extend_from_slice(&buf.bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn both_dialects_yield_identical_lines() {
+        let records: Vec<WalRecord> = (0..4).map(ev).collect();
+        let mut rendered: Vec<Vec<String>> = Vec::new();
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            let dir = tmpdir(&format!("dialects-{}", format.name()));
+            let path = dir.join("wal.jsonl");
+            std::fs::write(&path, encode(format, &records)).unwrap();
+            let mut tail = WalTail::new(&path);
+            let chunk = tail.poll().unwrap();
+            assert!(!chunk.rewound);
+            assert_eq!(chunk.lines.len(), 4, "{format:?}");
+            assert_eq!(tail.format(), Some(format));
+            rendered.push(chunk.lines);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        assert_eq!(
+            rendered[0], rendered[1],
+            "binary records must fan out as the same JSON lines"
+        );
+    }
+
+    #[test]
+    fn binary_torn_frame_stays_pending_until_complete() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.jsonl");
+        let records: Vec<WalRecord> = (0..3).map(ev).collect();
+        let bytes = encode(StoreFormat::BinaryV2, &records);
+        // Cut mid-way through the final frame.
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut tail = WalTail::new(&path);
+        assert_eq!(tail.poll().unwrap().lines.len(), 2);
+        assert!(tail.poll().unwrap().lines.is_empty(), "torn frame pending");
+        // Completing the frame releases exactly the third record.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&bytes[bytes.len() - 5..]).unwrap();
+        drop(f);
+        assert_eq!(tail.poll().unwrap().lines, vec![records[2].render_jsonl()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_prefix_defers_dialect_detection() {
+        let dir = tmpdir("prefix");
+        let path = dir.join("wal.jsonl");
+        let bytes = encode(StoreFormat::BinaryV2, &[ev(0)]);
+        // Only part of the magic on disk: could still become either
+        // dialect, so nothing yields and no format is claimed.
+        std::fs::write(&path, &bytes[..4]).unwrap();
+        let mut tail = WalTail::new(&path);
+        assert!(tail.poll().unwrap().lines.is_empty());
+        assert_eq!(tail.format(), None);
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(tail.poll().unwrap().lines.len(), 1);
+        assert_eq!(tail.format(), Some(StoreFormat::BinaryV2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewinds_and_resniffs_after_truncating_rewrite() {
+        let dir = tmpdir("rewind");
+        let path = dir.join("wal.jsonl");
+        let records: Vec<WalRecord> = (0..3).map(ev).collect();
+        std::fs::write(&path, encode(StoreFormat::BinaryV2, &records)).unwrap();
+        let mut tail = WalTail::new(&path);
+        assert_eq!(tail.poll().unwrap().lines.len(), 3);
+
+        // Crash recovery rewrites the log shorter (rename-over pattern) —
+        // here even switching dialect, which the tail takes in stride.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, encode(StoreFormat::JsonlV1, &records[..1])).unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
+        let chunk = tail.poll().unwrap();
+        assert!(chunk.rewound);
+        assert_eq!(chunk.lines, vec![records[0].render_jsonl()]);
+        assert_eq!(tail.format(), Some(StoreFormat::JsonlV1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewind_detected_when_rewrite_regrows_past_the_offset() {
+        // The race from a live resume: the WAL is truncated at a marker
+        // and the deterministic run immediately regrows it, so by the
+        // next poll the file is *longer* than the consumed offset while
+        // holding different bytes at it. Length comparison alone misses
+        // this; the content anchor must catch it.
+        let dir = tmpdir("regrow");
+        let path = dir.join("wal.jsonl");
+        let records: Vec<WalRecord> = (0..6).map(ev).collect();
+        std::fs::write(&path, encode(StoreFormat::BinaryV2, &records)).unwrap();
+        let mut tail = WalTail::new(&path);
+        assert_eq!(tail.poll().unwrap().lines.len(), 6);
+
+        // Rewrite: keep the first two records, splice in a marker (the
+        // `resumed` analogue, shifting every later byte), then regrow
+        // well past the old end of file.
+        let mut rewritten = vec![records[0].clone(), records[1].clone()];
+        rewritten.push(WalRecord::Meta {
+            time: 1.0,
+            event: StoreEvent::Resumed,
+        });
+        rewritten.extend((2..20).map(ev));
+        let bytes = encode(StoreFormat::BinaryV2, &rewritten);
+        assert!(
+            bytes.len() as u64 > tail.offset(),
+            "must regrow past the tail"
+        );
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
+
+        let chunk = tail.poll().unwrap();
+        assert!(chunk.rewound, "regrown rewrite must rewind the tail");
+        let want: Vec<String> = rewritten.iter().map(|r| r.render_jsonl()).collect();
+        assert_eq!(chunk.lines, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_poll_stops_at_the_limit_and_resumes() {
+        let dir = tmpdir("bounded");
+        let path = dir.join("wal.jsonl");
+        let records: Vec<WalRecord> = (0..3).map(ev).collect();
+        let bytes = encode(StoreFormat::BinaryV2, &records);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut tail = WalTail::new(&path);
+        // A limit cutting mid-frame yields only the records before it and
+        // holds the cut prefix; raising the limit releases the rest.
+        let limit = bytes.len() as u64 - 7;
+        let chunk = tail.poll_to(limit).unwrap();
+        assert_eq!(chunk.lines.len(), 2);
+        assert_eq!(tail.offset(), limit);
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.lines, vec![records[2].render_jsonl()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn marker_records_render_with_store_fields() {
+        let dir = tmpdir("markers");
+        let path = dir.join("wal.jsonl");
+        let records = vec![
+            WalRecord::Meta {
+                time: 0.0,
+                event: StoreEvent::ExperimentCreated {
+                    name: "demo".into(),
+                },
+            },
+            ev(0),
+        ];
+        std::fs::write(&path, encode(StoreFormat::BinaryV2, &records)).unwrap();
+        let mut tail = WalTail::new(&path);
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.lines.len(), 2);
+        assert!(
+            chunk.lines[0].contains("experiment_created"),
+            "{}",
+            chunk.lines[0]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

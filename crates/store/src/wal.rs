@@ -1,60 +1,51 @@
-//! The write-ahead event log: durable JSONL of telemetry plus store events.
+//! The write-ahead event log: durable typed records behind a versioned
+//! codec.
 //!
-//! Every line is one JSON object. Telemetry lines use the exact
-//! `asha-obs` log schema (`seq`/`t`/`ev` + kind fields), so a WAL is a
-//! superset of a telemetry event log; store lines use their own small `ev`
-//! vocabulary (`experiment_created`, `snapshot`, `paused`, `resumed`,
-//! `experiment_finished`) that the obs parser never sees.
+//! A WAL holds one stream of [`WalRecord`]s — telemetry split into
+//! scheduler [`WalRecord::Decision`]s and executor [`WalRecord::Job`]
+//! events, snapshot markers (full and delta), and experiment-lifecycle
+//! [`WalRecord::Meta`] events. How records become bytes is the
+//! [`WalCodec`](crate::format::WalCodec)'s business: `jsonl-v1` writes one
+//! JSON object per line (telemetry in the exact `asha-obs` log schema, so
+//! a v1 WAL is a superset of a telemetry event log), `binary-v2` writes
+//! length-prefixed CRC-guarded frames. Readers sniff the dialect from the
+//! file's first bytes, so every pre-redesign store opens unchanged.
 //!
-//! Durability follows a [`SyncPolicy`]: appends always reach the OS
-//! (flushed through the userspace buffer), and `fsync` is issued per policy
-//! so a machine crash loses at most the configured window. A process crash
-//! mid-append can leave a *torn tail* — a final partial line — which the
-//! reader tolerates by discarding it; any malformed line before the tail is
-//! real corruption and is reported as an error.
+//! Durability follows a [`Durability`] policy: appends always reach the OS
+//! (flushed through the userspace buffer at each commit point), and
+//! `fsync` is issued per policy so a machine crash loses at most the
+//! configured window. When a [`CommitHandle`] is attached the fsyncs are
+//! delegated to the shared group-commit pipeline instead (see
+//! [`crate::commit`]). A process crash mid-append can leave a *torn tail*
+//! — a partial final record — which the reader tolerates by discarding it;
+//! any damage *before* the tail is real corruption and is reported as an
+//! error.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use asha_core::telemetry::EventKind;
+pub use asha_core::Durability;
+use asha_metrics::JsonValue;
 use asha_obs::Event;
 
-use crate::error::{Error, StoreError};
+use crate::commit::CommitHandle;
+use crate::error::StoreError;
+use crate::format::{DecodeStep, EncodeBuf, StoreFormat, WalCodec};
 
-/// How often the WAL issues `fsync` after an append.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SyncPolicy {
-    /// Never fsync explicitly; rely on the OS writeback. Fastest, loses up
-    /// to the writeback window on machine crash (process crashes lose at
-    /// most a torn tail either way, since appends are always flushed).
-    Never,
-    /// Fsync after every N appended records.
-    EveryN(usize),
-    /// Fsync after every append. Slowest, loses nothing.
-    Always,
-}
+/// Old name of [`Durability`], kept for one release.
+#[deprecated(note = "renamed to `Durability` (now shared with `asha-obs`)")]
+pub type SyncPolicy = Durability;
 
-impl Default for SyncPolicy {
-    fn default() -> Self {
-        SyncPolicy::EveryN(64)
-    }
-}
-
-/// A store-level WAL record (everything that is not a telemetry event).
+/// An experiment-lifecycle record (everything that is neither telemetry
+/// nor a snapshot marker).
 #[derive(Debug, Clone, PartialEq)]
 pub enum StoreEvent {
     /// The experiment directory was initialized.
     ExperimentCreated {
         /// The experiment's name.
         name: String,
-    },
-    /// A snapshot was durably written.
-    Snapshot {
-        /// The snapshot's sequence number (its file is `snap-<snap>.json`).
-        snap: u64,
-        /// Number of telemetry events the snapshot covers: replaying the
-        /// WAL suffix starts after this many telemetry lines.
-        events: u64,
     },
     /// The experiment was paused by the supervisor.
     Paused,
@@ -69,7 +60,6 @@ impl StoreEvent {
     pub fn name(&self) -> &'static str {
         match self {
             StoreEvent::ExperimentCreated { .. } => "experiment_created",
-            StoreEvent::Snapshot { .. } => "snapshot",
             StoreEvent::Paused => "paused",
             StoreEvent::Resumed => "resumed",
             StoreEvent::ExperimentFinished => "experiment_finished",
@@ -77,13 +67,72 @@ impl StoreEvent {
     }
 }
 
-/// One parsed WAL line.
+/// A durably recorded checkpoint marker. The marker is appended only
+/// *after* the checkpoint file it names is durable, so the newest marker
+/// in a WAL always points at a loadable recovery point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapMarker {
+    /// A full snapshot file (`snap-<snap>.<ext>`).
+    Full {
+        /// The snapshot's sequence number.
+        snap: u64,
+        /// Telemetry events the snapshot covers; WAL replay starts after
+        /// this many telemetry records.
+        events: u64,
+    },
+    /// A delta snapshot (`delta-<snap>-<delta>.<ext>`): a state diff on
+    /// top of full snapshot `snap` and the `delta - 1` deltas before it.
+    Delta {
+        /// The chain's base full-snapshot sequence number.
+        snap: u64,
+        /// Position in the chain (1-based).
+        delta: u64,
+        /// Telemetry events covered after applying the whole chain.
+        events: u64,
+    },
+}
+
+impl SnapMarker {
+    /// Telemetry events covered by this checkpoint.
+    pub fn events(&self) -> u64 {
+        match self {
+            SnapMarker::Full { events, .. } | SnapMarker::Delta { events, .. } => *events,
+        }
+    }
+
+    /// The base full snapshot's sequence number.
+    pub fn snap(&self) -> u64 {
+        match self {
+            SnapMarker::Full { snap, .. } | SnapMarker::Delta { snap, .. } => *snap,
+        }
+    }
+
+    /// Chain position: 0 for a full snapshot, 1-based for deltas.
+    pub fn delta(&self) -> u64 {
+        match self {
+            SnapMarker::Full { .. } => 0,
+            SnapMarker::Delta { delta, .. } => *delta,
+        }
+    }
+}
+
+/// One typed WAL record. Codecs serialize these — call sites never hand
+/// the writer free-form JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
-    /// A telemetry event in the `asha-obs` schema.
-    Telemetry(Event),
-    /// A store event.
-    Store {
+    /// A scheduler decision (`suggest` / `promote` / `grow_bottom`).
+    Decision(Event),
+    /// An execution-plane event (job lifecycle, faults, idle workers).
+    Job(Event),
+    /// A checkpoint became durable.
+    SnapshotMarker {
+        /// Timestamp on the run's clock (simulated time).
+        time: f64,
+        /// Which checkpoint.
+        marker: SnapMarker,
+    },
+    /// An experiment-lifecycle event.
+    Meta {
         /// Timestamp on the run's clock (simulated time).
         time: f64,
         /// The event.
@@ -91,111 +140,252 @@ pub enum WalRecord {
     },
 }
 
-pub(crate) fn encode_store_line(time: f64, event: &StoreEvent) -> String {
-    use asha_metrics::JsonValue;
-    let mut fields = vec![
-        ("ev", JsonValue::Str(event.name().to_owned())),
-        ("t", JsonValue::Num(time)),
-    ];
-    match event {
-        StoreEvent::ExperimentCreated { name } => {
-            fields.push(("name", JsonValue::Str(name.clone())));
+impl WalRecord {
+    /// Wrap a telemetry event, classifying it as a scheduler decision or
+    /// an execution-plane job event by its kind.
+    pub fn telemetry(event: Event) -> WalRecord {
+        match event.kind {
+            EventKind::Suggest { .. }
+            | EventKind::Promote { .. }
+            | EventKind::GrowBottom { .. } => WalRecord::Decision(event),
+            _ => WalRecord::Job(event),
         }
-        StoreEvent::Snapshot { snap, events } => {
-            fields.push(("snap", JsonValue::Int(*snap)));
-            fields.push(("events", JsonValue::Int(*events)));
-        }
-        StoreEvent::Paused | StoreEvent::Resumed | StoreEvent::ExperimentFinished => {}
     }
-    JsonValue::obj(fields).render_compact()
+
+    /// The telemetry event inside, if this is a telemetry record.
+    pub fn event(&self) -> Option<&Event> {
+        match self {
+            WalRecord::Decision(event) | WalRecord::Job(event) => Some(event),
+            _ => None,
+        }
+    }
+
+    /// Render this record as its `jsonl-v1` line (no trailing newline):
+    /// the human-readable form of either dialect. `store_inspect` dumps
+    /// binary WALs through this, and the service tailer uses it to fan
+    /// binary records out as JSON events.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        render_record_jsonl(self, &mut out);
+        out
+    }
 }
 
-fn decode_store_line(
-    v: &asha_metrics::JsonValue,
-    ev: &str,
-) -> Result<Option<(f64, StoreEvent)>, Error> {
-    let time = v
-        .get("t")
-        .and_then(|t| t.as_f64())
-        .ok_or("store event missing numeric t")?;
-    let event = match ev {
-        "experiment_created" => StoreEvent::ExperimentCreated {
-            name: v
-                .get("name")
-                .and_then(|n| n.as_str())
-                .ok_or("experiment_created missing name")?
-                .to_owned(),
-        },
-        "snapshot" => StoreEvent::Snapshot {
-            snap: v
-                .get("snap")
-                .and_then(|s| s.as_u64())
-                .ok_or("snapshot missing snap")?,
-            events: v
-                .get("events")
-                .and_then(|s| s.as_u64())
-                .ok_or("snapshot missing events")?,
-        },
-        "paused" => StoreEvent::Paused,
-        "resumed" => StoreEvent::Resumed,
-        "experiment_finished" => StoreEvent::ExperimentFinished,
-        _ => return Ok(None),
+/// Render one record as its `jsonl-v1` line (no trailing newline). Also
+/// used by the tailer to fan binary WALs out as JSON events.
+pub(crate) fn render_record_jsonl(record: &WalRecord, out: &mut String) {
+    match record {
+        WalRecord::Decision(event) | WalRecord::Job(event) => {
+            asha_obs::encode_event_into(out, event);
+        }
+        WalRecord::SnapshotMarker { time, marker } => {
+            let mut fields = vec![
+                (
+                    "ev",
+                    JsonValue::Str(
+                        match marker {
+                            SnapMarker::Full { .. } => "snapshot",
+                            SnapMarker::Delta { .. } => "delta_snapshot",
+                        }
+                        .to_owned(),
+                    ),
+                ),
+                ("t", JsonValue::Num(*time)),
+                ("snap", JsonValue::Int(marker.snap())),
+            ];
+            if let SnapMarker::Delta { delta, .. } = marker {
+                fields.push(("delta", JsonValue::Int(*delta)));
+            }
+            fields.push(("events", JsonValue::Int(marker.events())));
+            JsonValue::obj(fields).render_compact_into(out);
+        }
+        WalRecord::Meta { time, event } => {
+            let mut fields = vec![
+                ("ev", JsonValue::Str(event.name().to_owned())),
+                ("t", JsonValue::Num(*time)),
+            ];
+            if let StoreEvent::ExperimentCreated { name } = event {
+                fields.push(("name", JsonValue::Str(name.clone())));
+            }
+            JsonValue::obj(fields).render_compact_into(out);
+        }
+    }
+}
+
+/// Parse one `jsonl-v1` WAL line into a typed record.
+pub(crate) fn parse_record_jsonl(line: &str) -> Result<WalRecord, String> {
+    let value = JsonValue::parse(line).map_err(|e| e.to_string())?;
+    let ev = value
+        .get("ev")
+        .and_then(|e| e.as_str())
+        .ok_or("missing ev field")?
+        .to_owned();
+    let time = || {
+        value
+            .get("t")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| "store event missing numeric t".to_owned())
     };
-    Ok(Some((time, event)))
+    let marker_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(|s| s.as_u64())
+            .ok_or_else(|| format!("{ev} missing {key}"))
+    };
+    match ev.as_str() {
+        "experiment_created" => Ok(WalRecord::Meta {
+            time: time()?,
+            event: StoreEvent::ExperimentCreated {
+                name: value
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or("experiment_created missing name")?
+                    .to_owned(),
+            },
+        }),
+        "snapshot" => Ok(WalRecord::SnapshotMarker {
+            time: time()?,
+            marker: SnapMarker::Full {
+                snap: marker_field("snap")?,
+                events: marker_field("events")?,
+            },
+        }),
+        "delta_snapshot" => Ok(WalRecord::SnapshotMarker {
+            time: time()?,
+            marker: SnapMarker::Delta {
+                snap: marker_field("snap")?,
+                delta: marker_field("delta")?,
+                events: marker_field("events")?,
+            },
+        }),
+        "paused" => Ok(WalRecord::Meta {
+            time: time()?,
+            event: StoreEvent::Paused,
+        }),
+        "resumed" => Ok(WalRecord::Meta {
+            time: time()?,
+            event: StoreEvent::Resumed,
+        }),
+        "experiment_finished" => Ok(WalRecord::Meta {
+            time: time()?,
+            event: StoreEvent::ExperimentFinished,
+        }),
+        _ => {
+            let events = asha_obs::parse_jsonl(line).map_err(|e| e.to_string())?;
+            match events.into_iter().next() {
+                Some(event) => Ok(WalRecord::telemetry(event)),
+                None => Err("empty telemetry line".to_owned()),
+            }
+        }
+    }
 }
 
 /// Append-only writer for a WAL file.
 ///
-/// Appends go through a userspace buffer that is flushed to the OS on every
-/// record boundary crossing [`SyncPolicy`]'s fsync cadence, and
-/// unconditionally on [`WalWriter::sync`] and on drop (so a cleanly exiting
-/// process never loses records even with [`SyncPolicy::Never`]).
+/// Appends go through a userspace buffer that is flushed to the OS at every
+/// commit point crossing [`Durability`]'s fsync cadence, and unconditionally
+/// on [`WalWriter::sync`] and on drop (so a cleanly exiting process never
+/// loses records even with [`Durability::Flush`]). With a group-commit
+/// handle attached, policy-due fsyncs become asynchronous pipeline
+/// requests and only [`WalWriter::sync`] blocks for the durability ack.
 #[derive(Debug)]
 pub struct WalWriter {
     file: BufWriter<File>,
     path: PathBuf,
-    policy: SyncPolicy,
+    policy: Durability,
+    format: StoreFormat,
     since_sync: usize,
     telemetry_appended: u64,
-    scratch: String,
-    /// Optional durability-plane histograms; `None` (the default) keeps
+    buf: EncodeBuf,
+    group: Option<CommitHandle>,
+    /// Optional durability-plane metrics; `None` (the default) keeps
     /// clock reads off the append path entirely.
     metrics: Option<std::sync::Arc<crate::StoreMetrics>>,
 }
 
 impl WalWriter {
-    /// Create a fresh WAL (truncating any existing file).
-    pub fn create(path: &Path, policy: SyncPolicy) -> Result<Self, StoreError> {
+    /// Create a fresh WAL in `format` (truncating any existing file). The
+    /// format's magic (if any) is written and flushed immediately so the
+    /// file's dialect is detectable from its very first bytes.
+    pub fn create(
+        path: &Path,
+        policy: Durability,
+        format: StoreFormat,
+    ) -> Result<Self, StoreError> {
         let file = File::create(path).map_err(|e| StoreError::io(path, e))?;
-        Ok(WalWriter::from_file(file, path, policy, 0))
+        let mut writer = WalWriter::from_file(file, path, policy, format, 0);
+        let magic = format.wal_codec().magic();
+        if !magic.is_empty() {
+            writer
+                .file
+                .write_all(magic)
+                .map_err(|e| StoreError::io(path, e))?;
+            writer.flush()?;
+        }
+        Ok(writer)
     }
 
-    /// Open an existing WAL for appending. `telemetry_so_far` seeds the
+    /// Open an existing WAL for appending, *keeping the file's own
+    /// dialect* (sniffed from its first bytes) — `preferred` only applies
+    /// when the file is missing or empty. `telemetry_so_far` seeds the
     /// telemetry counter (the recovered event count), so snapshot markers
     /// written after recovery carry correct positions.
     pub fn open_append(
         path: &Path,
-        policy: SyncPolicy,
+        policy: Durability,
         telemetry_so_far: u64,
+        preferred: StoreFormat,
     ) -> Result<Self, StoreError> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| StoreError::io(path, e))?;
-        Ok(WalWriter::from_file(file, path, policy, telemetry_so_far))
+        let len = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+        if len == 0 {
+            drop(file);
+            let mut writer = WalWriter::create(path, policy, preferred)?;
+            writer.telemetry_appended = telemetry_so_far;
+            return Ok(writer);
+        }
+        let format = {
+            let mut head = [0u8; 8];
+            let mut probe = File::open(path).map_err(|e| StoreError::io(path, e))?;
+            let n = read_fully(&mut probe, &mut head).map_err(|e| StoreError::io(path, e))?;
+            StoreFormat::detect_wal(&head[..n])
+        };
+        Ok(WalWriter::from_file(
+            file,
+            path,
+            policy,
+            format,
+            telemetry_so_far,
+        ))
     }
 
-    fn from_file(file: File, path: &Path, policy: SyncPolicy, telemetry_so_far: u64) -> Self {
+    fn from_file(
+        file: File,
+        path: &Path,
+        policy: Durability,
+        format: StoreFormat,
+        telemetry_so_far: u64,
+    ) -> Self {
         WalWriter {
             file: BufWriter::new(file),
             path: path.to_owned(),
             policy,
+            format,
             since_sync: 0,
             telemetry_appended: telemetry_so_far,
-            scratch: String::new(),
+            buf: EncodeBuf::default(),
+            group: None,
             metrics: None,
         }
+    }
+
+    /// The dialect this writer appends in.
+    pub fn format(&self) -> StoreFormat {
+        self.format
     }
 
     /// Attach durability-plane histograms; subsequent appends and fsyncs
@@ -204,44 +394,59 @@ impl WalWriter {
         self.metrics = Some(metrics);
     }
 
+    /// Route this writer's fsyncs through a group-commit pipeline:
+    /// policy-due syncs become fire-and-forget requests, and
+    /// [`WalWriter::sync`] waits for the covering batch instead of issuing
+    /// its own fsync syscall.
+    pub fn set_group_commit(&mut self, handle: CommitHandle) {
+        self.group = Some(handle);
+    }
+
+    /// A duplicated handle to the underlying file (for registering with a
+    /// [`crate::CommitPipeline`]).
+    pub fn file_clone(&self) -> Result<File, StoreError> {
+        self.file
+            .get_ref()
+            .try_clone()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
     /// Telemetry events written (including any recovered count passed to
     /// [`WalWriter::open_append`]).
     pub fn telemetry_appended(&self) -> u64 {
         self.telemetry_appended
     }
 
-    /// Append one telemetry event.
-    pub fn append_telemetry(&mut self, event: &Event) -> Result<(), StoreError> {
-        let mut line = std::mem::take(&mut self.scratch);
-        line.clear();
-        asha_obs::encode_event_into(&mut line, event);
-        let appended = self.append_line(&line);
-        self.scratch = line;
-        appended?;
-        self.telemetry_appended += 1;
-        Ok(())
-    }
-
-    /// Append one store event stamped with the run's current time.
-    pub fn append_store(&mut self, time: f64, event: &StoreEvent) -> Result<(), StoreError> {
-        let line = encode_store_line(time, event);
-        self.append_line(&line)
-    }
-
-    fn append_line(&mut self, line: &str) -> Result<(), StoreError> {
+    /// Append one record. This is the only write entry point: every call
+    /// site hands the writer a typed [`WalRecord`], and the codec owns the
+    /// bytes.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
         let start = self.metrics.is_some().then(std::time::Instant::now);
+        self.format.wal_codec().encode_record(record, &mut self.buf);
         self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.write_all(b"\n"))
+            .write_all(&self.buf.bytes)
             .map_err(|e| StoreError::io(&self.path, e))?;
+        if matches!(record, WalRecord::Decision(_) | WalRecord::Job(_)) {
+            self.telemetry_appended += 1;
+        }
         self.since_sync += 1;
-        let due = match self.policy {
-            SyncPolicy::Never => false,
-            SyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
-            SyncPolicy::Always => true,
-        };
-        if due {
-            self.sync()?;
+        if self.policy.fsync_due(self.since_sync) {
+            match &self.group {
+                Some(handle) => {
+                    // Group commit: get the bytes to the OS and enqueue an
+                    // asynchronous durability request; the pipeline batches
+                    // it with every other writer in the commit window.
+                    self.file
+                        .flush()
+                        .map_err(|e| StoreError::io(&self.path, e))?;
+                    if let Some(m) = &self.metrics {
+                        m.group_commit_requests.inc();
+                    }
+                    handle.request();
+                    self.since_sync = 0;
+                }
+                None => self.sync()?,
+            }
         }
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.wal_append.observe_duration(t0.elapsed());
@@ -254,14 +459,26 @@ impl WalWriter {
         self.file.flush().map_err(|e| StoreError::io(&self.path, e))
     }
 
-    /// Flush and fsync, making every appended record crash-durable.
+    /// Flush and make every appended record crash-durable — by a direct
+    /// fsync, or by waiting for the group-commit pipeline's covering batch
+    /// when a handle is attached.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         let start = self.metrics.is_some().then(std::time::Instant::now);
         self.flush()?;
-        self.file
-            .get_ref()
-            .sync_all()
-            .map_err(|e| StoreError::io(&self.path, e))?;
+        match &self.group {
+            Some(handle) => {
+                if let Some(m) = &self.metrics {
+                    m.group_commit_requests.inc();
+                }
+                handle.commit()?;
+            }
+            None => {
+                self.file
+                    .get_ref()
+                    .sync_all()
+                    .map_err(|e| StoreError::io(&self.path, e))?;
+            }
+        }
         self.since_sync = 0;
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.wal_fsync.observe_duration(t0.elapsed());
@@ -273,10 +490,22 @@ impl WalWriter {
 impl Drop for WalWriter {
     fn drop(&mut self) {
         // Best effort: a cleanly dropped writer leaves nothing in userspace
-        // buffers, and syncs so even SyncPolicy::Never survives a machine
+        // buffers, and syncs so even Durability::Flush survives a machine
         // crash shortly after exit.
         let _ = self.sync();
     }
+}
+
+/// A checkpoint reference resolved from WAL markers: full snapshot `snap`
+/// plus `delta` chained diffs, covering `events` telemetry events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerRef {
+    /// The base full snapshot's sequence number.
+    pub snap: u64,
+    /// How many deltas to apply on top (0 = the full snapshot itself).
+    pub delta: u64,
+    /// Telemetry events covered.
+    pub events: u64,
 }
 
 /// The parsed contents of a WAL file.
@@ -284,17 +513,16 @@ impl Drop for WalWriter {
 pub struct WalContents {
     /// Every well-formed record, in append order.
     pub records: Vec<WalRecord>,
-    /// Whether a torn (partial) final line was discarded.
+    /// Whether a torn (partial or damaged) tail was discarded.
     pub torn_tail: bool,
+    /// The dialect the file was written in.
+    pub format: StoreFormat,
 }
 
 impl WalContents {
     /// The telemetry events only, in append order.
     pub fn telemetry(&self) -> impl Iterator<Item = &Event> {
-        self.records.iter().filter_map(|r| match r {
-            WalRecord::Telemetry(e) => Some(e),
-            WalRecord::Store { .. } => None,
-        })
+        self.records.iter().filter_map(WalRecord::event)
     }
 
     /// Number of telemetry events.
@@ -302,65 +530,101 @@ impl WalContents {
         self.telemetry().count() as u64
     }
 
-    /// The last durably recorded snapshot marker, if any.
-    pub fn last_snapshot_marker(&self) -> Option<(u64, u64)> {
+    /// The last durably recorded checkpoint marker, if any.
+    pub fn last_snapshot_marker(&self) -> Option<MarkerRef> {
         self.records.iter().rev().find_map(|r| match r {
-            WalRecord::Store {
-                event: StoreEvent::Snapshot { snap, events },
-                ..
-            } => Some((*snap, *events)),
+            WalRecord::SnapshotMarker { marker, .. } => Some(MarkerRef {
+                snap: marker.snap(),
+                delta: marker.delta(),
+                events: marker.events(),
+            }),
             _ => None,
         })
     }
 }
 
-/// Read a WAL file, tolerating a torn final line.
+fn read_fully(file: &mut File, buf: &mut [u8]) -> std::io::Result<usize> {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Does any complete valid record decode from `rest`? Distinguishes a torn
+/// tail (damage at EOF — tolerated) from mid-file corruption (damage
+/// *followed by* valid records — an error).
+fn rest_has_record(codec: &dyn WalCodec, mut rest: &[u8]) -> bool {
+    loop {
+        match codec.decode_step(rest) {
+            DecodeStep::Record { .. } => return true,
+            DecodeStep::Blank { consumed } | DecodeStep::Invalid { consumed, .. } => {
+                if consumed == 0 || consumed > rest.len() {
+                    return false;
+                }
+                rest = &rest[consumed..];
+            }
+            DecodeStep::Incomplete | DecodeStep::Lost(_) => return false,
+        }
+    }
+}
+
+/// Read a WAL file of either dialect (sniffed by magic), tolerating a torn
+/// tail.
 pub fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
-    let mut text = String::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| StoreError::io(path, e))?;
-    let lines: Vec<&str> = text.lines().collect();
-    let last_non_empty = lines.iter().rposition(|l| !l.trim().is_empty());
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    let format = StoreFormat::detect_wal(&bytes);
+    let codec = format.wal_codec();
+    let mut pos = codec.magic().len();
     let mut records = Vec::new();
     let mut torn_tail = false;
-    for (idx, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let is_last = Some(idx) == last_non_empty;
-        match parse_wal_line(line) {
-            Ok(record) => records.push(record),
-            Err(msg) => {
-                if is_last {
-                    torn_tail = true;
-                } else {
+    let mut record_no = 0usize;
+    while pos < bytes.len() {
+        record_no += 1;
+        match codec.decode_step(&bytes[pos..]) {
+            DecodeStep::Record { consumed, record } => {
+                records.push(record);
+                pos += consumed;
+            }
+            DecodeStep::Blank { consumed } => {
+                record_no -= 1;
+                pos += consumed;
+            }
+            DecodeStep::Incomplete => {
+                torn_tail = true;
+                break;
+            }
+            DecodeStep::Invalid { consumed, why } => {
+                if rest_has_record(codec, &bytes[(pos + consumed).min(bytes.len())..]) {
                     return Err(StoreError::corrupt(
                         path,
-                        format!("line {}: {msg}", idx + 1),
+                        format!("record {record_no}: {why}"),
                     ));
                 }
+                torn_tail = true;
+                break;
+            }
+            DecodeStep::Lost(why) => {
+                // Destroyed framing cannot come from a torn append (partial
+                // writes decode as Incomplete), so it is always corruption.
+                return Err(StoreError::corrupt(
+                    path,
+                    format!("record {record_no}: {why}"),
+                ));
             }
         }
     }
-    Ok(WalContents { records, torn_tail })
-}
-
-fn parse_wal_line(line: &str) -> Result<WalRecord, Error> {
-    let value = asha_metrics::JsonValue::parse(line).map_err(|e| e.to_string())?;
-    let ev = value
-        .get("ev")
-        .and_then(|e| e.as_str())
-        .ok_or("missing ev field")?
-        .to_owned();
-    if let Some((time, event)) = decode_store_line(&value, &ev)? {
-        return Ok(WalRecord::Store { time, event });
-    }
-    let events = asha_obs::parse_jsonl(line).map_err(|e| e.to_string())?;
-    match events.into_iter().next() {
-        Some(event) => Ok(WalRecord::Telemetry(event)),
-        None => Err(Error::codec("empty telemetry line")),
-    }
+    Ok(WalContents {
+        records,
+        torn_tail,
+        format,
+    })
 }
 
 #[cfg(test)]
@@ -387,37 +651,76 @@ mod tests {
     }
 
     #[test]
-    fn wal_round_trips_telemetry_and_store_events() {
-        let dir = tmpdir("roundtrip");
-        let path = dir.join("wal.jsonl");
-        {
-            let mut wal = WalWriter::create(&path, SyncPolicy::Always).unwrap();
-            wal.append_store(
-                0.0,
-                &StoreEvent::ExperimentCreated {
-                    name: "exp".to_owned(),
-                },
-            )
-            .unwrap();
-            wal.append_telemetry(&ev(0, 0.0)).unwrap();
-            wal.append_telemetry(&ev(1, 0.5)).unwrap();
-            wal.append_store(0.5, &StoreEvent::Snapshot { snap: 0, events: 2 })
+    fn wal_round_trips_telemetry_and_store_events_in_both_formats() {
+        for format in [StoreFormat::JsonlV1, StoreFormat::BinaryV2] {
+            let dir = tmpdir(&format!("roundtrip-{}", format.extensionless_tag()));
+            let path = dir.join("wal");
+            {
+                let mut wal = WalWriter::create(&path, Durability::Sync, format).unwrap();
+                wal.append(&WalRecord::Meta {
+                    time: 0.0,
+                    event: StoreEvent::ExperimentCreated {
+                        name: "exp".to_owned(),
+                    },
+                })
                 .unwrap();
-            wal.append_store(1.0, &StoreEvent::ExperimentFinished)
+                wal.append(&WalRecord::telemetry(ev(0, 0.0))).unwrap();
+                wal.append(&WalRecord::telemetry(ev(1, 0.5))).unwrap();
+                wal.append(&WalRecord::SnapshotMarker {
+                    time: 0.5,
+                    marker: SnapMarker::Full { snap: 0, events: 2 },
+                })
                 .unwrap();
-            assert_eq!(wal.telemetry_appended(), 2);
+                wal.append(&WalRecord::SnapshotMarker {
+                    time: 0.75,
+                    marker: SnapMarker::Delta {
+                        snap: 0,
+                        delta: 1,
+                        events: 2,
+                    },
+                })
+                .unwrap();
+                wal.append(&WalRecord::Meta {
+                    time: 1.0,
+                    event: StoreEvent::ExperimentFinished,
+                })
+                .unwrap();
+                assert_eq!(wal.telemetry_appended(), 2);
+                assert_eq!(wal.format(), format);
+            }
+            let contents = read_wal(&path).unwrap();
+            assert_eq!(contents.format, format);
+            assert!(!contents.torn_tail);
+            assert_eq!(contents.records.len(), 6);
+            assert_eq!(contents.telemetry_len(), 2);
+            assert_eq!(
+                contents.last_snapshot_marker(),
+                Some(MarkerRef {
+                    snap: 0,
+                    delta: 1,
+                    events: 2
+                })
+            );
+            assert_eq!(
+                contents.records[1],
+                WalRecord::Decision(ev(0, 0.0)),
+                "grow_bottom classifies as a scheduler decision"
+            );
+
+            // Appending keeps the file's own dialect even when the caller
+            // prefers the other one.
+            let other = match format {
+                StoreFormat::JsonlV1 => StoreFormat::BinaryV2,
+                StoreFormat::BinaryV2 => StoreFormat::JsonlV1,
+            };
+            {
+                let mut wal = WalWriter::open_append(&path, Durability::Flush, 2, other).unwrap();
+                assert_eq!(wal.format(), format, "existing dialect wins");
+                wal.append(&WalRecord::telemetry(ev(2, 2.0))).unwrap();
+            }
+            assert_eq!(read_wal(&path).unwrap().telemetry_len(), 3);
+            std::fs::remove_dir_all(&dir).ok();
         }
-        let contents = read_wal(&path).unwrap();
-        assert!(!contents.torn_tail);
-        assert_eq!(contents.records.len(), 5);
-        assert_eq!(contents.telemetry_len(), 2);
-        assert_eq!(contents.last_snapshot_marker(), Some((0, 2)));
-        assert_eq!(
-            contents.records[1],
-            WalRecord::Telemetry(ev(0, 0.0)),
-            "telemetry lines use the obs schema verbatim"
-        );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -425,9 +728,10 @@ mod tests {
         let dir = tmpdir("torn");
         let path = dir.join("wal.jsonl");
         {
-            let mut wal = WalWriter::create(&path, SyncPolicy::Never).unwrap();
-            wal.append_telemetry(&ev(0, 0.0)).unwrap();
-            wal.append_telemetry(&ev(1, 0.5)).unwrap();
+            let mut wal =
+                WalWriter::create(&path, Durability::Flush, StoreFormat::JsonlV1).unwrap();
+            wal.append(&WalRecord::telemetry(ev(0, 0.0))).unwrap();
+            wal.append(&WalRecord::telemetry(ev(1, 0.5))).unwrap();
         }
         // Simulate a crash mid-append: a partial final line.
         {
@@ -452,12 +756,52 @@ mod tests {
     }
 
     #[test]
+    fn binary_torn_tail_and_crc_damage() {
+        let dir = tmpdir("binary-torn");
+        let path = dir.join("wal.bin");
+        {
+            let mut wal =
+                WalWriter::create(&path, Durability::Flush, StoreFormat::BinaryV2).unwrap();
+            for i in 0..4 {
+                wal.append(&WalRecord::telemetry(ev(i, i as f64))).unwrap();
+            }
+        }
+        let clean = std::fs::read(&path).unwrap();
+
+        // A truncated final frame is a torn tail.
+        std::fs::write(&path, &clean[..clean.len() - 3]).unwrap();
+        let contents = read_wal(&path).unwrap();
+        assert!(contents.torn_tail);
+        assert_eq!(contents.telemetry_len(), 3);
+
+        // A flipped bit in the final record: CRC failure at EOF, torn tail.
+        let mut tail_flip = clean.clone();
+        let n = tail_flip.len();
+        tail_flip[n - 6] ^= 0x01;
+        std::fs::write(&path, &tail_flip).unwrap();
+        let contents = read_wal(&path).unwrap();
+        assert!(contents.torn_tail);
+        assert_eq!(contents.telemetry_len(), 3);
+
+        // The same flip mid-file (valid records after it) is corruption.
+        let mut mid_flip = clean.clone();
+        mid_flip[12] ^= 0x01;
+        std::fs::write(&path, &mid_flip).unwrap();
+        assert_eq!(
+            read_wal(&path).unwrap_err().kind(),
+            crate::error::ErrorKind::Corrupt
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn every_n_policy_counts_records() {
         let dir = tmpdir("everyn");
         let path = dir.join("wal.jsonl");
-        let mut wal = WalWriter::create(&path, SyncPolicy::EveryN(2)).unwrap();
+        let mut wal =
+            WalWriter::create(&path, Durability::EveryN(2), StoreFormat::JsonlV1).unwrap();
         for i in 0..5 {
-            wal.append_telemetry(&ev(i, i as f64)).unwrap();
+            wal.append(&WalRecord::telemetry(ev(i, i as f64))).unwrap();
         }
         // Records are at least flushed per policy; all 5 parse back after a
         // plain flush (the buffered tail).
@@ -466,5 +810,14 @@ mod tests {
         assert_eq!(contents.telemetry_len(), 5);
         drop(wal);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    impl StoreFormat {
+        fn extensionless_tag(&self) -> &'static str {
+            match self {
+                StoreFormat::JsonlV1 => "jsonl",
+                StoreFormat::BinaryV2 => "bin",
+            }
+        }
     }
 }

@@ -9,8 +9,9 @@ use asha_baselines::{bohb_asha, dasha_tpe};
 use asha_core::{Asha, AshaConfig, Decision, Observation, Scheduler};
 use asha_sim::{SimConfig, SimResult};
 use asha_store::{
-    read_meta, read_wal, replay_scheduler, BenchSpec, DurableRun, ExperimentMeta, ExperimentStatus,
-    ExperimentSupervisor, RunOptions, SchedulerState, StoredScheduler, SyncPolicy, WAL_FILE,
+    read_meta, read_wal, replay_scheduler, BenchSpec, Durability, DurableRun, ExperimentMeta,
+    ExperimentStatus, ExperimentSupervisor, RunOptions, SchedulerState, StoreFormat,
+    StoredScheduler, WAL_FILE,
 };
 use asha_surrogate::BenchmarkModel;
 use rand::rngs::StdRng;
@@ -77,8 +78,20 @@ fn tpe_meta(name: &str, seed: u64, delayed: bool) -> ExperimentMeta {
 
 fn opts(snapshot_jobs: usize) -> RunOptions {
     RunOptions {
-        sync: SyncPolicy::EveryN(16),
+        sync: Durability::EveryN(16),
         snapshot_jobs,
+        ..RunOptions::default()
+    }
+}
+
+/// The same knobs in the `jsonl-v1` dialect with deltas disabled — the
+/// exact on-disk behavior of pre-codec-redesign stores.
+fn v1_opts(snapshot_jobs: usize) -> RunOptions {
+    RunOptions {
+        sync: Durability::EveryN(16),
+        snapshot_jobs,
+        format: StoreFormat::JsonlV1,
+        delta_chain: 0,
     }
 }
 
@@ -117,8 +130,15 @@ fn uninterrupted_result(meta: &ExperimentMeta, dir: &Path, o: RunOptions) -> Sim
 
 #[test]
 fn recovery_after_hard_kill_matches_uninterrupted_run() {
-    let root = tmpdir("kill");
-    let o = opts(30);
+    // Both dialects, including the pre-redesign on-disk shape (jsonl-v1,
+    // no delta chain): recovery must be bit-identical under each.
+    for (tag, o) in [("bin", opts(30)), ("v1", v1_opts(30))] {
+        recovery_after_hard_kill(tag, o);
+    }
+}
+
+fn recovery_after_hard_kill(tag: &str, o: RunOptions) {
+    let root = tmpdir(&format!("kill-{tag}"));
     let meta = chaos_meta("kill", 42);
     let reference = uninterrupted_result(&meta, &root.join("ref"), o);
 
@@ -286,7 +306,7 @@ fn wal_suffix_replay_reconstructs_scheduler_decisions() {
             if let Some(job) = pending.pop_front() {
                 let loss = (job.trial.0 as f64 * 0.29).cos();
                 live.observe(Observation::for_job(&job, loss));
-                records.push(WalRecord::Telemetry(Event {
+                records.push(WalRecord::telemetry(Event {
                     seq,
                     time: step as f64,
                     kind: EventKind::JobEnd {
@@ -300,7 +320,7 @@ fn wal_suffix_replay_reconstructs_scheduler_decisions() {
             }
         }
         let d = live.suggest(&mut rng);
-        records.push(WalRecord::Telemetry(Event {
+        records.push(WalRecord::telemetry(Event {
             seq,
             time: step as f64,
             kind: EventKind::of_decision(&d),
@@ -361,7 +381,7 @@ fn replay_detects_log_state_mismatch() {
     // A log claiming a different trial was grown must be rejected.
     use asha_core::telemetry::{Event, EventKind};
     use asha_store::WalRecord;
-    let bogus = vec![WalRecord::Telemetry(Event {
+    let bogus = vec![WalRecord::telemetry(Event {
         seq: 0,
         time: 0.0,
         kind: EventKind::GrowBottom {
@@ -439,8 +459,13 @@ fn supervisor_abort_leaves_resumable_store_and_manifest_survives_reopen() {
 
 #[test]
 fn wal_of_recovered_run_equals_uninterrupted_telemetry() {
-    let root = tmpdir("wal-eq");
-    let o = opts(20);
+    for (tag, o) in [("bin", opts(20)), ("v1", v1_opts(20))] {
+        wal_of_recovered_run_equals(tag, o);
+    }
+}
+
+fn wal_of_recovered_run_equals(tag: &str, o: RunOptions) {
+    let root = tmpdir(&format!("wal-eq-{tag}"));
     let meta = chaos_meta("wal", 21);
     let ref_dir = root.join("ref");
     uninterrupted_result(&meta, &ref_dir, o);
